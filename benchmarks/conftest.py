@@ -1,0 +1,39 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures,
+asserts its *shape* (who wins, by roughly what factor, where crossovers
+fall), and prints the regenerated rows/series (visible with ``-s`` or in
+the captured output of a failing run).
+
+By default the benchmarks run a scaled-down version of each experiment
+(shorter simulated duration, fewer replicate runs) so the whole suite
+finishes in minutes.  Set ``REPRO_FULL_SCALE=1`` for the paper-scale
+parameters (12 simulated hours, 10 replicates — much slower).
+"""
+
+import os
+
+import pytest
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+#: Simulated seconds per run (paper: 43200 = 12 h).
+SIM_DURATION = 43_200.0 if FULL_SCALE else 7_200.0
+#: Replicate runs averaged per data point (paper: 10).
+SIM_RUNS = 10 if FULL_SCALE else 3
+#: Repetitions of each live experiment (paper: 3).
+LIVE_REPETITIONS = 3 if FULL_SCALE else 2
+#: Queries per stream in the live experiments.
+LIVE_QUERIES = 30 if FULL_SCALE else 8
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (these are experiment
+    regenerations, not microbenchmarks)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

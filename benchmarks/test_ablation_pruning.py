@@ -1,0 +1,62 @@
+"""Ablation — broker-capability pruning (Section 4.1).
+
+The paper: "when a broker also advertises its capabilities to another
+broker, a broker can reason over the other brokers' capabilities and
+eliminate brokers that definitely should not be contacted during an
+inter-broker search.  This improves the processing time by ruling out
+unnecessary queries."
+
+This ablation runs the Experiment 6 community twice — specialized
+brokers with and without peer pruning — and shows pruning is where a
+large share of the specialization win comes from.
+"""
+
+from conftest import LIVE_QUERIES
+
+from repro.experiments import format_table
+from repro.experiments.live import TABLE4_QUERY_INTERVAL, run_live_experiment
+
+
+def run_both():
+    results = {}
+    for pruned in (True, False):
+        runs = [
+            run_live_experiment(
+                5, n_brokers=4, specialized=True, seed=rep,
+                queries_per_stream=LIVE_QUERIES,
+                query_interval=TABLE4_QUERY_INTERVAL,
+                prune_peers_by_specialty=pruned,
+            )
+            for rep in range(2)
+        ]
+        results[pruned] = {
+            stream: sum(r.mean_response[stream] for r in runs) / len(runs)
+            for stream in runs[0].mean_response
+        }
+    return results
+
+
+def test_ablation_peer_pruning(once):
+    results = once(run_both)
+
+    rows = {
+        "with pruning": results[True],
+        "without pruning": results[False],
+        "ratio": {
+            s: results[True][s] / results[False][s] for s in results[True]
+        },
+    }
+    print()
+    print(format_table(
+        "Ablation: specialized brokering with/without peer pruning "
+        "(mean response, s)",
+        rows, column_order=["4A", "DA", "SA", "VF", "FH", "CH"],
+        row_label="variant",
+    ))
+
+    # Pruning never hurts, and helps on average.
+    mean_with = sum(results[True].values()) / len(results[True])
+    mean_without = sum(results[False].values()) / len(results[False])
+    assert mean_with < mean_without
+    for stream in results[True]:
+        assert results[True][stream] < results[False][stream] * 1.15, stream

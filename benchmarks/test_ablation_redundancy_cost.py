@@ -1,0 +1,47 @@
+"""Ablation — what advertising redundancy costs when nothing fails.
+
+Table 6 shows redundancy buys robustness; this ablation quantifies its
+price in a *reliable* system: every extra copy of an advertisement
+inflates every broker repository, and broker reasoning time scales with
+repository volume, so response times rise with redundancy.
+"""
+
+from conftest import SIM_DURATION, SIM_RUNS
+
+from repro.experiments import format_table
+from repro.experiments.robustness import robustness_config
+from repro.sim.simulator import run_replicates
+
+REDUNDANCIES = (1, 2, 3, 4, 5)
+
+
+def sweep_redundancy():
+    rows = {}
+    for redundancy in REDUNDANCIES:
+        config = robustness_config(1_000_000.0, redundancy, duration=SIM_DURATION)
+        reports = run_replicates(config, runs=SIM_RUNS)
+        rows[redundancy] = {
+            "response (s)": sum(r.average_broker_response for r in reports) / len(reports),
+            "reply %": 100.0 * sum(r.reply_fraction for r in reports) / len(reports),
+        }
+    return rows
+
+
+def test_ablation_redundancy_cost(once):
+    rows = once(sweep_redundancy)
+
+    print()
+    print(format_table(
+        "Ablation: the price of advertising redundancy (no failures)",
+        rows, column_order=["response (s)", "reply %"], row_label="redundancy",
+    ))
+
+    # Everything still gets answered ...
+    for redundancy in REDUNDANCIES:
+        assert rows[redundancy]["reply %"] > 99.0
+    # ... but bigger repositories mean slower matchmaking: full
+    # redundancy costs measurably more than single advertising.
+    assert rows[5]["response (s)"] > rows[1]["response (s)"] * 1.3
+    # And the growth is monotone (within a small tolerance).
+    times = [rows[r]["response (s)"] for r in REDUNDANCIES]
+    assert all(a <= b * 1.05 for a, b in zip(times, times[1:]))

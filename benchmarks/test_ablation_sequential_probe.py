@@ -1,0 +1,98 @@
+"""Ablation — sequential vs parallel until-match probing (Section 4.3).
+
+The 'until you find a single match' follow option can be served two
+ways: probe peer brokers one at a time (fewer messages when the match is
+nearby, slow when it is far) or flood all peers and take the first
+useful answer (bounded latency, maximal traffic).  This ablation
+measures both, with the single matching resource placed on the first
+and on the last peer the sequential prober would try.
+"""
+
+from repro.agents import AgentConfig, BrokerAgent, CostModel, MessageBus, ResourceAgent
+from repro.agents.base import Agent
+from repro.agents.broker import RecommendRequest
+from repro.core import BrokerQuery
+from repro.core.matcher import MatchContext
+from repro.core.policy import FollowOption, SearchPolicy
+from repro.experiments import format_table
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology import demo_ontology
+from repro.relational.generate import generate_table
+
+N_BROKERS = 6
+
+
+def run_variant(sequential: bool, match_position: str):
+    onto = demo_ontology(1)
+    context = MatchContext(ontologies={"demo": onto})
+    bus = MessageBus(CostModel(latency_seconds=0.01, base_handling_seconds=0.001,
+                               bandwidth_bytes_per_second=1e9))
+    names = [f"b{i}" for i in range(N_BROKERS)]
+    for name in names:
+        bus.register(BrokerAgent(name, context=context,
+                                 peer_brokers=[b for b in names if b != name],
+                                 sequential_until_match=sequential))
+    # Sequential probing tries peers in sorted order (b1, b2, ... b5).
+    home = names[1] if match_position == "near" else names[-1]
+    bus.register(ResourceAgent(
+        "R", {"C1": generate_table(onto, "C1", 3, seed=1)}, "demo",
+        config=AgentConfig(preferred_brokers=(home,), redundancy=1,
+                           advertisement_size_mb=0.01),
+    ))
+    bus.run_until(1.0)
+
+    replies, times = [], []
+
+    class Driver(Agent):
+        def on_custom_timer(self, token, result, now):
+            request = RecommendRequest(
+                query=BrokerQuery(agent_type="resource", ontology_name="demo"),
+                policy=SearchPolicy(hop_count=1, follow=FollowOption.UNTIL_MATCH),
+            )
+            message = KqmlMessage(
+                Performative.RECOMMEND_ONE, sender=self.name, receiver=names[0],
+                content=request,
+            )
+            started = now
+            self.ask(message,
+                     lambda r, res: (replies.append(r),
+                                     times.append(self.bus.now - started)),
+                     result)
+
+    bus.register(Driver("driver", AgentConfig(redundancy=0)))
+    delivered_before = bus.stats.messages_delivered
+    bus.schedule_timer("driver", bus.now, "go")
+    bus.run()
+    assert replies[0] is not None
+    assert [m.agent_name for m in replies[0].content] == ["R"]
+    return {
+        "response (s)": times[0],
+        "messages": float(bus.stats.messages_delivered - delivered_before),
+    }
+
+
+def test_ablation_sequential_vs_parallel_probe(once):
+    def run_all():
+        rows = {}
+        for sequential in (True, False):
+            for position in ("near", "far"):
+                label = f"{'sequential' if sequential else 'parallel'}/{position}"
+                rows[label] = run_variant(sequential, position)
+        return rows
+
+    rows = once(run_all)
+    print()
+    print(format_table(
+        "Ablation: until-match probing (match on first vs last of 5 peers)",
+        rows, column_order=["response (s)", "messages"], row_label="variant",
+    ))
+
+    # Near match: sequential probing saves messages at no latency cost.
+    assert rows["sequential/near"]["messages"] < rows["parallel/near"]["messages"]
+    assert (rows["sequential/near"]["response (s)"]
+            <= rows["parallel/near"]["response (s)"] * 1.1)
+    # Far match: sequential probing pays in latency ...
+    assert (rows["sequential/far"]["response (s)"]
+            > 2 * rows["parallel/far"]["response (s)"])
+    # ... while parallel flooding's message bill is flat either way.
+    assert rows["parallel/near"]["messages"] == rows["parallel/far"]["messages"]

@@ -1,0 +1,40 @@
+"""Figure 14 — single brokering versus multiple brokering.
+
+"By far, the worse performance is in the single broker arrangement ...
+query rates faster than its processing time completely saturate the
+broker.  In contrast, having multiple brokers divides the overall system
+load and thus yields better response times."
+"""
+
+from conftest import SIM_DURATION, SIM_RUNS
+
+from repro.experiments import figure14_series, format_series
+
+INTERVALS = (5.0, 10.0, 20.0, 30.0)
+
+
+def test_figure14_single_vs_multibroker(once):
+    series = once(
+        figure14_series, duration=SIM_DURATION, runs=SIM_RUNS, intervals=INTERVALS
+    )
+
+    print()
+    print(format_series(
+        "Figure 14: avg broker response time (s) vs mean time between queries",
+        series, x_label="QF",
+    ))
+
+    single = dict(series["single"])
+    replicated = dict(series["replicated"])
+    specialized = dict(series["specialized"])
+
+    # The single broker saturates at high query frequency: its response
+    # time is orders of magnitude above both multibroker arrangements.
+    assert single[5.0] > 20 * replicated[5.0]
+    assert single[5.0] > 20 * specialized[5.0]
+    # And it decays as the load lightens.
+    assert single[30.0] < single[5.0] / 10
+    # The multibroker arrangements stay in a low, flat band throughout.
+    for qf in INTERVALS:
+        assert replicated[qf] < 50.0
+        assert specialized[qf] < 50.0

@@ -1,0 +1,50 @@
+"""Figure 15 — replicated versus specialized brokering (10 brokers).
+
+"For high query frequencies, the extra over-head in broker communication
+outweighs any advantage gained by parallelizing ... [for] mean query
+intervals of [10] and greater ... the gains in computing the answers in
+parallel across multiple brokers outweighs the extra overhead."
+"""
+
+from conftest import SIM_DURATION, SIM_RUNS
+
+from repro.experiments import figure15_series, format_series
+from repro.experiments.figures import figure14_series
+
+INTERVALS = (10.0, 15.0, 20.0, 25.0, 30.0)
+
+
+def test_figure15_replicated_vs_specialized(once):
+    series = once(
+        figure15_series, duration=SIM_DURATION, runs=SIM_RUNS, intervals=INTERVALS
+    )
+
+    print()
+    print(format_series(
+        "Figure 15: close-up, replicated vs specialized (10 brokers)",
+        series, x_label="QF",
+    ))
+
+    replicated = dict(series["replicated"])
+    specialized = dict(series["specialized"])
+
+    # In the close-up region specialized wins, and the gap widens as the
+    # query interval grows.
+    for qf in (15.0, 20.0, 25.0, 30.0):
+        assert specialized[qf] < replicated[qf], (qf, specialized[qf], replicated[qf])
+    gap_at_15 = replicated[15.0] - specialized[15.0]
+    gap_at_30 = replicated[30.0] - specialized[30.0]
+    assert gap_at_30 > 0
+    # At QF=10 the two are close (the crossover region).
+    assert abs(specialized[10.0] - replicated[10.0]) < 0.35 * replicated[10.0]
+
+
+def test_figure15_crossover_at_high_frequency(once):
+    """The Figure 14/15 pair's key claim: at QF=5 the communication
+    overhead makes specialized *worse* than replicated."""
+    series = once(
+        figure14_series, duration=SIM_DURATION, runs=SIM_RUNS, intervals=(5.0,)
+    )
+    replicated = dict(series["replicated"])
+    specialized = dict(series["specialized"])
+    assert specialized[5.0] > replicated[5.0]

@@ -1,0 +1,28 @@
+"""Figure 16 — replicated versus specialized with only 5 brokers.
+
+"This shows that even with a higher resource-to-broker ratio,
+specialization of the brokers helps."
+"""
+
+from conftest import SIM_DURATION, SIM_RUNS
+
+from repro.experiments import figure16_series, format_series
+
+INTERVALS = (16.0, 20.0, 25.0, 30.0)
+
+
+def test_figure16_fewer_brokers(once):
+    series = once(
+        figure16_series, duration=SIM_DURATION, runs=SIM_RUNS, intervals=INTERVALS
+    )
+
+    print()
+    print(format_series(
+        "Figure 16: replicated vs specialized with 5 brokers, 100 resources",
+        series, x_label="QF",
+    ))
+
+    replicated = dict(series["replicated"])
+    specialized = dict(series["specialized"])
+    for qf in INTERVALS:
+        assert specialized[qf] < replicated[qf], (qf, specialized[qf], replicated[qf])

@@ -1,0 +1,43 @@
+"""Figure 17 — scalability of specialized multibrokering.
+
+"If the overhead of communication presented an obstacle to scalability,
+then one would expect the response times to get dramatically worse as
+the number of agents increased.  However ... the response times tend to
+level off, and certainly do not show any catastrophic behavior."
+"""
+
+from conftest import FULL_SCALE, SIM_DURATION, SIM_RUNS
+
+from repro.experiments import figure17_series, format_series
+
+RESOURCES = (25, 50, 75, 100, 125, 150, 175, 200, 225) if FULL_SCALE else (25, 75, 125, 175, 225)
+INTERVALS = (40.0, 50.0, 60.0, 70.0, 80.0, 90.0) if FULL_SCALE else (40.0, 60.0, 90.0)
+
+
+def test_figure17_scalability(once):
+    series = once(
+        figure17_series,
+        duration=SIM_DURATION,
+        runs=SIM_RUNS,
+        resources=RESOURCES,
+        intervals=INTERVALS,
+    )
+
+    print()
+    print(format_series(
+        "Figure 17: avg broker response time (s) vs number of resource agents",
+        series, x_label="#RAs",
+    ))
+
+    for name, points in series.items():
+        values = dict(points)
+        smallest, largest = values[RESOURCES[0]], values[RESOURCES[-1]]
+        # A 9x population growth costs well under 2x in response time:
+        # the overhead levels off rather than compounding.
+        assert largest < 2.0 * smallest, (name, smallest, largest)
+        # No catastrophic behavior anywhere along the sweep.
+        assert all(v < 120.0 for v in values.values()), (name, values)
+    # Heavier query load (smaller QF) means equal-or-higher response times.
+    fastest = dict(series[f"QF={int(INTERVALS[0])}"])
+    lightest = dict(series[f"QF={int(INTERVALS[-1])}"])
+    assert sum(fastest.values()) >= sum(lightest.values())

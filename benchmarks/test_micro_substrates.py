@@ -1,0 +1,105 @@
+"""Microbenchmarks for the substrates the broker is built on.
+
+Unlike the experiment regenerations, these are classic repeated-round
+benchmarks: matcher throughput, Datalog evaluation, SQL execution and
+constraint algebra — the pieces whose performance determines how far a
+real deployment of this library scales.
+"""
+
+import pytest
+
+from repro.constraints import parse_constraint
+from repro.core import BrokerQuery, DatalogMatcher, MatchContext, match_advertisements
+from repro.datalog import Engine, Var
+from repro.ontology import healthcare_ontology
+from repro.relational import Column, Schema, Table
+from repro.sql import execute_select, parse_select
+from tests.test_core_matcher import make_ad
+
+N_ADS = 200
+
+
+@pytest.fixture(scope="module")
+def community_ads():
+    constraints = [
+        "patient_age between 0 and 44",
+        "patient_age between 45 and 99",
+        "city in ('Dallas', 'Houston')",
+        "",
+    ]
+    return [
+        make_ad(
+            f"agent{i}",
+            classes=("patient",) if i % 2 else ("diagnosis",),
+            constraints=constraints[i % len(constraints)],
+        )
+        for i in range(N_ADS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def context():
+    return MatchContext(ontologies={"healthcare": healthcare_ontology()})
+
+
+def test_direct_matcher_throughput(benchmark, community_ads, context):
+    """The production matching path over a 200-advertisement repository."""
+    query = BrokerQuery(
+        agent_type="resource",
+        ontology_name="healthcare",
+        classes=("patient",),
+        constraints=parse_constraint("patient_age between 30 and 50"),
+    )
+    matches = benchmark(match_advertisements, query, community_ads, context)
+    assert 0 < len(matches) < N_ADS
+
+
+def test_datalog_matcher_throughput(benchmark, community_ads, context):
+    """The LDL-style path: compiles facts + rules and evaluates."""
+    query = BrokerQuery(
+        agent_type="resource",
+        ontology_name="healthcare",
+        classes=("patient",),
+        constraints=parse_constraint("patient_age between 30 and 50"),
+    )
+    matcher = DatalogMatcher(context)
+    names = benchmark(matcher.match_names, query, community_ads)
+    assert 0 < len(names) < N_ADS
+
+
+def test_datalog_transitive_closure(benchmark):
+    """Semi-naive evaluation over a 100-edge chain."""
+
+    def closure():
+        engine = Engine()
+        for i in range(100):
+            engine.fact("edge", i, i + 1)
+        X, Y, Z = Var("X"), Var("Y"), Var("Z")
+        engine.rule(("reach", X, Y), [("edge", X, Y)])
+        engine.rule(("reach", X, Z), [("reach", X, Y), ("edge", Y, Z)])
+        return engine.ask("reach", 0, 100)
+
+    assert benchmark(closure)
+
+
+def test_sql_executor_scan_rate(benchmark):
+    """Predicate evaluation over 5000 rows."""
+    schema = Schema((Column("id", "number"), Column("v", "number")), key="id")
+    table = Table("t", schema, [{"id": i, "v": i % 97} for i in range(5000)])
+    select = parse_select("select id from t where v between 10 and 20")
+    result = benchmark(execute_select, select, {"t": table})
+    assert result.rows_scanned == 5000
+    assert result.row_count > 0
+
+
+def test_constraint_overlap_rate(benchmark):
+    """The broker's hottest semantic primitive."""
+    ad = parse_constraint("patient_age between 43 and 75 and "
+                          "city in ('Dallas', 'Houston')")
+    query = parse_constraint("patient_age between 25 and 65 and "
+                             "city = 'Dallas' and cost < 10000")
+
+    def overlap():
+        return ad.overlaps(query)
+
+    assert benchmark(overlap)

@@ -1,0 +1,43 @@
+"""Table 1 — the experimental query streams.
+
+Regenerates the stream taxonomy (name, meaning, #RAs) and measures one
+end-to-end execution of each stream on the full Experiment 5 community,
+verifying every stream answers correctly through the live agent system.
+"""
+
+from repro.experiments import STREAMS, build_experiment_community, format_table
+
+
+def run_all_streams():
+    community = build_experiment_community(5, n_brokers=4, seed=0)
+    responses = {}
+    for name, stream in STREAMS.items():
+        user = community.users[name]
+        user.submit(stream.sql)
+    community.bus.run()
+    for name in STREAMS:
+        done = community.users[name].completed[0]
+        assert done.succeeded, f"{name}: {done.error}"
+        responses[name] = done.response_time
+    return responses
+
+
+def test_table1_streams(once):
+    responses = once(run_all_streams)
+
+    rows = {
+        name: {
+            "#RAs": float(stream.n_resource_agents),
+            "response (s)": responses[name],
+        }
+        for name, stream in STREAMS.items()
+    }
+    print()
+    print(format_table("Table 1: experimental query streams", rows,
+                       column_order=["#RAs", "response (s)"], row_label="name"))
+
+    # Table 1's resource counts.
+    assert [STREAMS[n].n_resource_agents for n in ("SA", "DA", "4A", "VF", "CH", "FH")] \
+        == [1, 2, 4, 4, 4, 4]
+    # Streams touching more agents do at least as much work.
+    assert responses["SA"] <= responses["4A"] * 1.5

@@ -1,0 +1,52 @@
+"""Table 2 — the experimental configurations.
+
+Regenerates the experiment/stream/#RA matrix and measures building all
+five communities (agents advertising, brokers populating repositories).
+"""
+
+from repro.experiments import (
+    EXPERIMENT_STREAMS,
+    build_experiment_community,
+    format_table,
+    table2_configurations,
+)
+
+
+def build_all_communities():
+    communities = {}
+    for experiment in sorted(EXPERIMENT_STREAMS):
+        communities[experiment] = build_experiment_community(
+            experiment, n_brokers=4, seed=0
+        )
+    return communities
+
+
+def test_table2_configurations(once):
+    communities = once(build_all_communities)
+
+    rows = {}
+    for experiment, streams, n_resources in table2_configurations():
+        row = {s: 1.0 if s in streams else None for s in ("SA", "DA", "4A", "VF", "CH", "FH")}
+        row["#RAs"] = float(n_resources)
+        rows[experiment] = row
+    print()
+    print(format_table(
+        "Table 2: experimental configurations (1.00 = stream active)",
+        rows,
+        column_order=["SA", "DA", "4A", "VF", "CH", "FH", "#RAs"],
+        row_label="Expt",
+    ))
+
+    # The community actually contains the advertised resource agents.
+    for experiment, streams, n_resources in table2_configurations():
+        community = communities[experiment]
+        advertised = set()
+        for broker in community.broker_names:
+            advertised |= set(
+                community.bus.agent(broker).repository.agent_names()
+            )
+        resource_agents = {a for a in advertised if a.startswith("RA-")}
+        assert len(resource_agents) == n_resources, (
+            f"experiment {experiment}: expected {n_resources} resource agents, "
+            f"brokers know {sorted(resource_agents)}"
+        )

@@ -1,0 +1,40 @@
+"""Table 3 — multibroker / single-broker response-time ratios.
+
+The paper's finding: "when the system is underloaded (Experiments 1-3),
+the response time for queries is slightly better in a single broker
+system ... when the system is loaded (Experiments 4-5), the response
+time in multibroker systems is better for all the queries."
+"""
+
+from conftest import LIVE_QUERIES, LIVE_REPETITIONS
+
+from repro.experiments import format_table, table3_ratios
+
+
+def test_table3_multibroker_ratios(once):
+    ratios = once(
+        table3_ratios,
+        repetitions=LIVE_REPETITIONS,
+        queries_per_stream=LIVE_QUERIES,
+    )
+
+    print()
+    print(format_table(
+        "Table 3: response-time ratio multibroker/single broker",
+        ratios,
+        column_order=["4A", "DA", "SA", "VF", "FH", "CH"],
+        row_label="Expt",
+    ))
+
+    # Underloaded (experiments 1-2): no multibroker win; ratio ~1 or above.
+    for experiment in (1, 2):
+        for stream, ratio in ratios[experiment].items():
+            assert ratio > 0.85, (experiment, stream, ratio)
+    # Loaded (experiments 4-5): multibrokering wins for every stream.
+    for stream, ratio in ratios[4].items():
+        assert ratio < 1.1, ("experiment 4", stream, ratio)
+    for stream, ratio in ratios[5].items():
+        assert ratio < 0.8, ("experiment 5", stream, ratio)
+    # The trend is monotone: more load, better multibroker payoff.
+    mean = {e: sum(r.values()) / len(r) for e, r in ratios.items()}
+    assert mean[5] < mean[4] < mean[2]

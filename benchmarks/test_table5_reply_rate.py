@@ -1,0 +1,44 @@
+"""Table 5 — percentage of queries that brokers reply to.
+
+"As the failure frequency goes up, the more likely we are to contact a
+broker that does not respond. ... these percentages should be
+independent of the redundancy of the advertisements."
+"""
+
+from conftest import FULL_SCALE, SIM_DURATION, SIM_RUNS
+
+from repro.experiments import table5_grid
+from repro.experiments.report import format_percentage_grid
+
+FAILURE_MEANS = (1_000_000.0, 3_600.0, 1_800.0, 900.0)
+REDUNDANCIES = (1, 2, 3, 4, 5) if FULL_SCALE else (1, 3, 5)
+
+
+def test_table5_reply_percentages(once):
+    grid = once(
+        table5_grid,
+        failure_means=FAILURE_MEANS,
+        redundancies=REDUNDANCIES,
+        duration=SIM_DURATION,
+        runs=SIM_RUNS,
+    )
+
+    print()
+    print(format_percentage_grid(
+        "Table 5: percentage of queries that brokers reply to", grid
+    ))
+
+    # Reliable brokers answer everything.
+    for redundancy in REDUNDANCIES:
+        assert grid[1_000_000.0][redundancy] > 0.99
+    # Reply rate falls monotonically with failure frequency ...
+    for redundancy in REDUNDANCIES:
+        column = [grid[mttf][redundancy] for mttf in FAILURE_MEANS]
+        assert column[0] > column[1] > column[2] > column[3]
+    # ... and is essentially independent of advertisement redundancy.
+    for mttf in FAILURE_MEANS:
+        values = [grid[mttf][r] for r in REDUNDANCIES]
+        assert max(values) - min(values) < 0.12, (mttf, values)
+    # The paper's bands: ~62-78% at MTTF 3600, ~17-34% at MTTF 900.
+    assert 0.5 < grid[3_600.0][1] < 0.9
+    assert grid[900.0][1] < 0.45

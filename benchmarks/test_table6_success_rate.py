@@ -1,0 +1,44 @@
+"""Table 6 — robustness: percentage of answered queries that located the
+matching resource.
+
+"The last column shows that with complete redundancy, you can always
+find the agent if you get a reply at all ... the more redundancy there
+is, the more robust the system is to failures."
+"""
+
+from conftest import FULL_SCALE, SIM_DURATION, SIM_RUNS
+
+from repro.experiments import table6_grid
+from repro.experiments.report import format_percentage_grid
+from repro.experiments.robustness import ROBUSTNESS_BROKERS
+
+FAILURE_MEANS = (1_000_000.0, 3_600.0, 1_800.0, 900.0)
+REDUNDANCIES = (1, 2, 3, 4, 5) if FULL_SCALE else (1, 3, 5)
+FULL_REDUNDANCY = ROBUSTNESS_BROKERS  # 5 brokers: redundancy 5 is complete
+
+
+def test_table6_success_percentages(once):
+    grid = once(
+        table6_grid,
+        failure_means=FAILURE_MEANS,
+        redundancies=REDUNDANCIES,
+        duration=SIM_DURATION,
+        runs=SIM_RUNS,
+    )
+
+    print()
+    print(format_percentage_grid(
+        "Table 6: percentage of answered queries that found the match", grid
+    ))
+
+    # No failures: every answered query finds its resource.
+    for redundancy in REDUNDANCIES:
+        assert grid[1_000_000.0][redundancy] > 0.99
+    # Complete redundancy: always found, at every failure rate.
+    for mttf in FAILURE_MEANS:
+        assert grid[mttf][FULL_REDUNDANCY] > 0.97, (mttf, grid[mttf])
+    # More redundancy, more robustness (monotone per failure row).
+    for mttf in (3_600.0, 1_800.0, 900.0):
+        values = [grid[mttf][r] for r in REDUNDANCIES]
+        assert all(a <= b + 0.03 for a, b in zip(values, values[1:])), (mttf, values)
+        assert values[-1] > values[0], (mttf, values)

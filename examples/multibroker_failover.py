@@ -1,0 +1,101 @@
+"""Multibroker robustness: redundant advertising and broker failover.
+
+Demonstrates Section 4.2's liveness machinery on the live agent system:
+
+* a resource advertises redundantly to two of three brokers;
+* a broker dies; queries keep being answered through the survivors;
+* the resource's broker ping notices the death and re-advertises,
+  restoring its redundancy target;
+* the dead broker comes back and the community reconverges.
+
+Run:  python examples/multibroker_failover.py
+"""
+
+from repro.agents import (
+    AgentConfig,
+    BrokerAgent,
+    CostModel,
+    MessageBus,
+    MultiResourceQueryAgent,
+    ResourceAgent,
+    UserAgent,
+)
+from repro.core.matcher import MatchContext
+from repro.ontology import demo_ontology
+from repro.relational.generate import generate_table
+
+
+def main() -> None:
+    onto = demo_ontology(1)
+    context = MatchContext(ontologies={"demo": onto})
+    bus = MessageBus(CostModel(latency_seconds=0.01,
+                               bandwidth_bytes_per_second=1e7,
+                               base_handling_seconds=0.001))
+
+    brokers = ["b1", "b2", "b3"]
+    for name in brokers:
+        bus.register(BrokerAgent(name, context=context,
+                                 peer_brokers=[b for b in brokers if b != name]))
+
+    resource = ResourceAgent(
+        "R1", {"C1": generate_table(onto, "C1", 10, seed=1)}, "demo",
+        config=AgentConfig(preferred_brokers=("b1", "b2", "b3"), redundancy=2,
+                           ping_interval=60.0, reply_timeout=10.0,
+                           advertisement_size_mb=0.01),
+    )
+    bus.register(resource)
+    bus.register(MultiResourceQueryAgent(
+        "mrq", "demo", ontology=onto,
+        config=AgentConfig(preferred_brokers=("b2",), redundancy=1,
+                           advertisement_size_mb=0.01),
+    ))
+    user = UserAgent("user", config=AgentConfig(preferred_brokers=("b3",),
+                                                redundancy=1,
+                                                advertisement_size_mb=0.01))
+    bus.register(user)
+    bus.run_until(5.0)
+
+    print(f"t={bus.now:6.1f}  R1 advertised to: {resource.connected_broker_list}")
+    assert len(resource.connected_broker_list) == 2
+
+    user.submit("select * from C1")
+    bus.run()
+    assert user.completed[-1].succeeded
+    print(f"t={bus.now:6.1f}  query answered with all brokers up "
+          f"({user.completed[-1].result.row_count} rows)")
+
+    # Kill the first broker R1 is connected to.
+    victim = resource.connected_broker_list[0]
+    bus.set_offline(victim)
+    print(f"t={bus.now:6.1f}  {victim} CRASHED")
+
+    # Queries still flow through the surviving brokers (redundant ads).
+    user.submit("select * from C1", at=bus.now + 1.0)
+    bus.run()
+    assert user.completed[-1].succeeded, user.completed[-1].error
+    print(f"t={bus.now:6.1f}  query answered during the outage "
+          f"({user.completed[-1].result.row_count} rows)")
+
+    # The resource's ping cycle notices and re-advertises elsewhere.
+    bus.run_until(bus.now + 200.0)
+    print(f"t={bus.now:6.1f}  R1 now advertised to: {resource.connected_broker_list}")
+    assert victim not in resource.connected_broker_list
+    assert len(resource.connected_broker_list) == 2
+
+    # The broker recovers and rejoins the consortium.
+    bus.set_offline(victim, offline=False)
+    bus.run_until(bus.now + 200.0)
+    print(f"t={bus.now:6.1f}  {victim} recovered; community reconverged")
+
+    user.submit("select * from C1", at=bus.now + 1.0)
+    bus.run()
+    assert user.completed[-1].succeeded
+    print(f"t={bus.now:6.1f}  post-recovery query answered "
+          f"({user.completed[-1].result.row_count} rows)")
+    print()
+    print(f"Queries answered: "
+          f"{len([c for c in user.completed if c.succeeded])}/{len(user.completed)}")
+
+
+if __name__ == "__main__":
+    main()

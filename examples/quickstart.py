@@ -1,0 +1,81 @@
+"""Quickstart: semantic brokering in five minutes.
+
+Reproduces the paper's Section 2.4 walk-through with the public API:
+
+1. a resource agent's advertisement (syntactic + semantic + pragmatic);
+2. a broker query with data constraints;
+3. the broker's combined syntactic/semantic matchmaking — including the
+   key semantic step: ``patient_age between 43 and 75`` *overlaps*
+   ``patient_age between 25 and 65``, so the agent is recommended;
+4. the same reasoning on the Datalog-compiled (LDL-style) engine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.constraints import parse_constraint
+from repro.core import (
+    Advertisement,
+    BrokerQuery,
+    BrokerRepository,
+    DatalogMatcher,
+    MatchContext,
+)
+from repro.ontology import healthcare_ontology
+from repro.ontology.service import example_resource_agent5
+
+
+def main() -> None:
+    # -- 1. the Section 2.4 advertisement --------------------------------
+    description = example_resource_agent5()
+    advertisement = Advertisement(description)
+    print("Advertisement:")
+    print(f"  agent:       {description.agent_name} ({description.agent_type})")
+    print(f"  speaks:      {', '.join(description.syntax.content_languages)}")
+    print(f"  functions:   {', '.join(description.capabilities.functions)}")
+    print(f"  content:     {description.content.ontology_name} "
+          f"{list(description.content.classes)}")
+    print(f"  constraints: {description.content.constraints}")
+    print()
+
+    # -- 2. a broker with hierarchy-aware reasoning ----------------------
+    context = MatchContext(ontologies={"healthcare": healthcare_ontology()})
+    repository = BrokerRepository(context)
+    repository.advertise(advertisement)
+
+    # -- 3. the Section 2.4 query ----------------------------------------
+    query = BrokerQuery(
+        agent_type="resource",
+        content_language="SQL 2.0",
+        ontology_name="healthcare",
+        constraints=parse_constraint(
+            "patient_age between 25 and 65 and diagnosis_code = '40W'"
+        ),
+    )
+    matches = repository.query(query)
+    print("Broker query: resources speaking SQL 2.0, healthcare data,")
+    print("              patients 25-65 with diagnosis code 40W")
+    for match in matches:
+        print(f"  -> {match.agent_name} (score {match.score:.2f})")
+    assert matches and matches[0].agent_name == "ResourceAgent5"
+    print("  (the advertised 43-75 age range overlaps the requested 25-65)")
+    print()
+
+    # A query the agent provably cannot serve is ruled out:
+    ruled_out = BrokerQuery(
+        agent_type="resource",
+        ontology_name="healthcare",
+        constraints=parse_constraint("patient_age < 40"),
+    )
+    assert repository.query(ruled_out) == []
+    print("A query for patients under 40 returns no recommendation:")
+    print("  [43, 75] does not overlap (-inf, 40).")
+    print()
+
+    # -- 4. the same matching, compiled to Datalog rules -----------------
+    datalog_names = DatalogMatcher(context).match_names(query, [advertisement])
+    print(f"Datalog (LDL-style) engine agrees: {sorted(datalog_names)}")
+    assert datalog_names == {"ResourceAgent5"}
+
+
+if __name__ == "__main__":
+    main()

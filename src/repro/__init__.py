@@ -1,0 +1,32 @@
+"""repro — InfoSleuth scalable semantic multibrokering, reproduced.
+
+A from-scratch implementation of the agent system, broker, and
+experiments of "Scalable Semantic Brokering over Dynamic Heterogeneous
+Data Sources in InfoSleuth" (Nodine, Bohrer, Ngu, Cassandra; ICDE 1999).
+
+Subpackages
+-----------
+:mod:`repro.core`
+    The paper's contribution: combined syntactic + semantic
+    matchmaking, broker repositories, search policies, consortia.
+:mod:`repro.agents`
+    The live agent system (broker / resource / multiresource-query /
+    user / ontology / monitor agents) on a deterministic virtual-time
+    message bus.
+:mod:`repro.sim`
+    The Section 5.2 simulator: the same broker code under parametric
+    load and exponential failures.
+:mod:`repro.experiments`
+    Harness regenerating Tables 1-6 and Figures 14-17.
+:mod:`repro.datalog`, :mod:`repro.constraints`, :mod:`repro.ontology`,
+:mod:`repro.kqml`, :mod:`repro.relational`, :mod:`repro.sql`
+    The substrates everything above is built on.
+
+Command line
+------------
+``python -m repro --help`` regenerates any table or figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

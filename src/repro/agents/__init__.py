@@ -1,0 +1,50 @@
+"""The live InfoSleuth agent system.
+
+This package runs the *actual library* — real KQML messages, the real
+broker matcher, real SQL execution — on a deterministic virtual-time
+message bus.  Each agent is a single-server FIFO queue; handler costs
+are computed from the work performed (megabytes of advertisements
+reasoned over, megabytes of data scanned, bytes shipped), so load
+effects (the single broker saturating, multibrokers spreading work) play
+out exactly as queueing theory dictates, without wall-clock noise.
+
+Agents provided (paper Figure 1):
+
+* :class:`BrokerAgent` — advertisement repository + multibroker search;
+* :class:`ResourceAgent` — proxy for a relational repository;
+* :class:`MultiResourceQueryAgent` — decomposes multi-resource queries,
+  reassembles fragments (VF/CH/FH);
+* :class:`UserAgent` — user proxy driving the Figure 5–7 flow;
+* :class:`OntologyAgent` — serves shared ontologies;
+* :class:`MonitorAgent` — subscription-based change monitoring.
+"""
+
+from repro.agents.errors import AgentError
+from repro.agents.costs import CostModel
+from repro.agents.bus import MessageBus
+from repro.agents.base import Agent, AgentConfig, HandlerResult
+from repro.agents.broker import BrokerAgent
+from repro.agents.adaptive import AdaptiveUserAgent
+from repro.agents.directory import BulletinBoardAgent
+from repro.agents.resource import ResourceAgent
+from repro.agents.mrq import MultiResourceQueryAgent
+from repro.agents.user import UserAgent
+from repro.agents.ontology_agent import OntologyAgent
+from repro.agents.monitor import MonitorAgent
+
+__all__ = [
+    "AdaptiveUserAgent",
+    "Agent",
+    "AgentConfig",
+    "AgentError",
+    "BrokerAgent",
+    "BulletinBoardAgent",
+    "CostModel",
+    "HandlerResult",
+    "MessageBus",
+    "MonitorAgent",
+    "MultiResourceQueryAgent",
+    "OntologyAgent",
+    "ResourceAgent",
+    "UserAgent",
+]

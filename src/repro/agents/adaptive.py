@@ -1,0 +1,96 @@
+"""Adaptive broker preference (Section 4.1).
+
+"Alternatively, the agent might use the preferred broker and keep a
+history of how this broker handles its request.  If over a period of
+time, the user discovers that its preferred broker always forwards the
+request to a specific broker or set of brokers, then he could
+reconfigure his agent to add the new broker to its list of preferred
+brokers."
+
+:class:`AdaptiveUserAgent` keeps that history — per-broker response
+times for its own recommend traffic — and periodically re-ranks its
+``known_broker_list`` so the best-performing broker becomes the entry
+point for subsequent queries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.agents.base import AgentConfig, HandlerResult
+from repro.agents.user import UserAgent
+
+
+class AdaptiveUserAgent(UserAgent):
+    """A user agent that learns which broker serves it fastest."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[AgentConfig] = None,
+        history_window: int = 5,
+        **kwargs,
+    ):
+        super().__init__(name, config, **kwargs)
+        self.history_window = history_window
+        self.broker_history: Dict[str, List[float]] = defaultdict(list)
+        self.rerankings = 0
+
+    # The UserAgent flow times entire queries; for broker preference we
+    # time just the recommend leg by wrapping _start_query's broker pick.
+    def _pick_broker(self) -> Optional[str]:
+        broker = self._explore_or_exploit() or super()._pick_broker()
+        self._current_broker = broker
+        self._recommend_started = self.bus.now if self.bus else 0.0
+        return broker
+
+    def _explore_or_exploit(self) -> Optional[str]:
+        """Sample under-observed brokers first; afterwards stick with the
+        head of the (re-ranked) connected list."""
+        candidates = self.connected_broker_list or self.known_broker_list
+        if not candidates:
+            return None
+        unsampled = [
+            b for b in candidates if len(self.broker_history[b]) < 2
+        ]
+        if unsampled:
+            return min(unsampled, key=lambda b: len(self.broker_history[b]))
+        return candidates[0]
+
+    def _mrq_found(self, sql, complexity, submitted_at, reply, result) -> None:
+        broker = getattr(self, "_current_broker", None)
+        if broker is not None and reply is not None:
+            elapsed = self.bus.now - self._recommend_started
+            history = self.broker_history[broker]
+            history.append(elapsed)
+            del history[: -self.history_window]
+            self._maybe_rerank()
+        super()._mrq_found(sql, complexity, submitted_at, reply, result)
+
+    def _maybe_rerank(self) -> None:
+        """Promote the historically fastest broker to the head of the
+        known-broker-list once enough evidence has accumulated."""
+        scored = {
+            broker: sum(times) / len(times)
+            for broker, times in self.broker_history.items()
+            if len(times) >= 2
+        }
+        if len(scored) < 2:
+            return
+        best = min(scored, key=scored.get)
+        if self.known_broker_list and self.known_broker_list[0] == best:
+            return
+        if best in self.known_broker_list:
+            self.known_broker_list.remove(best)
+        self.known_broker_list.insert(0, best)
+        if best in self.connected_broker_list:
+            self.connected_broker_list.remove(best)
+        self.connected_broker_list.insert(0, best)
+        self.rerankings += 1
+
+    def preferred_now(self) -> Optional[str]:
+        """The broker this agent would currently query first."""
+        if self.connected_broker_list:
+            return self.connected_broker_list[0]
+        return self.known_broker_list[0] if self.known_broker_list else None

@@ -1,0 +1,335 @@
+"""The base agent: advertising, broker-list management, conversations.
+
+Implements the behaviours Section 4.2 requires of *every* agent:
+
+* **redundant advertising** — each agent is configured with a number of
+  brokers to advertise to; it advertises to brokers on its
+  ``known_broker_list`` until ``connected_broker_list`` reaches that
+  size (4.2.1);
+* **broker pings** — at a configurable interval the agent asks each
+  connected broker whether it still knows it; dead or forgetful brokers
+  are dropped from the connected list and the advertising process
+  restarts (4.2.2);
+* **dormancy** — an agent connected to no brokers waits for the next
+  polling interval and tries again;
+* **conversation tracking** — outgoing queries register a continuation
+  keyed by ``:reply-with``; ``tell``/``sorry`` replies resume it, and a
+  timeout timer fires the continuation with ``None`` if the peer died.
+
+Subclasses override :meth:`build_description` (what to advertise) and
+the ``on_<performative>`` handlers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.agents.costs import CostModel
+from repro.agents.errors import AgentError
+from repro.core.advertisement import Advertisement
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology.service import AgentLocation, ServiceDescription
+
+#: A handler's product: messages to send (with nominal byte sizes),
+#: timers to arm (delay, token), and the virtual cost of the handling.
+@dataclass
+class HandlerResult:
+    outbox: List[Tuple[KqmlMessage, float]] = field(default_factory=list)
+    timers: List[Tuple[float, object]] = field(default_factory=list)
+    cost_seconds: float = 0.0
+
+    def send(self, message: KqmlMessage, size_bytes: Optional[float] = None) -> None:
+        self.outbox.append((message, size_bytes))
+
+    def arm(self, delay: float, token: object, maintenance: bool = False) -> None:
+        self.timers.append((delay, token, maintenance))
+
+    def merge(self, other: "HandlerResult") -> None:
+        self.outbox.extend(other.outbox)
+        self.timers.extend(other.timers)
+        self.cost_seconds += other.cost_seconds
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Per-agent behaviour knobs (Section 4.2's configuration parameters)."""
+
+    preferred_brokers: Tuple[str, ...] = ()
+    redundancy: int = 1  # how many brokers to advertise to
+    ping_interval: float = 300.0
+    reply_timeout: float = 60.0
+    advertisement_size_mb: float = 1.0
+    #: An out-of-band broker registry (Section 4.1's "published lists or
+    #: bulletin boards"), consulted when a ping cycle ends with no
+    #: connected brokers.
+    bulletin_board: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "preferred_brokers", tuple(self.preferred_brokers))
+        if self.redundancy < 0:
+            raise AgentError("redundancy must be >= 0")
+        if self.ping_interval <= 0 or self.reply_timeout <= 0:
+            raise AgentError("intervals must be positive")
+
+
+@dataclass
+class _Conversation:
+    callback: Callable[[Optional[KqmlMessage], "HandlerResult"], None]
+    deadline_token: object
+
+
+_PING_TIMER = "ping-cycle"
+
+
+class Agent:
+    """Base class for all live InfoSleuth agents."""
+
+    agent_type = "generic"
+
+    def __init__(self, name: str, config: Optional[AgentConfig] = None):
+        if not name:
+            raise AgentError("agent name must be non-empty")
+        self.name = name
+        self.config = config or AgentConfig()
+        self.bus = None
+        self.busy_until = 0.0
+        self.known_broker_list: List[str] = list(self.config.preferred_brokers)
+        self.connected_broker_list: List[str] = []
+        self._conversations: Dict[str, _Conversation] = {}
+        self._timeout_counter = 0
+        self._advert_cursor = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, bus) -> None:
+        self.bus = bus
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self.bus.cost_model
+
+    # ------------------------------------------------------------------
+    # self-description
+    # ------------------------------------------------------------------
+    def build_description(self) -> ServiceDescription:
+        """What this agent advertises; subclasses override."""
+        return ServiceDescription(
+            location=AgentLocation(name=self.name, agent_type=self.agent_type)
+        )
+
+    def advertisement(self, at: float) -> Advertisement:
+        return Advertisement(
+            self.build_description(),
+            size_mb=self.config.advertisement_size_mb,
+            advertised_at=at,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self, now: float) -> HandlerResult:
+        """Called when the agent (re)joins the community."""
+        result = HandlerResult(cost_seconds=self.cost_model.base_handling_seconds)
+        self.connected_broker_list = []
+        self._advertise_round(result, now)
+        if not self.known_broker_list and self.config.bulletin_board:
+            self._consult_bulletin_board(result, now)
+        wants_brokers = self.config.preferred_brokers or self.config.bulletin_board
+        if wants_brokers and self.config.redundancy > 0:
+            result.arm(self.config.ping_interval, _PING_TIMER, maintenance=True)
+        return result
+
+    def _advertise_round(self, result: HandlerResult, now: float) -> None:
+        """Advertise to known-but-unconnected brokers up to the redundancy
+        target (Section 4.2.1)."""
+        needed = self.config.redundancy - len(self.connected_broker_list)
+        if needed <= 0:
+            return
+        candidates = [
+            b for b in self.known_broker_list if b not in self.connected_broker_list
+        ]
+        if not candidates:
+            return
+        # Rotate the candidate order between rounds so a dead broker at the
+        # head of the known-broker-list cannot starve the retry loop.
+        offset = self._advert_cursor % len(candidates)
+        candidates = candidates[offset:] + candidates[:offset]
+        self._advert_cursor += needed
+        for broker in candidates[:needed]:
+            message = KqmlMessage(
+                Performative.ADVERTISE,
+                sender=self.name,
+                receiver=broker,
+                content=self.advertisement(now),
+                ontology="service",
+                reply_with=f"{self.name}-adv-{broker}-{now}",
+            )
+            result.send(
+                message, size_bytes=self.config.advertisement_size_mb * 1_000_000
+            )
+            self._await_reply(
+                message.reply_with,
+                lambda reply, res, broker=broker: self._advert_outcome(broker, reply, res),
+                result,
+            )
+
+    def _advert_outcome(
+        self, broker: str, reply: Optional[KqmlMessage], result: HandlerResult
+    ) -> None:
+        if reply is not None and reply.performative is Performative.TELL:
+            # A specialized broker may have forwarded the advertisement to a
+            # better-suited peer; the confirmation names the actual home.
+            accepted_by = reply.extra("accepted-by", broker)
+            if accepted_by not in self.known_broker_list:
+                self.known_broker_list.append(accepted_by)
+            if accepted_by not in self.connected_broker_list:
+                self.connected_broker_list.append(accepted_by)
+        # On sorry/timeout the broker stays merely "known"; the next ping
+        # cycle will retry if we are still short of the redundancy target.
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, message: KqmlMessage, now: float) -> HandlerResult:
+        result = HandlerResult(cost_seconds=self.cost_model.base_handling_seconds)
+        if message.in_reply_to and message.in_reply_to in self._conversations:
+            conversation = self._conversations.pop(message.in_reply_to)
+            self.bus.cancel_timer(self.name, conversation.deadline_token)
+            conversation.callback(message, result)
+            return result
+        handler = getattr(
+            self, "on_" + message.performative.value.replace("-", "_"), None
+        )
+        if handler is None:
+            reply = message.reply(Performative.SORRY, content="unsupported performative")
+            if message.expects_reply():
+                result.send(reply)
+            return result
+        handler(message, result, now)
+        return result
+
+    # ------------------------------------------------------------------
+    # conversations
+    # ------------------------------------------------------------------
+    def _await_reply(
+        self,
+        reply_id: str,
+        callback: Callable[[Optional[KqmlMessage], HandlerResult], None],
+        result: HandlerResult,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Register *callback* for the reply to *reply_id*; arm a timeout."""
+        self._timeout_counter += 1
+        token = ("timeout", reply_id, self._timeout_counter)
+        self._conversations[reply_id] = _Conversation(callback, token)
+        result.arm(timeout if timeout is not None else self.config.reply_timeout, token)
+
+    def ask(
+        self,
+        message: KqmlMessage,
+        callback: Callable[[Optional[KqmlMessage], HandlerResult], None],
+        result: HandlerResult,
+        size_bytes: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Send a query and register its continuation."""
+        if not message.reply_with:
+            raise AgentError("ask() requires a message with :reply-with")
+        result.send(message, size_bytes=size_bytes)
+        self._await_reply(message.reply_with, callback, result, timeout)
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def on_timer(self, token: object, now: float) -> HandlerResult:
+        result = HandlerResult(cost_seconds=self.cost_model.base_handling_seconds)
+        if isinstance(token, tuple) and token and token[0] == "timeout":
+            self._handle_timeout(token, result)
+        elif token == _PING_TIMER:
+            self._ping_cycle(result, now)
+            result.arm(self.config.ping_interval, _PING_TIMER, maintenance=True)
+        else:
+            self.on_custom_timer(token, result, now)
+        return result
+
+    def on_custom_timer(self, token: object, result: HandlerResult, now: float) -> None:
+        """Subclass hook for agent-specific timers."""
+
+    def _handle_timeout(self, token: tuple, result: HandlerResult) -> None:
+        _kind, reply_id, _n = token
+        conversation = self._conversations.pop(reply_id, None)
+        if conversation is not None and conversation.deadline_token == token:
+            conversation.callback(None, result)
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def on_ping(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        """Default liveness reply: alive.  Brokers override this to report
+        whether they still hold the pinger's advertisement."""
+        result.send(message.reply(Performative.PONG, content=True))
+
+    # ------------------------------------------------------------------
+    # broker pings (Section 4.2.2)
+    # ------------------------------------------------------------------
+    def _ping_cycle(self, result: HandlerResult, now: float) -> None:
+        for broker in list(self.connected_broker_list):
+            ping = KqmlMessage(
+                Performative.PING,
+                sender=self.name,
+                receiver=broker,
+                content=self.name,
+                reply_with=f"{self.name}-ping-{broker}-{now}",
+            )
+            self.ask(
+                ping,
+                lambda reply, res, broker=broker: self._ping_outcome(broker, reply, res, now),
+                result,
+            )
+        # Re-advertise if below the redundancy target (including the
+        # dormant case: connected to nothing, try again next interval).
+        self._advertise_round(result, now)
+        # Fully dormant and a published broker list exists: consult it
+        # (Section 4.1's external discovery mechanism).
+        if not self.connected_broker_list and self.config.bulletin_board:
+            self._consult_bulletin_board(result, now)
+
+    def _consult_bulletin_board(self, result: HandlerResult, now: float) -> None:
+        ask = KqmlMessage(
+            Performative.ASK_ONE,
+            sender=self.name,
+            receiver=self.config.bulletin_board,
+            content="brokers",
+            reply_with=f"{self.name}-board-{now}",
+        )
+        self.ask(
+            ask,
+            lambda reply, res, now=now: self._board_reply(reply, res, now),
+            result,
+        )
+
+    def _board_reply(
+        self, reply: Optional[KqmlMessage], result: HandlerResult, now: float
+    ) -> None:
+        if reply is None or reply.performative is not Performative.TELL:
+            return
+        added = False
+        for broker in reply.content:
+            if broker not in self.known_broker_list:
+                self.known_broker_list.append(broker)
+                added = True
+        if added:
+            self._advertise_round(result, now)
+
+    def _ping_outcome(
+        self, broker: str, reply: Optional[KqmlMessage], result: HandlerResult, now: float
+    ) -> None:
+        broker_knows_me = (
+            reply is not None
+            and reply.performative is Performative.PONG
+            and bool(reply.content)
+        )
+        if not broker_knows_me and broker in self.connected_broker_list:
+            self.connected_broker_list.remove(broker)

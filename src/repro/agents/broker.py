@@ -1,0 +1,500 @@
+"""The broker agent: repository maintenance + collaborative matchmaking.
+
+Implements the full Section 2.2 / Section 4 behaviour:
+
+* accepts, updates and removes advertisements (specialized brokers may
+  reject out-of-specialty advertisements or forward them to a
+  better-suited peer — Section 4.1);
+* answers ``recommend-all``/``recommend-one`` queries by matching its
+  repository, then — policy permitting — forwarding the request to
+  peer brokers, deduplicating the unioned replies (Section 3.3);
+* prevents forwarding loops with the visited-broker list (Section 4.3);
+* optionally prunes forward targets using peer brokers' advertised
+  specializations ("a broker can reason over the other brokers'
+  capabilities and eliminate brokers that definitely should not be
+  contacted" — Section 4.1);
+* pings its advertised agents periodically and purges the dead
+  (Section 2.2), and answers agents' own broker pings (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.agents.base import Agent, AgentConfig, HandlerResult
+from repro.agents.errors import AgentError
+from repro.core.advertisement import Advertisement
+from repro.core.matcher import Match, MatchContext
+from repro.core.policy import FollowOption, SearchPolicy
+from repro.core.query import BrokerQuery
+from repro.core.repository import BrokerRepository
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology.service import (
+    AgentLocation,
+    BrokerExtensions,
+    Capabilities,
+    ServiceDescription,
+    SyntacticInfo,
+)
+
+_AGENT_PING_TIMER = "agent-ping-cycle"
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """The content of an inter-agent ``recommend-*`` message."""
+
+    query: BrokerQuery
+    policy: SearchPolicy = field(default_factory=SearchPolicy)
+    visited: frozenset = frozenset()
+
+    def __post_init__(self):
+        if not isinstance(self.visited, frozenset):
+            object.__setattr__(self, "visited", frozenset(self.visited))
+
+
+@dataclass
+class _Aggregation:
+    """In-flight state of one collaboratively-answered recommend."""
+
+    original: KqmlMessage
+    matches: Dict[str, Match]
+    outstanding: int
+
+
+class BrokerAgent(Agent):
+    """One broker in a (possibly multi-broker) InfoSleuth community."""
+
+    agent_type = "broker"
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[AgentConfig] = None,
+        context: Optional[MatchContext] = None,
+        peer_brokers: Sequence[str] = (),
+        specializations: Sequence[str] = (),
+        accept_only_specialty: bool = False,
+        prune_peers_by_specialty: bool = True,
+        max_hop_count: int = 8,
+        agent_ping_interval: Optional[float] = None,
+        # The deployed InfoSleuth broker "forward[ed] the request
+        # simultaneously to all the other brokers"; sequential probing
+        # for until-match searches is the CORBA-trader-style alternative,
+        # opt-in (see benchmarks/test_ablation_sequential_probe.py).
+        sequential_until_match: bool = False,
+        matching_engine: str = "direct",
+        pull_broker_directory: bool = False,
+    ):
+        super().__init__(
+            name,
+            config
+            or AgentConfig(
+                preferred_brokers=tuple(peer_brokers),
+                redundancy=len(tuple(peer_brokers)),
+                # A broker waits less for its peers than requesters wait
+                # for it, so one dead peer costs a partial answer, not a
+                # missed one.
+                reply_timeout=30.0,
+                # Broker self-descriptions are small; a fat default here
+                # would bloat every peer's reasoning time.
+                advertisement_size_mb=0.01,
+            ),
+        )
+        self.repository = BrokerRepository(context, engine=matching_engine)
+        self.pull_broker_directory = pull_broker_directory
+        self.peer_brokers: List[str] = list(peer_brokers)
+        self.specializations: Tuple[str, ...] = tuple(specializations)
+        self.accept_only_specialty = accept_only_specialty
+        self.prune_peers_by_specialty = prune_peers_by_specialty
+        self.max_hop_count = max_hop_count
+        self.agent_ping_interval = agent_ping_interval
+        self.sequential_until_match = sequential_until_match
+        self._aggregations: Dict[str, _Aggregation] = {}
+        self.rejected_advertisements = 0
+        #: Ontology-name histogram of received broker queries, the input
+        #: to the Section 4.1 objective analysis ("a broker may modify
+        #: its objective based on an analysis of the queries it is
+        #: receiving").
+        self.query_ontology_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # self-description (Figure 13 extensions)
+    # ------------------------------------------------------------------
+    def build_description(self) -> ServiceDescription:
+        return ServiceDescription(
+            location=AgentLocation(name=self.name, agent_type="broker"),
+            syntax=SyntacticInfo(content_languages=("service-ontology",)),
+            capabilities=Capabilities(
+                conversations=("advertise", "unadvertise", "recommend-all",
+                               "recommend-one", "ping"),
+                functions=("brokering", "semantic-brokering", "syntactic-brokering"),
+            ),
+            broker=BrokerExtensions(specializations=self.specializations),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle: advertise self to peers, start agent-ping cycle
+    # ------------------------------------------------------------------
+    def on_start(self, now: float) -> HandlerResult:
+        result = super().on_start(now)
+        if self.agent_ping_interval:
+            result.arm(self.agent_ping_interval, _AGENT_PING_TIMER, maintenance=True)
+        if self.pull_broker_directory:
+            self._pull_directory(result, now)
+        return result
+
+    def _pull_directory(self, result: HandlerResult, now: float) -> None:
+        """Section 4.1: "The new broker may also query the other brokers it
+        has advertised to for their lists of broker advertisements ... so
+        that it can select and pull interesting advertisements into its
+        own repository."  We pull the peers' broker directories."""
+        for peer in self.peer_brokers:
+            request = RecommendRequest(
+                query=BrokerQuery(agent_type="broker"),
+                policy=SearchPolicy(hop_count=0),
+            )
+            message = KqmlMessage(
+                Performative.RECOMMEND_ALL,
+                sender=self.name,
+                receiver=peer,
+                content=request,
+                ontology="service",
+                reply_with=f"{self.name}-pull-{peer}-{now}",
+                extras={"directory": True},
+            )
+            self.ask(
+                message,
+                lambda reply, res: self._directory_received(reply, res),
+                result,
+            )
+
+    def _directory_received(
+        self, reply: Optional[KqmlMessage], result: HandlerResult
+    ) -> None:
+        if reply is None or reply.performative is not Performative.TELL:
+            return
+        for match in reply.content:
+            ad = match.advertisement
+            if ad.is_broker() and ad.agent_name != self.name:
+                if not self.repository.knows(ad.agent_name):
+                    self.repository.advertise(ad)
+                    if ad.agent_name not in self.peer_brokers:
+                        self.peer_brokers.append(ad.agent_name)
+
+    # ------------------------------------------------------------------
+    # advertisement lifecycle
+    # ------------------------------------------------------------------
+    def on_advertise(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        ad = message.content
+        if not isinstance(ad, Advertisement):
+            result.send(message.reply(Performative.SORRY, content="malformed advertisement"))
+            return
+        result.cost_seconds += self.cost_model.base_handling_seconds
+
+        if self._accepts(ad):
+            self.repository.advertise(ad.renewed(now))
+            result.send(
+                message.reply(Performative.TELL, content="accepted",
+                              **{"accepted-by": self.name})
+            )
+            return
+
+        self.rejected_advertisements += 1
+        target = self._better_home_for(ad)
+        if target is None:
+            result.send(message.reply(Performative.SORRY, content="outside specialty"))
+            return
+        # Forward the advertisement to a better-suited peer and relay the
+        # outcome back to the advertiser (Section 4.1).
+        forwarded = KqmlMessage(
+            Performative.ADVERTISE,
+            sender=self.name,
+            receiver=target,
+            content=ad,
+            ontology="service",
+            reply_with=f"{self.name}-fwdadv-{ad.agent_name}-{now}",
+        )
+        self.ask(
+            forwarded,
+            lambda reply, res: self._relay_advert_outcome(message, target, reply, res),
+            result,
+            size_bytes=ad.size_mb * 1_000_000,
+        )
+
+    def _accepts(self, ad: Advertisement) -> bool:
+        if ad.is_broker():
+            return True  # broker ads are always kept: they drive pruning
+        if not self.accept_only_specialty or not self.specializations:
+            return True
+        return ad.description.content.ontology_name in self.specializations
+
+    def _better_home_for(self, ad: Advertisement) -> Optional[str]:
+        wanted = ad.description.content.ontology_name
+        for broker_ad in self.repository.broker_ads():
+            extensions = broker_ad.description.broker
+            if extensions and wanted in extensions.specializations:
+                return broker_ad.agent_name
+        return None
+
+    def _relay_advert_outcome(
+        self,
+        original: KqmlMessage,
+        target: str,
+        reply: Optional[KqmlMessage],
+        result: HandlerResult,
+    ) -> None:
+        if reply is not None and reply.performative is Performative.TELL:
+            accepted_by = reply.extra("accepted-by", target)
+            result.send(
+                original.reply(Performative.TELL, content="accepted",
+                               **{"accepted-by": accepted_by})
+            )
+        else:
+            result.send(original.reply(Performative.SORRY, content="no broker accepted"))
+
+    def on_unadvertise(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        removed = self.repository.unadvertise(str(message.content))
+        if message.expects_reply() or message.reply_with:
+            performative = Performative.TELL if removed else Performative.SORRY
+            result.send(message.reply(performative, content=removed))
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def on_ping(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        """An agent asks whether we still hold its advertisement."""
+        result.send(
+            message.reply(Performative.PONG, content=self.repository.knows(str(message.content)))
+        )
+
+    def on_custom_timer(self, token: object, result: HandlerResult, now: float) -> None:
+        if token == _AGENT_PING_TIMER:
+            self._ping_advertised_agents(result, now)
+            result.arm(self.agent_ping_interval, _AGENT_PING_TIMER, maintenance=True)
+
+    def _ping_advertised_agents(self, result: HandlerResult, now: float) -> None:
+        """Discover failed agents and purge them (Section 2.2)."""
+        for agent_name in self.repository.agent_names():
+            ping = KqmlMessage(
+                Performative.PING,
+                sender=self.name,
+                receiver=agent_name,
+                content=self.name,
+                reply_with=f"{self.name}-agentping-{agent_name}-{now}",
+            )
+            self.ask(
+                ping,
+                lambda reply, res, agent=agent_name: self._agent_ping_outcome(agent, reply, res),
+                result,
+            )
+
+    def _agent_ping_outcome(
+        self, agent_name: str, reply: Optional[KqmlMessage], result: HandlerResult
+    ) -> None:
+        if reply is None:
+            self.repository.unadvertise(agent_name)
+
+    # ------------------------------------------------------------------
+    # matchmaking (recommend-all / recommend-one)
+    # ------------------------------------------------------------------
+    def on_recommend_all(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        self._recommend(message, result)
+
+    def on_recommend_one(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        self._recommend(message, result)
+
+    def _recommend(self, message: KqmlMessage, result: HandlerResult) -> None:
+        request = message.content
+        if not isinstance(request, RecommendRequest):
+            result.send(message.reply(Performative.SORRY, content="malformed broker query"))
+            return
+
+        ontology = request.query.ontology_name or "(none)"
+        self.query_ontology_counts[ontology] = (
+            self.query_ontology_counts.get(ontology, 0) + 1
+        )
+
+        if message.extra("directory"):
+            # A peer broker pulling our broker directory (Section 4.1).
+            local = self.repository.query_brokers(request.query)
+        else:
+            local = self.repository.query(request.query)
+        result.cost_seconds += self.cost_model.broker_reasoning_seconds(
+            self.repository.size_mb()
+        )
+
+        policy = request.policy.capped(self.max_hop_count)
+        done_early = (
+            policy.follow is FollowOption.UNTIL_MATCH and local
+        ) or not policy.may_forward()
+        targets = [] if done_early else self._forward_targets(request)
+        if not targets:
+            self._reply_matches(message, {m.agent_name: m for m in local}, result)
+            return
+
+        if (
+            policy.follow is FollowOption.UNTIL_MATCH
+            and self.sequential_until_match
+        ):
+            # "as many repositories as are needed to find a single match":
+            # probe peers one at a time, stopping at the first hit.
+            self._probe_next(message, request, policy, list(targets), result)
+            return
+
+        aggregation = _Aggregation(
+            original=message,
+            matches={m.agent_name: m for m in local},
+            outstanding=len(targets),
+        )
+        visited = request.visited | {self.name} | set(targets)
+        forwarded_request = RecommendRequest(
+            query=request.query, policy=policy.next_hop(), visited=visited
+        )
+        for target in targets:
+            forward = KqmlMessage(
+                message.performative,
+                sender=self.name,
+                receiver=target,
+                content=forwarded_request,
+                ontology="service",
+                reply_with=f"{self.name}-fwd-{target}-{message.reply_with}",
+            )
+            self.ask(
+                forward,
+                lambda reply, res, agg=aggregation: self._collect(agg, reply, res),
+                result,
+            )
+
+    # ------------------------------------------------------------------
+    # sequential until-match probing (Section 4.3)
+    # ------------------------------------------------------------------
+    def _probe_next(
+        self,
+        message: KqmlMessage,
+        request: RecommendRequest,
+        policy: SearchPolicy,
+        remaining: List[str],
+        result: HandlerResult,
+    ) -> None:
+        if not remaining:
+            self._reply_matches(message, {}, result)
+            return
+        target = remaining[0]
+        forwarded = RecommendRequest(
+            query=request.query,
+            policy=policy.next_hop(),
+            visited=request.visited | {self.name, target},
+        )
+        probe = KqmlMessage(
+            message.performative,
+            sender=self.name,
+            receiver=target,
+            content=forwarded,
+            ontology="service",
+            reply_with=f"{self.name}-probe-{target}-{message.reply_with}",
+        )
+        self.ask(
+            probe,
+            lambda reply, res: self._probe_outcome(
+                message, request, policy, remaining[1:], reply, res
+            ),
+            result,
+        )
+
+    def _probe_outcome(
+        self,
+        message: KqmlMessage,
+        request: RecommendRequest,
+        policy: SearchPolicy,
+        remaining: List[str],
+        reply: Optional[KqmlMessage],
+        result: HandlerResult,
+    ) -> None:
+        if reply is not None and reply.performative is Performative.TELL and reply.content:
+            self._reply_matches(
+                message, {m.agent_name: m for m in reply.content}, result
+            )
+            return
+        self._probe_next(message, request, policy, remaining, result)
+
+    def _forward_targets(self, request: RecommendRequest) -> List[str]:
+        """Peer brokers to consult: known peers minus already-visited,
+        optionally pruned by advertised specializations."""
+        known = set(self.peer_brokers) | set(self.repository.broker_names())
+        candidates = sorted(known - set(request.visited) - {self.name})
+        if not self.prune_peers_by_specialty:
+            return candidates
+        ontology = request.query.ontology_name
+        if ontology is None:
+            return candidates
+        pruned = []
+        for peer in candidates:
+            extensions = self._peer_extensions(peer)
+            if extensions is None or not extensions.specializations:
+                pruned.append(peer)  # unknown or generalist: must ask
+            elif ontology in extensions.specializations:
+                pruned.append(peer)
+        return pruned
+
+    def _peer_extensions(self, peer: str) -> Optional[BrokerExtensions]:
+        if not self.repository.knows(peer):
+            return None
+        return self.repository.get(peer).description.broker
+
+    def _collect(
+        self, aggregation: _Aggregation, reply: Optional[KqmlMessage], result: HandlerResult
+    ) -> None:
+        if reply is not None and reply.performative is Performative.TELL:
+            for match in reply.content:
+                existing = aggregation.matches.get(match.agent_name)
+                if existing is None or match.score > existing.score:
+                    aggregation.matches[match.agent_name] = match
+        aggregation.outstanding -= 1
+        if aggregation.outstanding == 0:
+            self._reply_matches(aggregation.original, aggregation.matches, result)
+
+    # ------------------------------------------------------------------
+    # objective analysis (Section 4.1)
+    # ------------------------------------------------------------------
+    def suggest_specializations(self, min_share: float = 0.25) -> Tuple[str, ...]:
+        """Ontologies accounting for at least *min_share* of the broker
+        queries seen so far — candidates for this broker's objective.
+
+        "A broker may also modify its objective based on, for instance,
+        an analysis of the queries it is receiving."
+        """
+        total = sum(self.query_ontology_counts.values())
+        if total == 0:
+            return ()
+        return tuple(
+            sorted(
+                name
+                for name, count in self.query_ontology_counts.items()
+                if name != "(none)" and count / total >= min_share
+            )
+        )
+
+    def adopt_suggested_specializations(self, min_share: float = 0.25) -> Tuple[str, ...]:
+        """Set this broker's specializations from its query history and
+        return them (the adaptive-objective behaviour; peers learn of the
+        change the next time this broker advertises itself)."""
+        suggestion = self.suggest_specializations(min_share)
+        if suggestion:
+            self.specializations = suggestion
+        return suggestion
+
+    def _reply_matches(
+        self, message: KqmlMessage, matches: Dict[str, Match], result: HandlerResult
+    ) -> None:
+        ranked = sorted(matches.values(), key=lambda m: (-m.score, m.agent_name))
+        if message.performative is Performative.RECOMMEND_ONE:
+            ranked = ranked[:1]
+        result.send(
+            message.reply(Performative.TELL, content=ranked),
+            size_bytes=max(
+                len(ranked) * self.cost_model.broker_reply_bytes_per_match,
+                self.cost_model.control_message_bytes,
+            ),
+        )

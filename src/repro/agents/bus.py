@@ -1,0 +1,266 @@
+"""The virtual-time message bus.
+
+The bus is a discrete-event scheduler specialized to message passing:
+
+* each registered agent is a single-server FIFO queue with a
+  ``busy_until`` horizon;
+* delivering a message runs the agent's handler (real Python code, real
+  matching, real SQL) and charges the *returned* virtual cost, so the
+  agent's next message starts after ``max(arrival, busy_until) + cost``;
+* messages the handler emits depart at the handler's completion time and
+  arrive after network latency + size/bandwidth transfer;
+* agents may schedule timers (broker pings, reply timeouts), delivered
+  as callbacks at the requested virtual time;
+* agents can be taken offline: messages to them are dropped, exactly
+  like a dead TCP endpoint (the sender's timeout machinery notices).
+
+``run_until``/``run`` drive the event loop; everything is deterministic
+given the same inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.agents.costs import CostModel
+from repro.agents.errors import AgentError
+from repro.kqml import KqmlMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.agents.base import Agent
+
+
+@dataclass
+class BusStats:
+    """Counters for tests and experiments."""
+
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    timers_fired: int = 0
+    bytes_transferred: float = 0.0
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One delivered message, as recorded by the bus trace."""
+
+    time: float
+    sender: str
+    receiver: str
+    performative: str
+    summary: str
+
+
+def _summarize_content(content) -> str:
+    text = repr(content)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def format_message_trace(trace: List[TraceEntry]) -> str:
+    """Render a recorded trace as a textual sequence diagram — the shape
+    of the paper's Figures 5-7."""
+    if not trace:
+        return "(no messages)"
+    lines = []
+    for entry in trace:
+        lines.append(
+            f"t={entry.time:9.3f}  {entry.sender} -> {entry.receiver}: "
+            f"({entry.performative}) {entry.summary}"
+        )
+    return "\n".join(lines)
+
+
+class MessageBus:
+    """Deterministic virtual-time transport connecting agents."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model or CostModel()
+        self.now = 0.0
+        self.stats = BusStats()
+        self._agents: Dict[str, "Agent"] = {}
+        self._offline: set = set()
+        self._queue: List = []
+        self._sequence = itertools.count()
+        self._cancelled_timers: set = set()
+        #: When set to a list, every delivered message is appended as a
+        #: :class:`TraceEntry` (sequence-diagram material; see
+        #: :func:`format_message_trace`).
+        self.trace: Optional[List[TraceEntry]] = None
+
+    # ------------------------------------------------------------------
+    # agent lifecycle
+    # ------------------------------------------------------------------
+    def register(self, agent: "Agent", start_at: Optional[float] = None) -> None:
+        """Add *agent* to the community; it comes online at *start_at*
+        (default: immediately).  Staggered starts desynchronize the
+        agents' periodic ping cycles, as process start times would."""
+        if agent.name in self._agents:
+            raise AgentError(f"agent name {agent.name!r} already registered")
+        self._agents[agent.name] = agent
+        agent.attach(self)
+        self._push(max(self.now, start_at or self.now), ("start", agent.name))
+
+    def agent(self, name: str) -> "Agent":
+        try:
+            return self._agents[name]
+        except KeyError:
+            raise AgentError(f"no agent named {name!r}") from None
+
+    def agent_names(self) -> List[str]:
+        return sorted(self._agents)
+
+    def set_offline(self, name: str, offline: bool = True) -> None:
+        """Simulate a crash (True) or recovery (False) of *name*."""
+        self.agent(name)  # validate
+        if offline:
+            self._offline.add(name)
+        else:
+            self._offline.discard(name)
+            self._push(self.now, ("start", name))
+
+    def is_offline(self, name: str) -> bool:
+        return name in self._offline
+
+    # ------------------------------------------------------------------
+    # sending and timers (called by agents from inside handlers)
+    # ------------------------------------------------------------------
+    def send(self, message: KqmlMessage, at: float, size_bytes: Optional[float] = None) -> None:
+        """Schedule *message* to leave its sender at time *at*."""
+        size = size_bytes if size_bytes is not None else self.cost_model.control_message_bytes
+        arrival = at + self.cost_model.transfer_seconds(size)
+        self.stats.bytes_transferred += size
+        self._push(arrival, ("deliver", message))
+
+    def schedule_callback(self, fire_at: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at virtual time *fire_at* (failure injection,
+        experiment control)."""
+        self._push(fire_at, ("call", callback))
+
+    def schedule_timer(
+        self, agent_name: str, fire_at: float, token: object, maintenance: bool = False
+    ) -> None:
+        """Deliver ``on_timer(token)`` to *agent_name* at *fire_at*.
+
+        ``maintenance`` marks recurring background timers (ping cycles,
+        poll loops); :meth:`run` stops once only maintenance remains.
+        """
+        self._push(fire_at, ("timer", agent_name, token), maintenance)
+
+    def cancel_timer(self, agent_name: str, token: object) -> None:
+        """Mark a scheduled timer as dead (lazy deletion): it will be
+        skipped when it fires and never holds :meth:`run` open.  Used to
+        retire reply-timeout timers once the reply has arrived."""
+        self._cancelled_timers.add((agent_name, token))
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def run_until(self, deadline: float) -> None:
+        """Process events with time <= deadline; advance ``now``."""
+        while self._queue and self._queue[0][0] <= deadline:
+            self._step()
+        self.now = max(self.now, deadline)
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Run until quiescent: no events remain except recurring
+        maintenance timers (ping cycles, poll loops)."""
+        steps = 0
+        while self._queue and not self.idle():
+            self._step()
+            steps += 1
+            if steps > max_events:
+                raise AgentError(f"bus exceeded {max_events} events; livelock?")
+
+    def idle(self) -> bool:
+        """True when only maintenance timers and cancelled timers remain."""
+        return all(
+            maintenance or self._timer_cancelled(event)
+            for _t, _s, maintenance, event in self._queue
+        )
+
+    def _timer_cancelled(self, event) -> bool:
+        if event[0] != "timer":
+            return False
+        try:
+            return (event[1], event[2]) in self._cancelled_timers
+        except TypeError:
+            return False  # unhashable token: never cancellable
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _push(self, time: float, event, maintenance: bool = False) -> None:
+        heapq.heappush(
+            self._queue, (time, next(self._sequence), maintenance, event)
+        )
+
+    def _step(self) -> None:
+        time, _seq, _maintenance, event = heapq.heappop(self._queue)
+        self.now = max(self.now, time)
+        kind = event[0]
+        if kind == "deliver":
+            self._deliver(event[1], time)
+        elif kind == "timer":
+            self._fire_timer(event[1], event[2], time)
+        elif kind == "start":
+            self._start_agent(event[1], time)
+        elif kind == "call":
+            event[1]()
+        else:  # pragma: no cover - defensive
+            raise AgentError(f"unknown bus event {kind!r}")
+
+    def _deliver(self, message: KqmlMessage, time: float) -> None:
+        receiver = self._agents.get(message.receiver)
+        if receiver is None or message.receiver in self._offline:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        if self.trace is not None:
+            self.trace.append(TraceEntry(
+                time=time,
+                sender=message.sender,
+                receiver=message.receiver,
+                performative=message.performative.value,
+                summary=_summarize_content(message.content),
+            ))
+        start = max(receiver.busy_until, time)
+        result = receiver.handle_message(message, start)
+        completion = start + max(result.cost_seconds, 0.0)
+        receiver.busy_until = completion
+        self._emit(receiver, result, completion)
+
+    def _fire_timer(self, agent_name: str, token: object, time: float) -> None:
+        try:
+            if (agent_name, token) in self._cancelled_timers:
+                self._cancelled_timers.discard((agent_name, token))
+                return
+        except TypeError:
+            pass  # unhashable token: never cancellable
+        agent = self._agents.get(agent_name)
+        if agent is None or agent_name in self._offline:
+            return
+        self.stats.timers_fired += 1
+        start = max(agent.busy_until, time)
+        result = agent.on_timer(token, start)
+        completion = start + max(result.cost_seconds, 0.0)
+        agent.busy_until = completion
+        self._emit(agent, result, completion)
+
+    def _start_agent(self, agent_name: str, time: float) -> None:
+        agent = self._agents.get(agent_name)
+        if agent is None or agent_name in self._offline:
+            return
+        start = max(agent.busy_until, time)
+        result = agent.on_start(start)
+        completion = start + max(result.cost_seconds, 0.0)
+        agent.busy_until = completion
+        self._emit(agent, result, completion)
+
+    def _emit(self, agent: "Agent", result, completion: float) -> None:
+        for message, size in result.outbox:
+            self.send(message, at=completion, size_bytes=size)
+        for delay, token, maintenance in result.timers:
+            self.schedule_timer(agent.name, completion + delay, token, maintenance)

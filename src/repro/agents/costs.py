@@ -1,0 +1,59 @@
+"""The cost model converting agent work into virtual service time.
+
+The paper's experiments charge:
+
+* brokers "one second of processing time for each megabyte of
+  advertisements" in the repository;
+* resources a base query-answering speed per megabyte of data, scaled
+  by query complexity;
+* the network a per-message latency plus size/bandwidth transfer time.
+
+The values here are the DESIGN.md substitutions for the figures the
+scanned PDF dropped; experiments override them per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time costs for the live agent system."""
+
+    #: Broker reasoning: seconds per megabyte of stored advertisements.
+    broker_seconds_per_mb: float = 1.0
+    #: Resource query processing: seconds per megabyte of data scanned.
+    resource_seconds_per_mb: float = 0.1
+    #: Fixed per-message handling overhead (parsing, dispatch).
+    base_handling_seconds: float = 0.001
+    #: Network latency per message.
+    latency_seconds: float = 0.05
+    #: Network bandwidth ("high side of megabit Ethernet").
+    bandwidth_bytes_per_second: float = 125_000.0
+    #: Nominal size of a broker reply, per matching agent (Sec 5.2.1).
+    broker_reply_bytes_per_match: int = 1024
+    #: Nominal size of small control messages.
+    control_message_bytes: int = 256
+
+    def transfer_seconds(self, size_bytes: float) -> float:
+        """Time on the wire for a message of *size_bytes*."""
+        return self.latency_seconds + size_bytes / self.bandwidth_bytes_per_second
+
+    def broker_reasoning_seconds(self, repository_mb: float, complexity: float = 1.0) -> float:
+        """Matchmaking time over a repository of *repository_mb*."""
+        return self.base_handling_seconds + (
+            repository_mb * self.broker_seconds_per_mb * _complexity_floor(complexity)
+        )
+
+    def resource_query_seconds(self, data_mb: float, complexity: float = 1.0) -> float:
+        """Query execution time over *data_mb* of data."""
+        return self.base_handling_seconds + (
+            data_mb * self.resource_seconds_per_mb * _complexity_floor(complexity)
+        )
+
+
+def _complexity_floor(complexity: float) -> float:
+    """More complex queries take proportionally longer (Sec 5.2.1's
+    relative complexity factor); guard against non-positive values."""
+    return complexity if complexity > 0 else 1.0

@@ -1,0 +1,63 @@
+"""Broker discovery via a published list (Section 4.1).
+
+"The sending agent may then try to locate other brokers via some
+external mechanism such as published lists or bulletin boards."
+
+:class:`BulletinBoardAgent` is that external mechanism: brokers post
+themselves to it; any agent can ask it for the current broker list.  The
+base agent consults a configured bulletin board whenever a ping cycle
+ends with *no* connected brokers (the dormant state of Section 4.2.2),
+extending its known-broker-list with whatever is published.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.agents.base import Agent, AgentConfig, HandlerResult
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology.service import AgentLocation, Capabilities, ServiceDescription
+
+
+class BulletinBoardAgent(Agent):
+    """A published list of brokers.
+
+    Brokers post with ``tell`` (content = their name); anyone asks with
+    ``ask-one`` (content = ``"brokers"``) and receives the sorted list.
+    The board is deliberately dumb — no reasoning, no liveness tracking;
+    it models an out-of-band registry like a web page or DNS record.
+    """
+
+    agent_type = "directory"
+
+    def __init__(self, name: str = "bulletin-board",
+                 initial_brokers: Sequence[str] = (),
+                 config: Optional[AgentConfig] = None):
+        super().__init__(name, config or AgentConfig(redundancy=0))
+        self.published: List[str] = list(dict.fromkeys(initial_brokers))
+
+    def build_description(self) -> ServiceDescription:
+        return ServiceDescription(
+            location=AgentLocation(name=self.name, agent_type="directory"),
+            capabilities=Capabilities(conversations=("ask-one", "tell")),
+        )
+
+    def on_tell(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        broker = str(message.content)
+        if broker and broker not in self.published:
+            self.published.append(broker)
+
+    def on_ask_one(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        if message.content == "brokers":
+            result.send(message.reply(Performative.TELL,
+                                      content=sorted(self.published)))
+        else:
+            result.send(message.reply(Performative.SORRY, content="unknown request"))
+
+
+def post_to_board(broker_name: str, board_name: str) -> KqmlMessage:
+    """The message a broker sends to publish itself."""
+    return KqmlMessage(
+        Performative.TELL, sender=broker_name, receiver=board_name,
+        content=broker_name,
+    )

@@ -1,0 +1,5 @@
+"""Errors for the agent framework."""
+
+
+class AgentError(RuntimeError):
+    """Raised for agent-framework misuse (unknown agents, bad wiring)."""

@@ -1,0 +1,123 @@
+"""The monitor agent: subscription-based change notification.
+
+Supports the paper's "notify me when ..." scenarios: a subscriber sends
+``subscribe`` with an SQL query; the monitor polls the query through a
+multiresource query agent at a fixed interval and ``tell``s the
+subscriber whenever the result set changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.agents.base import Agent, AgentConfig, HandlerResult
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology.service import AgentLocation, Capabilities, ServiceDescription
+from repro.sql.executor import QueryResult
+
+
+@dataclass
+class _Subscription:
+    subscriber: str
+    sql: str
+    last_rows: Optional[Tuple] = None
+    notifications_sent: int = 0
+
+
+class MonitorAgent(Agent):
+    """Polls queries and notifies subscribers of changes."""
+
+    agent_type = "monitor"
+
+    def __init__(
+        self,
+        name: str,
+        query_agent: str,
+        poll_interval: float = 600.0,
+        config: Optional[AgentConfig] = None,
+    ):
+        super().__init__(name, config)
+        self.query_agent = query_agent
+        self.poll_interval = poll_interval
+        self.subscriptions: Dict[str, _Subscription] = {}
+        self._ids = itertools.count(1)
+
+    def build_description(self) -> ServiceDescription:
+        return ServiceDescription(
+            location=AgentLocation(name=self.name, agent_type="monitor"),
+            capabilities=Capabilities(
+                conversations=("subscribe", "unsubscribe", "ping"),
+                functions=("subscription", "polling", "notification"),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # subscription lifecycle
+    # ------------------------------------------------------------------
+    def on_subscribe(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        if not isinstance(message.content, str):
+            result.send(message.reply(Performative.SORRY, content="expected SQL text"))
+            return
+        subscription_id = f"sub{next(self._ids)}"
+        self.subscriptions[subscription_id] = _Subscription(
+            subscriber=message.sender, sql=message.content
+        )
+        result.send(message.reply(Performative.TELL, content=subscription_id))
+        result.arm(0.0, ("poll", subscription_id), maintenance=True)
+
+    def on_unsubscribe(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        removed = self.subscriptions.pop(str(message.content), None)
+        performative = Performative.TELL if removed else Performative.SORRY
+        if message.reply_with:
+            result.send(message.reply(performative, content=removed is not None))
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+    def on_custom_timer(self, token: object, result: HandlerResult, now: float) -> None:
+        if not (isinstance(token, tuple) and token and token[0] == "poll"):
+            return
+        subscription_id = token[1]
+        subscription = self.subscriptions.get(subscription_id)
+        if subscription is None:
+            return
+        ask = KqmlMessage(
+            Performative.ASK_ALL,
+            sender=self.name,
+            receiver=self.query_agent,
+            content=subscription.sql,
+            language="SQL 2.0",
+        )
+        self.ask(
+            ask,
+            lambda reply, res, sid=subscription_id: self._poll_result(sid, reply, res),
+            result,
+        )
+        result.arm(self.poll_interval, ("poll", subscription_id), maintenance=True)
+
+    def _poll_result(
+        self, subscription_id: str, reply: Optional[KqmlMessage], result: HandlerResult
+    ) -> None:
+        subscription = self.subscriptions.get(subscription_id)
+        if subscription is None:
+            return
+        if reply is None or reply.performative is not Performative.TELL:
+            return
+        query_result: QueryResult = reply.content
+        snapshot = tuple(tuple(sorted(row.items())) for row in query_result.rows)
+        if subscription.last_rows is not None and snapshot != subscription.last_rows:
+            subscription.notifications_sent += 1
+            result.send(
+                KqmlMessage(
+                    Performative.TELL,
+                    sender=self.name,
+                    receiver=subscription.subscriber,
+                    content=query_result,
+                    extras={"subscription": subscription_id},
+                ),
+                size_bytes=max(query_result.bytes_returned,
+                               self.cost_model.control_message_bytes),
+            )
+        subscription.last_rows = snapshot

@@ -1,0 +1,451 @@
+"""The multiresource query (MRQ) agent.
+
+The MRQ agent implements the Figure 6/7 flow: it receives a user SQL
+query, asks the broker for the resource agents relevant to the query's
+class and constraints, fans the (rewritten) query out to them, and
+assembles the answers:
+
+* resources holding *vertical fragments* are reassembled by joining on
+  the class key (VF stream);
+* resources holding *subclass extents* or horizontal fragments are
+  reassembled by union over the shared columns (CH stream);
+* both at once (FH stream) unions within fragment shape, then joins
+  across shapes.
+
+WHERE clauses are pushed down to a resource only when that resource
+holds every predicate column; otherwise the MRQ fetches the needed
+columns and filters after assembly, so fragmented predicates still
+evaluate correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.agents.base import Agent, AgentConfig, HandlerResult
+from repro.agents.broker import RecommendRequest
+from repro.agents.errors import AgentError
+from repro.constraints import Constraint
+from repro.core.matcher import Match
+from repro.core.policy import SearchPolicy
+from repro.core.query import BrokerQuery
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology.model import Ontology
+from repro.ontology.service import (
+    AgentLocation,
+    Capabilities,
+    ContentInfo,
+    ServiceDescription,
+    SyntacticInfo,
+)
+from repro.relational.fragmentation import join_on_key, union_all
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.sql.ast import Select, predicate_columns
+from repro.sql.errors import SqlError
+from repro.sql.executor import (
+    QueryResult,
+    evaluate_predicate,
+    parse_select_cached,
+    where_to_constraint,
+)
+from repro.sql.render import render_select
+
+
+@dataclass
+class _Plan:
+    """In-flight state of one decomposed user query."""
+
+    original: KqmlMessage
+    select: Select
+    ontology: Optional[Ontology] = None
+    pushed_down: Dict[str, bool] = field(default_factory=dict)
+    results: List[Tuple[str, QueryResult]] = field(default_factory=list)
+    outstanding: int = 0
+
+
+class MultiResourceQueryAgent(Agent):
+    """Decomposes queries over fragmented/replicated/hierarchical classes."""
+
+    agent_type = "query"
+
+    def __init__(
+        self,
+        name: str,
+        ontology_name: str,
+        ontology: Optional[Ontology] = None,
+        config: Optional[AgentConfig] = None,
+        specialty_classes: Sequence[str] = (),
+        broker_hop_count: int = 8,
+        extra_ontologies: Sequence[Ontology] = (),
+        ontology_agent: Optional[str] = None,
+    ):
+        super().__init__(name, config)
+        self.ontology_name = ontology_name
+        self.ontology = ontology
+        self.extra_ontologies = tuple(extra_ontologies)
+        self.specialty_classes = tuple(specialty_classes)
+        self.broker_hop_count = broker_hop_count
+        #: When set, unknown classes trigger an ``ask-one
+        #: (ontology-for-class <name>)`` to this agent, and the fetched
+        #: ontology is cached for subsequent queries.
+        self.ontology_agent = ontology_agent
+        self._ontology_fetch_failed: set = set()
+        self.ontologies_fetched = 0
+        self.queries_processed = 0
+
+    def _resolve_ontology(self, class_name: str):
+        """The (name, Ontology) pair whose vocabulary covers *class_name*,
+        or None when unknown (the caller may fetch it on demand).
+        """
+        candidates = []
+        if self.ontology is not None:
+            candidates.append(self.ontology)
+        candidates.extend(self.extra_ontologies)
+        for ontology in candidates:
+            if class_name in ontology:
+                return ontology.name, ontology
+        return None
+
+    def _knows_class(self, class_name: str) -> bool:
+        return self._resolve_ontology(class_name) is not None
+
+    # ------------------------------------------------------------------
+    # advertisement
+    # ------------------------------------------------------------------
+    def build_description(self) -> ServiceDescription:
+        return ServiceDescription(
+            location=AgentLocation(name=self.name, agent_type="query"),
+            syntax=SyntacticInfo(content_languages=("SQL 2.0",)),
+            capabilities=Capabilities(
+                conversations=("ask-all", "ask-one", "ping"),
+                functions=("multiresource-query-processing",),
+            ),
+            content=ContentInfo(
+                ontology_name=self.ontology_name if self.specialty_classes else "",
+                classes=self.specialty_classes,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # the Figure 6/7 flow
+    # ------------------------------------------------------------------
+    def on_ask_all(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        if not isinstance(message.content, str):
+            result.send(message.reply(Performative.SORRY, content="expected SQL text"))
+            return
+        try:
+            select = parse_select_cached(message.content)
+        except SqlError as exc:
+            result.send(message.reply(Performative.SORRY, content=str(exc)))
+            return
+        broker = self._pick_broker()
+        if broker is None:
+            result.send(message.reply(Performative.SORRY, content="no broker connected"))
+            return
+
+        self.queries_processed += 1
+        if (
+            not self._knows_class(select.table)
+            and self.ontology_agent is not None
+            and select.table not in self._ontology_fetch_failed
+        ):
+            self._fetch_ontology_then_continue(message, select, broker, result)
+            return
+        self._dispatch_query(message, select, broker, result)
+
+    def _fetch_ontology_then_continue(
+        self, message: KqmlMessage, select: Select, broker: str, result: HandlerResult
+    ) -> None:
+        """Ask the ontology agent for the vocabulary covering the query's
+        class, cache it, and resume query processing (Section 1.1: agents
+        "service requests over a set of common ontologies, accessed via
+        the ontology agents")."""
+        ask = KqmlMessage(
+            Performative.ASK_ONE,
+            sender=self.name,
+            receiver=self.ontology_agent,
+            content=("ontology-for-class", select.table),
+        )
+        self.ask(
+            ask,
+            lambda reply, res: self._ontology_fetched(message, select, broker,
+                                                      reply, res),
+            result,
+        )
+
+    def _ontology_fetched(
+        self,
+        message: KqmlMessage,
+        select: Select,
+        broker: str,
+        reply: Optional[KqmlMessage],
+        result: HandlerResult,
+    ) -> None:
+        fetched = (
+            reply.content
+            if reply is not None and reply.performative is Performative.TELL
+            else None
+        )
+        if isinstance(fetched, Ontology):
+            self.extra_ontologies = (*self.extra_ontologies, fetched)
+            self.ontologies_fetched += 1
+        else:
+            self._ontology_fetch_failed.add(select.table)
+        self._dispatch_query(message, select, broker, result)
+
+    def _dispatch_query(
+        self, message: KqmlMessage, select: Select, broker: str, result: HandlerResult
+    ) -> None:
+        resolved = self._resolve_ontology(select.table)
+        if resolved is None:
+            ontology_name, ontology = self.ontology_name, self.ontology
+        else:
+            ontology_name, ontology = resolved
+        constraints = where_to_constraint(select.where) or Constraint.unconstrained()
+        broker_query = BrokerQuery(
+            agent_type="resource",
+            content_language="SQL 2.0",
+            ontology_name=ontology_name,
+            classes=(select.table,),
+            slots=tuple(select.columns) if select.columns else (),
+            constraints=constraints,
+        )
+        request = RecommendRequest(
+            query=broker_query,
+            policy=SearchPolicy(hop_count=self.broker_hop_count),
+        )
+        recommend = KqmlMessage(
+            Performative.RECOMMEND_ALL,
+            sender=self.name,
+            receiver=broker,
+            content=request,
+            ontology="service",
+            extras={"complexity": message.extra("complexity", 1.0)},
+        )
+        plan = _Plan(original=message, select=select, ontology=ontology)
+        self.ask(
+            recommend,
+            lambda reply, res, plan=plan: self._resources_found(plan, reply, res),
+            result,
+        )
+
+    def _pick_broker(self) -> Optional[str]:
+        if self.connected_broker_list:
+            return self.connected_broker_list[0]
+        if self.known_broker_list:
+            return self.known_broker_list[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # fan-out
+    # ------------------------------------------------------------------
+    def _resources_found(
+        self, plan: _Plan, reply: Optional[KqmlMessage], result: HandlerResult
+    ) -> None:
+        matches: List[Match] = (
+            list(reply.content)
+            if reply is not None and reply.performative is Performative.TELL
+            else []
+        )
+        if not matches:
+            result.send(
+                plan.original.reply(Performative.SORRY, content="no matching resources")
+            )
+            return
+
+        sent = 0
+        for match in matches:
+            sub_select = self._rewrite_for(match, plan.select, plan.ontology)
+            if sub_select is None:
+                continue
+            plan.pushed_down[match.agent_name] = sub_select.where is not None
+            ask = KqmlMessage(
+                Performative.ASK_ALL,
+                sender=self.name,
+                receiver=match.agent_name,
+                content=render_select(sub_select),
+                language="SQL 2.0",
+                extras={
+                    "complexity": plan.original.extra("complexity", 1.0),
+                },
+            )
+            self.ask(
+                ask,
+                lambda r, res, plan=plan, name=match.agent_name: self._collect(
+                    plan, name, r, res
+                ),
+                result,
+            )
+            sent += 1
+        if sent == 0:
+            result.send(
+                plan.original.reply(Performative.SORRY, content="no usable resources")
+            )
+            return
+        plan.outstanding = sent
+
+    def _rewrite_for(
+        self, match: Match, select: Select, ontology: Optional[Ontology]
+    ) -> Optional[Select]:
+        """The per-resource query: right class name, available columns,
+        WHERE pushed down only when the resource can evaluate it."""
+        content = match.advertisement.description.content
+        target_class = self._target_class(content.classes, select.table, ontology)
+        available = set(content.slots) if content.slots else None  # None = all
+
+        where = select.where
+        if where is not None and available is not None:
+            if not predicate_columns(where) <= available:
+                where = None  # cannot evaluate here; filter after assembly
+
+        columns: Optional[Tuple[str, ...]]
+        if available is None:
+            columns = select.columns  # resource is unrestricted: pass through
+        else:
+            wanted = list(select.columns) if select.columns else sorted(available)
+            keep = [c for c in wanted if c in available]
+            for extra in sorted(self._assembly_columns(select, content, ontology)):
+                if extra in available and extra not in keep:
+                    keep.append(extra)
+            if not keep:
+                return None
+            columns = tuple(keep)
+        return Select(table=target_class, columns=columns, where=where)
+
+    def _target_class(
+        self, advertised: Tuple[str, ...], requested: str, ontology: Optional[Ontology]
+    ) -> str:
+        if not advertised or requested in advertised:
+            return requested
+        if ontology is not None:
+            for cls in advertised:
+                if cls in ontology and requested in ontology and (
+                    ontology.is_subclass(cls, requested)
+                    or ontology.is_subclass(requested, cls)
+                ):
+                    return cls
+        return advertised[0]
+
+    def _assembly_columns(
+        self, select: Select, content, ontology: Optional[Ontology]
+    ) -> set:
+        """Columns needed beyond the projection: the key (for fragment
+        joins) and any post-filter predicate columns."""
+        needed = set()
+        needed.update(content.keys)
+        if ontology is not None and select.table in ontology:
+            key = ontology.key_of(select.table)
+            if key:
+                needed.add(key)
+        if select.where is not None:
+            needed.update(predicate_columns(select.where))
+        return needed
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _collect(
+        self, plan: _Plan, resource: str, reply: Optional[KqmlMessage], result: HandlerResult
+    ) -> None:
+        if reply is not None and reply.performative is Performative.TELL:
+            plan.results.append((resource, reply.content))
+        plan.outstanding -= 1
+        if plan.outstanding == 0:
+            self._assemble(plan, result)
+
+    def _assemble(self, plan: _Plan, result: HandlerResult) -> None:
+        if not plan.results:
+            result.send(
+                plan.original.reply(Performative.SORRY, content="all resources failed")
+            )
+            return
+
+        key = self._query_key(plan.select, plan.ontology)
+        groups: Dict[frozenset, List[Table]] = {}
+        total_bytes = 0
+        for index, (resource, query_result) in enumerate(plan.results):
+            total_bytes += query_result.bytes_returned
+            table = _table_from_result(f"r{index}", query_result)
+            groups.setdefault(frozenset(query_result.columns), []).append(table)
+
+        shapes = [union_all(tables, name=f"shape{i}") for i, tables in
+                  enumerate(groups.values())]
+        if len(shapes) == 1:
+            assembled = shapes[0]
+        elif key is not None and all(key in t.schema for t in shapes):
+            assembled = join_on_key([_rekey(t, key) for t in shapes])
+        else:
+            assembled = union_all(shapes, name="assembled")
+
+        rows = list(assembled.rows())
+        where = plan.select.where
+        if where is not None and not all(plan.pushed_down.values()):
+            rows = [row for row in rows if evaluate_predicate(where, row)]
+
+        columns = self._final_columns(plan.select, assembled)
+        if plan.select.order_by is not None and plan.select.order_by.column in assembled.schema:
+            order = plan.select.order_by
+            rows.sort(key=lambda r: (r[order.column] is None, r[order.column]),
+                      reverse=order.descending)
+        if plan.select.limit is not None:
+            rows = rows[: plan.select.limit]
+        projected = tuple(
+            {name: row.get(name) for name in columns} for row in rows
+        )
+        final = QueryResult(columns=tuple(columns), rows=projected,
+                            rows_scanned=sum(qr.rows_scanned for _, qr in plan.results))
+
+        result.cost_seconds += self.cost_model.resource_query_seconds(
+            total_bytes / 1_000_000.0
+        )
+        result.send(
+            plan.original.reply(Performative.TELL, content=final),
+            size_bytes=max(final.bytes_returned, self.cost_model.control_message_bytes),
+        )
+
+    def _query_key(self, select: Select, ontology: Optional[Ontology]) -> Optional[str]:
+        if ontology is not None and select.table in ontology:
+            return ontology.key_of(select.table)
+        return None
+
+    def _final_columns(self, select: Select, assembled: Table) -> List[str]:
+        if select.columns:
+            return list(select.columns)
+        return assembled.schema.column_names()
+
+
+def _table_from_result(name: str, query_result: QueryResult) -> Table:
+    """Materialize a resource's reply as a typed table (types inferred)."""
+    columns = []
+    for column in query_result.columns:
+        col_type = "string"
+        for row in query_result.rows:
+            value = row.get(column)
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                col_type = "bool"
+            elif isinstance(value, (int, float)):
+                col_type = "number"
+            break
+        columns.append(Column(column, col_type))
+    table = Table(name, Schema(tuple(columns)))
+    for row in query_result.rows:
+        table.insert(row)
+    return table
+
+
+def _rekey(table: Table, key: str) -> Table:
+    """A copy of *table* whose schema declares *key* (deduplicating rows
+    that collide on the key, which replicated resources can produce)."""
+    rekeyed = Table(table.name, Schema(table.schema.columns, key=key))
+    seen = set()
+    for row in table.rows():
+        value = row.get(key)
+        if value in seen or value is None:
+            continue
+        seen.add(value)
+        rekeyed.insert(row)
+    return rekeyed

@@ -1,0 +1,68 @@
+"""The ontology agent: serves the community's shared ontologies.
+
+Agents "service requests over a set of common ontologies, accessed via
+the ontology agents" (Section 1.1).  The ontology agent answers
+``ask-one`` queries of the form ``("ontology", name)`` with the ontology
+object, and ``("classes", name)`` / ``("slots", name, class)`` with the
+corresponding vocabulary lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.agents.base import Agent, AgentConfig, HandlerResult
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology.model import Ontology
+from repro.ontology.service import AgentLocation, Capabilities, ServiceDescription
+
+
+class OntologyAgent(Agent):
+    """Registry agent for domain ontologies."""
+
+    agent_type = "ontology"
+
+    def __init__(self, name: str, ontologies: Dict[str, Ontology],
+                 config: Optional[AgentConfig] = None):
+        super().__init__(name, config)
+        self.ontologies = dict(ontologies)
+
+    def build_description(self) -> ServiceDescription:
+        return ServiceDescription(
+            location=AgentLocation(name=self.name, agent_type="ontology"),
+            capabilities=Capabilities(
+                conversations=("ask-one", "ping"),
+                functions=("ontology-service",),
+            ),
+        )
+
+    def on_ask_one(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        request = message.content
+        if not isinstance(request, tuple) or not request:
+            result.send(message.reply(Performative.SORRY, content="malformed request"))
+            return
+        kind, *args = request
+        answer = self._answer(kind, args)
+        if answer is None:
+            result.send(message.reply(Performative.SORRY, content="unknown request"))
+        else:
+            result.send(message.reply(Performative.TELL, content=answer))
+
+    def _answer(self, kind, args):
+        if kind == "ontologies" and not args:
+            return sorted(self.ontologies)
+        if kind == "ontology" and len(args) == 1:
+            return self.ontologies.get(args[0])
+        if kind == "ontology-for-class" and len(args) == 1:
+            for ontology in self.ontologies.values():
+                if args[0] in ontology:
+                    return ontology
+            return None
+        if kind == "classes" and len(args) == 1:
+            ontology = self.ontologies.get(args[0])
+            return ontology.class_names() if ontology else None
+        if kind == "slots" and len(args) == 2:
+            ontology = self.ontologies.get(args[0])
+            if ontology and args[1] in ontology:
+                return ontology.slot_names_of(args[1])
+        return None

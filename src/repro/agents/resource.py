@@ -1,0 +1,257 @@
+"""Resource agents: proxies for structured repositories (paper Sec 2.4).
+
+A resource agent wraps one or more :class:`~repro.relational.Table`
+objects, advertises its content (ontology, classes, slots, data
+constraints) and answers SQL ``ask-all`` queries against them.  It also
+accepts ``subscribe`` conversations (the Section 2.4 advertisement
+"accepts subscriptions, i.e. allows the user to monitor certain events
+or changes in data"): subscribers get a ``tell`` whenever the result of
+their query changes between polls.
+
+:func:`derive_constraints` computes an honest data-constraint
+advertisement directly from the stored rows (numeric ranges, small
+categorical value sets), so a resource's semantic self-description can
+be kept in sync with its actual content.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.agents.base import Agent, AgentConfig, HandlerResult
+from repro.agents.errors import AgentError
+from repro.constraints import Atom, Constraint, Op
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology.service import (
+    AgentLocation,
+    AgentProperties,
+    Capabilities,
+    ContentInfo,
+    ServiceDescription,
+    SyntacticInfo,
+)
+from repro.relational.table import Table
+from repro.sql.errors import SqlError
+from repro.sql.executor import execute_select, parse_select_cached
+
+
+#: Maximum distinct values a string column may have for the derived
+#: constraint to advertise it as an IN-set.
+MAX_CATEGORICAL_VALUES = 8
+
+#: Sentinel: pass as ``constraints=`` to have the agent derive its data
+#: constraints from the actual table contents at construction time.
+DERIVE_CONSTRAINTS: object = object()
+
+
+def derive_constraints(tables: Mapping[str, Table]) -> Constraint:
+    """An honest data-constraint description of *tables*' contents:
+    numeric columns become ``between min and max`` atoms; low-cardinality
+    string columns become ``in (...)`` atoms; anything else stays
+    unconstrained.
+
+    >>> from repro.relational import Column, Schema, Table
+    >>> t = Table("t", Schema((Column("age", "number"),)),
+    ...           [{"age": 30}, {"age": 50}])
+    >>> derive_constraints({"t": t}).domain("age").contains(40)
+    True
+    >>> derive_constraints({"t": t}).domain("age").contains(60)
+    False
+    """
+    atoms = []
+    seen_columns = set()
+    for table in tables.values():
+        for column in table.schema.columns:
+            if column.name in seen_columns:
+                continue
+            seen_columns.add(column.name)
+            values = [
+                row[column.name] for row in table.rows()
+                if row[column.name] is not None
+            ]
+            if not values:
+                continue
+            if column.col_type == "number":
+                atoms.append(Atom(column.name, Op.BETWEEN,
+                                  (min(values), max(values))))
+            elif column.col_type == "string":
+                distinct = sorted(set(values))
+                if len(distinct) <= MAX_CATEGORICAL_VALUES:
+                    atoms.append(Atom(column.name, Op.IN, tuple(distinct)))
+    return Constraint.from_atoms(atoms)
+
+
+@dataclass
+class _ResourceSubscription:
+    subscriber: str
+    sql: str
+    last_snapshot: Optional[tuple] = None
+    notifications_sent: int = 0
+
+
+class ResourceAgent(Agent):
+    """A proxy for a relational repository."""
+
+    agent_type = "resource"
+
+    def __init__(
+        self,
+        name: str,
+        tables: Mapping[str, Table],
+        ontology_name: str,
+        config: Optional[AgentConfig] = None,
+        advertised_classes: Optional[Sequence[str]] = None,
+        advertised_slots: Sequence[str] = (),
+        constraints: Optional[Constraint] = None,
+        nominal_data_mb: Optional[float] = None,
+        estimated_response_time: Optional[float] = 5.0,
+        subscription_poll_interval: float = 300.0,
+    ):
+        super().__init__(name, config)
+        if not tables:
+            raise AgentError(f"resource agent {name!r} needs at least one table")
+        self.catalog: Dict[str, Table] = dict(tables)
+        self.ontology_name = ontology_name
+        self.advertised_classes = tuple(
+            advertised_classes if advertised_classes is not None else self.catalog
+        )
+        self.advertised_slots = tuple(advertised_slots)
+        if constraints is None:
+            constraints = Constraint.unconstrained()
+        elif constraints is DERIVE_CONSTRAINTS:
+            constraints = derive_constraints(self.catalog)
+        self.constraints = constraints
+        self.nominal_data_mb = nominal_data_mb
+        self.estimated_response_time = estimated_response_time
+        self.subscription_poll_interval = subscription_poll_interval
+        self.subscriptions: Dict[str, _ResourceSubscription] = {}
+        self._subscription_ids = itertools.count(1)
+        self.queries_answered = 0
+
+    # ------------------------------------------------------------------
+    # advertisement (the Section 2.4 shape)
+    # ------------------------------------------------------------------
+    def build_description(self) -> ServiceDescription:
+        keys = tuple(
+            sorted(
+                {
+                    table.schema.key
+                    for table in self.catalog.values()
+                    if table.schema.key is not None
+                }
+            )
+        )
+        return ServiceDescription(
+            location=AgentLocation(name=self.name, agent_type="resource"),
+            syntax=SyntacticInfo(content_languages=("SQL 2.0",)),
+            capabilities=Capabilities(
+                conversations=("ask-all", "ask-one", "subscribe", "ping"),
+                functions=("relational", "subscription"),
+            ),
+            content=ContentInfo(
+                ontology_name=self.ontology_name,
+                classes=self.advertised_classes,
+                slots=self.advertised_slots,
+                keys=keys,
+                constraints=self.constraints,
+            ),
+            properties=AgentProperties(
+                mobile=False, estimated_response_time=self.estimated_response_time
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # query answering
+    # ------------------------------------------------------------------
+    def on_ask_all(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        if not isinstance(message.content, str):
+            result.send(message.reply(Performative.SORRY, content="expected SQL text"))
+            return
+        try:
+            select = parse_select_cached(message.content)
+            query_result = execute_select(select, self.catalog)
+        except SqlError as exc:
+            result.send(message.reply(Performative.SORRY, content=str(exc)))
+            return
+        self.queries_answered += 1
+        complexity = float(message.extra("complexity", 1.0))
+        result.cost_seconds += self.cost_model.resource_query_seconds(
+            self.data_mb(), complexity
+        )
+        result.send(
+            message.reply(Performative.TELL, content=query_result),
+            size_bytes=max(
+                query_result.bytes_returned, self.cost_model.control_message_bytes
+            ),
+        )
+
+    def data_mb(self) -> float:
+        """Nominal data volume driving query cost (configurable to mimic
+        the paper's multi-megabyte resources with small test tables)."""
+        if self.nominal_data_mb is not None:
+            return self.nominal_data_mb
+        return sum(t.size_bytes() for t in self.catalog.values()) / 1_000_000.0
+
+    # ------------------------------------------------------------------
+    # subscriptions ("allows the user to monitor ... changes in data")
+    # ------------------------------------------------------------------
+    def on_subscribe(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        if not isinstance(message.content, str):
+            result.send(message.reply(Performative.SORRY, content="expected SQL text"))
+            return
+        try:
+            select = parse_select_cached(message.content)
+            execute_select(select, self.catalog)  # validate now, poll later
+        except SqlError as exc:
+            result.send(message.reply(Performative.SORRY, content=str(exc)))
+            return
+        subscription_id = f"{self.name}-sub{next(self._subscription_ids)}"
+        subscription = _ResourceSubscription(
+            subscriber=message.sender, sql=message.content
+        )
+        subscription.last_snapshot = self._snapshot(message.content)
+        self.subscriptions[subscription_id] = subscription
+        result.send(message.reply(Performative.TELL, content=subscription_id))
+        result.arm(self.subscription_poll_interval, ("sub-poll", subscription_id),
+                   maintenance=True)
+
+    def on_unsubscribe(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        removed = self.subscriptions.pop(str(message.content), None) is not None
+        if message.reply_with:
+            performative = Performative.TELL if removed else Performative.SORRY
+            result.send(message.reply(performative, content=removed))
+
+    def on_custom_timer(self, token: object, result: HandlerResult, now: float) -> None:
+        if not (isinstance(token, tuple) and token and token[0] == "sub-poll"):
+            return
+        subscription_id = token[1]
+        subscription = self.subscriptions.get(subscription_id)
+        if subscription is None:
+            return
+        snapshot = self._snapshot(subscription.sql)
+        result.cost_seconds += self.cost_model.resource_query_seconds(self.data_mb())
+        if snapshot != subscription.last_snapshot:
+            subscription.last_snapshot = snapshot
+            subscription.notifications_sent += 1
+            query_result = execute_select(
+                parse_select_cached(subscription.sql), self.catalog
+            )
+            result.send(
+                KqmlMessage(
+                    Performative.TELL,
+                    sender=self.name,
+                    receiver=subscription.subscriber,
+                    content=query_result,
+                    extras={"subscription": subscription_id},
+                ),
+                size_bytes=max(query_result.bytes_returned,
+                               self.cost_model.control_message_bytes),
+            )
+        result.arm(self.subscription_poll_interval, ("sub-poll", subscription_id),
+                   maintenance=True)
+
+    def _snapshot(self, sql: str) -> tuple:
+        query_result = execute_select(parse_select_cached(sql), self.catalog)
+        return tuple(tuple(sorted(row.items())) for row in query_result.rows)

@@ -1,0 +1,195 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro list                  # what can be regenerated
+    python -m repro table3                # Table 3 at quick scale
+    python -m repro fig15 --full-scale    # paper-scale Figure 15
+    python -m repro all                   # everything, quick scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+
+def _table1(scale: "Scale") -> str:
+    from repro.experiments import STREAMS, format_table
+
+    rows = {
+        name: {"#RAs": float(stream.n_resource_agents)}
+        for name, stream in STREAMS.items()
+    }
+    return format_table("Table 1: experimental query streams", rows,
+                        column_order=["#RAs"], row_label="name")
+
+
+def _table2(scale: "Scale") -> str:
+    from repro.experiments import format_table, table2_configurations
+
+    rows = {}
+    for experiment, streams, n_resources in table2_configurations():
+        row = {s: 1.0 if s in streams else None
+               for s in ("SA", "DA", "4A", "VF", "CH", "FH")}
+        row["#RAs"] = float(n_resources)
+        rows[experiment] = row
+    return format_table("Table 2: experimental configurations (1.00 = active)",
+                        rows, column_order=["SA", "DA", "4A", "VF", "CH", "FH", "#RAs"],
+                        row_label="Expt")
+
+
+def _table3(scale: "Scale") -> str:
+    from repro.experiments import format_table, table3_ratios
+
+    ratios = table3_ratios(repetitions=scale.live_repetitions,
+                           queries_per_stream=scale.live_queries)
+    return format_table("Table 3: response-time ratio multibroker/single broker",
+                        ratios, column_order=["4A", "DA", "SA", "VF", "FH", "CH"],
+                        row_label="Expt")
+
+
+def _table4(scale: "Scale") -> str:
+    from repro.experiments import format_table, table4_ratios
+
+    ratios = table4_ratios(repetitions=scale.live_repetitions,
+                           queries_per_stream=scale.live_queries)
+    return format_table(
+        "Table 4: response-time ratio specialized/unspecialized multibrokering",
+        {6: ratios}, column_order=["4A", "DA", "SA", "VF", "FH", "CH"],
+        row_label="Expt")
+
+
+def _figure(builder: Callable, title: str, scale: "Scale",
+            log_y: bool = False, **kwargs) -> str:
+    from repro.experiments import format_series
+    from repro.experiments.report import format_ascii_chart
+
+    series = builder(duration=scale.sim_duration, runs=scale.sim_runs, **kwargs)
+    table = format_series(title, series, x_label="QF")
+    chart = format_ascii_chart(f"{title} (chart)", series, log_y=log_y)
+    return table + "\n\n" + chart
+
+
+def _fig14(scale: "Scale") -> str:
+    from repro.experiments import figure14_series
+
+    return _figure(figure14_series,
+                   "Figure 14: avg broker response (s) vs mean query interval",
+                   scale, log_y=True)
+
+
+def _fig15(scale: "Scale") -> str:
+    from repro.experiments import figure15_series
+
+    return _figure(figure15_series,
+                   "Figure 15: replicated vs specialized (10 brokers)", scale)
+
+
+def _fig16(scale: "Scale") -> str:
+    from repro.experiments import figure16_series
+
+    return _figure(figure16_series,
+                   "Figure 16: replicated vs specialized (5 brokers)", scale)
+
+
+def _fig17(scale: "Scale") -> str:
+    from repro.experiments import figure17_series, format_series
+
+    resources = (25, 50, 75, 100, 125, 150, 175, 200, 225) if scale.full \
+        else (25, 75, 125, 175, 225)
+    intervals = (40.0, 50.0, 60.0, 70.0, 80.0, 90.0) if scale.full \
+        else (40.0, 60.0, 90.0)
+    series = figure17_series(duration=scale.sim_duration, runs=scale.sim_runs,
+                             resources=resources, intervals=intervals)
+    return format_series("Figure 17: avg broker response (s) vs number of resources",
+                         series, x_label="#RAs")
+
+
+def _table5(scale: "Scale") -> str:
+    from repro.experiments import table5_grid
+    from repro.experiments.report import format_percentage_grid
+
+    grid = table5_grid(redundancies=scale.redundancies,
+                       duration=scale.sim_duration, runs=scale.sim_runs)
+    return format_percentage_grid(
+        "Table 5: percentage of queries that brokers reply to", grid)
+
+
+def _table6(scale: "Scale") -> str:
+    from repro.experiments import table6_grid
+    from repro.experiments.report import format_percentage_grid
+
+    grid = table6_grid(redundancies=scale.redundancies,
+                       duration=scale.sim_duration, runs=scale.sim_runs)
+    return format_percentage_grid(
+        "Table 6: percentage of answered queries that found the match", grid)
+
+
+class Scale:
+    """Quick vs paper-scale experiment parameters."""
+
+    def __init__(self, full: bool):
+        self.full = full
+        self.sim_duration = 43_200.0 if full else 7_200.0
+        self.sim_runs = 10 if full else 3
+        self.live_repetitions = 3 if full else 2
+        self.live_queries = 30 if full else 8
+        self.redundancies = (1, 2, 3, 4, 5) if full else (1, 3, 5)
+
+
+TARGETS: Dict[str, Callable[[Scale], str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "fig17": _fig17,
+    "table5": _table5,
+    "table6": _table6,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the InfoSleuth paper's tables and figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=[*TARGETS, "all", "list"],
+        help="which table/figure to regenerate ('all' for everything, "
+             "'list' to enumerate targets)",
+    )
+    parser.add_argument(
+        "--full-scale", action="store_true",
+        help="paper-scale parameters (12 simulated hours, 10 replicates); "
+             "much slower",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "list":
+        for name in TARGETS:
+            print(name)
+        return 0
+    scale = Scale(full=args.full_scale)
+    targets = list(TARGETS) if args.target == "all" else [args.target]
+    for name in targets:
+        started = time.perf_counter()
+        output = TARGETS[name](scale)
+        elapsed = time.perf_counter() - started
+        print(output)
+        print(f"[{name}: regenerated in {elapsed:.1f}s wall]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

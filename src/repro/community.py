@@ -1,0 +1,281 @@
+"""High-level community construction: the library's front door.
+
+Everything the examples and experiments wire by hand — brokers in a
+topology, resources with advertisements, a multiresource query agent,
+users — behind one fluent builder:
+
+>>> from repro.community import CommunityBuilder
+>>> from repro.ontology import demo_ontology
+>>> from repro.relational.generate import generate_table
+>>> onto = demo_ontology(1)
+>>> community = (
+...     CommunityBuilder(ontologies=[onto])
+...     .with_brokers(2)
+...     .with_resource("R1", {"C1": generate_table(onto, "C1", 4)}, "demo")
+...     .with_query_agent()
+...     .with_user("alice")
+...     .build()
+... )
+>>> result = community.query("alice", "select * from C1")
+>>> result.row_count
+4
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.agents import (
+    AgentConfig,
+    BrokerAgent,
+    CostModel,
+    MessageBus,
+    MonitorAgent,
+    MultiResourceQueryAgent,
+    OntologyAgent,
+    ResourceAgent,
+    UserAgent,
+)
+from repro.agents.errors import AgentError
+from repro.core.matcher import MatchContext
+from repro.ontology.model import Ontology
+from repro.relational.table import Table
+from repro.sql.executor import QueryResult
+
+#: Broker interconnection topologies the builder knows how to lay out.
+TOPOLOGIES = ("full", "chain", "ring")
+
+
+@dataclass
+class Community:
+    """A built, started community."""
+
+    bus: MessageBus
+    broker_names: List[str]
+    users: Dict[str, UserAgent] = field(default_factory=dict)
+    query_agents: List[str] = field(default_factory=list)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance virtual time (to *until*, or until quiescent)."""
+        if until is None:
+            self.bus.run()
+        else:
+            self.bus.run_until(until)
+
+    def query(self, user: str, sql: str, complexity: float = 1.0) -> QueryResult:
+        """Submit *sql* as *user* and run to completion; returns the rows.
+
+        Raises :class:`AgentError` when the query fails (no resources,
+        timeouts), with the failure reason.
+        """
+        agent = self.users.get(user)
+        if agent is None:
+            raise AgentError(f"no user named {user!r} in this community")
+        agent.submit(sql, complexity=complexity)
+        self.bus.run()
+        done = agent.completed[-1]
+        if not done.succeeded:
+            raise AgentError(f"query failed: {done.error}")
+        return done.result
+
+    def broker(self, name: str) -> BrokerAgent:
+        return self.bus.agent(name)
+
+
+class CommunityBuilder:
+    """Fluent construction of InfoSleuth communities."""
+
+    def __init__(
+        self,
+        ontologies: Sequence[Ontology] = (),
+        cost_model: Optional[CostModel] = None,
+        default_ad_size_mb: float = 0.01,
+        seed: int = 0,
+    ):
+        self._ontologies = {o.name: o for o in ontologies}
+        self._context = MatchContext(ontologies=dict(self._ontologies))
+        self._cost_model = cost_model or CostModel(
+            latency_seconds=0.01,
+            base_handling_seconds=0.001,
+            bandwidth_bytes_per_second=1e8,
+        )
+        self._ad_size = default_ad_size_mb
+        self._seed = seed
+        self._broker_specs: List[dict] = []
+        self._agent_specs: List[dict] = []
+        self._topology = "full"
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # brokers
+    # ------------------------------------------------------------------
+    def with_brokers(
+        self,
+        count: int = 1,
+        topology: str = "full",
+        names: Optional[Sequence[str]] = None,
+        **broker_kwargs,
+    ) -> "CommunityBuilder":
+        """Add *count* brokers interconnected per *topology*:
+        ``full`` (one consortium), ``chain`` or ``ring``."""
+        if topology not in TOPOLOGIES:
+            raise AgentError(f"unknown topology {topology!r}; pick from {TOPOLOGIES}")
+        if count < 1:
+            raise AgentError("need at least one broker")
+        if names is not None and len(names) != count:
+            raise AgentError("need exactly one name per broker")
+        self._topology = topology
+        for i in range(count):
+            name = names[i] if names else f"broker{len(self._broker_specs) + 1}"
+            self._broker_specs.append({"name": name, "kwargs": dict(broker_kwargs)})
+        return self
+
+    def _peers_of(self, index: int, names: List[str]) -> List[str]:
+        if self._topology == "full":
+            return [n for j, n in enumerate(names) if j != index]
+        peers = []
+        if self._topology in ("chain", "ring"):
+            if index > 0:
+                peers.append(names[index - 1])
+            if index < len(names) - 1:
+                peers.append(names[index + 1])
+            if self._topology == "ring" and len(names) > 2:
+                if index == 0:
+                    peers.append(names[-1])
+                if index == len(names) - 1:
+                    peers.append(names[0])
+        return peers
+
+    # ------------------------------------------------------------------
+    # non-broker agents
+    # ------------------------------------------------------------------
+    def _config(self, brokers: Optional[Sequence[str]], redundancy: int) -> dict:
+        return {"brokers": tuple(brokers) if brokers else None,
+                "redundancy": redundancy}
+
+    def with_resource(
+        self,
+        name: str,
+        tables: Mapping[str, Table],
+        ontology_name: str,
+        brokers: Optional[Sequence[str]] = None,
+        redundancy: int = 1,
+        **resource_kwargs,
+    ) -> "CommunityBuilder":
+        self._agent_specs.append({
+            "kind": "resource", "name": name, "tables": dict(tables),
+            "ontology_name": ontology_name, "kwargs": resource_kwargs,
+            **self._config(brokers, redundancy),
+        })
+        return self
+
+    def with_query_agent(
+        self,
+        name: str = "mrq",
+        ontology_name: Optional[str] = None,
+        brokers: Optional[Sequence[str]] = None,
+        redundancy: int = 1,
+        **mrq_kwargs,
+    ) -> "CommunityBuilder":
+        self._agent_specs.append({
+            "kind": "mrq", "name": name, "ontology_name": ontology_name,
+            "kwargs": mrq_kwargs, **self._config(brokers, redundancy),
+        })
+        return self
+
+    def with_user(
+        self,
+        name: str,
+        brokers: Optional[Sequence[str]] = None,
+        redundancy: int = 1,
+        **user_kwargs,
+    ) -> "CommunityBuilder":
+        self._agent_specs.append({
+            "kind": "user", "name": name, "kwargs": user_kwargs,
+            **self._config(brokers, redundancy),
+        })
+        return self
+
+    def with_ontology_agent(self, name: str = "ontology-agent") -> "CommunityBuilder":
+        self._agent_specs.append({"kind": "ontology", "name": name,
+                                  "brokers": None, "redundancy": 0, "kwargs": {}})
+        return self
+
+    def with_monitor(
+        self, name: str = "monitor", query_agent: str = "mrq",
+        poll_interval: float = 300.0,
+    ) -> "CommunityBuilder":
+        self._agent_specs.append({
+            "kind": "monitor", "name": name, "brokers": None, "redundancy": 0,
+            "kwargs": {"query_agent": query_agent, "poll_interval": poll_interval},
+        })
+        return self
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self, settle: float = 5.0) -> Community:
+        """Wire everything onto a bus, let the advertising settle, and
+        return the running :class:`Community`."""
+        if self._built:
+            raise AgentError("builder already used; create a fresh one")
+        if not self._broker_specs:
+            raise AgentError("a community needs at least one broker "
+                             "(call with_brokers first)")
+        self._built = True
+
+        bus = MessageBus(self._cost_model)
+        broker_names = [spec["name"] for spec in self._broker_specs]
+        for index, spec in enumerate(self._broker_specs):
+            peers = self._peers_of(index, broker_names)
+            bus.register(BrokerAgent(
+                spec["name"], context=self._context, peer_brokers=peers,
+                **spec["kwargs"],
+            ))
+
+        community = Community(bus=bus, broker_names=broker_names)
+        spread = 0
+        for spec in self._agent_specs:
+            preferred = spec["brokers"]
+            if preferred is None and spec["redundancy"] > 0:
+                preferred = (broker_names[spread % len(broker_names)],)
+                spread += 1
+            config = AgentConfig(
+                preferred_brokers=preferred or (),
+                redundancy=spec["redundancy"],
+                advertisement_size_mb=self._ad_size,
+            )
+            agent = self._instantiate(spec, config)
+            bus.register(agent)
+            if spec["kind"] == "user":
+                community.users[spec["name"]] = agent
+            elif spec["kind"] == "mrq":
+                community.query_agents.append(spec["name"])
+        bus.run_until(bus.now + settle)
+        return community
+
+    def _instantiate(self, spec: dict, config: AgentConfig):
+        kind = spec["kind"]
+        if kind == "resource":
+            return ResourceAgent(
+                spec["name"], spec["tables"], spec["ontology_name"],
+                config=config, **spec["kwargs"],
+            )
+        if kind == "mrq":
+            ontology_name = spec["ontology_name"] or next(iter(self._ontologies), "")
+            primary = self._ontologies.get(ontology_name)
+            extras = tuple(
+                o for name, o in self._ontologies.items() if name != ontology_name
+            )
+            return MultiResourceQueryAgent(
+                spec["name"], ontology_name, ontology=primary,
+                extra_ontologies=extras, config=config, **spec["kwargs"],
+            )
+        if kind == "user":
+            return UserAgent(spec["name"], config=config, **spec["kwargs"])
+        if kind == "ontology":
+            return OntologyAgent(spec["name"], dict(self._ontologies), config=config)
+        if kind == "monitor":
+            return MonitorAgent(spec["name"], config=config, **spec["kwargs"])
+        raise AgentError(f"unknown agent kind {kind!r}")  # pragma: no cover

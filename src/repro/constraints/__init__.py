@@ -1,0 +1,56 @@
+"""Constraint algebra for semantic brokering.
+
+InfoSleuth advertisements carry *data constraints* ("patient age between
+43 and 75"); broker queries carry constraints of their own ("age between
+25 and 65 AND diagnosis_code = '40W'").  The broker recommends an agent
+when the two constraint sets *overlap* — i.e. some data item could
+satisfy both.  This package implements the constraint domains and the
+overlap / subsumption / intersection algebra the broker reasons with.
+
+Core objects
+------------
+:class:`Interval`         one interval with open/closed endpoints
+:class:`IntervalSet`      a normalized union of disjoint intervals
+:class:`DiscreteSet`      a finite set of allowed values
+:class:`Complement`       everything except a finite set of values
+:class:`Atom`             one predicate over one slot (``age >= 25``)
+:class:`Constraint`       a conjunction of atoms, normalized per slot
+
+Quick example
+-------------
+>>> from repro.constraints import Constraint, parse_constraint
+>>> agent = parse_constraint("age between 43 and 75")
+>>> query = parse_constraint("age between 25 and 65 and code = '40W'")
+>>> agent.overlaps(query)
+True
+"""
+
+from repro.constraints.intervals import Interval, IntervalSet
+from repro.constraints.domains import (
+    Complement,
+    DiscreteSet,
+    FULL_DOMAIN,
+    domain_for_value,
+    intersect_domains,
+    subsumes_domain,
+)
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.conjunction import Constraint, ConstraintError
+from repro.constraints.parser import ConstraintParseError, parse_constraint
+
+__all__ = [
+    "Atom",
+    "Complement",
+    "Constraint",
+    "ConstraintError",
+    "ConstraintParseError",
+    "DiscreteSet",
+    "FULL_DOMAIN",
+    "Interval",
+    "IntervalSet",
+    "Op",
+    "domain_for_value",
+    "intersect_domains",
+    "parse_constraint",
+    "subsumes_domain",
+]

@@ -1,0 +1,114 @@
+"""Atomic constraints: one predicate applied to one slot.
+
+An :class:`Atom` is the unit a user writes (``age >= 25``,
+``code in ('40W', '41A')``); it compiles to a slot domain that the
+conjunction layer intersects per slot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.constraints.domains import (
+    Complement,
+    DiscreteSet,
+    Domain,
+    domain_for_value,
+)
+from repro.constraints.intervals import Interval, IntervalSet, type_tag
+
+
+class Op(enum.Enum):
+    """Comparison operators supported in InfoSleuth data constraints."""
+
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+    IN = "in"
+
+
+_ORDERED_OPS = {Op.LT, Op.LE, Op.GT, Op.GE, Op.BETWEEN}
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One constraint on one slot.
+
+    ``value`` is a scalar for comparison operators, a ``(lo, hi)`` pair
+    for ``BETWEEN`` and a tuple of scalars for ``IN``.
+
+    >>> Atom("age", Op.BETWEEN, (25, 65)).domain()
+    [25, 65]
+    """
+
+    slot: str
+    op: Op
+    value: object
+
+    def __post_init__(self):
+        if not self.slot:
+            raise ValueError("atom slot must be non-empty")
+        if self.op is Op.BETWEEN:
+            value = tuple(self.value) if not isinstance(self.value, tuple) else self.value
+            if len(value) != 2:
+                raise ValueError("BETWEEN takes a (lo, hi) pair")
+            object.__setattr__(self, "value", value)
+            if type_tag(value[0]) != type_tag(value[1]):
+                raise ValueError("BETWEEN bounds must have the same type")
+        elif self.op is Op.IN:
+            value = tuple(self.value) if not isinstance(self.value, tuple) else self.value
+            if not value:
+                raise ValueError("IN takes at least one value")
+            for v in value:
+                type_tag(v)
+            object.__setattr__(self, "value", value)
+        else:
+            type_tag(self.value)
+        if self.op in _ORDERED_OPS and self.op is not Op.BETWEEN:
+            if type_tag(self.value) == "bool":
+                raise ValueError(f"{self.op.value} is not meaningful for booleans")
+
+    def domain(self) -> Domain:
+        """Compile this atom to a slot domain."""
+        if self.op is Op.EQ:
+            return domain_for_value(self.value)
+        if self.op is Op.NEQ:
+            return Complement(frozenset([self.value]))
+        if self.op is Op.LT:
+            return IntervalSet([Interval(None, self.value, hi_open=True)])
+        if self.op is Op.LE:
+            return IntervalSet([Interval(None, self.value)])
+        if self.op is Op.GT:
+            return IntervalSet([Interval(self.value, None, lo_open=True)])
+        if self.op is Op.GE:
+            return IntervalSet([Interval(self.value, None)])
+        if self.op is Op.BETWEEN:
+            lo, hi = self.value
+            if lo > hi:
+                return IntervalSet.empty()  # SQL: BETWEEN 5 AND 3 is empty
+            return IntervalSet([Interval(lo, hi)])
+        if self.op is Op.IN:
+            return DiscreteSet(frozenset(self.value))
+        raise AssertionError(f"unhandled operator {self.op}")  # pragma: no cover
+
+    def matches(self, value) -> bool:
+        """Test a concrete value against this atom."""
+        try:
+            return self.domain().contains(value)
+        except TypeError:
+            return False
+
+    def __repr__(self) -> str:
+        if self.op is Op.BETWEEN:
+            lo, hi = self.value
+            return f"{self.slot} between {lo!r} and {hi!r}"
+        if self.op is Op.IN:
+            inner = ", ".join(repr(v) for v in self.value)
+            return f"{self.slot} in ({inner})"
+        return f"{self.slot} {self.op.value} {self.value!r}"

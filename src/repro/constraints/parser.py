@@ -1,0 +1,194 @@
+"""A small parser for InfoSleuth-style constraint descriptions.
+
+Advertisements in the paper carry textual constraint descriptions such
+as ``patient age between 43 and 75`` (Sec 2.4).  This module parses a
+conjunctive dialect of those descriptions:
+
+.. code-block:: text
+
+    expr     := clause ("and" clause)*
+    clause   := slot op value
+              | slot "between" value "and" value
+              | slot "in" "(" value ("," value)* ")"
+    op       := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    slot     := identifier ("." identifier)*      -- dots preserved
+    value    := number | 'quoted string' | "quoted string" | bareword
+
+Barewords are treated as strings, so ``city = Dallas`` works.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List
+
+from repro.constraints.atoms import Atom, Op
+from repro.constraints.conjunction import Constraint
+
+
+class ConstraintParseError(ValueError):
+    """Raised when a constraint description cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+        (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<sq>'(?:[^'\\]|\\.)*')
+      | (?P<dq>"(?:[^"\\]|\\.)*")
+      | (?P<op><=|>=|==|!=|<>|=|<|>)
+      | (?P<punct>[(),])
+      | (?P<word>[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_OP_MAP = {
+    "=": Op.EQ,
+    "==": Op.EQ,
+    "!=": Op.NEQ,
+    "<>": Op.NEQ,
+    "<": Op.LT,
+    "<=": Op.LE,
+    ">": Op.GT,
+    ">=": Op.GE,
+}
+
+
+def _tokenize(text: str) -> List[tuple]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise ConstraintParseError(f"cannot tokenize at: {text[pos:pos + 20]!r}")
+        pos = m.end()
+        if m.lastgroup == "number":
+            raw = m.group("number")
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(("value", value))
+        elif m.lastgroup in ("sq", "dq"):
+            raw = m.group(m.lastgroup)[1:-1]
+            tokens.append(("value", re.sub(r"\\(.)", r"\1", raw)))
+        elif m.lastgroup == "op":
+            tokens.append(("op", m.group("op")))
+        elif m.lastgroup == "punct":
+            tokens.append(("punct", m.group("punct")))
+        else:
+            tokens.append(("word", m.group("word")))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: List[tuple]):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index] if self.index < len(self.tokens) else (None, None)
+
+    def next(self):
+        token = self.peek()
+        if token[0] is None:
+            raise ConstraintParseError("unexpected end of constraint")
+        self.index += 1
+        return token
+
+    def done(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _keyword(token, word: str) -> bool:
+    return token[0] == "word" and token[1].lower() == word
+
+
+def parse_atoms(text: str) -> List[Atom]:
+    """Parse *text* into a list of atoms (conjuncts)."""
+    cursor = _Cursor(_tokenize(text))
+    atoms: List[Atom] = []
+    if cursor.done():
+        return atoms
+    while True:
+        atoms.append(_parse_clause(cursor))
+        if cursor.done():
+            return atoms
+        token = cursor.next()
+        if not _keyword(token, "and"):
+            raise ConstraintParseError(f"expected 'and', got {token[1]!r}")
+
+
+def _parse_clause(cursor: _Cursor) -> Atom:
+    kind, slot = cursor.next()
+    if kind != "word":
+        raise ConstraintParseError(f"expected a slot name, got {slot!r}")
+    # Allow multi-word slots like "patient age" by joining words until an
+    # operator/keyword appears, with dots normalized to underscores kept.
+    slot_parts = [slot]
+    while True:
+        kind, value = cursor.peek()
+        if kind == "word" and value is not None and value.lower() not in ("between", "in", "and"):
+            slot_parts.append(value)
+            cursor.next()
+        else:
+            break
+    slot_name = "_".join(slot_parts)
+
+    kind, token = cursor.next()
+    if kind == "op":
+        vkind, value = cursor.next()
+        if vkind == "word":
+            value = token_word_to_value(value)
+        elif vkind != "value":
+            raise ConstraintParseError(f"expected a value, got {value!r}")
+        return Atom(slot_name, _OP_MAP[token], value)
+    if kind == "word" and token.lower() == "between":
+        lo = _expect_value(cursor)
+        sep = cursor.next()
+        if not _keyword(sep, "and"):
+            raise ConstraintParseError("BETWEEN requires '<lo> and <hi>'")
+        hi = _expect_value(cursor)
+        return Atom(slot_name, Op.BETWEEN, (lo, hi))
+    if kind == "word" and token.lower() == "in":
+        open_paren = cursor.next()
+        if open_paren != ("punct", "("):
+            raise ConstraintParseError("IN requires a parenthesized value list")
+        values = [_expect_value(cursor)]
+        while True:
+            kind, token = cursor.next()
+            if (kind, token) == ("punct", ")"):
+                break
+            if (kind, token) != ("punct", ","):
+                raise ConstraintParseError(f"expected ',' or ')', got {token!r}")
+            values.append(_expect_value(cursor))
+        return Atom(slot_name, Op.IN, tuple(values))
+    raise ConstraintParseError(f"expected an operator after {slot_name!r}, got {token!r}")
+
+
+def _expect_value(cursor: _Cursor):
+    kind, value = cursor.next()
+    if kind == "value":
+        return value
+    if kind == "word":
+        return token_word_to_value(value)
+    raise ConstraintParseError(f"expected a value, got {value!r}")
+
+
+def token_word_to_value(word: str):
+    """Barewords become strings; true/false become booleans."""
+    lowered = word.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    return word
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse a constraint description into a :class:`Constraint`.
+
+    >>> parse_constraint("age between 25 and 65").slots
+    ['age']
+    """
+    return Constraint.from_atoms(parse_atoms(text))

@@ -1,0 +1,48 @@
+"""The brokering core: InfoSleuth's combined syntactic + semantic matchmaking.
+
+This package is the paper's primary contribution, reimplemented:
+
+* :class:`Advertisement` — a stored agent self-description;
+* :class:`BrokerQuery` — a request for agents with given syntax,
+  capabilities, content and properties;
+* :func:`match_advertisements` — the direct matching engine;
+* :class:`DatalogMatcher` — the same matching compiled to Datalog rules
+  (the LDL-style engine of the original broker), used both as an
+  alternative backend and as a cross-check;
+* :func:`score_match` — semantic-specificity scoring ("MRQ2 is a better
+  semantic match for class C2 than the general MRQ agent");
+* :class:`BrokerRepository` — the broker's knowledge base;
+* :class:`SearchPolicy` — CORBA-trader-style inter-broker search control
+  (hop count + follow option);
+* :class:`Consortium` / :class:`BrokerNetwork` — multibroker topology.
+"""
+
+from repro.core.errors import BrokeringError
+from repro.core.advertisement import Advertisement
+from repro.core.query import BrokerQuery, QueryMode
+from repro.core.matcher import Match, MatchContext, match_advertisements
+from repro.core.scoring import score_match
+from repro.core.repository import BrokerRepository
+from repro.core.datalog_matcher import DatalogMatcher
+from repro.core.policy import FollowOption, SearchPolicy
+from repro.core.consortium import BrokerNetwork, Consortium
+from repro.core.results import project_matches, result_format_fields
+
+__all__ = [
+    "Advertisement",
+    "BrokerNetwork",
+    "BrokerQuery",
+    "BrokerRepository",
+    "BrokeringError",
+    "Consortium",
+    "DatalogMatcher",
+    "FollowOption",
+    "Match",
+    "MatchContext",
+    "QueryMode",
+    "SearchPolicy",
+    "match_advertisements",
+    "project_matches",
+    "result_format_fields",
+    "score_match",
+]

@@ -1,0 +1,56 @@
+"""Advertisements: service descriptions as stored by a broker.
+
+An :class:`Advertisement` wraps the agent's
+:class:`~repro.ontology.service.ServiceDescription` with broker-side
+metadata: when it arrived, which broker it was advertised to, and its
+nominal size (the paper's broker reasoning cost is charged per megabyte
+of stored advertisements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.errors import BrokeringError
+from repro.ontology.service import ServiceDescription
+
+#: Default nominal advertisement size (megabytes).  Sec 5.2.1 sets the
+#: scalability experiments' advertisement size to 1 MB; the figure-14
+#: population uses 0.1 MB (see DESIGN.md's dropped-parameter table).
+DEFAULT_AD_SIZE_MB = 1.0
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """One stored advertisement."""
+
+    description: ServiceDescription
+    size_mb: float = DEFAULT_AD_SIZE_MB
+    advertised_at: float = 0.0
+    home_broker: Optional[str] = None
+
+    def __post_init__(self):
+        if self.size_mb <= 0:
+            raise BrokeringError("advertisement size must be positive")
+
+    @property
+    def agent_name(self) -> str:
+        return self.description.agent_name
+
+    @property
+    def agent_type(self) -> str:
+        return self.description.agent_type
+
+    def is_broker(self) -> bool:
+        return self.description.is_broker()
+
+    def renewed(self, at: float) -> "Advertisement":
+        """A copy stamped with a new advertisement time (re-advertising)."""
+        return replace(self, advertised_at=at)
+
+    def __repr__(self) -> str:
+        return (
+            f"Advertisement({self.agent_name!r}, type={self.agent_type!r}, "
+            f"{self.size_mb} MB)"
+        )

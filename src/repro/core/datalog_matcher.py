@@ -1,0 +1,311 @@
+"""The LDL-style broker reasoning engine: matching compiled to Datalog.
+
+The original InfoSleuth broker "uses a rule-based reasoning engine
+implemented in LDL to reason over the query and advertisements".  This
+module reproduces that architecture: advertisements compile to ground
+facts, a broker query compiles to rules deriving ``match(Agent)``, and
+the Datalog engine does the reasoning — including constraint-interval
+overlap via the ``iv_overlaps`` builtin and capability/class hierarchy
+facts.
+
+The compiled engine covers the same query language as the direct
+matcher in :mod:`repro.core.matcher`; the test suite asserts the two
+agree on randomized inputs.  The direct matcher remains the production
+path (it is faster); this one is the fidelity reference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.constraints.domains import Complement, DiscreteSet
+from repro.constraints.intervals import Interval, IntervalSet
+from repro.core.advertisement import Advertisement
+from repro.core.matcher import MatchContext
+from repro.core.query import BrokerQuery
+from repro.datalog import Engine, Var
+
+#: Stand-ins for unbounded endpoints, per value type.  Strings order
+#: lexicographically, so the empty string and a plane-16 run bound any
+#: realistic value.
+_MIN_STR = ""
+_MAX_STR = "\U0010FFFF" * 8
+
+A = Var("A")
+
+
+class DatalogMatcher:
+    """Matchmaking by Datalog evaluation over compiled advertisements."""
+
+    def __init__(self, context: Optional[MatchContext] = None):
+        self.context = context or MatchContext()
+
+    def match_names(
+        self, query: BrokerQuery, advertisements: Sequence[Advertisement]
+    ) -> Set[str]:
+        """The set of agent names matching *query* (unranked)."""
+        engine = Engine()
+        self._assert_advertisements(engine, advertisements, query)
+        self._assert_hierarchies(engine, advertisements, query)
+        self._compile_query(engine, query)
+        return {args[0] for args in engine.query("match", A)}
+
+    # ------------------------------------------------------------------
+    # fact compilation
+    # ------------------------------------------------------------------
+    def _assert_advertisements(
+        self,
+        engine: Engine,
+        advertisements: Sequence[Advertisement],
+        query: BrokerQuery,
+    ) -> None:
+        for ad in advertisements:
+            desc = ad.description
+            name = ad.agent_name
+            engine.fact("agent", name)
+            engine.fact("agent_type", name, desc.agent_type)
+            for lang in desc.syntax.content_languages:
+                engine.fact("speaks", name, lang)
+            for lang in desc.syntax.communication_languages:
+                engine.fact("comm", name, lang)
+            for conversation in desc.capabilities.conversations:
+                engine.fact("conversation", name, conversation)
+            for function in desc.capabilities.functions:
+                engine.fact("function", name, function)
+            if desc.content.ontology_name:
+                engine.fact("onto", name, desc.content.ontology_name)
+            else:
+                engine.fact("no_onto", name)
+            if desc.content.classes:
+                for cls in desc.content.classes:
+                    engine.fact("a_class", name, cls)
+            else:
+                engine.fact("no_classes", name)
+            if desc.content.slots:
+                for slot in desc.content.slots:
+                    engine.fact("a_slot", name, slot)
+            else:
+                engine.fact("no_slots", name)
+
+            if not desc.content.constraints.is_satisfiable():
+                engine.fact("unsat", name)
+            for slot in query.constraints.slots:
+                self._assert_slot_domain(engine, name, slot, desc.content.constraints)
+
+            props = desc.properties
+            engine.fact("mobile", name, props.mobile)
+            if props.estimated_response_time is not None:
+                engine.fact("ert", name, props.estimated_response_time)
+            else:
+                engine.fact("no_ert", name)
+
+    def _assert_slot_domain(self, engine: Engine, name: str, slot: str, constraints) -> None:
+        domain = constraints.domain(slot)
+        if isinstance(domain, Complement):
+            if not domain.excluded:
+                engine.fact("unconstrained", name, slot)
+                return
+            engine.fact("c_complement", name, slot)
+            for value in domain.excluded:
+                engine.fact("c_excluded", name, slot, value)
+        elif isinstance(domain, DiscreteSet):
+            for value in domain.allowed:
+                engine.fact("c_value", name, slot, value)
+        else:  # IntervalSet
+            for interval in domain.intervals:
+                lo, hi = _bounds(interval)
+                engine.fact(
+                    "c_interval", name, slot, lo, hi,
+                    interval.lo_open, interval.hi_open,
+                )
+
+    def _assert_hierarchies(
+        self,
+        engine: Engine,
+        advertisements: Sequence[Advertisement],
+        query: BrokerQuery,
+    ) -> None:
+        hierarchy = self.context.capability_hierarchy
+        advertised_functions = {
+            f for ad in advertisements for f in ad.description.capabilities.functions
+        }
+        for requested in query.capabilities:
+            for advertised in advertised_functions:
+                if hierarchy.covers(advertised, requested):
+                    engine.fact("covers", advertised, requested)
+
+        if query.ontology_name:
+            advertised_classes = {
+                c for ad in advertisements for c in ad.description.content.classes
+            }
+            for requested in query.classes:
+                for advertised in advertised_classes:
+                    if self.context.classes_related(
+                        query.ontology_name, requested, advertised
+                    ):
+                        engine.fact("related", advertised, requested)
+
+    # ------------------------------------------------------------------
+    # rule compilation
+    # ------------------------------------------------------------------
+    def _compile_query(self, engine: Engine, query: BrokerQuery) -> None:
+        conditions: List[str] = []
+
+        def add_condition(pred: str, rules: List[tuple]):
+            """Register *pred* as a required condition with OR-rules."""
+            conditions.append(pred)
+            for body in rules:
+                engine.rule((pred, A), list(body))
+
+        if query.agent_type is not None:
+            add_condition("ok_type", [[("agent_type", A, query.agent_type)]])
+        if query.content_language is not None:
+            add_condition("ok_speak", [[("speaks", A, query.content_language)]])
+        if query.communication_language is not None:
+            add_condition("ok_comm", [[("comm", A, query.communication_language)]])
+        for index, conversation in enumerate(query.conversations):
+            add_condition(f"ok_conv_{index}", [[("conversation", A, conversation)]])
+        for index, capability in enumerate(query.capabilities):
+            add_condition(
+                f"ok_cap_{index}",
+                [[("function", A, Var("F")), ("covers", Var("F"), capability)]],
+            )
+        if query.ontology_name is not None:
+            add_condition(
+                "ok_onto",
+                [[("onto", A, query.ontology_name)], [("no_onto", A)]],
+            )
+        for index, cls in enumerate(query.classes):
+            add_condition(
+                f"ok_class_{index}",
+                [
+                    [("a_class", A, Var("C")), ("related", Var("C"), cls)],
+                    [("no_classes", A)],
+                ],
+            )
+
+        self._compile_slots(engine, query, conditions)
+        self._compile_constraints(engine, query, conditions)
+
+        if query.require_mobile is not None:
+            add_condition("ok_mobile", [[("mobile", A, query.require_mobile)]])
+        if query.max_response_time is not None:
+            add_condition(
+                "ok_time",
+                [
+                    [("no_ert", A)],
+                    [("ert", A, Var("T")), ("le", Var("T"), query.max_response_time)],
+                ],
+            )
+
+        body = [("agent", A)] + [(pred, A) for pred in conditions]
+        engine.rule(("match", A), body, negative=[("unsat", A)])
+
+    def _compile_slots(self, engine: Engine, query: BrokerQuery, conditions: List[str]) -> None:
+        if not query.slots:
+            return
+        conditions.append("ok_slots")
+        engine.rule(("ok_slots", A), [("no_slots", A)])
+        if query.allow_partial_slots:
+            for slot in query.slots:
+                engine.rule(("ok_slots", A), [("a_slot", A, slot)])
+        else:
+            body = [("a_slot", A, slot) for slot in query.slots]
+            engine.rule(("ok_slots", A), body)
+
+    def _compile_constraints(
+        self, engine: Engine, query: BrokerQuery, conditions: List[str]
+    ) -> None:
+        for index, slot in enumerate(query.constraints.slots):
+            pred = f"ok_cons_{index}"
+            conditions.append(pred)
+            engine.rule((pred, A), [("unconstrained", A, slot)])
+            domain = query.constraints.domain(slot)
+            if isinstance(domain, Complement):
+                self._complement_rules(engine, pred, slot, domain)
+            elif isinstance(domain, DiscreteSet):
+                self._discrete_rules(engine, pred, slot, domain)
+            else:
+                self._interval_rules(engine, pred, slot, domain)
+
+    def _interval_rules(self, engine: Engine, pred: str, slot: str, domain: IntervalSet) -> None:
+        L, H, LO, HO = Var("L"), Var("H"), Var("LO"), Var("HO")
+        for interval in domain.intervals:
+            qlo, qhi = _bounds(interval)
+            engine.rule(
+                (pred, A),
+                [
+                    ("c_interval", A, slot, L, H, LO, HO),
+                    ("iv_overlaps", L, H, LO, HO, qlo, qhi,
+                     interval.lo_open, interval.hi_open),
+                ],
+            )
+            V = Var("V")
+            engine.rule(
+                (pred, A),
+                [
+                    ("c_value", A, slot, V),
+                    ("iv_overlaps", V, V, False, False, qlo, qhi,
+                     interval.lo_open, interval.hi_open),
+                ],
+            )
+            if interval.is_point():
+                # A cofinite advertisement misses a point query only when
+                # that exact point is excluded.
+                engine.rule(
+                    (pred, A),
+                    [("c_complement", A, slot)],
+                    negative=[("c_excluded", A, slot, interval.lo)],
+                )
+            else:
+                engine.rule((pred, A), [("c_complement", A, slot)])
+
+    def _discrete_rules(self, engine: Engine, pred: str, slot: str, domain: DiscreteSet) -> None:
+        L, H, LO, HO = Var("L"), Var("H"), Var("LO"), Var("HO")
+        for value in domain.allowed:
+            engine.rule((pred, A), [("c_value", A, slot, value)])
+            engine.rule(
+                (pred, A),
+                [
+                    ("c_interval", A, slot, L, H, LO, HO),
+                    ("iv_overlaps", L, H, LO, HO, value, value, False, False),
+                ],
+            )
+            engine.rule(
+                (pred, A),
+                [("c_complement", A, slot)],
+                negative=[("c_excluded", A, slot, value)],
+            )
+
+    def _complement_rules(self, engine: Engine, pred: str, slot: str, domain: Complement) -> None:
+        # Ad complement vs query complement: two cofinite sets always meet.
+        engine.rule((pred, A), [("c_complement", A, slot)])
+        # Ad discrete value: overlaps unless every advertised value is
+        # excluded by the query — i.e. some value differs from all of them.
+        V = Var("V")
+        body = [("c_value", A, slot, V)]
+        body += [("neq", V, excluded) for excluded in domain.excluded]
+        engine.rule((pred, A), body)
+        # Ad interval: a non-point interval always meets a cofinite set; a
+        # point interval must avoid every excluded value.
+        L, H = Var("L"), Var("H")
+        engine.rule(
+            (pred, A),
+            [("c_interval", A, slot, L, H, Var("LO"), Var("HO")), ("lt", L, H)],
+        )
+        point_body = [("c_interval", A, slot, L, H, Var("LO"), Var("HO")), ("eq", L, H)]
+        point_body += [("neq", L, excluded) for excluded in domain.excluded]
+        engine.rule((pred, A), point_body)
+
+
+def _bounds(interval: Interval):
+    """Concrete endpoint stand-ins for ``None`` (±infinity)."""
+    tag = interval.tag
+    if tag == "string":
+        lo = interval.lo if interval.lo is not None else _MIN_STR
+        hi = interval.hi if interval.hi is not None else _MAX_STR
+    else:
+        lo = interval.lo if interval.lo is not None else -math.inf
+        hi = interval.hi if interval.hi is not None else math.inf
+    return lo, hi

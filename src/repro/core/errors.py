@@ -1,0 +1,5 @@
+"""Errors for the brokering core."""
+
+
+class BrokeringError(ValueError):
+    """Raised for malformed queries, advertisements or repository misuse."""

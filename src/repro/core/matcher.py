@@ -1,0 +1,182 @@
+"""The direct matching engine: BrokerQuery x Advertisement -> matches.
+
+This is the broker's core reasoning, combining:
+
+* syntactic matching (agent type, content/communication languages,
+  supported conversations) — Section 2.3, Figure 8;
+* semantic capability matching with capability-hierarchy containment —
+  Figure 2 ("an agent that does all query processing can do relational
+  query processing, but not vice versa");
+* semantic content matching: ontology, class–subclass reasoning, slot
+  coverage (including fragmented classes), and *constraint overlap* —
+  the broker only rules an agent out when its advertised data
+  constraints provably cannot intersect the request's;
+* pragmatic filters (response time, mobility).
+
+An equivalent Datalog-compiled engine lives in
+:mod:`repro.core.datalog_matcher`; property tests assert they agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.advertisement import Advertisement
+from repro.core.query import BrokerQuery
+from repro.core.scoring import score_match
+from repro.ontology.capability import CapabilityHierarchy, default_capability_hierarchy
+from repro.ontology.model import Ontology
+
+
+@dataclass
+class MatchContext:
+    """Shared knowledge the matcher reasons with.
+
+    ``ontologies`` maps ontology name -> :class:`Ontology` for
+    class-hierarchy reasoning; unknown ontologies degrade to exact class
+    name matching (an open system must tolerate foreign vocabularies).
+    """
+
+    capability_hierarchy: CapabilityHierarchy = field(
+        default_factory=default_capability_hierarchy
+    )
+    ontologies: Dict[str, Ontology] = field(default_factory=dict)
+
+    def classes_related(self, ontology_name: str, requested: str, advertised: str) -> bool:
+        """True when an agent holding *advertised* is potentially relevant
+        to a query over *requested* (equal, or related by is-a either way)."""
+        if requested == advertised:
+            return True
+        ontology = self.ontologies.get(ontology_name)
+        if ontology is None or requested not in ontology or advertised not in ontology:
+            return False
+        return ontology.is_subclass(advertised, requested) or ontology.is_subclass(
+            requested, advertised
+        )
+
+
+@dataclass(frozen=True)
+class Match:
+    """One recommended agent with its semantic score and slot coverage."""
+
+    advertisement: Advertisement
+    score: float
+    matched_slots: Tuple[str, ...] = ()
+
+    @property
+    def agent_name(self) -> str:
+        return self.advertisement.agent_name
+
+
+def match_advertisements(
+    query: BrokerQuery,
+    advertisements: Iterable[Advertisement],
+    context: Optional[MatchContext] = None,
+) -> List[Match]:
+    """All advertisements matching *query*, best semantic score first.
+
+    For ``QueryMode.ONE`` queries the caller takes the head of the list;
+    the full ranking is returned either way so brokers can merge
+    rankings from collaborating brokers.
+    """
+    context = context or MatchContext()
+    matches = []
+    for ad in advertisements:
+        matched_slots = _matches(query, ad, context)
+        if matched_slots is None:
+            continue
+        matches.append(
+            Match(
+                advertisement=ad,
+                score=score_match(query, ad, context),
+                matched_slots=tuple(matched_slots),
+            )
+        )
+    matches.sort(key=lambda m: (-m.score, m.agent_name))
+    return matches
+
+
+def _matches(
+    query: BrokerQuery, ad: Advertisement, context: MatchContext
+) -> Optional[List[str]]:
+    """None when *ad* fails *query*; otherwise the covered slot list."""
+    desc = ad.description
+
+    # --- syntactic ----------------------------------------------------
+    if query.agent_type is not None and desc.agent_type != query.agent_type:
+        return None
+    if query.content_language is not None and not desc.syntax.speaks(
+        query.content_language
+    ):
+        return None
+    if query.communication_language is not None and not desc.syntax.communicates_via(
+        query.communication_language
+    ):
+        return None
+    for conversation in query.conversations:
+        if conversation not in desc.capabilities.conversations:
+            return None
+
+    # --- semantic: capabilities ----------------------------------------
+    hierarchy = context.capability_hierarchy
+    for requested in query.capabilities:
+        if not any(
+            hierarchy.covers(advertised, requested)
+            for advertised in desc.capabilities.functions
+        ):
+            return None
+
+    # --- semantic: content ---------------------------------------------
+    # An advertisement that names no ontology / no classes is content-
+    # unrestricted (e.g. a general-purpose multiresource query agent): it
+    # passes content requirements vacuously.  The Section 2.2 narrative
+    # depends on this: the generic "MRQ agent" matches a C2 request, and
+    # the specialized "MRQ2 agent" merely outranks it.
+    if query.ontology_name is not None and desc.content.ontology_name:
+        if desc.content.ontology_name != query.ontology_name:
+            return None
+    if desc.content.classes:
+        for requested_class in query.classes:
+            if not any(
+                context.classes_related(query.ontology_name, requested_class, advertised)
+                for advertised in desc.content.classes
+            ):
+                return None
+
+    matched_slots = _match_slots(query, ad)
+    if matched_slots is None:
+        return None
+
+    if not desc.content.constraints.overlaps(query.constraints):
+        return None
+
+    # --- pragmatic -------------------------------------------------------
+    if query.require_mobile is not None and desc.properties.mobile != query.require_mobile:
+        return None
+    if query.max_response_time is not None:
+        advertised_time = desc.properties.estimated_response_time
+        if advertised_time is not None and advertised_time > query.max_response_time:
+            return None
+
+    return matched_slots
+
+
+def _match_slots(query: BrokerQuery, ad: Advertisement) -> Optional[List[str]]:
+    """Slot coverage.
+
+    An advertisement listing no slots is unrestricted (it offers whole
+    classes).  Otherwise, with ``allow_partial_slots`` (the default,
+    supporting fragmented classes — "return all matched slots from
+    classes that are fragmented") at least one requested slot must be
+    advertised; without it, all of them must be.
+    """
+    if not query.slots:
+        return []
+    if not ad.description.content.slots:
+        return list(query.slots)
+    advertised = set(ad.description.content.slots)
+    covered = [slot for slot in query.slots if slot in advertised]
+    if query.allow_partial_slots:
+        return covered if covered else None
+    return covered if len(covered) == len(query.slots) else None

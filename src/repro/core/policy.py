@@ -1,0 +1,66 @@
+"""Inter-broker search policies (Section 4.3).
+
+"Our implementation of the inter-broker search policy follows closely
+those defined for the trading service in CORBA": a hop count bounding
+propagation depth, and a follow option selecting which repositories to
+consult.  The requesting agent supplies the policy; a broker caps the
+hop count with its own maximum and passes the policy along when
+forwarding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Tuple
+
+from repro.core.errors import BrokeringError
+
+
+class FollowOption(enum.Enum):
+    """Which repositories the matchmaking should consider."""
+
+    LOCAL_ONLY = "local-only"  # just the queried broker's repository
+    ALL = "all"  # every reachable repository
+    UNTIL_MATCH = "until-match"  # stop as soon as one match is found
+
+
+@dataclass(frozen=True)
+class SearchPolicy:
+    """One inter-broker search policy.
+
+    ``hop_count`` is the remaining number of broker-to-broker hops the
+    request may traverse; the default of 1 "limits the search to the
+    broker's own consortium and other directly-connected brokers".
+    """
+
+    hop_count: int = 1
+    follow: FollowOption = FollowOption.ALL
+
+    def __post_init__(self):
+        if self.hop_count < 0:
+            raise BrokeringError("hop count must be >= 0")
+        if not isinstance(self.follow, FollowOption):
+            raise BrokeringError(f"follow must be a FollowOption, got {self.follow!r}")
+
+    @classmethod
+    def default_for(cls, wants_single: bool, hop_count: int = 1) -> "SearchPolicy":
+        """The paper's defaults: a single-agent request stops at the first
+        match; otherwise all repositories are consulted."""
+        follow = FollowOption.UNTIL_MATCH if wants_single else FollowOption.ALL
+        return cls(hop_count=hop_count, follow=follow)
+
+    def capped(self, broker_max_hops: int) -> "SearchPolicy":
+        """The policy with the hop count capped by a broker's own maximum."""
+        if broker_max_hops < 0:
+            raise BrokeringError("broker max hop count must be >= 0")
+        return replace(self, hop_count=min(self.hop_count, broker_max_hops))
+
+    def next_hop(self) -> "SearchPolicy":
+        """The policy to forward: one hop spent."""
+        if self.hop_count <= 0:
+            raise BrokeringError("no hops remaining")
+        return replace(self, hop_count=self.hop_count - 1)
+
+    def may_forward(self) -> bool:
+        return self.hop_count > 0 and self.follow is not FollowOption.LOCAL_ONLY

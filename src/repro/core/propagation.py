@@ -1,0 +1,95 @@
+"""Request-propagation cost analysis (Section 3.2).
+
+"The only major disadvantage of a peer-to-peer architecture is the cost
+of inter-connection. ... we may be able to reduce the connectivity cost
+on a per-search basis by only propagating requests along a spanning tree
+of the current broker digraph."
+
+This module quantifies that trade-off over a
+:class:`~repro.core.consortium.BrokerNetwork`:
+
+* :func:`flood_cost` — messages sent when every broker forwards to all
+  peers it knows (with visited-list suppression), per the deployed
+  algorithm;
+* :func:`spanning_tree_cost` — messages along a BFS spanning tree;
+* :func:`reachable_within_hops` — which brokers a bounded-hop search
+  actually consults, for hop-count sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set, Tuple
+
+from repro.core.consortium import BrokerNetwork
+from repro.core.errors import BrokeringError
+
+
+def flood_cost(network: BrokerNetwork, origin: str, hop_count: int) -> int:
+    """Forward+reply messages for a visited-list flood from *origin*.
+
+    Mirrors the broker implementation: a broker forwards to every known
+    peer not yet on the visited list, adding all targets to the list
+    before forwarding (so concurrent branches do not re-query a broker).
+    The count excludes the requester's own query/reply pair.
+    """
+    if origin not in network.brokers():
+        raise BrokeringError(f"unknown broker {origin!r}")
+    messages = 0
+    visited: Set[str] = {origin}
+    frontier = [origin]
+    hops = hop_count
+    while frontier and hops > 0:
+        next_frontier = []
+        for broker in frontier:
+            targets = [t for t in network.known_by(broker) if t not in visited]
+            visited.update(targets)
+            messages += 2 * len(targets)  # forward + reply
+            next_frontier.extend(targets)
+        frontier = next_frontier
+        hops -= 1
+    return messages
+
+
+def spanning_tree_cost(network: BrokerNetwork, origin: str) -> int:
+    """Forward+reply messages when the request follows a BFS spanning
+    tree instead of flooding every edge."""
+    tree = network.spanning_tree_from(origin)
+    edges = sum(len(children) for children in tree.values())
+    return 2 * edges
+
+
+def reachable_within_hops(
+    network: BrokerNetwork, origin: str, hop_count: int
+) -> Set[str]:
+    """Brokers whose repositories a *hop_count*-bounded search consults
+    (including the origin)."""
+    if origin not in network.brokers():
+        raise BrokeringError(f"unknown broker {origin!r}")
+    seen = {origin}
+    frontier = deque([(origin, 0)])
+    while frontier:
+        broker, depth = frontier.popleft()
+        if depth >= hop_count:
+            continue
+        for peer in network.known_by(broker):
+            if peer not in seen:
+                seen.add(peer)
+                frontier.append((peer, depth + 1))
+    return seen
+
+
+def propagation_summary(
+    network: BrokerNetwork, origin: str, hop_count: int
+) -> Dict[str, float]:
+    """Flood vs spanning-tree cost and coverage from one origin."""
+    flood = flood_cost(network, origin, hop_count)
+    tree = spanning_tree_cost(network, origin)
+    covered = reachable_within_hops(network, origin, hop_count)
+    total = len(network.brokers())
+    return {
+        "flood_messages": float(flood),
+        "tree_messages": float(tree),
+        "savings": float(flood - tree),
+        "coverage": len(covered) / total if total else 1.0,
+    }

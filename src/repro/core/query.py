@@ -1,0 +1,75 @@
+"""Broker queries: what a requesting agent asks the broker for.
+
+A :class:`BrokerQuery` mirrors the Section 2.4 example query: every
+field is optional; unspecified fields do not constrain the match.
+Fields split along the paper's syntactic/semantic/pragmatic axes:
+
+syntactic
+    ``agent_type``, ``content_language``, ``communication_language``
+semantic — capabilities
+    ``conversations`` (the agent must support all of them),
+    ``capabilities`` (each must be covered by an advertised function,
+    via the capability hierarchy)
+semantic — content
+    ``ontology_name``, ``classes`` (each must relate to an advertised
+    class), ``slots``, ``constraints`` (must overlap the advertised
+    data constraints)
+pragmatic
+    ``max_response_time``, ``require_mobile``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.constraints import Constraint
+from repro.core.errors import BrokeringError
+
+
+class QueryMode(enum.Enum):
+    """How many matches the requester wants (ask-all vs ask-one)."""
+
+    ALL = "all"
+    ONE = "one"
+
+
+@dataclass(frozen=True)
+class BrokerQuery:
+    """A request for agents providing particular services."""
+
+    agent_type: Optional[str] = None
+    content_language: Optional[str] = None
+    communication_language: Optional[str] = None
+    conversations: Tuple[str, ...] = ()
+    capabilities: Tuple[str, ...] = ()
+    ontology_name: Optional[str] = None
+    classes: Tuple[str, ...] = ()
+    slots: Tuple[str, ...] = ()
+    constraints: Constraint = field(default_factory=Constraint.unconstrained)
+    max_response_time: Optional[float] = None
+    require_mobile: Optional[bool] = None
+    mode: QueryMode = QueryMode.ALL
+    allow_partial_slots: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "conversations", tuple(self.conversations))
+        object.__setattr__(self, "capabilities", tuple(self.capabilities))
+        object.__setattr__(self, "classes", tuple(self.classes))
+        object.__setattr__(self, "slots", tuple(self.slots))
+        if self.max_response_time is not None and self.max_response_time <= 0:
+            raise BrokeringError("max_response_time must be positive")
+        if not isinstance(self.mode, QueryMode):
+            raise BrokeringError(f"mode must be a QueryMode, got {self.mode!r}")
+        if self.classes and not self.ontology_name:
+            raise BrokeringError("class requirements need an ontology_name")
+        if not self.constraints.is_satisfiable():
+            raise BrokeringError("query constraints are unsatisfiable")
+
+    def is_unconstrained(self) -> bool:
+        """True when the query matches every advertisement."""
+        return self == BrokerQuery(mode=self.mode)
+
+    def wants_single(self) -> bool:
+        return self.mode is QueryMode.ONE

@@ -1,0 +1,172 @@
+"""The broker repository: stored advertisements plus bookkeeping.
+
+"One of the primary jobs of a broker is to maintain a repository
+containing current and correct information about operational agents and
+the services they can provide" (Section 2.2).  The repository stores
+agent and broker advertisements separately (a broker reasons over other
+brokers' capabilities when deciding where to forward — Section 4.1),
+tracks its nominal size in megabytes (the reasoning-cost driver in the
+experiments), and counts the work it performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.advertisement import Advertisement
+from repro.core.errors import BrokeringError
+from repro.core.matcher import Match, MatchContext, match_advertisements
+from repro.core.query import BrokerQuery
+
+
+@dataclass
+class RepositoryStats:
+    """Work counters for cost accounting and tests."""
+
+    advertisements_accepted: int = 0
+    advertisements_removed: int = 0
+    queries_answered: int = 0
+    advertisements_reasoned_over: int = 0
+
+
+class BrokerRepository:
+    """Advertisement storage and local matchmaking for one broker.
+
+    ``engine`` selects the reasoning backend: ``"direct"`` (the fast
+    Python matcher) or ``"datalog"`` (advertisements compiled to facts,
+    queries to rules — the original broker's LDL architecture).  Both
+    produce identical match sets; the Datalog backend ranks them with
+    the same scoring function.
+    """
+
+    def __init__(
+        self,
+        context: Optional[MatchContext] = None,
+        engine: str = "direct",
+        index_by_ontology: bool = False,
+    ):
+        if engine not in ("direct", "datalog"):
+            raise BrokeringError(f"unknown matching engine {engine!r}")
+        self._agents: Dict[str, Advertisement] = {}
+        self._brokers: Dict[str, Advertisement] = {}
+        self.context = context or MatchContext()
+        self.engine = engine
+        #: When True, ontology-named queries only reason over the
+        #: advertisements of that ontology (plus content-unrestricted
+        #: agents) — the mechanical form of the paper's "optimized
+        #: reasoning over a narrower domain".  Results are identical;
+        #: only the work differs (see the index ablation benchmark).
+        self.index_by_ontology = index_by_ontology
+        self._ontology_index: Dict[str, set] = {}
+        self.stats = RepositoryStats()
+
+    # ------------------------------------------------------------------
+    # advertisement lifecycle
+    # ------------------------------------------------------------------
+    def advertise(self, ad: Advertisement) -> None:
+        """Store or update an advertisement (agents re-advertise freely)."""
+        if ad.agent_name in self._agents:
+            self._unindex(self._agents[ad.agent_name])
+        store = self._brokers if ad.is_broker() else self._agents
+        store[ad.agent_name] = ad
+        if not ad.is_broker():
+            self._index(ad)
+        self.stats.advertisements_accepted += 1
+
+    def unadvertise(self, agent_name: str) -> bool:
+        """Remove an agent's advertisement; True when one was present."""
+        for store in (self._agents, self._brokers):
+            if agent_name in store:
+                if store is self._agents:
+                    self._unindex(store[agent_name])
+                del store[agent_name]
+                self.stats.advertisements_removed += 1
+                return True
+        return False
+
+    def _index_key(self, ad: Advertisement) -> str:
+        return ad.description.content.ontology_name or ""
+
+    def _index(self, ad: Advertisement) -> None:
+        self._ontology_index.setdefault(self._index_key(ad), set()).add(ad.agent_name)
+
+    def _unindex(self, ad: Advertisement) -> None:
+        bucket = self._ontology_index.get(self._index_key(ad))
+        if bucket is not None:
+            bucket.discard(ad.agent_name)
+
+    def knows(self, agent_name: str) -> bool:
+        return agent_name in self._agents or agent_name in self._brokers
+
+    def get(self, agent_name: str) -> Advertisement:
+        for store in (self._agents, self._brokers):
+            if agent_name in store:
+                return store[agent_name]
+        raise BrokeringError(f"no advertisement for agent {agent_name!r}")
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def agent_names(self) -> List[str]:
+        return sorted(self._agents)
+
+    def broker_names(self) -> List[str]:
+        return sorted(self._brokers)
+
+    def agent_ads(self) -> List[Advertisement]:
+        return list(self._agents.values())
+
+    def broker_ads(self) -> List[Advertisement]:
+        return list(self._brokers.values())
+
+    @property
+    def agent_count(self) -> int:
+        return len(self._agents)
+
+    def size_mb(self) -> float:
+        """Total stored advertisement volume (agents + brokers)."""
+        return sum(ad.size_mb for ad in self._agents.values()) + sum(
+            ad.size_mb for ad in self._brokers.values()
+        )
+
+    # ------------------------------------------------------------------
+    # matchmaking
+    # ------------------------------------------------------------------
+    def query(self, query: BrokerQuery) -> List[Match]:
+        """Match *query* against the stored (non-broker) advertisements."""
+        self.stats.queries_answered += 1
+        candidates = self._candidates(query)
+        self.stats.advertisements_reasoned_over += len(candidates)
+        if self.engine == "datalog":
+            return self._datalog_query(query, candidates)
+        return match_advertisements(query, candidates, self.context)
+
+    def _candidates(self, query: BrokerQuery) -> List[Advertisement]:
+        """The advertisements worth reasoning over for *query*."""
+        if not self.index_by_ontology or query.ontology_name is None:
+            return list(self._agents.values())
+        names = (
+            self._ontology_index.get(query.ontology_name, set())
+            | self._ontology_index.get("", set())  # content-unrestricted ads
+        )
+        return [self._agents[name] for name in names]
+
+    def _datalog_query(
+        self, query: BrokerQuery, candidates: List[Advertisement]
+    ) -> List[Match]:
+        """LDL-style matchmaking: names from the Datalog engine, ranking
+        from the shared scoring function."""
+        from repro.core.datalog_matcher import DatalogMatcher
+
+        names = DatalogMatcher(self.context).match_names(query, candidates)
+        ranked = match_advertisements(
+            query, [ad for ad in candidates if ad.agent_name in names], self.context
+        )
+        return ranked
+
+    def query_brokers(self, query: BrokerQuery) -> List[Match]:
+        """Match *query* against stored *broker* advertisements (used to
+        prune the inter-broker search)."""
+        self.stats.advertisements_reasoned_over += len(self._brokers)
+        return match_advertisements(query, self._brokers.values(), self.context)

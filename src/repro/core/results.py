@@ -1,0 +1,79 @@
+"""Result-format projection (the Section 2.4 query's last clause).
+
+The paper's broker query ends with::
+
+    Result format:
+        ?agent-address, ?agent-name, ?class-keys
+        ?available-classes, ?available-class-slots
+        ?response-time
+
+i.e. the requester names the service-ontology fields it wants back.
+:func:`project_matches` implements that projection over a match list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.errors import BrokeringError
+from repro.core.matcher import Match
+
+#: field name -> extractor over a Match.
+_FIELDS = {
+    "agent-name": lambda m: m.advertisement.description.location.name,
+    "agent-address": lambda m: m.advertisement.description.location.address,
+    "agent-type": lambda m: m.advertisement.description.location.agent_type,
+    "transport": lambda m: m.advertisement.description.location.transport,
+    "content-languages": lambda m: list(
+        m.advertisement.description.syntax.content_languages
+    ),
+    "communication-languages": lambda m: list(
+        m.advertisement.description.syntax.communication_languages
+    ),
+    "conversations": lambda m: list(
+        m.advertisement.description.capabilities.conversations
+    ),
+    "capabilities": lambda m: list(
+        m.advertisement.description.capabilities.functions
+    ),
+    "ontology-name": lambda m: m.advertisement.description.content.ontology_name,
+    "available-classes": lambda m: list(m.advertisement.description.content.classes),
+    "available-class-slots": lambda m: list(m.advertisement.description.content.slots),
+    "class-keys": lambda m: list(m.advertisement.description.content.keys),
+    "constraints": lambda m: repr(m.advertisement.description.content.constraints),
+    "mobile": lambda m: m.advertisement.description.properties.mobile,
+    "response-time": lambda m: (
+        m.advertisement.description.properties.estimated_response_time
+    ),
+    "score": lambda m: m.score,
+    "matched-slots": lambda m: list(m.matched_slots),
+}
+
+
+def result_format_fields() -> List[str]:
+    """The field names a result-format clause may request."""
+    return sorted(_FIELDS)
+
+
+def project_matches(
+    matches: Iterable[Match], fields: Sequence[str]
+) -> List[Dict[str, object]]:
+    """Project *matches* onto the requested *fields*.
+
+    >>> from repro.core import Advertisement, BrokerQuery, match_advertisements
+    >>> from repro.ontology.service import example_resource_agent5
+    >>> ms = match_advertisements(BrokerQuery(), [Advertisement(example_resource_agent5())])
+    >>> project_matches(ms, ["agent-name", "response-time"])
+    [{'agent-name': 'ResourceAgent5', 'response-time': 5.0}]
+    """
+    if not fields:
+        raise BrokeringError("result format needs at least one field")
+    unknown = [f for f in fields if f not in _FIELDS]
+    if unknown:
+        raise BrokeringError(
+            f"unknown result-format fields {unknown}; "
+            f"available: {result_format_fields()}"
+        )
+    return [
+        {field: _FIELDS[field](match) for field in fields} for match in matches
+    ]

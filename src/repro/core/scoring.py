@@ -1,0 +1,63 @@
+"""Semantic-specificity scoring of matches.
+
+The paper's motivating example (Section 2.2): a generic multiresource
+query agent matches a query over class C2, but when "MRQ2 agent ...
+specializes in queries over the class C2" comes online, *it* is
+recommended "because it has a better semantic match to the request".
+
+The score rewards, in decreasing weight:
+
+1. advertised classes that *exactly* name the requested classes;
+2. advertised constraints that fully subsume the query constraints
+   (the agent can answer the whole request, not just part of it);
+3. exact capability names over hierarchy-implied ones;
+4. constraint specificity — among agents that can serve the request, a
+   more narrowly scoped agent is the better specialist;
+5. a small bonus for faster advertised response times (tiebreak).
+
+Scores are comparable only between matches for the same query.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.advertisement import Advertisement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.matcher import MatchContext
+    from repro.core.query import BrokerQuery
+
+_EXACT_CLASS_WEIGHT = 4.0
+_SUBSUMES_WEIGHT = 3.0
+_EXACT_CAPABILITY_WEIGHT = 1.0
+_SPECIFICITY_WEIGHT = 0.5
+_RESPONSE_TIME_WEIGHT = 0.1
+
+
+def score_match(query: "BrokerQuery", ad: Advertisement, context: "MatchContext") -> float:
+    """Score a known-matching advertisement against its query."""
+    desc = ad.description
+    score = 0.0
+
+    advertised_classes = set(desc.content.classes)
+    for requested in query.classes:
+        if requested in advertised_classes:
+            score += _EXACT_CLASS_WEIGHT
+
+    if not query.constraints.is_unconstrained():
+        if desc.content.constraints.subsumes(query.constraints):
+            score += _SUBSUMES_WEIGHT
+
+    advertised_functions = set(desc.capabilities.functions)
+    for requested in query.capabilities:
+        if requested in advertised_functions:
+            score += _EXACT_CAPABILITY_WEIGHT
+
+    score += _SPECIFICITY_WEIGHT * desc.content.constraints.restriction_count()
+
+    advertised_time = desc.properties.estimated_response_time
+    if advertised_time is not None:
+        score += _RESPONSE_TIME_WEIGHT / (1.0 + advertised_time)
+
+    return score

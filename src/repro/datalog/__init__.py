@@ -1,0 +1,46 @@
+"""A small Datalog engine standing in for MCC's LDL.
+
+The original InfoSleuth broker used LDL (the Logical Data Language,
+Zaniolo 1991) as its rule-based reasoning engine.  LDL is proprietary and
+long gone, so this package provides the closest open equivalent the broker
+needs: a Datalog engine with
+
+* semi-naive bottom-up evaluation,
+* stratified negation, and
+* comparison builtins (``<``, ``<=``, ``>``, ``>=``, ``=``, ``!=``).
+
+The broker compiles agent advertisements into facts and a broker query
+into rules over those facts (see :mod:`repro.core.datalog_matcher`).
+
+Example
+-------
+>>> from repro.datalog import Engine, Rule, Var
+>>> e = Engine()
+>>> e.fact("parent", "ann", "bob")
+>>> e.fact("parent", "bob", "cy")
+>>> X, Y, Z = Var("X"), Var("Y"), Var("Z")
+>>> e.rule(("anc", X, Y), [("parent", X, Y)])
+>>> e.rule(("anc", X, Z), [("parent", X, Y), ("anc", Y, Z)])
+>>> sorted(e.query("anc", "ann", Var("W")))
+[('ann', 'bob'), ('ann', 'cy')]
+"""
+
+from repro.datalog.terms import Var, is_var, term_vars
+from repro.datalog.program import Fact, Literal, Program, Rule
+from repro.datalog.builtins import BUILTINS, is_builtin
+from repro.datalog.engine import DatalogError, Engine, StratificationError
+
+__all__ = [
+    "BUILTINS",
+    "DatalogError",
+    "Engine",
+    "Fact",
+    "Literal",
+    "Program",
+    "Rule",
+    "StratificationError",
+    "Var",
+    "is_builtin",
+    "is_var",
+    "term_vars",
+]

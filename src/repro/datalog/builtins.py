@@ -1,0 +1,103 @@
+"""Builtin (evaluated) predicates for the Datalog engine.
+
+Builtins are relations computed by Python rather than stored as facts.
+All arguments of a builtin literal must be bound by the time the literal
+is evaluated; the engine's safety check enforces this by requiring every
+variable in a builtin literal to occur in an earlier positive body
+literal.
+
+The set mirrors what the InfoSleuth broker's LDL rules needed: the six
+comparison operators plus an interval-overlap test used for constraint
+reasoning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+def _lt(a, b) -> bool:
+    return a < b
+
+
+def _le(a, b) -> bool:
+    return a <= b
+
+
+def _gt(a, b) -> bool:
+    return a > b
+
+
+def _ge(a, b) -> bool:
+    return a >= b
+
+
+def _eq(a, b) -> bool:
+    return a == b
+
+
+def _neq(a, b) -> bool:
+    return a != b
+
+
+def _between(x, lo, hi) -> bool:
+    return lo <= x <= hi
+
+
+def _overlaps(lo1, hi1, lo2, hi2) -> bool:
+    """True when the closed intervals [lo1, hi1] and [lo2, hi2] intersect."""
+    return lo1 <= hi2 and lo2 <= hi1
+
+
+def _iv_overlaps(lo1, hi1, lo1_open, hi1_open, lo2, hi2, lo2_open, hi2_open) -> bool:
+    """Exact overlap of two intervals with open/closed endpoint flags.
+
+    This is the workhorse of the Datalog-compiled broker matcher: ad and
+    query constraint intervals become facts/constants and this builtin
+    decides their intersection.
+    """
+    if lo1 > hi2 or lo2 > hi1:
+        return False
+    if lo1 == hi2 and (lo1_open or hi2_open):
+        return False
+    if lo2 == hi1 and (lo2_open or hi1_open):
+        return False
+    return True
+
+
+#: Mapping of builtin predicate name -> (arity, evaluator).
+BUILTINS: Dict[str, tuple[int, Callable[..., bool]]] = {
+    "lt": (2, _lt),
+    "le": (2, _le),
+    "gt": (2, _gt),
+    "ge": (2, _ge),
+    "eq": (2, _eq),
+    "neq": (2, _neq),
+    "between": (3, _between),
+    "overlaps": (4, _overlaps),
+    "iv_overlaps": (8, _iv_overlaps),
+}
+
+
+def is_builtin(predicate: str) -> bool:
+    """Return True if *predicate* names a builtin relation."""
+    return predicate in BUILTINS
+
+
+def evaluate(predicate: str, args: tuple) -> bool:
+    """Evaluate builtin *predicate* on ground *args*.
+
+    Raises ``KeyError`` for unknown builtins and ``TypeError`` when the
+    arity is wrong or the constants are not comparable.
+    """
+    arity, func = BUILTINS[predicate]
+    if len(args) != arity:
+        raise TypeError(
+            f"builtin {predicate!r} expects {arity} arguments, got {len(args)}"
+        )
+    try:
+        return bool(func(*args))
+    except TypeError:
+        # Incomparable constants (string vs number) simply fail the test;
+        # an open agent system routinely mixes vocabularies.
+        return False

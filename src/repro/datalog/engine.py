@@ -1,0 +1,252 @@
+"""Bottom-up Datalog evaluation with stratified negation.
+
+The engine computes the full model of the program lazily (on the first
+query after a change) using semi-naive iteration within each stratum.
+Strata are computed from the predicate dependency graph; a negative
+dependency inside a cycle is rejected with :class:`StratificationError`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog import builtins
+from repro.datalog.program import Fact, Literal, Program, ProgramError, Rule, as_literal
+from repro.datalog.terms import Var, substitute
+from repro.datalog.unify import match
+
+
+class DatalogError(Exception):
+    """Base error for evaluation problems."""
+
+
+class StratificationError(DatalogError):
+    """Raised when negation occurs inside a recursive cycle."""
+
+
+class Engine:
+    """A Datalog knowledge base: assert facts and rules, then query.
+
+    The public surface accepts plain tuples for literals, so callers do
+    not need to import :class:`Literal`:
+
+    >>> e = Engine()
+    >>> e.fact("edge", 1, 2)
+    >>> e.rule(("path", Var("X"), Var("Y")), [("edge", Var("X"), Var("Y"))])
+    >>> e.query("path", 1, Var("Y"))
+    [(1, 2)]
+    """
+
+    def __init__(self):
+        self._program = Program()
+        self._model: Optional[Dict[str, Set[Tuple]]] = None
+
+    # ------------------------------------------------------------------
+    # assertion API
+    # ------------------------------------------------------------------
+    def fact(self, predicate: str, *args) -> None:
+        """Assert the ground fact ``predicate(*args)``."""
+        self._program.add_fact(Fact(predicate, tuple(args)))
+        self._model = None
+
+    def rule(self, head, body: Sequence = (), negative: Sequence = ()) -> None:
+        """Assert a rule.
+
+        *head* and each element of *body* are ``(predicate, arg, ...)``
+        tuples (or Literal objects); *negative* lists body literals that
+        are negated.
+        """
+        head_lit = as_literal(head)
+        body_lits = [as_literal(b) for b in body]
+        body_lits += [as_literal(n, negated=True) for n in negative]
+        self._program.add_rule(Rule(head_lit, tuple(body_lits)))
+        self._model = None
+
+    def retract_predicate(self, predicate: str) -> None:
+        """Remove all facts stored under *predicate* (rules are kept)."""
+        self._program.facts.pop(predicate, None)
+        self._model = None
+
+    # ------------------------------------------------------------------
+    # query API
+    # ------------------------------------------------------------------
+    def query(self, predicate: str, *pattern) -> List[Tuple]:
+        """Return the sorted list of fact tuples matching *pattern*.
+
+        Pattern positions holding a :class:`Var` match anything (with
+        repeated variables constrained to be equal); constants must match
+        exactly.  The returned tuples are full fact argument tuples.
+        """
+        model = self._materialize()
+        results = []
+        for args in model.get(predicate, ()):
+            if len(pattern) != len(args):
+                continue
+            if match(tuple(pattern), args) is not None:
+                results.append(args)
+        return sorted(results, key=_sort_key)
+
+    def ask(self, predicate: str, *args) -> bool:
+        """Return True if the ground fact ``predicate(*args)`` is derivable."""
+        model = self._materialize()
+        return tuple(args) in model.get(predicate, set())
+
+    def bindings(self, predicate: str, *pattern) -> List[Dict[Var, object]]:
+        """Like :meth:`query` but returns variable-binding dictionaries."""
+        model = self._materialize()
+        out = []
+        for args in model.get(predicate, ()):
+            env = match(tuple(pattern), args)
+            if env is not None:
+                out.append(env)
+        return out
+
+    def model(self) -> Dict[str, Set[Tuple]]:
+        """Return the full materialized model (predicate -> fact tuples)."""
+        return {pred: set(tuples) for pred, tuples in self._materialize().items()}
+
+    def fact_count(self) -> int:
+        """Number of facts in the materialized model (reasoning workload)."""
+        return sum(len(v) for v in self._materialize().values())
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _materialize(self) -> Dict[str, Set[Tuple]]:
+        if self._model is None:
+            self._model = _evaluate(self._program)
+        return self._model
+
+
+def _sort_key(args: Tuple):
+    return tuple((repr(type(a)), repr(a)) for a in args)
+
+
+def stratify(program: Program) -> List[Set[str]]:
+    """Partition the program's predicates into evaluation strata.
+
+    Returns a list of predicate sets; stratum *i* may depend positively
+    on strata <= i and negatively only on strata < i.
+    """
+    pos_deps: Dict[str, Set[str]] = defaultdict(set)
+    neg_deps: Dict[str, Set[str]] = defaultdict(set)
+    preds = program.predicates()
+    for rule in program.rules:
+        head = rule.head.predicate
+        for lit in rule.body:
+            if lit.is_builtin:
+                continue
+            if lit.negated:
+                neg_deps[head].add(lit.predicate)
+            else:
+                pos_deps[head].add(lit.predicate)
+
+    stratum: Dict[str, int] = {p: 0 for p in preds}
+    changed = True
+    iterations = 0
+    limit = max(1, len(preds)) ** 2 + len(preds) + 1
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > limit:
+            raise StratificationError("negation occurs through recursion")
+        for head in preds:
+            for dep in pos_deps.get(head, ()):
+                if stratum.get(dep, 0) > stratum[head]:
+                    stratum[head] = stratum[dep]
+                    changed = True
+            for dep in neg_deps.get(head, ()):
+                if stratum.get(dep, 0) + 1 > stratum[head]:
+                    stratum[head] = stratum[dep] + 1
+                    changed = True
+
+    height = max(stratum.values(), default=0)
+    layers: List[Set[str]] = [set() for _ in range(height + 1)]
+    for pred, level in stratum.items():
+        layers[level].add(pred)
+    return [layer for layer in layers if layer]
+
+
+def _evaluate(program: Program) -> Dict[str, Set[Tuple]]:
+    model: Dict[str, Set[Tuple]] = defaultdict(set)
+    for pred, tuples in program.facts.items():
+        model[pred] |= tuples
+
+    for layer in stratify(program):
+        rules = [r for r in program.rules if r.head.predicate in layer]
+        _seminaive(rules, model)
+    return dict(model)
+
+
+def _seminaive(rules: List[Rule], model: Dict[str, Set[Tuple]]) -> None:
+    """Semi-naive fixpoint of *rules* over (and into) *model*."""
+    if not rules:
+        return
+    delta: Dict[str, Set[Tuple]] = defaultdict(set)
+    # Initial round: plain naive pass so rules with empty bodies and rules
+    # over pre-existing facts fire at least once.
+    for rule in rules:
+        for derived in _apply_rule(rule, model, None, None):
+            if derived not in model[rule.head.predicate]:
+                model[rule.head.predicate].add(derived)
+                delta[rule.head.predicate].add(derived)
+
+    while delta:
+        new_delta: Dict[str, Set[Tuple]] = defaultdict(set)
+        for rule in rules:
+            for idx, lit in enumerate(rule.body):
+                if lit.negated or lit.is_builtin:
+                    continue
+                if lit.predicate not in delta:
+                    continue
+                for derived in _apply_rule(rule, model, idx, delta[lit.predicate]):
+                    if derived not in model[rule.head.predicate]:
+                        model[rule.head.predicate].add(derived)
+                        new_delta[rule.head.predicate].add(derived)
+        delta = new_delta
+
+
+def _apply_rule(
+    rule: Rule,
+    model: Dict[str, Set[Tuple]],
+    delta_index: Optional[int],
+    delta_tuples: Optional[Set[Tuple]],
+) -> Iterable[Tuple]:
+    """Yield head tuples derived by *rule*.
+
+    When *delta_index* is given, the body literal at that index iterates
+    only over *delta_tuples* (the semi-naive restriction).
+    """
+    envs: List[Dict[Var, object]] = [{}]
+    for idx, lit in enumerate(rule.body):
+        if lit.is_builtin:
+            envs = [
+                env
+                for env in envs
+                if builtins.evaluate(lit.predicate, substitute(lit.args, env))
+            ]
+        elif lit.negated:
+            envs = [
+                env
+                for env in envs
+                if substitute(lit.args, env) not in model.get(lit.predicate, set())
+            ]
+        else:
+            source = (
+                delta_tuples
+                if idx == delta_index and delta_tuples is not None
+                else model.get(lit.predicate, set())
+            )
+            next_envs = []
+            for env in envs:
+                pattern = tuple(env.get(t, t) if isinstance(t, Var) else t for t in lit.args)
+                for args in source:
+                    extended = match(pattern, args, env)
+                    if extended is not None:
+                        next_envs.append(extended)
+            envs = next_envs
+        if not envs:
+            return
+    for env in envs:
+        yield substitute(rule.head.args, env)

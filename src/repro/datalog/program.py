@@ -1,0 +1,170 @@
+"""Datalog program representation: literals, facts, rules, programs.
+
+A program is a set of ground facts plus a set of rules.  Rules must be
+*safe*:
+
+* every variable in the head occurs in a positive, non-builtin body
+  literal;
+* every variable in a negated literal occurs in a positive, non-builtin
+  body literal;
+* every variable in a builtin literal occurs in a positive, non-builtin
+  body literal.
+
+Safety is checked at rule-construction time so errors surface where the
+rule is written, not deep inside evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.datalog.builtins import BUILTINS, is_builtin
+from repro.datalog.terms import Var, term_vars
+
+
+class ProgramError(ValueError):
+    """Raised for malformed facts or unsafe rules."""
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A predicate applied to terms, possibly negated.
+
+    ``Literal("parent", ("ann", Var("X")))`` is ``parent(ann, X)``;
+    passing ``negated=True`` gives ``not parent(ann, X)``.
+    """
+
+    predicate: str
+    args: Tuple
+    negated: bool = False
+
+    def __post_init__(self):
+        if not self.predicate:
+            raise ProgramError("literal predicate must be non-empty")
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+        if self.negated and is_builtin(self.predicate):
+            raise ProgramError(
+                f"builtin {self.predicate!r} may not be negated; "
+                "use the complementary builtin instead"
+            )
+        if is_builtin(self.predicate):
+            arity = BUILTINS[self.predicate][0]
+            if len(self.args) != arity:
+                raise ProgramError(
+                    f"builtin {self.predicate!r} expects {arity} args, "
+                    f"got {len(self.args)}"
+                )
+
+    @property
+    def is_builtin(self) -> bool:
+        return is_builtin(self.predicate)
+
+    def variables(self) -> Set[Var]:
+        return set(term_vars(self.args))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        text = f"{self.predicate}({inner})"
+        return f"not {text}" if self.negated else text
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground assertion ``predicate(args...)``."""
+
+    predicate: str
+    args: Tuple
+
+    def __post_init__(self):
+        if not self.predicate:
+            raise ProgramError("fact predicate must be non-empty")
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+        if any(isinstance(a, Var) for a in self.args):
+            raise ProgramError(f"fact {self.predicate}{self.args} is not ground")
+        if is_builtin(self.predicate):
+            raise ProgramError(
+                f"cannot assert facts for builtin predicate {self.predicate!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn rule ``head :- body`` with optional negated body literals."""
+
+    head: Literal
+    body: Tuple[Literal, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        if self.head.negated:
+            raise ProgramError("rule head may not be negated")
+        if self.head.is_builtin:
+            raise ProgramError("rule head may not be a builtin predicate")
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        bound: Set[Var] = set()
+        for lit in self.body:
+            if not lit.negated and not lit.is_builtin:
+                bound |= lit.variables()
+        for var in self.head.variables():
+            if var not in bound:
+                raise ProgramError(f"unsafe rule: head variable {var} unbound in {self}")
+        for lit in self.body:
+            if lit.negated or lit.is_builtin:
+                for var in lit.variables():
+                    if var not in bound:
+                        raise ProgramError(
+                            f"unsafe rule: variable {var} in {lit} has no "
+                            f"positive binding in {self}"
+                        )
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(map(repr, self.body))}."
+
+
+def as_literal(spec, negated: bool = False) -> Literal:
+    """Coerce ``(pred, arg, ...)`` tuples or Literals into a Literal."""
+    if isinstance(spec, Literal):
+        return spec
+    if isinstance(spec, tuple) and spec and isinstance(spec[0], str):
+        return Literal(spec[0], tuple(spec[1:]), negated=negated)
+    raise ProgramError(f"cannot interpret {spec!r} as a literal")
+
+
+@dataclass
+class Program:
+    """A collection of facts and rules, indexed by predicate."""
+
+    facts: Dict[str, Set[Tuple]] = field(default_factory=dict)
+    rules: List[Rule] = field(default_factory=list)
+
+    def add_fact(self, fact: Fact) -> None:
+        self.facts.setdefault(fact.predicate, set()).add(fact.args)
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def predicates(self) -> Set[str]:
+        preds = set(self.facts)
+        for rule in self.rules:
+            preds.add(rule.head.predicate)
+            for lit in rule.body:
+                if not lit.is_builtin:
+                    preds.add(lit.predicate)
+        return preds
+
+    def rules_for(self, predicate: str) -> List[Rule]:
+        return [r for r in self.rules if r.head.predicate == predicate]
+
+    def extend(self, facts: Iterable[Fact] = (), rules: Iterable[Rule] = ()) -> None:
+        for fact in facts:
+            self.add_fact(fact)
+        for rule in rules:
+            self.add_rule(rule)

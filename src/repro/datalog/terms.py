@@ -1,0 +1,59 @@
+"""Terms for the Datalog engine.
+
+A term is either a :class:`Var` or a ground Python constant.  Constants
+may be any hashable value (strings, numbers, booleans, ``None``, tuples of
+constants); the engine never inspects their structure, it only compares
+them for equality and (in builtins) with the ordering operators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+
+class Var:
+    """A logic variable, identified by name.
+
+    Two ``Var`` objects with the same name are the same variable::
+
+        >>> Var("X") == Var("X")
+        True
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+
+def is_var(term: Any) -> bool:
+    """Return True if *term* is a logic variable."""
+    return isinstance(term, Var)
+
+
+def term_vars(terms: Iterable[Any]) -> Iterator[Var]:
+    """Yield the variables appearing in *terms*, in order, with duplicates."""
+    for term in terms:
+        if isinstance(term, Var):
+            yield term
+
+
+def substitute(terms: tuple, bindings: dict) -> tuple:
+    """Apply *bindings* (Var -> constant) to a tuple of terms."""
+    return tuple(bindings.get(t, t) if isinstance(t, Var) else t for t in terms)
+
+
+def is_ground(terms: Iterable[Any]) -> bool:
+    """Return True if no term in *terms* is a variable."""
+    return not any(isinstance(t, Var) for t in terms)

@@ -1,0 +1,50 @@
+"""Pattern matching of literal argument tuples against ground facts.
+
+Datalog facts are always ground, so full unification degenerates to
+one-way matching: variables in the pattern bind to constants in the fact,
+constants must match exactly, and repeated variables must bind
+consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datalog.terms import Var
+
+
+def match(pattern: tuple, ground: tuple, bindings: Optional[dict] = None) -> Optional[dict]:
+    """Match *pattern* (may contain Vars) against *ground* (constants only).
+
+    Returns an extended copy of *bindings* on success, or ``None`` on
+    failure.  The input *bindings* dict is never mutated.
+
+    >>> from repro.datalog.terms import Var
+    >>> match((Var("X"), "b"), ("a", "b"))
+    {?X: 'a'}
+    >>> match((Var("X"), Var("X")), ("a", "b")) is None
+    True
+    """
+    if len(pattern) != len(ground):
+        return None
+    result = dict(bindings) if bindings else {}
+    for pat, val in zip(pattern, ground):
+        if isinstance(pat, Var):
+            bound = result.get(pat, _UNBOUND)
+            if bound is _UNBOUND:
+                result[pat] = val
+            elif bound != val:
+                return None
+        elif pat != val:
+            return None
+    return result
+
+
+class _Unbound:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unbound>"
+
+
+_UNBOUND = _Unbound()

@@ -1,0 +1,58 @@
+"""Experiment harness: everything needed to regenerate the paper's
+Tables 1-6 and Figures 14-17.
+
+* :mod:`repro.experiments.streams` — the Table 1 query streams and the
+  Table 2 experiment configurations, built as live communities;
+* :mod:`repro.experiments.live` — the InfoSleuth-system experiments
+  (Tables 3 and 4: multibroker ratios, specialization ratios);
+* :mod:`repro.experiments.figures` — the simulation experiments
+  (Figures 14-17);
+* :mod:`repro.experiments.robustness` — the failure experiments
+  (Tables 5 and 6);
+* :mod:`repro.experiments.report` — plain-text rendering of the rows
+  and series, in the paper's shapes.
+"""
+
+from repro.experiments.streams import (
+    EXPERIMENT_STREAMS,
+    STREAMS,
+    QueryStream,
+    build_experiment_community,
+    resources_required,
+)
+from repro.experiments.live import (
+    LiveRunResult,
+    run_live_experiment,
+    table2_configurations,
+    table3_ratios,
+    table4_ratios,
+)
+from repro.experiments.figures import (
+    figure14_series,
+    figure15_series,
+    figure16_series,
+    figure17_series,
+)
+from repro.experiments.robustness import table5_grid, table6_grid
+from repro.experiments.report import format_series, format_table
+
+__all__ = [
+    "EXPERIMENT_STREAMS",
+    "LiveRunResult",
+    "QueryStream",
+    "STREAMS",
+    "build_experiment_community",
+    "figure14_series",
+    "figure15_series",
+    "figure16_series",
+    "figure17_series",
+    "format_series",
+    "format_table",
+    "resources_required",
+    "run_live_experiment",
+    "table2_configurations",
+    "table3_ratios",
+    "table4_ratios",
+    "table5_grid",
+    "table6_grid",
+]

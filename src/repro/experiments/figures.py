@@ -1,0 +1,142 @@
+"""The simulation figures: 14 (single vs replicated vs specialized),
+15/16 (replicated vs specialized close-ups), 17 (scalability).
+
+Each function returns ``{series_name: [(x, y), ...]}`` where x is the
+figure's x-axis value and y the average broker response time in virtual
+seconds, averaged over ``runs`` replicates.  Population sizes and cost
+parameters follow DESIGN.md's substitution table; pass ``duration`` /
+``runs`` overrides for quicker sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.config import BrokerStrategy, SimConfig
+from repro.sim.simulator import run_replicates
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+#: Mean time between queries on the x-axis of Figures 14-16.
+FIGURE14_QUERY_INTERVALS = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+#: Figure 15/16 are the close-up "QF >= 10" region.
+FIGURE15_QUERY_INTERVALS = (10.0, 15.0, 20.0, 25.0, 30.0)
+#: Figure 17 population sweep and query intervals.
+FIGURE17_RESOURCES = (25, 50, 75, 100, 125, 150, 175, 200, 225)
+FIGURE17_QUERY_INTERVALS = (40.0, 50.0, 60.0, 70.0, 80.0, 90.0)
+FIGURE17_RESOURCES_PER_BROKER = 10
+
+DEFAULT_DURATION = 43_200.0  # the paper's 12 simulated hours
+DEFAULT_RUNS = 10
+
+
+def _base_config(duration: float) -> SimConfig:
+    return SimConfig(
+        n_brokers=10,
+        n_resources=100,
+        advertisement_size_mb=0.1,
+        duration=duration,
+        warmup=min(600.0, duration / 4),
+    )
+
+
+def _mean_response(config: SimConfig, runs: int) -> float:
+    reports = run_replicates(config, runs=runs)
+    values = [r.average_broker_response for r in reports]
+    finite = [v for v in values if v == v]  # drop NaN (no completed queries)
+    return sum(finite) / len(finite) if finite else float("nan")
+
+
+def _strategy_series(
+    strategies: Sequence[BrokerStrategy],
+    intervals: Sequence[float],
+    base: SimConfig,
+    runs: int,
+) -> Series:
+    series: Series = {s.value: [] for s in strategies}
+    for strategy in strategies:
+        for interval in intervals:
+            config = replace(base, strategy=strategy, mean_query_interval=interval)
+            series[strategy.value].append((interval, _mean_response(config, runs)))
+    return series
+
+
+def figure14_series(
+    duration: float = DEFAULT_DURATION,
+    runs: int = DEFAULT_RUNS,
+    intervals: Sequence[float] = FIGURE14_QUERY_INTERVALS,
+) -> Series:
+    """Figure 14: all three strategies, 100 resources / 10 brokers.
+
+    Expected shape: the single broker saturates at high query frequency
+    (its response time explodes); both multibroker strategies stay low.
+    """
+    return _strategy_series(
+        [BrokerStrategy.SINGLE, BrokerStrategy.REPLICATED, BrokerStrategy.SPECIALIZED],
+        intervals,
+        _base_config(duration),
+        runs,
+    )
+
+
+def figure15_series(
+    duration: float = DEFAULT_DURATION,
+    runs: int = DEFAULT_RUNS,
+    intervals: Sequence[float] = FIGURE15_QUERY_INTERVALS,
+) -> Series:
+    """Figure 15 close-up: replicated vs specialized, 10 brokers.
+
+    Expected shape: specialized beats replicated for QF >= 10 (the gains
+    of parallel reasoning outweigh the communication overhead)."""
+    return _strategy_series(
+        [BrokerStrategy.REPLICATED, BrokerStrategy.SPECIALIZED],
+        intervals,
+        _base_config(duration),
+        runs,
+    )
+
+
+def figure16_series(
+    duration: float = DEFAULT_DURATION,
+    runs: int = DEFAULT_RUNS,
+    intervals: Sequence[float] = FIGURE15_QUERY_INTERVALS,
+) -> Series:
+    """Figure 16: the same comparison with only 5 brokers — "even with a
+    higher resource-to-broker ratio, specialization helps"."""
+    base = replace(_base_config(duration), n_brokers=5)
+    return _strategy_series(
+        [BrokerStrategy.REPLICATED, BrokerStrategy.SPECIALIZED],
+        intervals,
+        base,
+        runs,
+    )
+
+
+def figure17_series(
+    duration: float = DEFAULT_DURATION,
+    runs: int = DEFAULT_RUNS,
+    resources: Sequence[int] = FIGURE17_RESOURCES,
+    intervals: Sequence[float] = FIGURE17_QUERY_INTERVALS,
+) -> Series:
+    """Figure 17: scalability of specialized brokering.
+
+    Brokers scale with resources (constant advertisements per broker);
+    response times should level off rather than blow up as the
+    population grows."""
+    series: Series = {f"QF={int(qf)}": [] for qf in intervals}
+    for interval in intervals:
+        for n_resources in resources:
+            config = SimConfig(
+                n_brokers=max(2, n_resources // FIGURE17_RESOURCES_PER_BROKER),
+                n_resources=n_resources,
+                strategy=BrokerStrategy.SPECIALIZED,
+                advertisement_size_mb=1.0,  # the scalability experiments' 1 MB
+                mean_query_interval=interval,
+                duration=duration,
+                warmup=min(600.0, duration / 4),
+            )
+            series[f"QF={int(interval)}"].append(
+                (n_resources, _mean_response(config, runs))
+            )
+    return series

@@ -1,0 +1,175 @@
+"""The live InfoSleuth-system experiments: Tables 2, 3 and 4.
+
+Each run drives an :func:`~repro.experiments.streams.build_experiment_community`
+with a fixed-interval query load (every stream's user agent submits the
+stream's query repeatedly), and reports mean response time per stream.
+
+* **Table 3** — multibroker/single-broker response-time ratio for
+  experiments 1-5.  Underloaded communities (experiments 1-3) pay a
+  small forwarding premium (ratio slightly above 1); loaded communities
+  (experiments 4-5) win big from spreading the brokering work (ratio
+  well below 1).
+* **Table 4** — Experiment 6: specialized-multibroker /
+  unspecialized-multibroker ratio on the Experiment 5 workload, all
+  ratios below 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.agents.costs import CostModel
+from repro.experiments.streams import (
+    EXPERIMENT_STREAMS,
+    STREAMS,
+    build_experiment_community,
+    resources_required,
+)
+
+#: Interval between successive queries of one stream (seconds).  The
+#: original paper drove the system hard enough that experiments 4-5
+#: saturated the single broker; with the DESIGN.md cost substitutions
+#: this interval reproduces that regime.
+DEFAULT_QUERY_INTERVAL = 12.0
+DEFAULT_QUERIES_PER_STREAM = 10
+#: The paper ran every experiment 3 times and averaged.
+DEFAULT_REPETITIONS = 3
+
+
+@dataclass
+class LiveRunResult:
+    """Mean response time per stream for one community configuration."""
+
+    experiment: int
+    n_brokers: int
+    specialized: bool
+    mean_response: Dict[str, float]
+    failures: Dict[str, int] = field(default_factory=dict)
+
+
+def run_live_experiment(
+    experiment: int,
+    n_brokers: int = 1,
+    specialized: bool = False,
+    query_interval: float = DEFAULT_QUERY_INTERVAL,
+    queries_per_stream: int = DEFAULT_QUERIES_PER_STREAM,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    prune_peers_by_specialty: bool = True,
+) -> LiveRunResult:
+    """Run one Table 2 configuration and measure per-stream response."""
+    community = build_experiment_community(
+        experiment,
+        n_brokers=n_brokers,
+        specialized=specialized,
+        seed=seed,
+        cost_model=cost_model,
+        prune_peers_by_specialty=prune_peers_by_specialty,
+    )
+    bus = community.bus
+    start = bus.now
+    streams = community.streams
+    offsets = {name: i * query_interval / len(streams) for i, name in enumerate(streams)}
+    for name in streams:
+        user = community.users[name]
+        sql = STREAMS[name].sql
+        for k in range(queries_per_stream):
+            user.submit(sql, at=start + offsets[name] + k * query_interval)
+    bus.run()
+
+    mean_response: Dict[str, float] = {}
+    failures: Dict[str, int] = {}
+    for name in streams:
+        user = community.users[name]
+        times = user.response_times()
+        mean_response[name] = sum(times) / len(times) if times else float("nan")
+        failures[name] = len([c for c in user.completed if not c.succeeded])
+    return LiveRunResult(
+        experiment=experiment,
+        n_brokers=n_brokers,
+        specialized=specialized,
+        mean_response=mean_response,
+        failures=failures,
+    )
+
+
+def _averaged(results: List[LiveRunResult]) -> Dict[str, float]:
+    streams = results[0].mean_response.keys()
+    return {
+        name: sum(r.mean_response[name] for r in results) / len(results)
+        for name in streams
+    }
+
+
+def table2_configurations() -> List[Tuple[int, Tuple[str, ...], int]]:
+    """Table 2 rows: (experiment, streams, #resource agents)."""
+    return [
+        (experiment, EXPERIMENT_STREAMS[experiment], resources_required(experiment))
+        for experiment in sorted(EXPERIMENT_STREAMS)
+    ]
+
+
+def table3_ratios(
+    experiments: Tuple[int, ...] = (1, 2, 3, 4, 5),
+    repetitions: int = DEFAULT_REPETITIONS,
+    queries_per_stream: int = DEFAULT_QUERIES_PER_STREAM,
+    query_interval: float = DEFAULT_QUERY_INTERVAL,
+) -> Dict[int, Dict[str, float]]:
+    """Table 3: per-stream multibroker/single-broker response ratios."""
+    table: Dict[int, Dict[str, float]] = {}
+    for experiment in experiments:
+        single_runs = [
+            run_live_experiment(
+                experiment, n_brokers=1, seed=rep,
+                queries_per_stream=queries_per_stream,
+                query_interval=query_interval,
+            )
+            for rep in range(repetitions)
+        ]
+        multi_runs = [
+            run_live_experiment(
+                experiment, n_brokers=4, seed=rep,
+                queries_per_stream=queries_per_stream,
+                query_interval=query_interval,
+            )
+            for rep in range(repetitions)
+        ]
+        single = _averaged(single_runs)
+        multi = _averaged(multi_runs)
+        table[experiment] = {
+            stream: multi[stream] / single[stream] for stream in single
+        }
+    return table
+
+
+#: Experiment 6 drives the *multibroker* system into its loaded regime
+#: (the specialization benefit is a queueing effect: unspecialized
+#: brokering makes every broker reason about every query).
+TABLE4_QUERY_INTERVAL = 6.0
+
+
+def table4_ratios(
+    repetitions: int = DEFAULT_REPETITIONS,
+    queries_per_stream: int = DEFAULT_QUERIES_PER_STREAM,
+    query_interval: float = TABLE4_QUERY_INTERVAL,
+) -> Dict[str, float]:
+    """Table 4: specialized / unspecialized multibroker ratios on the
+    Experiment 5 workload (Experiment 6 of the paper)."""
+    plain_runs = [
+        run_live_experiment(
+            5, n_brokers=4, specialized=False, seed=rep,
+            queries_per_stream=queries_per_stream, query_interval=query_interval,
+        )
+        for rep in range(repetitions)
+    ]
+    special_runs = [
+        run_live_experiment(
+            5, n_brokers=4, specialized=True, seed=rep,
+            queries_per_stream=queries_per_stream, query_interval=query_interval,
+        )
+        for rep in range(repetitions)
+    ]
+    plain = _averaged(plain_runs)
+    special = _averaged(special_runs)
+    return {stream: special[stream] / plain[stream] for stream in plain}

@@ -1,0 +1,125 @@
+"""Plain-text rendering of experiment outputs in the paper's shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def format_table(
+    title: str,
+    rows: Mapping,
+    column_order: Sequence = (),
+    value_format: str = "{:.2f}",
+    row_label: str = "row",
+) -> str:
+    """Render ``{row_key: {col_key: value}}`` as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)"
+    first = next(iter(rows.values()))
+    columns = list(column_order) if column_order else sorted(first)
+    header = [row_label] + [str(c) for c in columns]
+    lines: List[List[str]] = [header]
+    for row_key, row in rows.items():
+        rendered = [str(row_key)]
+        for column in columns:
+            value = row.get(column)
+            rendered.append("-" if value is None else value_format.format(value))
+        lines.append(rendered)
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+    out = [title]
+    for index, line in enumerate(lines):
+        out.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            out.append("  ".join("-" * width for width in widths))
+    return "\n".join(out)
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    x_label: str = "x",
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render ``{series: [(x, y), ...]}`` with one column per series —
+    the textual equivalent of one of the paper's figures."""
+    xs = sorted({x for points in series.values() for x, _ in points})
+    rows = {}
+    for x in xs:
+        row = {}
+        for name, points in series.items():
+            for px, py in points:
+                if px == x:
+                    row[name] = py
+        rows[x] = row
+    return format_table(
+        title, rows, column_order=list(series), value_format=value_format,
+        row_label=x_label,
+    )
+
+
+def format_ascii_chart(
+    title: str,
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """A quick terminal plot of ``{series: [(x, y), ...]}``.
+
+    One mark per series (``*``, ``o``, ``x``, ...), linear or log y axis
+    — enough to eyeball the figures without matplotlib.
+    """
+    import math
+
+    points = [
+        (x, y) for pts in series.values() for x, y in pts if y == y  # drop NaN
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+
+    def transform(y: float) -> float:
+        return math.log10(max(y, 1e-9)) if log_y else y
+
+    xs = [p[0] for p in points]
+    ys = [transform(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    marks = "*ox+#@%&"
+    for index, (name, pts) in enumerate(series.items()):
+        mark = marks[index % len(marks)]
+        for x, y in pts:
+            if y != y:
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    y_top = 10 ** y_hi if log_y else y_hi
+    y_bottom = 10 ** y_lo if log_y else y_lo
+    lines = [title]
+    lines.append(f"y: {y_bottom:.4g} .. {y_top:.4g}"
+                 + (" (log scale)" if log_y else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_lo:g} .. {x_hi:g}")
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f" {legend}")
+    return "\n".join(lines)
+
+
+def format_percentage_grid(title: str, grid: Mapping, row_label: str = "MTTF (s)") -> str:
+    """Render a Table 5/6-style grid of fractions as percentages."""
+    rows = {
+        row_key: {col: value * 100.0 for col, value in columns.items()}
+        for row_key, columns in grid.items()
+    }
+    return format_table(
+        title, rows, value_format="{:.2f}%", row_label=row_label,
+        column_order=sorted(next(iter(grid.values()))) if grid else (),
+    )

@@ -1,0 +1,99 @@
+"""The robustness experiments: Tables 5 and 6.
+
+Fixed population (5 brokers, 25 resources with unique data domains),
+broker mean-time-to-failure swept over {1e6, 3600, 1800, 900} seconds,
+advertisement redundancy swept 1..5.
+
+* **Table 5** — the percentage of broker queries that receive any reply:
+  tracks broker availability and is essentially independent of the
+  advertising redundancy.
+* **Table 6** — among answered queries, the percentage whose reply
+  contained the (unique) matching resource: rises with redundancy and is
+  100% at full redundancy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.config import BrokerStrategy, SimConfig
+from repro.sim.simulator import run_replicates
+
+#: The paper's failure means (seconds); 1e6 ~ "perfectly reliable".
+FAILURE_MEANS = (1_000_000.0, 3_600.0, 1_800.0, 900.0)
+REDUNDANCIES = (1, 2, 3, 4, 5)
+
+ROBUSTNESS_BROKERS = 5
+ROBUSTNESS_RESOURCES = 25
+ROBUSTNESS_QUERY_INTERVAL = 30.0
+DEFAULT_DURATION = 43_200.0
+DEFAULT_RUNS = 10
+
+Grid = Dict[float, Dict[int, float]]
+
+
+def robustness_config(
+    mttf: float,
+    redundancy: int,
+    duration: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> SimConfig:
+    return SimConfig(
+        n_brokers=ROBUSTNESS_BROKERS,
+        n_resources=ROBUSTNESS_RESOURCES,
+        unique_domains=True,
+        strategy=BrokerStrategy.SPECIALIZED,
+        advertisement_redundancy=redundancy,
+        advertisement_size_mb=0.1,
+        mean_query_interval=ROBUSTNESS_QUERY_INTERVAL,
+        duration=duration,
+        warmup=min(600.0, duration / 4),
+        broker_mttf=mttf,
+        broker_mttr=1_800.0,
+        fixed_broker_assignment=True,
+        query_reply_timeout=60.0,
+        seed=seed,
+    )
+
+
+def _grid(
+    metric: str,
+    failure_means: Sequence[float],
+    redundancies: Sequence[int],
+    duration: float,
+    runs: int,
+) -> Grid:
+    grid: Grid = {}
+    for mttf in failure_means:
+        grid[mttf] = {}
+        for redundancy in redundancies:
+            reports = run_replicates(
+                robustness_config(mttf, redundancy, duration=duration), runs=runs
+            )
+            values = [getattr(r, metric) for r in reports]
+            finite = [v for v in values if v == v]
+            grid[mttf][redundancy] = (
+                sum(finite) / len(finite) if finite else float("nan")
+            )
+    return grid
+
+
+def table5_grid(
+    failure_means: Sequence[float] = FAILURE_MEANS,
+    redundancies: Sequence[int] = REDUNDANCIES,
+    duration: float = DEFAULT_DURATION,
+    runs: int = DEFAULT_RUNS,
+) -> Grid:
+    """Table 5: fraction of queries the brokers replied to."""
+    return _grid("reply_fraction", failure_means, redundancies, duration, runs)
+
+
+def table6_grid(
+    failure_means: Sequence[float] = FAILURE_MEANS,
+    redundancies: Sequence[int] = REDUNDANCIES,
+    duration: float = DEFAULT_DURATION,
+    runs: int = DEFAULT_RUNS,
+) -> Grid:
+    """Table 6: fraction of answered queries that found the matching
+    resource."""
+    return _grid("success_fraction", failure_means, redundancies, duration, runs)

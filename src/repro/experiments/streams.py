@@ -1,0 +1,368 @@
+"""The Table 1 query streams and Table 2 experiment communities.
+
+Table 1 names six stream types with the number of resource agents each
+touches:
+
+====  ===========================  ====
+name  meaning                      #RAs
+====  ===========================  ====
+SA    single agent                 1
+DA    double agent                 2
+4A    four agent                   4
+VF    vertical fragmentation       4
+CH    class hierarchy              4
+FH    fragmentation & hierarchy    4
+====  ===========================  ====
+
+The experiments (Table 2) use cumulative stream sets over a shared
+resource pool: SA and DA reuse the 4A group's agents, so the totals come
+out to 4, 4, 8, 12 and 16 resource agents:
+
+=====  ========================  ====
+expt   streams                   #RAs
+=====  ========================  ====
+1      4A                        4
+2      4A DA SA                  4
+3      4A DA SA VF               8
+4      4A DA SA VF FH            12
+5      4A DA SA VF FH CH         16
+=====  ========================  ====
+
+Each resource *group* (A = the shared SA/DA/4A agents, V, F, C) has its
+own domain ontology, which is what lets Experiment 6 specialize one
+broker per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.agents import (
+    AgentConfig,
+    BrokerAgent,
+    CostModel,
+    MessageBus,
+    MultiResourceQueryAgent,
+    ResourceAgent,
+    UserAgent,
+)
+from repro.core.matcher import MatchContext
+from repro.ontology.model import OntClass, Ontology, Slot
+from repro.relational.fragmentation import horizontal_fragments, vertical_fragments
+from repro.relational.generate import generate_table
+from repro.sim.rng import SimRng
+
+#: Rows per experiment table (kept modest: live costs are parametric).
+ROWS_PER_CLASS = 64
+
+
+@dataclass(frozen=True)
+class QueryStream:
+    """One Table 1 query stream."""
+
+    name: str
+    description: str
+    group: str  # resource group: "A", "V", "F", "C"
+    n_resource_agents: int
+    sql: str
+
+
+STREAMS: Dict[str, QueryStream] = {
+    "SA": QueryStream("SA", "single agent", "A", 1, "select * from SAC"),
+    "DA": QueryStream("DA", "double agent", "A", 2, "select * from DAC"),
+    "4A": QueryStream("4A", "four agent", "A", 4, "select * from QAC"),
+    "VF": QueryStream("VF", "vertical fragmentation", "V", 4, "select * from VFC"),
+    "CH": QueryStream("CH", "class hierarchy", "C", 4, "select * from CHC"),
+    "FH": QueryStream("FH", "fragmentation & class hierarchy", "F", 4,
+                      "select * from FHC"),
+}
+
+#: Table 2: cumulative stream sets per experiment.
+EXPERIMENT_STREAMS: Dict[int, Tuple[str, ...]] = {
+    1: ("4A",),
+    2: ("4A", "DA", "SA"),
+    3: ("4A", "DA", "SA", "VF"),
+    4: ("4A", "DA", "SA", "VF", "FH"),
+    5: ("4A", "DA", "SA", "VF", "FH", "CH"),
+}
+
+_GROUP_ONTOLOGY = {"A": "a-domain", "V": "vf-domain", "F": "fh-domain",
+                   "C": "ch-domain"}
+
+
+def resources_required(experiment: int) -> int:
+    """The Table 2 resource-agent count for *experiment*."""
+    groups = {STREAMS[s].group for s in EXPERIMENT_STREAMS[experiment]}
+    return 4 * len(groups)
+
+
+# ----------------------------------------------------------------------
+# ontologies
+# ----------------------------------------------------------------------
+def _a_ontology() -> Ontology:
+    """Group A: plain classes for the SA / DA / 4A streams."""
+    onto = Ontology("a-domain")
+    for cls, prefix in (("SAC", "sa"), ("DAC", "da"), ("QAC", "qa")):
+        onto.add_class(
+            OntClass(
+                cls,
+                (
+                    Slot(f"{prefix}_id", "number"),
+                    Slot(f"{prefix}_s1", "number"),
+                    Slot(f"{prefix}_s2", "number"),
+                    Slot(f"{prefix}_s3", "number"),
+                ),
+                key=f"{prefix}_id",
+            )
+        )
+    return onto
+
+
+def _vf_ontology() -> Ontology:
+    """Group V: one wide class, vertically fragmented across agents."""
+    onto = Ontology("vf-domain")
+    slots = [Slot("vf_id", "number")]
+    slots += [Slot(f"vf_s{i}", "number") for i in range(1, 9)]
+    onto.add_class(OntClass("VFC", tuple(slots), key="vf_id"))
+    return onto
+
+
+def _ch_ontology() -> Ontology:
+    """Group C: a root class with four subclasses, one per agent."""
+    onto = Ontology("ch-domain")
+    onto.add_class(
+        OntClass("CHC", (Slot("ch_id", "number"), Slot("ch_val", "number")),
+                 key="ch_id")
+    )
+    for i in range(1, 5):
+        onto.add_class(
+            OntClass(f"CH{i}", (Slot(f"ch_x{i}", "number"),), parent="CHC")
+        )
+    return onto
+
+
+def _fh_ontology() -> Ontology:
+    """Group F: two subclasses, each vertically fragmented in two."""
+    onto = Ontology("fh-domain")
+    onto.add_class(
+        OntClass("FHC", (Slot("fh_id", "number"), Slot("fh_val", "number")),
+                 key="fh_id")
+    )
+    for i in (1, 2):
+        onto.add_class(
+            OntClass(
+                f"FH{i}",
+                (Slot(f"fh_a{i}", "number"), Slot(f"fh_b{i}", "number")),
+                parent="FHC",
+            )
+        )
+    return onto
+
+
+_GROUP_BUILDERS = {"A": _a_ontology, "V": _vf_ontology, "C": _ch_ontology,
+                   "F": _fh_ontology}
+
+
+# ----------------------------------------------------------------------
+# resource construction
+# ----------------------------------------------------------------------
+def _shift_keys(table, key: str, offset: int):
+    from repro.relational.table import Table
+
+    rows = [dict(r, **{key: r[key] + offset}) for r in table.rows()]
+    return Table(table.name, table.schema, rows)
+
+
+def _group_a_resources(onto: Ontology, seed: int) -> List[Tuple[str, dict, tuple]]:
+    """RA-A1..A4: QAC split 4-ways, DAC split over A1/A2, SAC on A1.
+    Returns (name, tables, advertised_slots) triples."""
+    qac = generate_table(onto, "QAC", ROWS_PER_CLASS, seed=seed)
+    dac = generate_table(onto, "DAC", ROWS_PER_CLASS, seed=seed + 1)
+    sac = generate_table(onto, "SAC", ROWS_PER_CLASS, seed=seed + 2)
+    qac_frags = horizontal_fragments(qac, 4)
+    dac_frags = horizontal_fragments(dac, 2)
+    specs = []
+    for i in range(4):
+        tables = {"QAC": qac_frags[i]}
+        if i < 2:
+            tables["DAC"] = dac_frags[i]
+        if i == 0:
+            tables["SAC"] = sac
+        specs.append((f"RA-A{i + 1}", tables, ()))
+    return specs
+
+
+def _group_v_resources(onto: Ontology, seed: int) -> List[Tuple[str, dict, tuple]]:
+    vfc = generate_table(onto, "VFC", ROWS_PER_CLASS, seed=seed + 3)
+    groups = [[f"vf_s{i}", f"vf_s{i + 1}"] for i in (1, 3, 5, 7)]
+    fragments = vertical_fragments(vfc, groups)
+    return [
+        (f"RA-V{i + 1}", {"VFC": frag}, tuple(frag.schema.column_names()))
+        for i, frag in enumerate(fragments)
+    ]
+
+
+def _group_c_resources(onto: Ontology, seed: int) -> List[Tuple[str, dict, tuple]]:
+    specs = []
+    for i in range(1, 5):
+        table = generate_table(onto, f"CH{i}", ROWS_PER_CLASS // 4, seed=seed + 3 + i)
+        table = _shift_keys(table, "ch_id", 1000 * i)
+        specs.append((f"RA-C{i}", {f"CH{i}": table}, ()))
+    return specs
+
+
+def _group_f_resources(onto: Ontology, seed: int) -> List[Tuple[str, dict, tuple]]:
+    specs = []
+    index = 0
+    for i in (1, 2):
+        table = generate_table(onto, f"FH{i}", ROWS_PER_CLASS // 2, seed=seed + 8 + i)
+        table = _shift_keys(table, "fh_id", 1000 * i)
+        fragments = vertical_fragments(
+            table, [["fh_val", f"fh_a{i}"], [f"fh_b{i}"]]
+        )
+        for frag in fragments:
+            index += 1
+            specs.append(
+                (f"RA-F{index}", {f"FH{i}": frag}, tuple(frag.schema.column_names()))
+            )
+    return specs
+
+
+_GROUP_RESOURCES = {
+    "A": _group_a_resources,
+    "V": _group_v_resources,
+    "C": _group_c_resources,
+    "F": _group_f_resources,
+}
+
+
+# ----------------------------------------------------------------------
+# community assembly
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentCommunity:
+    """A wired Table 2 community, ready for load."""
+
+    bus: MessageBus
+    streams: Tuple[str, ...]
+    users: Dict[str, UserAgent]  # stream name -> its user agent
+    broker_names: List[str]
+
+
+def default_live_costs() -> CostModel:
+    """Cost parameters for the live (Tables 3/4) experiments; see
+    DESIGN.md's substitution table."""
+    return CostModel(
+        broker_seconds_per_mb=1.0,
+        resource_seconds_per_mb=0.05,
+        base_handling_seconds=0.05,
+        latency_seconds=0.05,
+        bandwidth_bytes_per_second=1_000_000.0,
+    )
+
+
+#: Advertisement size for live-experiment agents (MB).
+LIVE_AD_SIZE_MB = 0.05
+
+
+def build_experiment_community(
+    experiment: int,
+    n_brokers: int = 1,
+    specialized: bool = False,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    prune_peers_by_specialty: bool = True,
+) -> ExperimentCommunity:
+    """Build the Table 2 community for *experiment*.
+
+    ``n_brokers=1`` is the single-broker variant; ``n_brokers=4`` the
+    multibroker one.  ``specialized=True`` is Experiment 6's layout: all
+    resources of a group advertise to one broker, and brokers advertise
+    their group specializations so peers can prune forwards.
+    """
+    if experiment not in EXPERIMENT_STREAMS:
+        raise ValueError(f"unknown experiment {experiment!r}")
+    streams = EXPERIMENT_STREAMS[experiment]
+    groups = sorted({STREAMS[s].group for s in streams})
+    ontologies = {g: _GROUP_BUILDERS[g]() for g in groups}
+    context = MatchContext(
+        ontologies={onto.name: onto for onto in ontologies.values()}
+    )
+    rng = SimRng(seed, f"live:{experiment}")
+    bus = MessageBus(cost_model or default_live_costs())
+
+    broker_names = [f"broker{i + 1}" for i in range(n_brokers)]
+    group_broker = {
+        group: broker_names[i % n_brokers] for i, group in enumerate(groups)
+    }
+    for name in broker_names:
+        peers = [b for b in broker_names if b != name]
+        specializations = (
+            tuple(
+                _GROUP_ONTOLOGY[g] for g, b in group_broker.items() if b == name
+            )
+            if specialized
+            else ()
+        )
+        bus.register(
+            BrokerAgent(
+                name,
+                context=context,
+                peer_brokers=peers,
+                specializations=specializations,
+                prune_peers_by_specialty=prune_peers_by_specialty,
+                config=AgentConfig(
+                    preferred_brokers=tuple(peers),
+                    redundancy=len(peers),
+                    advertisement_size_mb=0.001,
+                ),
+            )
+        )
+
+    def agent_config(preferred: Sequence[str]) -> AgentConfig:
+        return AgentConfig(
+            preferred_brokers=tuple(preferred),
+            redundancy=1,
+            advertisement_size_mb=LIVE_AD_SIZE_MB,
+        )
+
+    for group in groups:
+        onto = ontologies[group]
+        home = group_broker[group] if specialized else None
+        for name, tables, slots in _GROUP_RESOURCES[group](onto, seed):
+            broker = home or rng.choice(broker_names)
+            bus.register(
+                ResourceAgent(
+                    name,
+                    tables,
+                    onto.name,
+                    config=agent_config([broker]),
+                    advertised_slots=slots,
+                )
+            )
+
+    primary = ontologies[groups[0]]
+    bus.register(
+        MultiResourceQueryAgent(
+            "MRQ-agent",
+            primary.name,
+            ontology=primary,
+            extra_ontologies=tuple(ontologies[g] for g in groups[1:]),
+            config=agent_config([rng.choice(broker_names)]),
+        )
+    )
+
+    users = {}
+    for stream_name in streams:
+        user = UserAgent(
+            f"user-{stream_name}",
+            config=agent_config([rng.choice(broker_names)]),
+        )
+        bus.register(user)
+        users[stream_name] = user
+
+    bus.run_until(30.0)  # let the community form
+    return ExperimentCommunity(
+        bus=bus, streams=streams, users=users, broker_names=broker_names
+    )

@@ -1,0 +1,32 @@
+"""KQML: the agent communication language InfoSleuth agents speak.
+
+The paper's agents exchange KQML performatives — ``advertise``,
+``ask-all``, ``tell``, ``sorry`` and friends — with content expressed in
+a content language (SQL 2.0 for data queries, the service ontology for
+broker traffic).  This package provides:
+
+* :class:`KqmlMessage` — an immutable message with the standard KQML
+  parameters (``:sender``, ``:receiver``, ``:content``, ``:language``,
+  ``:ontology``, ``:reply-with``, ``:in-reply-to``);
+* :mod:`repro.kqml.sexpr` — the classic parenthesized wire syntax, with
+  a full round-trip parser/serializer;
+* :data:`PERFORMATIVES` — the performative vocabulary used in this
+  system.
+"""
+
+from repro.kqml.errors import KqmlError, KqmlParseError
+from repro.kqml.performatives import PERFORMATIVES, Performative
+from repro.kqml.message import KqmlMessage
+from repro.kqml.sexpr import dumps, loads, parse_sexpr, render_sexpr
+
+__all__ = [
+    "KqmlError",
+    "KqmlMessage",
+    "KqmlParseError",
+    "PERFORMATIVES",
+    "Performative",
+    "dumps",
+    "loads",
+    "parse_sexpr",
+    "render_sexpr",
+]

@@ -1,0 +1,9 @@
+"""Errors for the KQML package."""
+
+
+class KqmlError(ValueError):
+    """Raised for malformed KQML messages."""
+
+
+class KqmlParseError(KqmlError):
+    """Raised when the wire syntax cannot be parsed."""

@@ -1,0 +1,105 @@
+"""The KQML message object.
+
+Messages are immutable; replies are built with :meth:`KqmlMessage.reply`
+which flips sender/receiver and threads ``:in-reply-to`` from
+``:reply-with`` so conversations can be correlated.
+
+``content`` may be any Python object in-process.  Only messages whose
+content is a string (or nested s-expression list) can round-trip through
+the wire syntax in :mod:`repro.kqml.sexpr`; richer payloads are a
+deliberate in-process convenience, exactly as the original system passed
+Java objects between co-located agents.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.kqml.errors import KqmlError
+from repro.kqml.performatives import EXPECTS_REPLY, Performative
+
+_reply_counter = itertools.count(1)
+
+
+def fresh_reply_id(prefix: str = "id") -> str:
+    """A process-unique ``:reply-with`` identifier."""
+    return f"{prefix}{next(_reply_counter)}"
+
+
+@dataclass(frozen=True)
+class KqmlMessage:
+    """One KQML message.
+
+    >>> m = KqmlMessage(Performative.ASK_ALL, sender="a", receiver="b",
+    ...                 content="select * from C2", language="SQL 2.0")
+    >>> r = m.reply(Performative.TELL, content="...rows...")
+    >>> (r.sender, r.receiver, r.in_reply_to == m.reply_with)
+    ('b', 'a', True)
+    """
+
+    performative: Performative
+    sender: str
+    receiver: str
+    content: Any = None
+    language: Optional[str] = None
+    ontology: Optional[str] = None
+    reply_with: Optional[str] = None
+    in_reply_to: Optional[str] = None
+    extras: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.performative, Performative):
+            raise KqmlError(
+                f"performative must be a Performative, got {self.performative!r}"
+            )
+        if not self.sender or not self.receiver:
+            raise KqmlError("sender and receiver are required")
+        if isinstance(self.extras, Mapping):
+            object.__setattr__(self, "extras", tuple(sorted(self.extras.items())))
+        elif not isinstance(self.extras, tuple):
+            object.__setattr__(self, "extras", tuple(self.extras))
+        if self.reply_with is None and self.performative in EXPECTS_REPLY:
+            object.__setattr__(self, "reply_with", fresh_reply_id())
+
+    # ------------------------------------------------------------------
+    # conversation helpers
+    # ------------------------------------------------------------------
+    def reply(self, performative: Performative, content: Any = None,
+              language: Optional[str] = None, **extras) -> "KqmlMessage":
+        """Build the response message for this one."""
+        return KqmlMessage(
+            performative=performative,
+            sender=self.receiver,
+            receiver=self.sender,
+            content=content,
+            language=language if language is not None else self.language,
+            ontology=self.ontology,
+            in_reply_to=self.reply_with,
+            extras=tuple(sorted(extras.items())),
+        )
+
+    def forward_to(self, receiver: str, sender: Optional[str] = None) -> "KqmlMessage":
+        """The same message readdressed to *receiver* (broker forwarding)."""
+        return replace(self, receiver=receiver, sender=sender or self.receiver)
+
+    def extra(self, key: str, default: Any = None) -> Any:
+        """Look up an extra parameter by name."""
+        for k, v in self.extras:
+            if k == key:
+                return v
+        return default
+
+    def expects_reply(self) -> bool:
+        return self.performative in EXPECTS_REPLY
+
+    def __repr__(self) -> str:
+        bits = [f"({self.performative.value} :sender {self.sender} "
+                f":receiver {self.receiver}"]
+        if self.reply_with:
+            bits.append(f":reply-with {self.reply_with}")
+        if self.in_reply_to:
+            bits.append(f":in-reply-to {self.in_reply_to}")
+        bits.append(f":content {self.content!r})")
+        return " ".join(bits)

@@ -1,0 +1,188 @@
+"""KQML wire syntax: parenthesized s-expressions.
+
+The classic form::
+
+    (ask-all :sender mhn-user-agent :receiver broker-1
+             :reply-with id7 :language SQL
+             :content "select * from C2")
+
+``parse_sexpr``/``render_sexpr`` handle generic s-expressions (nested
+lists of atoms/strings/numbers); ``loads``/``dumps`` convert between the
+wire text and :class:`~repro.kqml.message.KqmlMessage`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Tuple, Union
+
+from repro.kqml.errors import KqmlParseError
+from repro.kqml.message import KqmlMessage
+from repro.kqml.performatives import Performative
+
+Sexpr = Union[str, int, float, list]
+
+_ATOM_RE = re.compile(r"""[^\s()"]+""")
+
+
+def parse_sexpr(text: str) -> Sexpr:
+    """Parse one s-expression from *text* (which must hold exactly one)."""
+    expr, pos = _parse(text, _skip_ws(text, 0))
+    pos = _skip_ws(text, pos)
+    if pos != len(text):
+        raise KqmlParseError(f"trailing input after s-expression: {text[pos:]!r}")
+    return expr
+
+
+def _skip_ws(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    return pos
+
+
+def _parse(text: str, pos: int) -> Tuple[Sexpr, int]:
+    if pos >= len(text):
+        raise KqmlParseError("unexpected end of input")
+    ch = text[pos]
+    if ch == "(":
+        items: List[Sexpr] = []
+        pos = _skip_ws(text, pos + 1)
+        while True:
+            if pos >= len(text):
+                raise KqmlParseError("unterminated list")
+            if text[pos] == ")":
+                return items, pos + 1
+            item, pos = _parse(text, pos)
+            items.append(item)
+            pos = _skip_ws(text, pos)
+    if ch == ")":
+        raise KqmlParseError("unbalanced ')'")
+    if ch == '"':
+        return _parse_string(text, pos)
+    m = _ATOM_RE.match(text, pos)
+    if not m:
+        raise KqmlParseError(f"cannot parse at {text[pos:pos + 10]!r}")
+    return _coerce_atom(m.group()), m.end()
+
+
+def _parse_string(text: str, pos: int) -> Tuple[str, int]:
+    chars = []
+    pos += 1
+    while pos < len(text):
+        ch = text[pos]
+        if ch == "\\":
+            if pos + 1 >= len(text):
+                raise KqmlParseError("dangling escape in string")
+            chars.append(text[pos + 1])
+            pos += 2
+        elif ch == '"':
+            return "".join(chars), pos + 1
+        else:
+            chars.append(ch)
+            pos += 1
+    raise KqmlParseError("unterminated string")
+
+
+def _coerce_atom(atom: str) -> Sexpr:
+    try:
+        return int(atom)
+    except ValueError:
+        pass
+    try:
+        return float(atom)
+    except ValueError:
+        pass
+    return atom
+
+
+def render_sexpr(expr: Sexpr) -> str:
+    """Serialize a nested list/atom structure back to wire text."""
+    if isinstance(expr, list):
+        return "(" + " ".join(render_sexpr(e) for e in expr) + ")"
+    if isinstance(expr, bool):
+        return "true" if expr else "false"
+    if isinstance(expr, (int, float)):
+        return repr(expr)
+    if isinstance(expr, str):
+        if expr and _ATOM_RE.fullmatch(expr) and not _looks_numeric(expr):
+            return expr
+        escaped = expr.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise KqmlParseError(f"cannot render {type(expr).__name__} in an s-expression")
+
+
+def _looks_numeric(atom: str) -> bool:
+    try:
+        float(atom)
+        return True
+    except ValueError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# KqmlMessage <-> wire text
+# ----------------------------------------------------------------------
+_FIELD_TO_KEY = [
+    ("sender", ":sender"),
+    ("receiver", ":receiver"),
+    ("reply_with", ":reply-with"),
+    ("in_reply_to", ":in-reply-to"),
+    ("language", ":language"),
+    ("ontology", ":ontology"),
+]
+
+
+def dumps(message: KqmlMessage) -> str:
+    """Serialize *message* to wire text.
+
+    The content must be a string, a number, or a nested s-expression
+    list; richer Python payloads are in-process only.
+    """
+    parts: List[Sexpr] = [message.performative.value]
+    for attr, key in _FIELD_TO_KEY:
+        value = getattr(message, attr)
+        if value is not None:
+            parts.extend([key, value])
+    for key, value in message.extras:
+        parts.extend([f":{key}", value])
+    if message.content is not None:
+        parts.extend([":content", message.content])
+    return render_sexpr(parts)
+
+
+def loads(text: str) -> KqmlMessage:
+    """Parse wire text into a :class:`KqmlMessage`."""
+    expr = parse_sexpr(text)
+    if not isinstance(expr, list) or not expr or not isinstance(expr[0], str):
+        raise KqmlParseError("a KQML message must be a list led by a performative")
+    try:
+        performative = Performative.from_name(expr[0])
+    except ValueError as exc:
+        raise KqmlParseError(str(exc)) from None
+
+    fields = {}
+    extras = {}
+    key_to_field = {key: attr for attr, key in _FIELD_TO_KEY}
+    index = 1
+    while index < len(expr):
+        key = expr[index]
+        if not isinstance(key, str) or not key.startswith(":"):
+            raise KqmlParseError(f"expected a :keyword, got {key!r}")
+        if index + 1 >= len(expr):
+            raise KqmlParseError(f"keyword {key} has no value")
+        value = expr[index + 1]
+        if key == ":content":
+            fields["content"] = value
+        elif key in key_to_field:
+            fields[key_to_field[key]] = value
+        else:
+            extras[key[1:]] = value
+        index += 2
+
+    if "sender" not in fields or "receiver" not in fields:
+        raise KqmlParseError("KQML message requires :sender and :receiver")
+    return KqmlMessage(
+        performative=performative,
+        extras=tuple(sorted(extras.items())),
+        **fields,
+    )

@@ -1,0 +1,52 @@
+"""Ontologies: domain models, capability hierarchies, the service ontology.
+
+InfoSleuth agents describe data *and* themselves against shared
+ontologies:
+
+* **domain ontologies** (:mod:`repro.ontology.model`) describe the
+  information space — classes, slots, is-a hierarchy, keys (e.g. the
+  ``healthcare`` ontology with ``patient`` and ``diagnosis`` classes);
+* the **capability hierarchy** (:mod:`repro.ontology.capability`)
+  describes what agents can *do*, with containment ("an agent that does
+  all query processing certainly does relational query processing" —
+  paper Figure 2);
+* the **service ontology** (:mod:`repro.ontology.service`) is the shared
+  vocabulary of agent advertisements: location/syntax (Figure 8),
+  capabilities/content/properties (Figure 9), broker extensions
+  (Figure 13).
+"""
+
+from repro.ontology.model import OntClass, Ontology, OntologyError, Slot
+from repro.ontology.capability import (
+    CapabilityHierarchy,
+    default_capability_hierarchy,
+)
+from repro.ontology.service import (
+    AgentLocation,
+    AgentProperties,
+    BrokerExtensions,
+    Capabilities,
+    ContentInfo,
+    ServiceDescription,
+    SyntacticInfo,
+)
+from repro.ontology.healthcare import healthcare_ontology
+from repro.ontology.demo import demo_ontology
+
+__all__ = [
+    "AgentLocation",
+    "AgentProperties",
+    "BrokerExtensions",
+    "Capabilities",
+    "CapabilityHierarchy",
+    "ContentInfo",
+    "OntClass",
+    "Ontology",
+    "OntologyError",
+    "ServiceDescription",
+    "Slot",
+    "SyntacticInfo",
+    "default_capability_hierarchy",
+    "demo_ontology",
+    "healthcare_ontology",
+]

@@ -1,0 +1,65 @@
+"""Synthetic demo ontologies for experiments.
+
+The paper's running example (Section 2.2) uses anonymous classes C1, C2,
+C3 spread over resource agents; the experiment query streams (Table 1)
+need families of classes with vertical fragments and class hierarchies.
+This module generates such ontologies deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ontology.model import OntClass, Ontology, Slot
+
+
+def demo_ontology(n_classes: int = 3, slots_per_class: int = 4) -> Ontology:
+    """An ontology of flat classes ``C1..Cn``.
+
+    Each class ``Ck`` has a numeric key ``ck_id`` plus
+    ``slots_per_class - 1`` generic slots ``ck_s1..``.
+
+    >>> demo_ontology(2).class_names()
+    ['C1', 'C2']
+    """
+    if n_classes < 1:
+        raise ValueError("need at least one class")
+    if slots_per_class < 1:
+        raise ValueError("need at least one slot per class")
+    onto = Ontology("demo")
+    for k in range(1, n_classes + 1):
+        key = f"c{k}_id"
+        slots = [Slot(key, "number", f"key of C{k}")]
+        slots += [
+            Slot(f"c{k}_s{j}", "number") for j in range(1, slots_per_class)
+        ]
+        onto.add_class(OntClass(f"C{k}", tuple(slots), key=key))
+    return onto
+
+
+def hierarchy_ontology(depth: int = 3, fanout: int = 2) -> Ontology:
+    """A class-hierarchy ontology rooted at ``H`` (for the CH stream).
+
+    Every class inherits the root's key and adds one own slot, so union
+    queries over the hierarchy are well-typed on the shared slots.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    onto = Ontology("hierarchy")
+    onto.add_class(
+        OntClass("H", (Slot("h_id", "number"), Slot("h_val", "number")), key="h_id")
+    )
+    level: List[str] = ["H"]
+    counter = 0
+    for _ in range(depth - 1):
+        next_level = []
+        for parent in level:
+            for _ in range(fanout):
+                counter += 1
+                name = f"H{counter}"
+                onto.add_class(
+                    OntClass(name, (Slot(f"h{counter}_x", "number"),), parent=parent)
+                )
+                next_level.append(name)
+        level = next_level
+    return onto

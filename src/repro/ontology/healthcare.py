@@ -1,0 +1,88 @@
+"""The sample ``healthcare`` domain ontology used throughout the paper.
+
+The paper's examples advertise fragments of a healthcare domain model
+("diagnosis and patient classes ... patients between the age of 43 and
+75", "podiatrists in Dallas and Houston").  This module provides a
+concrete version of that model for tests, examples and experiments.
+"""
+
+from __future__ import annotations
+
+from repro.ontology.model import OntClass, Ontology, Slot
+
+
+def healthcare_ontology() -> Ontology:
+    """Build the healthcare ontology: patients, diagnoses, stays, providers."""
+    onto = Ontology("healthcare")
+    onto.add_class(
+        OntClass(
+            "patient",
+            (
+                Slot("patient_id", "number", "unique patient identifier"),
+                Slot("name", "string"),
+                Slot("patient_age", "number"),
+                Slot("city", "string"),
+                Slot("gender", "string"),
+            ),
+            key="patient_id",
+            description="A person receiving care",
+        )
+    )
+    onto.add_class(
+        OntClass(
+            "diagnosis",
+            (
+                Slot("diagnosis_id", "number"),
+                Slot("patient_id", "number"),
+                Slot("diagnosis_code", "string", "e.g. '40W'"),
+                Slot("description", "string"),
+                Slot("cost", "number", "billed cost in dollars"),
+            ),
+            key="diagnosis_id",
+            description="A coded diagnosis for a patient",
+        )
+    )
+    onto.add_class(
+        OntClass(
+            "hospital_stay",
+            (
+                Slot("stay_id", "number"),
+                Slot("patient_id", "number"),
+                Slot("hospital", "string"),
+                Slot("procedure", "string", "e.g. 'caesarian'"),
+                Slot("cost", "number"),
+                Slot("days", "number"),
+            ),
+            key="stay_id",
+            description="An inpatient episode",
+        )
+    )
+    onto.add_class(
+        OntClass(
+            "provider",
+            (
+                Slot("provider_id", "number"),
+                Slot("name", "string"),
+                Slot("city", "string"),
+            ),
+            key="provider_id",
+            description="Any care provider",
+        )
+    )
+    onto.add_class(
+        OntClass(
+            "physician",
+            (Slot("specialty", "string"),),
+            parent="provider",
+            description="A licensed physician",
+        )
+    )
+    onto.add_class(
+        OntClass(
+            "podiatrist",
+            (),
+            parent="physician",
+            description="The paper's Dallas/Houston example class",
+        )
+    )
+    return onto

@@ -1,0 +1,163 @@
+"""Fragmentation of tables across resources, and its inverse.
+
+The paper's experiment streams exercise exactly these layouts:
+
+* **VF** (vertical fragmentation): a class's slots split across
+  resources, each fragment keeping the key; reassembly is a key join.
+* **CH** (class hierarchy): subclasses stored at different resources;
+  reassembly of the superclass extent is a union over shared columns.
+* **FH**: both at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.relational.schema import Column, Schema, SchemaError
+from repro.relational.table import Table, TableError
+
+
+def vertical_fragments(
+    table: Table, column_groups: Sequence[Sequence[str]], names: Optional[Sequence[str]] = None
+) -> List[Table]:
+    """Split *table* vertically into one fragment per column group.
+
+    Every fragment automatically includes the table's key.  The groups
+    together must cover all non-key columns exactly once.
+    """
+    key = table.schema.key
+    if key is None:
+        raise TableError("vertical fragmentation requires a keyed table")
+    non_key = [c for c in table.schema.column_names() if c != key]
+    flat = [col for group in column_groups for col in group]
+    if sorted(flat) != sorted(non_key):
+        raise TableError(
+            f"column groups must partition the non-key columns {non_key}, "
+            f"got {sorted(flat)}"
+        )
+    if names is not None and len(names) != len(column_groups):
+        raise TableError("need exactly one name per fragment")
+
+    fragments = []
+    for index, group in enumerate(column_groups):
+        frag_cols = [key, *group]
+        schema = table.schema.project(frag_cols)
+        name = names[index] if names else f"{table.name}_vf{index + 1}"
+        fragment = Table(name, schema)
+        for row in table.rows():
+            fragment.insert({col: row[col] for col in frag_cols})
+        fragments.append(fragment)
+    return fragments
+
+
+def horizontal_fragments_by_predicate(
+    table: Table,
+    predicates: Sequence,
+    names: Optional[Sequence[str]] = None,
+    strict: bool = True,
+) -> List[Table]:
+    """Split *table* row-wise by *predicates* (callables row -> bool).
+
+    Each row goes to the first predicate it satisfies.  With ``strict``
+    (the default), a row matching no predicate is an error — the
+    predicates must cover the extent; otherwise uncovered rows are
+    dropped.  This is the "patients 0-44 at the pediatric clinic,
+    45+ at the geriatric clinic" layout of the paper's examples.
+    """
+    if not predicates:
+        raise TableError("need at least one predicate")
+    if names is not None and len(names) != len(predicates):
+        raise TableError("need exactly one name per fragment")
+    fragments = [
+        Table(names[i] if names else f"{table.name}_hp{i + 1}", table.schema)
+        for i in range(len(predicates))
+    ]
+    for row in table.rows():
+        for index, predicate in enumerate(predicates):
+            if predicate(row):
+                fragments[index].insert(row)
+                break
+        else:
+            if strict:
+                raise TableError(f"row {row!r} matches no fragment predicate")
+    return fragments
+
+
+def horizontal_fragments(
+    table: Table, n_fragments: int, names: Optional[Sequence[str]] = None
+) -> List[Table]:
+    """Split *table* into *n_fragments* row-wise (round-robin)."""
+    if n_fragments < 1:
+        raise TableError("need at least one fragment")
+    if names is not None and len(names) != n_fragments:
+        raise TableError("need exactly one name per fragment")
+    fragments = [
+        Table(names[i] if names else f"{table.name}_hf{i + 1}", table.schema)
+        for i in range(n_fragments)
+    ]
+    for index, row in enumerate(table.rows()):
+        fragments[index % n_fragments].insert(row)
+    return fragments
+
+
+def join_on_key(fragments: Sequence[Table]) -> Table:
+    """Reassemble vertical fragments by joining on their shared key.
+
+    Rows present in only some fragments surface with ``None`` for the
+    missing columns (an outer join, which is what reassembly of a
+    vertically fragmented extent needs).
+    """
+    if not fragments:
+        raise TableError("nothing to join")
+    key = fragments[0].schema.key
+    if key is None or any(f.schema.key != key for f in fragments):
+        raise TableError("all fragments must share the same key column")
+
+    columns: List[Column] = []
+    seen = set()
+    for fragment in fragments:
+        for col in fragment.schema.columns:
+            if col.name not in seen:
+                columns.append(col)
+                seen.add(col.name)
+    schema = Schema(tuple(columns), key=key)
+
+    merged: Dict[object, dict] = {}
+    order: List[object] = []
+    for fragment in fragments:
+        for row in fragment.rows():
+            key_value = row[key]
+            if key_value not in merged:
+                merged[key_value] = {c.name: None for c in columns}
+                order.append(key_value)
+            merged[key_value].update(row)
+
+    result = Table(f"join({', '.join(f.name for f in fragments)})", schema)
+    for key_value in order:
+        result.insert(merged[key_value])
+    return result
+
+
+def union_all(tables: Sequence[Table], name: str = "union") -> Table:
+    """Union tables over their *shared* columns (class-hierarchy extents).
+
+    The result has the columns common to every input, in the first
+    table's order; duplicate rows are preserved (UNION ALL).  The result
+    is unkeyed because key uniqueness cannot be guaranteed across
+    sources.
+    """
+    if not tables:
+        raise TableError("nothing to union")
+    shared = [
+        col.name
+        for col in tables[0].schema.columns
+        if all(col.name in t.schema for t in tables)
+    ]
+    if not shared:
+        raise TableError("tables share no columns")
+    columns = tuple(tables[0].schema.column(n) for n in shared)
+    result = Table(name, Schema(columns, key=None))
+    for table in tables:
+        for row in table.rows():
+            result.insert({col: row[col] for col in shared})
+    return result

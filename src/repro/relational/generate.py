@@ -1,0 +1,88 @@
+"""Deterministic synthetic data generation for experiment tables.
+
+The original experiments ran against fabricated demo databases; we
+generate equivalents from ontology classes with a seeded RNG so every
+experiment run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.ontology.model import Ontology
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+_CITIES = ["Dallas", "Houston", "Austin", "El Paso", "Waco", "Plano"]
+_CODES = ["40W", "41A", "42B", "51C", "60D", "71E"]
+_NAMES = ["Avery", "Blake", "Casey", "Drew", "Ellis", "Frankie", "Gray"]
+_PROCEDURES = ["caesarian", "appendectomy", "bypass", "hip-replacement"]
+
+
+def generate_table(
+    ontology: Ontology,
+    class_name: str,
+    n_rows: int,
+    seed: int = 0,
+    table_name: Optional[str] = None,
+) -> Table:
+    """Generate *n_rows* of synthetic data for *class_name*.
+
+    Values are typed from the slot declarations: numbers are small
+    non-negative integers, strings draw from themed pools keyed by slot
+    name, and the key column counts up from 1.
+    """
+    if n_rows < 0:
+        raise ValueError("n_rows must be >= 0")
+    rng = random.Random(f"{seed}:{class_name}:{n_rows}")
+    schema = Schema.from_class(ontology, class_name)
+    table = Table(table_name or class_name, schema)
+    for i in range(1, n_rows + 1):
+        row = {}
+        for col in schema.columns:
+            if col.name == schema.key:
+                row[col.name] = i
+            elif col.col_type == "number":
+                row[col.name] = _number_for(col.name, i, rng)
+            elif col.col_type == "bool":
+                row[col.name] = rng.random() < 0.5
+            else:
+                row[col.name] = _string_for(col.name, rng)
+        table.insert(row)
+    return table
+
+
+def _number_for(column: str, row_index: int, rng: random.Random) -> int:
+    if "age" in column:
+        return rng.randint(0, 99)
+    if "cost" in column:
+        return rng.randint(100, 50_000)
+    if "days" in column:
+        return rng.randint(1, 30)
+    if column.endswith("_id"):
+        return row_index
+    return rng.randint(0, 1000)
+
+
+def _string_for(column: str, rng: random.Random) -> str:
+    if "city" in column or "hospital" in column:
+        return rng.choice(_CITIES)
+    if "code" in column:
+        return rng.choice(_CODES)
+    if "name" in column:
+        return rng.choice(_NAMES)
+    if "procedure" in column:
+        return rng.choice(_PROCEDURES)
+    if "gender" in column:
+        return rng.choice(["F", "M", "X"])
+    if "specialty" in column:
+        return rng.choice(["podiatry", "cardiology", "oncology"])
+    return f"{column}-{rng.randint(0, 99)}"
+
+
+def generate_healthcare_table(class_name: str, n_rows: int, seed: int = 0) -> Table:
+    """Convenience: synthetic data for a healthcare-ontology class."""
+    from repro.ontology.healthcare import healthcare_ontology
+
+    return generate_table(healthcare_ontology(), class_name, n_rows, seed=seed)

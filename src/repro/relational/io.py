@@ -1,0 +1,109 @@
+"""CSV import/export for tables.
+
+The original resource agents fronted real repositories; for a Python
+library the lingua franca is CSV.  Types are taken from the schema (or
+inferred when loading without one), empty cells become ``None``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Optional, TextIO, Union
+
+from repro.relational.schema import Column, Schema, SchemaError
+from repro.relational.table import Table
+
+
+def table_to_csv(table: Table, target: Optional[TextIO] = None) -> str:
+    """Write *table* as CSV; returns the text (and writes to *target*)."""
+    buffer = target if target is not None else io.StringIO()
+    writer = csv.writer(buffer)
+    names = table.schema.column_names()
+    writer.writerow(names)
+    for row in table.rows():
+        writer.writerow(["" if row[n] is None else row[n] for n in names])
+    if target is None:
+        return buffer.getvalue()
+    return ""
+
+
+def _parse_cell(raw: str, col_type: str):
+    if raw == "":
+        return None
+    if col_type == "number":
+        try:
+            return int(raw)
+        except ValueError:
+            return float(raw)
+    if col_type == "bool":
+        lowered = raw.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise SchemaError(f"cannot parse {raw!r} as a boolean")
+    return raw
+
+
+def _infer_schema(header: list, rows: list) -> Schema:
+    columns = []
+    for index, name in enumerate(header):
+        col_type = "string"
+        for row in rows:
+            raw = row[index] if index < len(row) else ""
+            if raw == "":
+                continue
+            try:
+                float(raw)
+                col_type = "number"
+            except ValueError:
+                if raw.strip().lower() in ("true", "false"):
+                    col_type = "bool"
+                else:
+                    col_type = "string"
+            break
+        columns.append(Column(name, col_type))
+    return Schema(tuple(columns))
+
+
+def table_from_csv(
+    name: str,
+    source: Union[str, TextIO],
+    schema: Optional[Schema] = None,
+) -> Table:
+    """Load a table from CSV text or a file object.
+
+    With a *schema*, cells are parsed to the declared types and rows are
+    validated (including key uniqueness).  Without one, column types are
+    inferred from the first non-empty cell of each column.
+
+    >>> table_from_csv("t", "id,v\\n1,a\\n2,b\\n").row_count
+    2
+    """
+    handle = io.StringIO(source) if isinstance(source, str) else source
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input is empty") from None
+    raw_rows = [row for row in reader if row]
+
+    if schema is None:
+        schema = _infer_schema(header, raw_rows)
+    else:
+        unknown = [h for h in header if h not in schema]
+        if unknown:
+            raise SchemaError(f"CSV has columns not in the schema: {unknown}")
+
+    table = Table(name, schema)
+    for raw in raw_rows:
+        if len(raw) != len(header):
+            raise SchemaError(
+                f"CSV row has {len(raw)} cells, header has {len(header)}"
+            )
+        row = {}
+        for column_name, cell in zip(header, raw):
+            row[column_name] = _parse_cell(cell, schema.column(column_name).col_type)
+        table.insert(row)
+    return table

@@ -1,0 +1,95 @@
+"""Table schemas, derivable from ontology classes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ontology.model import Ontology
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or rows that violate them."""
+
+
+_PYTHON_TYPES = {
+    "number": (int, float),
+    "string": (str,),
+    "bool": (bool,),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column."""
+
+    name: str
+    col_type: str = "string"  # "string" | "number" | "bool"
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.col_type not in _PYTHON_TYPES:
+            raise SchemaError(f"unknown column type {self.col_type!r}")
+
+    def accepts(self, value) -> bool:
+        if value is None:
+            return True  # SQL-style nullable columns
+        if self.col_type == "number" and isinstance(value, bool):
+            return False
+        return isinstance(value, _PYTHON_TYPES[self.col_type])
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of columns with an optional key column."""
+
+    columns: Tuple[Column, ...]
+    key: Optional[str] = None
+
+    def __post_init__(self):
+        if not isinstance(self.columns, tuple):
+            object.__setattr__(self, "columns", tuple(self.columns))
+        if not self.columns:
+            raise SchemaError("schema needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError("duplicate column names")
+        if self.key is not None and self.key not in names:
+            raise SchemaError(f"key {self.key!r} is not a column")
+
+    @classmethod
+    def from_class(cls, ontology: Ontology, class_name: str) -> "Schema":
+        """Derive a schema from an ontology class (inherited slots included)."""
+        slots = ontology.slots_of(class_name)
+        columns = tuple(Column(s.name, s.value_type) for s in slots)
+        return cls(columns, key=ontology.key_of(class_name))
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"no column named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def project(self, names: List[str]) -> "Schema":
+        """A schema with only *names*, keeping the key if it survives."""
+        columns = tuple(self.column(n) for n in names)
+        key = self.key if self.key in names else None
+        return Schema(columns, key=key)
+
+    def validate_row(self, row: dict) -> None:
+        for col in self.columns:
+            if col.name in row and not col.accepts(row[col.name]):
+                raise SchemaError(
+                    f"column {col.name!r} ({col.col_type}) rejects "
+                    f"{row[col.name]!r}"
+                )
+        unknown = set(row) - set(self.column_names())
+        if unknown:
+            raise SchemaError(f"row has unknown columns: {sorted(unknown)}")

@@ -1,0 +1,88 @@
+"""In-memory tables with schema validation and simple size accounting."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.relational.schema import Schema, SchemaError
+
+
+class TableError(ValueError):
+    """Raised for table-level misuse (duplicate keys, bad rows)."""
+
+
+#: Nominal bytes per stored cell, used for data-volume cost accounting
+#: (the paper charges resources per megabyte of data touched).
+BYTES_PER_CELL = 32
+
+
+class Table:
+    """A named, schema-validated collection of rows (dicts).
+
+    >>> from repro.relational.schema import Column, Schema
+    >>> t = Table("t", Schema((Column("id", "number"), Column("v", "number")), key="id"))
+    >>> t.insert({"id": 1, "v": 10})
+    >>> t.row_count
+    1
+    """
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[dict] = ()):
+        if not name:
+            raise TableError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: List[dict] = []
+        self._key_index: Dict[object, int] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: dict) -> None:
+        self.schema.validate_row(row)
+        stored = {name: row.get(name) for name in self.schema.column_names()}
+        if self.schema.key is not None:
+            key = stored.get(self.schema.key)
+            if key is None:
+                raise TableError(f"row missing key {self.schema.key!r}")
+            if key in self._key_index:
+                raise TableError(f"duplicate key {key!r} in table {self.name!r}")
+            self._key_index[key] = len(self._rows)
+        self._rows.append(stored)
+
+    def insert_many(self, rows: Iterable[dict]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[dict]:
+        """Iterate over copies of the stored rows."""
+        return (dict(row) for row in self._rows)
+
+    def lookup(self, key_value) -> Optional[dict]:
+        """Key lookup (O(1)); None when absent or the table has no key."""
+        index = self._key_index.get(key_value)
+        return dict(self._rows[index]) if index is not None else None
+
+    def scan(self, predicate: Optional[Callable[[dict], bool]] = None) -> List[dict]:
+        """Full scan, optionally filtered.  Returns row copies."""
+        if predicate is None:
+            return [dict(row) for row in self._rows]
+        return [dict(row) for row in self._rows if predicate(row)]
+
+    def size_bytes(self) -> int:
+        """Nominal data volume, for the experiments' cost accounting."""
+        return self.row_count * len(self.schema.columns) * BYTES_PER_CELL
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self.row_count} rows)"

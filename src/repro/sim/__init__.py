@@ -1,0 +1,40 @@
+"""The agent-system simulator (paper Section 5.2.1).
+
+The original evaluation used an in-house MCC discrete-event simulator
+whose "broker behaviors were implemented to closely mimic the behaviors
+of the brokers in the actual InfoSleuth system".  We go one better: the
+simulated communities run the *actual* :class:`~repro.agents.BrokerAgent`
+code on the virtual-time bus, with lightweight parametric resource and
+query agents exactly as the paper describes:
+
+* resource agents "simply defined the amount and type of information the
+  brokers have to reason about" — a data domain, a data volume, an
+  advertisement size, and a parametric query-answering speed;
+* query agents "serve only to put a load on the system" — exponential
+  inter-query times, uniform domain choice, bounded-Gaussian complexity
+  and coverage, querying the matched resources after each broker reply;
+* processors/network: speed parameters, bandwidth + latency, and
+  exponential failure/repair processes for the robustness experiments.
+"""
+
+from repro.sim.config import BrokerStrategy, SimConfig
+from repro.sim.rng import SimRng
+from repro.sim.metrics import BrokerQueryRecord, SimMetrics
+from repro.sim.agents import SimQueryAgent, SimResourceAgent
+from repro.sim.reliability import FailureSchedule, ReliabilityController
+from repro.sim.simulator import SimReport, Simulation, run_simulation
+
+__all__ = [
+    "BrokerQueryRecord",
+    "BrokerStrategy",
+    "FailureSchedule",
+    "ReliabilityController",
+    "SimConfig",
+    "SimMetrics",
+    "SimQueryAgent",
+    "SimReport",
+    "SimResourceAgent",
+    "SimRng",
+    "Simulation",
+    "run_simulation",
+]

@@ -1,0 +1,198 @@
+"""Parametric resource and query agents for the simulator.
+
+"There were fewer types of agents used in the simulation experiments ...
+we limited the types to broker, resource and query agents.  The query
+agents are simply a mechanism for putting a load on the brokers, while
+the resource agents simply defined the amount and type of information
+the brokers have to reason about."  (Section 5.2)
+
+Brokers are NOT simulated specially: the communities run the real
+:class:`~repro.agents.BrokerAgent`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.agents.base import Agent, AgentConfig, HandlerResult
+from repro.agents.broker import RecommendRequest
+from repro.core.policy import FollowOption, SearchPolicy
+from repro.core.query import BrokerQuery
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology.service import (
+    AgentLocation,
+    Capabilities,
+    ContentInfo,
+    ServiceDescription,
+    SyntacticInfo,
+)
+from repro.sim.config import SimConfig
+from repro.sim.metrics import BrokerQueryRecord, SimMetrics
+from repro.sim.rng import SimRng
+
+_GENERATE = "generate-query"
+
+
+class SimResourceAgent(Agent):
+    """A parametric resource: a domain, a data volume, a service rate."""
+
+    agent_type = "resource"
+
+    def __init__(
+        self,
+        name: str,
+        domain: str,
+        sim_config: SimConfig,
+        config: Optional[AgentConfig] = None,
+    ):
+        super().__init__(name, config)
+        self.domain = domain
+        self.sim_config = sim_config
+        self.queries_answered = 0
+
+    def build_description(self) -> ServiceDescription:
+        return ServiceDescription(
+            location=AgentLocation(name=self.name, agent_type="resource"),
+            syntax=SyntacticInfo(content_languages=("SQL 2.0",)),
+            capabilities=Capabilities(
+                conversations=("ask-all", "ping"), functions=("relational",)
+            ),
+            content=ContentInfo(ontology_name=self.domain),
+        )
+
+    def on_ask_all(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        cfg = self.sim_config
+        complexity = float(message.extra("complexity", 1.0))
+        coverage = float(message.extra("coverage", cfg.coverage_mean))
+        self.queries_answered += 1
+        result.cost_seconds += (
+            cfg.resource_data_mb * cfg.resource_seconds_per_mb * complexity
+        ) / cfg.processor_speed
+        result_bytes = coverage * cfg.resource_data_mb * 1_000_000
+        result.send(
+            message.reply(Performative.TELL, content=("rows", coverage)),
+            size_bytes=max(result_bytes, 1.0),
+        )
+
+
+class SimQueryAgent(Agent):
+    """The load generator: exponential arrivals, uniform domain/broker
+    choice, Gaussian complexity/coverage, follow-up resource queries."""
+
+    agent_type = "query"
+
+    def __init__(
+        self,
+        name: str,
+        brokers: Sequence[str],
+        domains: Sequence[str],
+        sim_config: SimConfig,
+        metrics: SimMetrics,
+        rng: SimRng,
+        config: Optional[AgentConfig] = None,
+    ):
+        super().__init__(name, config or AgentConfig(redundancy=0))
+        self.brokers = list(brokers)
+        self.domains = list(domains)
+        self.sim_config = sim_config
+        self.metrics = metrics
+        self.rng = rng
+
+    def build_description(self) -> ServiceDescription:
+        return ServiceDescription(
+            location=AgentLocation(name=self.name, agent_type="query")
+        )
+
+    # ------------------------------------------------------------------
+    # arrival process
+    # ------------------------------------------------------------------
+    def on_start(self, now: float) -> HandlerResult:
+        result = super().on_start(now)
+        result.arm(self.rng.exponential(self.sim_config.mean_query_interval),
+                   _GENERATE, maintenance=True)
+        return result
+
+    def on_custom_timer(self, token: object, result: HandlerResult, now: float) -> None:
+        if token != _GENERATE:
+            return
+        self._issue_query(result, now)
+        result.arm(self.rng.exponential(self.sim_config.mean_query_interval),
+                   _GENERATE, maintenance=True)
+
+    # ------------------------------------------------------------------
+    # one query
+    # ------------------------------------------------------------------
+    def _issue_query(self, result: HandlerResult, now: float) -> None:
+        cfg = self.sim_config
+        broker = self.rng.choice(self.brokers)
+        domain = self.rng.choice(self.domains)
+        complexity = self.rng.bounded_gaussian(
+            cfg.complexity_mean, cfg.complexity_std, *cfg.complexity_bounds
+        )
+        coverage = self.rng.bounded_gaussian(
+            cfg.coverage_mean, cfg.coverage_std, *cfg.coverage_bounds
+        )
+        record = BrokerQueryRecord(issued_at=now, broker=broker, domain=domain)
+        self.metrics.broker_queries.append(record)
+
+        request = RecommendRequest(
+            query=BrokerQuery(agent_type="resource", ontology_name=domain),
+            policy=SearchPolicy(hop_count=cfg.query_hop_count(), follow=FollowOption.ALL),
+        )
+        message = KqmlMessage(
+            Performative.RECOMMEND_ALL,
+            sender=self.name,
+            receiver=broker,
+            content=request,
+            ontology="service",
+            extras={"complexity": complexity},
+        )
+        timeout = (
+            cfg.query_reply_timeout
+            if cfg.query_reply_timeout is not None
+            else cfg.duration + 1.0  # effectively: wait out the run
+        )
+        self.ask(
+            message,
+            lambda reply, res: self._broker_replied(record, complexity, coverage,
+                                                    reply, res),
+            result,
+            timeout=timeout,
+        )
+
+    def _broker_replied(
+        self,
+        record: BrokerQueryRecord,
+        complexity: float,
+        coverage: float,
+        reply: Optional[KqmlMessage],
+        result: HandlerResult,
+    ) -> None:
+        if reply is None or reply.performative is not Performative.TELL:
+            return  # timeout: record stays unanswered (Table 5's misses)
+        record.replied_at = self.bus.now
+        record.matched_agents = tuple(m.agent_name for m in reply.content)
+        if not self.sim_config.query_resources_after_reply:
+            return
+        issued_at = self.bus.now
+        for match in reply.content:
+            ask = KqmlMessage(
+                Performative.ASK_ALL,
+                sender=self.name,
+                receiver=match.agent_name,
+                content=f"select * from {record.domain}",
+                language="SQL 2.0",
+                extras={"complexity": complexity, "coverage": coverage},
+            )
+            self.ask(
+                ask,
+                lambda r, res, t0=issued_at: self._resource_replied(t0, r, res),
+                result,
+                timeout=self.sim_config.reply_timeout,
+            )
+
+    def _resource_replied(
+        self, issued_at: float, reply: Optional[KqmlMessage], result: HandlerResult
+    ) -> None:
+        if reply is not None and reply.performative is Performative.TELL:
+            self.metrics.resource_response_times.append(self.bus.now - issued_at)

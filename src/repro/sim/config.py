@@ -1,0 +1,133 @@
+"""Simulation configuration: every Section 5.2.1 parameter in one place.
+
+Values marked *(substituted)* were dropped by the scanned PDF and chosen
+to be consistent with the surviving prose and figure axes; see
+DESIGN.md's dropped-parameter table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class BrokerStrategy(enum.Enum):
+    """The three brokering arrangements of Figure 14."""
+
+    SINGLE = "single"  # one broker holds everything
+    REPLICATED = "replicated"  # every broker holds every advertisement
+    SPECIALIZED = "specialized"  # each resource advertises to one broker
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One simulation scenario."""
+
+    # --- population ----------------------------------------------------
+    n_brokers: int = 10
+    n_resources: int = 100
+    strategy: BrokerStrategy = BrokerStrategy.SPECIALIZED
+    #: resources per data domain; "a query over a particular data domain
+    #: would have four separate resources that satisfied the query".
+    resources_per_domain: int = 4
+    #: robustness experiments: "each resource agent had its own unique
+    #: domain, which helps track exactly how often a query was answered".
+    unique_domains: bool = False
+    #: how many brokers each resource advertises to (robustness sweeps 1-5).
+    advertisement_redundancy: int = 1
+
+    # --- workload --------------------------------------------------------
+    mean_query_interval: float = 30.0  # "QF" in the figures
+    complexity_mean: float = 1.0  # (substituted)
+    complexity_std: float = 0.316  # sqrt(0.1) (substituted)
+    complexity_bounds: tuple = (0.1, 2.0)  # (substituted)
+    coverage_mean: float = 0.1  # (substituted)
+    coverage_std: float = 0.05  # (substituted)
+    coverage_bounds: tuple = (0.01, 1.0)  # (substituted)
+    query_resources_after_reply: bool = True
+
+    # --- machine & network models ----------------------------------------
+    processor_speed: float = 1.0
+    network_bandwidth_bytes_per_s: float = 125_000.0  # (substituted)
+    network_latency_s: float = 0.05  # (substituted)
+
+    # --- agent cost parameters -------------------------------------------
+    advertisement_size_mb: float = 0.1  # Figs 14-16 (substituted); Fig 17 uses 1.0
+    broker_seconds_per_mb: float = 1.0
+    resource_data_mb: float = 10.0  # (substituted)
+    resource_seconds_per_mb: float = 0.1  # 1 s per 10 MB (substituted)
+    base_handling_seconds: float = 0.6  # per-message overhead (substituted)
+    broker_reply_bytes_per_match: int = 1024
+
+    # --- liveness / protocol ----------------------------------------------
+    ping_interval: float = 300.0  # (substituted)
+    reply_timeout: float = 60.0  # (substituted)
+    hop_count: int = 1  # "the hop-count was set to [1]" (fully connected)
+    #: How long a broker waits for a forwarded request's reply before
+    #: answering with partial results.  Must be below the query agent's
+    #: timeout or one dead peer makes every collaborative answer late.
+    broker_peer_timeout: float = 30.0
+    #: Timeout for the query agent's broker queries.  None = wait forever
+    #: (the figure experiments measure saturated response times); the
+    #: robustness experiments set this to ``reply_timeout`` so dead
+    #: brokers register as unanswered queries (Table 5).
+    query_reply_timeout: Optional[float] = None
+
+    # --- reliability -------------------------------------------------------
+    broker_mttf: Optional[float] = None  # None = perfectly reliable
+    broker_mttr: float = 1800.0  # (substituted)
+    #: Resource processors may fail too ("both the processor and network
+    #: connection models admit to being unreliable"); the paper's
+    #: robustness experiments only failed brokers, so this defaults off.
+    resource_mttf: Optional[float] = None
+    resource_mttr: float = 1800.0
+    #: When True, a broker failure wipes its repository (process restart
+    #: with lost state); when False the repository persists across repair.
+    clear_repository_on_failure: bool = False
+    #: When True, resources never re-advertise after a broker failure
+    #: (their broker choice is fixed at start-up, as in the paper's
+    #: simulated resources); redundancy is then the only protection,
+    #: which is what Table 6 measures.
+    fixed_broker_assignment: bool = False
+
+    # --- run control ---------------------------------------------------------
+    duration: float = 43_200.0  # 12 hours (substituted)
+    warmup: float = 600.0  # ignore queries issued before this time
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_brokers < 1 or self.n_resources < 1:
+            raise ValueError("need at least one broker and one resource")
+        if self.mean_query_interval <= 0:
+            raise ValueError("mean query interval must be positive")
+        if self.advertisement_redundancy < 1:
+            raise ValueError("advertisement redundancy must be >= 1")
+        if not self.unique_domains and self.resources_per_domain < 1:
+            raise ValueError("resources per domain must be >= 1")
+        if self.duration <= self.warmup:
+            raise ValueError("duration must exceed warmup")
+
+    @property
+    def n_domains(self) -> int:
+        if self.unique_domains:
+            return self.n_resources
+        return max(1, self.n_resources // self.resources_per_domain)
+
+    def domain_of_resource(self, index: int) -> str:
+        return f"domain{index % self.n_domains}"
+
+    def query_hop_count(self) -> int:
+        """Single/replicated brokers hold everything locally and never
+        forward; only specialized brokering searches peers."""
+        if self.strategy is BrokerStrategy.SPECIALIZED:
+            return self.hop_count
+        return 0
+
+    def effective_redundancy(self) -> int:
+        """The per-strategy number of brokers each resource advertises to."""
+        if self.strategy is BrokerStrategy.REPLICATED:
+            return self.n_brokers
+        if self.strategy is BrokerStrategy.SINGLE:
+            return 1
+        return min(self.advertisement_redundancy, self.n_brokers)

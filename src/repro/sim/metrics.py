@@ -1,0 +1,75 @@
+"""Metrics collection for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class BrokerQueryRecord:
+    """One broker query issued by the query agent."""
+
+    issued_at: float
+    broker: str
+    domain: str
+    replied_at: Optional[float] = None
+    matched_agents: Tuple[str, ...] = ()
+
+    @property
+    def replied(self) -> bool:
+        return self.replied_at is not None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        if self.replied_at is None:
+            return None
+        return self.replied_at - self.issued_at
+
+
+@dataclass
+class SimMetrics:
+    """Everything a simulation run records."""
+
+    broker_queries: List[BrokerQueryRecord] = field(default_factory=list)
+    resource_response_times: List[float] = field(default_factory=list)
+
+    def completed(self, after: float = 0.0, before: float = float("inf")) -> List[BrokerQueryRecord]:
+        return [
+            r
+            for r in self.broker_queries
+            if r.replied and after <= r.issued_at <= before
+        ]
+
+    def issued(self, after: float = 0.0, before: float = float("inf")) -> List[BrokerQueryRecord]:
+        return [r for r in self.broker_queries if after <= r.issued_at <= before]
+
+    def average_broker_response(self, after: float = 0.0,
+                                before: float = float("inf")) -> float:
+        """The figures' headline metric: mean broker-reply latency."""
+        times = [r.response_time for r in self.completed(after, before)]
+        return sum(times) / len(times) if times else float("nan")
+
+    def reply_fraction(self, after: float = 0.0, before: float = float("inf")) -> float:
+        """Table 5: the fraction of broker queries that got any reply.
+
+        ``before`` excludes queries issued so close to the simulation
+        horizon that their replies fall outside the run."""
+        issued = self.issued(after, before)
+        if not issued:
+            return float("nan")
+        return len([r for r in issued if r.replied]) / len(issued)
+
+    def success_fraction(self, expected_matches: dict, after: float = 0.0,
+                         before: float = float("inf")) -> float:
+        """Table 6: among *answered* queries, the fraction whose reply
+        contained the (unique) matching resource for the queried domain."""
+        answered = self.completed(after, before)
+        if not answered:
+            return float("nan")
+        good = 0
+        for record in answered:
+            expected = expected_matches.get(record.domain, set())
+            if expected & set(record.matched_agents):
+                good += 1
+        return good / len(answered)

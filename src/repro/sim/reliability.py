@@ -1,0 +1,99 @@
+"""Hardware reliability: exponential failure/repair of broker processors.
+
+"Both the processor and network connection models admit to being
+unreliable.  We assume an exponential distribution for the time to
+failure and a separate exponential distribution for the time to repair.
+... For the robustness experiments we varied the mean time to failure of
+the brokers' processors only."  (Section 5.2.1)
+
+A failed broker drops all traffic (like a dead TCP endpoint) and loses
+its repository (process restart); on repair it rejoins, re-advertises
+itself to its peers, and is repopulated by the agents' own
+re-advertising cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.agents.broker import BrokerAgent
+from repro.agents.bus import MessageBus
+from repro.core.repository import BrokerRepository
+from repro.sim.rng import SimRng
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """Pre-generated alternating (fail_at, repair_at) windows for one
+    broker, up to the simulation horizon."""
+
+    broker: str
+    windows: Tuple[Tuple[float, float], ...]
+
+    @classmethod
+    def generate(
+        cls,
+        broker: str,
+        mttf: float,
+        mttr: float,
+        horizon: float,
+        rng: SimRng,
+        start: float = 0.0,
+    ) -> "FailureSchedule":
+        """Failure windows in ``[start, horizon]``; *start* lets the
+        community finish its initial advertising before failures begin."""
+        windows: List[Tuple[float, float]] = []
+        clock = start + rng.exponential(mttf)
+        while clock < horizon:
+            down_for = rng.exponential(mttr)
+            windows.append((clock, min(clock + down_for, horizon)))
+            clock += down_for + rng.exponential(mttf)
+        return cls(broker, tuple(windows))
+
+    def downtime(self) -> float:
+        return sum(up - down for down, up in self.windows)
+
+    def availability(self, horizon: float) -> float:
+        return 1.0 - self.downtime() / horizon if horizon > 0 else 1.0
+
+
+class ReliabilityController:
+    """Applies failure schedules to a running community."""
+
+    def __init__(self, bus: MessageBus, clear_repository: bool = False):
+        """``clear_repository`` selects crash semantics: True models a
+        process restart with lost state (agents must re-advertise to
+        repopulate); False models a persistent repository (disk-backed),
+        which is what the paper's Table 6 behaviour implies — with full
+        redundancy every query succeeds as soon as any broker is up."""
+        self.bus = bus
+        self.clear_repository = clear_repository
+        self.failures_applied = 0
+        self.repairs_applied = 0
+
+    def apply(self, schedule: FailureSchedule) -> None:
+        for fail_at, repair_at in schedule.windows:
+            self.bus.schedule_callback(fail_at, self._fail(schedule.broker))
+            self.bus.schedule_callback(repair_at, self._repair(schedule.broker))
+
+    def _fail(self, broker_name: str) -> Callable[[], None]:
+        def callback():
+            self.failures_applied += 1
+            self.bus.set_offline(broker_name)
+            broker = self.bus.agent(broker_name)
+            if isinstance(broker, BrokerAgent):
+                # In-flight conversations are gone either way; the
+                # repository survives unless configured otherwise.
+                broker._conversations.clear()
+                if self.clear_repository:
+                    broker.repository = BrokerRepository(broker.repository.context)
+
+        return callback
+
+    def _repair(self, broker_name: str) -> Callable[[], None]:
+        def callback():
+            self.repairs_applied += 1
+            self.bus.set_offline(broker_name, offline=False)
+
+        return callback

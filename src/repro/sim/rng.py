@@ -1,0 +1,49 @@
+"""Random variates for the simulator (seeded, reproducible)."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+class SimRng:
+    """A seeded random stream with the paper's distributions."""
+
+    def __init__(self, seed: int = 0, stream: str = ""):
+        self._rng = random.Random(f"{seed}:{stream}")
+
+    def exponential(self, mean: float) -> float:
+        """Exponential inter-event / failure / repair times."""
+        if mean <= 0:
+            raise ValueError("exponential mean must be positive")
+        return self._rng.expovariate(1.0 / mean)
+
+    def bounded_gaussian(self, mean: float, std: float, lo: float, hi: float) -> float:
+        """The paper's bounded Gaussian: resample until within bounds.
+
+        Used for query complexity (must stay positive) and coverage
+        (must stay in (0, 1)).
+        """
+        if lo >= hi:
+            raise ValueError("bounds must satisfy lo < hi")
+        for _ in range(1000):
+            value = self._rng.gauss(mean, std)
+            if lo <= value <= hi:
+                return value
+        return min(max(mean, lo), hi)  # pathological parameters: clamp
+
+    def choice(self, options: Sequence):
+        if not options:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._rng.choice(options)
+
+    def sample(self, options: Sequence, k: int):
+        return self._rng.sample(list(options), k)
+
+    def shuffled(self, options: Sequence) -> list:
+        items = list(options)
+        self._rng.shuffle(items)
+        return items
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)

@@ -1,0 +1,213 @@
+"""Building and running simulated communities.
+
+:func:`run_simulation` builds the community a :class:`SimConfig`
+describes — real brokers, parametric resources, one load-generating
+query agent — runs it for the configured duration, and returns a
+:class:`SimReport` with the metrics the paper's figures and tables need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.agents.base import AgentConfig
+from repro.agents.broker import BrokerAgent
+from repro.agents.bus import MessageBus
+from repro.agents.costs import CostModel
+from repro.sim.agents import SimQueryAgent, SimResourceAgent
+from repro.sim.config import BrokerStrategy, SimConfig
+from repro.sim.metrics import SimMetrics
+from repro.sim.reliability import FailureSchedule, ReliabilityController
+from repro.sim.rng import SimRng
+
+
+@dataclass
+class SimReport:
+    """The outcome of one simulation run."""
+
+    config: SimConfig
+    metrics: SimMetrics
+    expected_matches: Dict[str, Set[str]]
+    availability: float = 1.0
+
+    @property
+    def _tail_cutoff(self) -> float:
+        """Queries issued after this time may not have had a fair chance
+        to complete before the simulation horizon."""
+        margin = self.config.query_reply_timeout or 120.0
+        return self.config.duration - margin
+
+    @property
+    def average_broker_response(self) -> float:
+        return self.metrics.average_broker_response(
+            after=self.config.warmup, before=self._tail_cutoff
+        )
+
+    @property
+    def reply_fraction(self) -> float:
+        return self.metrics.reply_fraction(
+            after=self.config.warmup, before=self._tail_cutoff
+        )
+
+    @property
+    def success_fraction(self) -> float:
+        return self.metrics.success_fraction(
+            self.expected_matches, after=self.config.warmup,
+            before=self._tail_cutoff,
+        )
+
+    @property
+    def queries_issued(self) -> int:
+        return len(self.metrics.issued(after=self.config.warmup,
+                                       before=self._tail_cutoff))
+
+
+class Simulation:
+    """A fully wired community, ready to run."""
+
+    def __init__(self, config: SimConfig):
+        self.config = config
+        self.rng = SimRng(config.seed, "sim")
+        self.metrics = SimMetrics()
+        self.bus = MessageBus(
+            CostModel(
+                broker_seconds_per_mb=config.broker_seconds_per_mb / config.processor_speed,
+                resource_seconds_per_mb=config.resource_seconds_per_mb,
+                base_handling_seconds=config.base_handling_seconds / config.processor_speed,
+                latency_seconds=config.network_latency_s,
+                bandwidth_bytes_per_second=config.network_bandwidth_bytes_per_s,
+                broker_reply_bytes_per_match=config.broker_reply_bytes_per_match,
+            )
+        )
+        self.broker_names: List[str] = []
+        self.expected_matches: Dict[str, Set[str]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # community construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        config = self.config
+        n_brokers = 1 if config.strategy is BrokerStrategy.SINGLE else config.n_brokers
+        self.broker_names = [f"broker{i}" for i in range(n_brokers)]
+        for name in self.broker_names:
+            peers = [b for b in self.broker_names if b != name]
+            self.bus.register(
+                BrokerAgent(
+                    name,
+                    peer_brokers=peers,
+                    max_hop_count=config.hop_count,
+                    config=AgentConfig(
+                        preferred_brokers=tuple(peers),
+                        redundancy=len(peers),
+                        ping_interval=config.ping_interval,
+                        reply_timeout=config.broker_peer_timeout,
+                        advertisement_size_mb=0.001,  # broker ads are tiny
+                    ),
+                )
+            )
+
+        redundancy = min(config.effective_redundancy(), n_brokers)
+        resource_ping = (
+            config.duration * 10.0
+            if config.fixed_broker_assignment
+            else config.ping_interval
+        )
+        for index in range(config.n_resources):
+            domain = config.domain_of_resource(index)
+            name = f"resource{index}"
+            self.expected_matches.setdefault(domain, set()).add(name)
+            # "The broker was chosen uniformly randomly from among all the
+            # brokers in the system at start-up, to prevent any regular
+            # distribution pattern of data domains over the brokers."
+            preferred = tuple(self.rng.shuffled(self.broker_names))
+            self.bus.register(
+                SimResourceAgent(
+                    name,
+                    domain,
+                    config,
+                    config=AgentConfig(
+                        preferred_brokers=preferred,
+                        redundancy=redundancy,
+                        ping_interval=resource_ping,
+                        reply_timeout=config.reply_timeout,
+                        advertisement_size_mb=config.advertisement_size_mb,
+                    ),
+                ),
+                # Stagger process start-up so periodic ping cycles do not
+                # arrive at the brokers in synchronized bursts.
+                start_at=self.rng.uniform(0.0, config.ping_interval),
+            )
+
+        domains = sorted(self.expected_matches)
+        self.bus.register(
+            SimQueryAgent(
+                "query-agent",
+                brokers=self.broker_names,
+                domains=domains,
+                sim_config=config,
+                metrics=self.metrics,
+                rng=SimRng(config.seed, "queries"),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> SimReport:
+        config = self.config
+        availability = 1.0
+        if config.broker_mttf is not None:
+            controller = ReliabilityController(
+                self.bus, clear_repository=config.clear_repository_on_failure
+            )
+            availabilities = []
+            for index, name in enumerate(self.broker_names):
+                schedule = FailureSchedule.generate(
+                    name,
+                    config.broker_mttf,
+                    config.broker_mttr,
+                    config.duration,
+                    SimRng(config.seed, f"fail:{index}"),
+                    start=config.warmup,
+                )
+                controller.apply(schedule)
+                availabilities.append(schedule.availability(config.duration))
+            availability = sum(availabilities) / len(availabilities)
+        if config.resource_mttf is not None:
+            controller = ReliabilityController(self.bus)
+            for index in range(config.n_resources):
+                schedule = FailureSchedule.generate(
+                    f"resource{index}",
+                    config.resource_mttf,
+                    config.resource_mttr,
+                    config.duration,
+                    SimRng(config.seed, f"rfail:{index}"),
+                    start=config.warmup,
+                )
+                controller.apply(schedule)
+
+        self.bus.run_until(config.duration)
+        return SimReport(
+            config=config,
+            metrics=self.metrics,
+            expected_matches=self.expected_matches,
+            availability=availability,
+        )
+
+
+def run_simulation(config: SimConfig) -> SimReport:
+    """Build and run one simulated community."""
+    return Simulation(config).run()
+
+
+def run_replicates(config: SimConfig, runs: int = 10) -> List[SimReport]:
+    """The paper's averaging: re-run with different seeds.
+
+    "Because the simulations are based upon pseudo-random inputs, we ran
+    each set of experiments [10] times and averaged the results."
+    """
+    from dataclasses import replace
+
+    return [run_simulation(replace(config, seed=config.seed + i)) for i in range(runs)]

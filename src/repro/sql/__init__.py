@@ -1,0 +1,49 @@
+"""A small SQL subset: the content language of InfoSleuth data queries.
+
+Resource agents advertise "SQL 2.0" as their interface query language;
+the paper's example queries are single-class selects like
+``select * from C2``.  This package implements the slice the agents
+need, from scratch:
+
+.. code-block:: text
+
+    SELECT * | column [, column]*
+    FROM table
+    [WHERE predicate]           -- AND/OR/NOT, comparisons, BETWEEN, IN
+    [ORDER BY column [ASC|DESC]]
+    [LIMIT n]
+
+plus an executor over :class:`repro.relational.Table` objects that
+reports rows scanned (used by the experiments' cost accounting).
+"""
+
+from repro.sql.errors import SqlError, SqlParseError
+from repro.sql.ast import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    OrderBy,
+    Select,
+)
+from repro.sql.parser import parse_select
+from repro.sql.executor import QueryResult, execute_select, where_to_constraint
+
+__all__ = [
+    "And",
+    "Between",
+    "Comparison",
+    "InList",
+    "Not",
+    "Or",
+    "OrderBy",
+    "QueryResult",
+    "Select",
+    "SqlError",
+    "SqlParseError",
+    "execute_select",
+    "parse_select",
+    "where_to_constraint",
+]

@@ -1,0 +1,92 @@
+"""AST for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal`` where op is one of = != <> < <= > >=."""
+
+    column: str
+    op: str
+    value: object
+
+
+@dataclass(frozen=True)
+class Between:
+    """``column BETWEEN lo AND hi`` (inclusive)."""
+
+    column: str
+    lo: object
+    hi: object
+
+
+@dataclass(frozen=True)
+class InList:
+    """``column IN (v1, v2, ...)``."""
+
+    column: str
+    values: Tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Predicate"
+    right: "Predicate"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Predicate"
+    right: "Predicate"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Predicate"
+
+
+Predicate = Union[Comparison, Between, InList, And, Or, Not]
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """One SELECT statement.  ``columns`` is None for ``*``."""
+
+    table: str
+    columns: Optional[Tuple[str, ...]] = None
+    where: Optional[Predicate] = None
+    order_by: Optional[OrderBy] = None
+    limit: Optional[int] = None
+
+    def __post_init__(self):
+        if self.columns is not None:
+            object.__setattr__(self, "columns", tuple(self.columns))
+
+    def is_star(self) -> bool:
+        return self.columns is None
+
+
+def predicate_columns(predicate: Optional[Predicate]) -> set:
+    """All column names referenced by *predicate*."""
+    if predicate is None:
+        return set()
+    if isinstance(predicate, (Comparison, Between, InList)):
+        return {predicate.column}
+    if isinstance(predicate, (And, Or)):
+        return predicate_columns(predicate.left) | predicate_columns(predicate.right)
+    if isinstance(predicate, Not):
+        return predicate_columns(predicate.operand)
+    raise TypeError(f"not a predicate: {predicate!r}")

@@ -1,0 +1,13 @@
+"""Errors for the SQL package."""
+
+
+class SqlError(ValueError):
+    """Base error for SQL processing."""
+
+
+class SqlParseError(SqlError):
+    """Raised when a statement cannot be lexed or parsed."""
+
+
+class SqlExecutionError(SqlError):
+    """Raised when a valid statement cannot run against the catalog."""

@@ -1,0 +1,72 @@
+"""SQL lexer."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.sql.errors import SqlParseError
+
+KEYWORDS = frozenset(
+    "select from where and or not between in order by limit asc desc null".split()
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<number>-?\d+\.\d+|-?\d+)
+    | (?P<string>'(?:[^']|'')*')
+    | (?P<op><=|>=|<>|!=|=|<|>)
+    | (?P<punct>[(),*])
+    | (?P<word>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'keyword', 'ident', 'number', 'string',
+    'op', 'punct' or 'end'."""
+
+    kind: str
+    value: object
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex *text* into tokens, appending a synthetic ``end`` token."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise SqlParseError(f"cannot lex SQL at: {text[pos:pos + 20]!r}")
+        start = pos
+        pos = m.end()
+        if m.lastgroup == "number":
+            raw = m.group("number")
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(Token("number", value, start))
+        elif m.lastgroup == "string":
+            raw = m.group("string")[1:-1].replace("''", "'")
+            tokens.append(Token("string", raw, start))
+        elif m.lastgroup == "op":
+            tokens.append(Token("op", m.group("op"), start))
+        elif m.lastgroup == "punct":
+            tokens.append(Token("punct", m.group("punct"), start))
+        else:
+            word = m.group("word")
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, start))
+            else:
+                tokens.append(Token("ident", word, start))
+    tokens.append(Token("end", None, len(text)))
+    return tokens

@@ -1,0 +1,180 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (see package docstring)::
+
+    select    := SELECT cols FROM ident [WHERE or_expr]
+                 [ORDER BY ident [ASC|DESC]] [LIMIT number]
+    cols      := '*' | ident (',' ident)*
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | primary
+    primary   := '(' or_expr ')'
+               | ident ('=',...) literal
+               | ident BETWEEN literal AND literal
+               | ident [NOT] IN '(' literal (',' literal)* ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sql.ast import And, Between, Comparison, InList, Not, Or, OrderBy, Select
+from repro.sql.errors import SqlParseError
+from repro.sql.lexer import Token, tokenize
+
+_COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        token = self.advance()
+        if not token.is_keyword(word):
+            raise SqlParseError(f"expected {word.upper()}, got {token.value!r}")
+
+    def expect_ident(self) -> str:
+        token = self.advance()
+        if token.kind != "ident":
+            raise SqlParseError(f"expected an identifier, got {token.value!r}")
+        return token.value
+
+    def expect_punct(self, mark: str) -> None:
+        token = self.advance()
+        if token.kind != "punct" or token.value != mark:
+            raise SqlParseError(f"expected {mark!r}, got {token.value!r}")
+
+    def expect_literal(self):
+        token = self.advance()
+        if token.kind in ("number", "string"):
+            return token.value
+        if token.is_keyword("null"):
+            return None
+        raise SqlParseError(f"expected a literal, got {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_select(self) -> Select:
+        self.expect_keyword("select")
+        columns = self._parse_columns()
+        self.expect_keyword("from")
+        table = self.expect_ident()
+
+        where = None
+        if self.peek().is_keyword("where"):
+            self.advance()
+            where = self._parse_or()
+
+        order_by = None
+        if self.peek().is_keyword("order"):
+            self.advance()
+            self.expect_keyword("by")
+            column = self.expect_ident()
+            descending = False
+            if self.peek().is_keyword("desc"):
+                self.advance()
+                descending = True
+            elif self.peek().is_keyword("asc"):
+                self.advance()
+            order_by = OrderBy(column, descending)
+
+        limit = None
+        if self.peek().is_keyword("limit"):
+            self.advance()
+            token = self.advance()
+            if token.kind != "number" or not isinstance(token.value, int) or token.value < 0:
+                raise SqlParseError(f"LIMIT needs a non-negative integer, got {token.value!r}")
+            limit = token.value
+
+        if self.peek().kind != "end":
+            raise SqlParseError(f"unexpected trailing token {self.peek().value!r}")
+        return Select(table=table, columns=columns, where=where,
+                      order_by=order_by, limit=limit)
+
+    def _parse_columns(self) -> Optional[tuple]:
+        if self.peek().kind == "punct" and self.peek().value == "*":
+            self.advance()
+            return None
+        columns = [self.expect_ident()]
+        while self.peek().kind == "punct" and self.peek().value == ",":
+            self.advance()
+            columns.append(self.expect_ident())
+        return tuple(columns)
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self.peek().is_keyword("or"):
+            self.advance()
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self.peek().is_keyword("and"):
+            self.advance()
+            left = And(left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self.peek().is_keyword("not"):
+            self.advance()
+            return Not(self._parse_not())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self.peek()
+        if token.kind == "punct" and token.value == "(":
+            self.advance()
+            inner = self._parse_or()
+            self.expect_punct(")")
+            return inner
+        column = self.expect_ident()
+        token = self.advance()
+        if token.kind == "op" and token.value in _COMPARISON_OPS:
+            return Comparison(column, token.value, self.expect_literal())
+        if token.is_keyword("between"):
+            lo = self.expect_literal()
+            self.expect_keyword("and")
+            hi = self.expect_literal()
+            return Between(column, lo, hi)
+        if token.is_keyword("not"):
+            self.expect_keyword("in")
+            return Not(self._parse_in_list(column))
+        if token.is_keyword("in"):
+            return self._parse_in_list(column)
+        raise SqlParseError(f"expected a comparison after {column!r}, got {token.value!r}")
+
+    def _parse_in_list(self, column: str) -> InList:
+        self.expect_punct("(")
+        values = [self.expect_literal()]
+        while True:
+            token = self.advance()
+            if token.kind == "punct" and token.value == ")":
+                return InList(column, tuple(values))
+            if token.kind != "punct" or token.value != ",":
+                raise SqlParseError(f"expected ',' or ')', got {token.value!r}")
+            values.append(self.expect_literal())
+
+
+def parse_select(text: str) -> Select:
+    """Parse one SELECT statement.
+
+    >>> parse_select("select * from C2").table
+    'C2'
+    """
+    return _Parser(tokenize(text)).parse_select()

@@ -1,0 +1,66 @@
+"""Render SQL ASTs back to text (used by the MRQ agent to rewrite
+per-resource queries over fragments and subclasses)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sql.ast import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    OrderBy,
+    Predicate,
+    Select,
+)
+from repro.sql.errors import SqlError
+
+
+def render_literal(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        raise SqlError("boolean literals are not part of the SQL subset")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise SqlError(f"cannot render literal {value!r}")
+
+
+def render_predicate(predicate: Predicate) -> str:
+    if isinstance(predicate, Comparison):
+        return f"{predicate.column} {predicate.op} {render_literal(predicate.value)}"
+    if isinstance(predicate, Between):
+        return (
+            f"{predicate.column} between {render_literal(predicate.lo)} "
+            f"and {render_literal(predicate.hi)}"
+        )
+    if isinstance(predicate, InList):
+        inner = ", ".join(render_literal(v) for v in predicate.values)
+        return f"{predicate.column} in ({inner})"
+    if isinstance(predicate, And):
+        return f"({render_predicate(predicate.left)} and {render_predicate(predicate.right)})"
+    if isinstance(predicate, Or):
+        return f"({render_predicate(predicate.left)} or {render_predicate(predicate.right)})"
+    if isinstance(predicate, Not):
+        return f"not ({render_predicate(predicate.operand)})"
+    raise SqlError(f"unknown predicate node {predicate!r}")
+
+
+def render_select(select: Select) -> str:
+    """Serialize a :class:`Select` back to SQL text (re-parseable)."""
+    columns = "*" if select.is_star() else ", ".join(select.columns)
+    text = f"select {columns} from {select.table}"
+    if select.where is not None:
+        text += f" where {render_predicate(select.where)}"
+    if select.order_by is not None:
+        text += f" order by {select.order_by.column}"
+        if select.order_by.descending:
+            text += " desc"
+    if select.limit is not None:
+        text += f" limit {select.limit}"
+    return text

@@ -1,0 +1,411 @@
+"""End-to-end tests of InfoSleuth communities (the paper's Figures 5-7).
+
+These run real KQML traffic over the virtual-time bus: user agent ->
+broker -> MRQ agent -> broker -> resource agents -> assembly -> user.
+"""
+
+import pytest
+
+from repro.agents import (
+    AgentConfig,
+    BrokerAgent,
+    CostModel,
+    MessageBus,
+    MonitorAgent,
+    MultiResourceQueryAgent,
+    OntologyAgent,
+    ResourceAgent,
+    UserAgent,
+)
+from repro.agents.broker import RecommendRequest
+from repro.core.matcher import MatchContext
+from repro.core.policy import FollowOption, SearchPolicy
+from repro.core.query import BrokerQuery
+from repro.constraints import parse_constraint
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology import demo_ontology
+from repro.ontology.demo import hierarchy_ontology
+from repro.relational import generate_table, horizontal_fragments, vertical_fragments
+from repro.relational.generate import generate_table as gen
+
+
+def fast_costs():
+    return CostModel(
+        broker_seconds_per_mb=0.01,
+        resource_seconds_per_mb=0.01,
+        base_handling_seconds=0.0001,
+        latency_seconds=0.001,
+        bandwidth_bytes_per_second=1e9,
+    )
+
+
+def build_figure5_community(n_brokers=1):
+    """The Section 2.2 community: DB1 holds C1+C2, DB2 holds C2+C3."""
+    onto = demo_ontology(3)
+    context = MatchContext(ontologies={"demo": onto})
+    bus = MessageBus(fast_costs())
+
+    broker_names = [f"broker{i + 1}" for i in range(n_brokers)]
+    for name in broker_names:
+        bus.register(BrokerAgent(name, context=context,
+                                 peer_brokers=[b for b in broker_names if b != name]))
+
+    c1 = gen(onto, "C1", 8, seed=1)
+    c2a = gen(onto, "C2", 10, seed=2)
+    c2b, c3 = horizontal_fragments(gen(onto, "C2", 10, seed=3), 1)[0], gen(onto, "C3", 6, seed=4)
+    # DB2's copy of C2 holds different rows: shift the keys.
+    c2b_rows = [dict(r, c2_id=r["c2_id"] + 100) for r in c2b.rows()]
+    from repro.relational import Table
+    c2b = Table("C2", c2b.schema, c2b_rows)
+
+    def cfg(broker):
+        return AgentConfig(preferred_brokers=(broker,), redundancy=1)
+
+    bus.register(ResourceAgent(
+        "DB1-resource", {"C1": c1, "C2": c2a}, "demo",
+        config=cfg(broker_names[0]),
+    ))
+    bus.register(ResourceAgent(
+        "DB2-resource", {"C2": c2b, "C3": c3}, "demo",
+        config=cfg(broker_names[-1]),
+    ))
+    bus.register(MultiResourceQueryAgent(
+        "MRQ-agent", "demo", ontology=onto, config=cfg(broker_names[0]),
+    ))
+    user = UserAgent("mhn-user", config=cfg(broker_names[-1]))
+    bus.register(user)
+    bus.run_until(1.0)  # let everyone advertise
+    return bus, user, onto
+
+
+class TestFigure567Flow:
+    def test_select_from_c2_merges_both_resources(self):
+        bus, user, _ = build_figure5_community()
+        user.submit("select * from C2")
+        bus.run()
+        assert len(user.completed) == 1
+        done = user.completed[0]
+        assert done.succeeded, done.error
+        # 10 rows from DB1's C2 plus 10 shifted rows from DB2's C2.
+        assert done.result.row_count == 20
+
+    def test_select_from_c3_uses_only_db2(self):
+        bus, user, _ = build_figure5_community()
+        user.submit("select * from C3")
+        bus.run()
+        done = user.completed[0]
+        assert done.succeeded
+        assert done.result.row_count == 6
+        assert bus.agent("DB1-resource").queries_answered == 0
+        assert bus.agent("DB2-resource").queries_answered == 1
+
+    def test_where_clause_filters(self):
+        bus, user, _ = build_figure5_community()
+        user.submit("select c1_id from C1 where c1_id <= 3")
+        bus.run()
+        done = user.completed[0]
+        assert done.succeeded
+        assert sorted(r["c1_id"] for r in done.result.rows) == [1, 2, 3]
+
+    def test_unknown_class_yields_error(self):
+        bus, user, _ = build_figure5_community()
+        user.submit("select * from C9")
+        bus.run()
+        done = user.completed[0]
+        assert not done.succeeded
+
+    def test_multibroker_community_answers_too(self):
+        bus, user, _ = build_figure5_community(n_brokers=3)
+        user.submit("select * from C2")
+        bus.run()
+        done = user.completed[0]
+        assert done.succeeded, done.error
+        assert done.result.row_count == 20
+
+    def test_response_time_recorded(self):
+        bus, user, _ = build_figure5_community()
+        user.submit("select * from C1", at=0.5)
+        bus.run()
+        assert user.completed[0].submitted_at >= 0.5
+        assert user.completed[0].response_time > 0
+
+
+class TestVerticalFragmentation:
+    def build(self):
+        onto = demo_ontology(1, slots_per_class=5)
+        context = MatchContext(ontologies={"demo": onto})
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("broker1", context=context))
+        base = gen(onto, "C1", 12, seed=5)
+        frag1, frag2 = vertical_fragments(base, [["c1_s1", "c1_s2"], ["c1_s3", "c1_s4"]])
+        cfg = AgentConfig(preferred_brokers=("broker1",), redundancy=1)
+        bus.register(ResourceAgent(
+            "VF1", {"C1": frag1}, "demo", config=cfg,
+            advertised_slots=tuple(frag1.schema.column_names()),
+        ))
+        bus.register(ResourceAgent(
+            "VF2", {"C1": frag2}, "demo", config=cfg,
+            advertised_slots=tuple(frag2.schema.column_names()),
+        ))
+        bus.register(MultiResourceQueryAgent("MRQ", "demo", ontology=onto, config=cfg))
+        user = UserAgent("user", config=cfg)
+        bus.register(user)
+        bus.run_until(1.0)
+        return bus, user, base
+
+    def test_star_select_joins_fragments(self):
+        bus, user, base = self.build()
+        user.submit("select * from C1")
+        bus.run()
+        done = user.completed[0]
+        assert done.succeeded, done.error
+        assert done.result.row_count == 12
+        assert set(done.result.columns) == {"c1_id", "c1_s1", "c1_s2", "c1_s3", "c1_s4"}
+        originals = {r["c1_id"]: r for r in base.rows()}
+        for row in done.result.rows:
+            assert row == originals[row["c1_id"]]
+
+    def test_cross_fragment_predicate(self):
+        bus, user, base = self.build()
+        # s1 lives in fragment 1, s3 in fragment 2: neither resource can
+        # evaluate the whole predicate; the MRQ must post-filter.
+        expected = [
+            r["c1_id"] for r in base.rows() if r["c1_s1"] > 300 and r["c1_s3"] > 300
+        ]
+        user.submit("select c1_id from C1 where c1_s1 > 300 and c1_s3 > 300")
+        bus.run()
+        done = user.completed[0]
+        assert done.succeeded, done.error
+        assert sorted(r["c1_id"] for r in done.result.rows) == sorted(expected)
+
+    def test_single_fragment_projection(self):
+        bus, user, _ = self.build()
+        user.submit("select c1_s1 from C1 where c1_s1 >= 0")
+        bus.run()
+        done = user.completed[0]
+        assert done.succeeded
+        assert done.result.columns == ("c1_s1",)
+        assert done.result.row_count == 12
+
+
+class TestClassHierarchy:
+    def build(self):
+        onto = hierarchy_ontology(depth=2, fanout=2)  # H with H1, H2
+        context = MatchContext(ontologies={"hierarchy": onto})
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("broker1", context=context))
+        cfg = AgentConfig(preferred_brokers=("broker1",), redundancy=1)
+        h1 = gen(onto, "H1", 5, seed=6)
+        h2 = gen(onto, "H2", 7, seed=7)
+        # Shift H2 keys so the union has unique h_ids.
+        from repro.relational import Table
+        h2 = Table("H2", h2.schema, [dict(r, h_id=r["h_id"] + 50) for r in h2.rows()])
+        bus.register(ResourceAgent("RA-H1", {"H1": h1}, "hierarchy", config=cfg))
+        bus.register(ResourceAgent("RA-H2", {"H2": h2}, "hierarchy", config=cfg))
+        bus.register(MultiResourceQueryAgent("MRQ", "hierarchy", ontology=onto, config=cfg))
+        user = UserAgent("user", config=cfg)
+        bus.register(user)
+        bus.run_until(1.0)
+        return bus, user
+
+    def test_superclass_query_unions_subclasses(self):
+        bus, user = self.build()
+        user.submit("select h_id, h_val from H")
+        bus.run()
+        done = user.completed[0]
+        assert done.succeeded, done.error
+        assert done.result.row_count == 12
+        assert set(done.result.columns) == {"h_id", "h_val"}
+
+    def test_subclass_query_targets_one_resource(self):
+        bus, user = self.build()
+        user.submit("select h_id from H1")
+        bus.run()
+        done = user.completed[0]
+        assert done.succeeded
+        assert done.result.row_count == 5
+        assert bus.agent("RA-H2").queries_answered == 0
+
+
+class TestMultibrokerSearch:
+    def build(self, hop_count=8, prune=True):
+        """Resources split across two brokers; queries enter at broker1."""
+        onto = demo_ontology(2)
+        context = MatchContext(ontologies={"demo": onto})
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("b1", context=context, peer_brokers=["b2"],
+                                 prune_peers_by_specialty=prune))
+        bus.register(BrokerAgent("b2", context=context, peer_brokers=["b1"],
+                                 prune_peers_by_specialty=prune))
+        cfg1 = AgentConfig(preferred_brokers=("b1",), redundancy=1)
+        cfg2 = AgentConfig(preferred_brokers=("b2",), redundancy=1)
+        bus.register(ResourceAgent("R1", {"C1": gen(onto, "C1", 5, seed=8)}, "demo",
+                                   config=cfg1))
+        bus.register(ResourceAgent("R2", {"C2": gen(onto, "C2", 5, seed=9)}, "demo",
+                                   config=cfg2))
+        bus.run_until(1.0)
+        return bus
+
+    _driver_seq = 0
+
+    def recommend(self, bus, broker, classes, hop_count=8,
+                  follow=FollowOption.ALL):
+        TestMultibrokerSearch._driver_seq += 1
+        driver_name = f"driver{TestMultibrokerSearch._driver_seq}"
+        replies = []
+
+        class Driver(UserAgent):
+            def on_custom_timer(self, token, result, now):
+                request = RecommendRequest(
+                    query=BrokerQuery(agent_type="resource", ontology_name="demo",
+                                      classes=classes),
+                    policy=SearchPolicy(hop_count=hop_count, follow=follow),
+                )
+                message = KqmlMessage(
+                    Performative.RECOMMEND_ALL, sender=self.name, receiver=broker,
+                    content=request,
+                )
+                self.ask(message, lambda r, res: replies.append(r), result)
+
+        driver = Driver(driver_name, config=AgentConfig(preferred_brokers=(broker,),
+                                                        redundancy=0))
+        bus.register(driver)
+        bus.schedule_timer(driver_name, bus.now, "go")
+        bus.run()
+        assert replies and replies[0] is not None
+        return [m.agent_name for m in replies[0].content]
+
+    def test_interbroker_search_finds_remote_resource(self):
+        bus = self.build()
+        assert self.recommend(bus, "b1", ("C2",)) == ["R2"]
+
+    def test_hop_count_zero_stays_local(self):
+        bus = self.build()
+        assert self.recommend(bus, "b1", ("C2",), hop_count=0) == []
+        assert self.recommend(bus, "b1", ("C1",), hop_count=0) == ["R1"]
+
+    def test_local_only_follow_option(self):
+        bus = self.build()
+        assert self.recommend(bus, "b1", ("C2",), follow=FollowOption.LOCAL_ONLY) == []
+
+    def test_until_match_stops_at_local_match(self):
+        bus = self.build()
+        b2 = bus.agent("b2")
+        before = b2.repository.stats.queries_answered
+        assert self.recommend(bus, "b1", ("C1",), follow=FollowOption.UNTIL_MATCH) == ["R1"]
+        assert b2.repository.stats.queries_answered == before  # not consulted
+
+    def test_no_duplicate_results_with_redundant_advertising(self):
+        onto = demo_ontology(1)
+        context = MatchContext(ontologies={"demo": onto})
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("b1", context=context, peer_brokers=["b2"]))
+        bus.register(BrokerAgent("b2", context=context, peer_brokers=["b1"]))
+        bus.register(ResourceAgent(
+            "R1", {"C1": gen(onto, "C1", 3, seed=1)}, "demo",
+            config=AgentConfig(preferred_brokers=("b1", "b2"), redundancy=2),
+        ))
+        bus.run_until(1.0)
+        assert self.recommend(bus, "b1", ("C1",)) == ["R1"]  # deduplicated
+
+
+class TestSpecializedBrokers:
+    def test_out_of_specialty_ad_forwarded(self):
+        onto = demo_ontology(1)
+        context = MatchContext(ontologies={"demo": onto})
+        bus = MessageBus(fast_costs())
+        health = BrokerAgent("health-broker", context=context,
+                             peer_brokers=["demo-broker"],
+                             specializations=("healthcare",),
+                             accept_only_specialty=True)
+        demo = BrokerAgent("demo-broker", context=context,
+                           peer_brokers=["health-broker"],
+                           specializations=("demo",))
+        bus.register(health)
+        bus.register(demo)
+        bus.run_until(0.5)  # brokers exchange broker-advertisements
+        resource = ResourceAgent(
+            "R1", {"C1": gen(onto, "C1", 3, seed=1)}, "demo",
+            config=AgentConfig(preferred_brokers=("health-broker",), redundancy=1),
+        )
+        bus.register(resource)
+        bus.run()
+        # The health broker rejected and forwarded; the demo broker holds it.
+        assert not health.repository.knows("R1")
+        assert demo.repository.knows("R1")
+        assert health.rejected_advertisements == 1
+        # The resource learned who actually accepted.
+        assert resource.connected_broker_list == ["demo-broker"]
+
+    def test_rejection_without_alternative_gets_sorry(self):
+        bus = MessageBus(fast_costs())
+        health = BrokerAgent("health-broker",
+                             specializations=("healthcare",),
+                             accept_only_specialty=True)
+        bus.register(health)
+        resource = ResourceAgent(
+            "R1", {"C1": gen(demo_ontology(1), "C1", 3, seed=1)}, "demo",
+            config=AgentConfig(preferred_brokers=("health-broker",), redundancy=1),
+        )
+        bus.register(resource)
+        bus.run()
+        assert resource.connected_broker_list == []
+        assert not health.repository.knows("R1")
+
+
+class TestOntologyAndMonitorAgents:
+    def test_ontology_agent_serves_definitions(self):
+        onto = demo_ontology(2)
+        bus = MessageBus(fast_costs())
+        bus.register(OntologyAgent("onto-agent", {"demo": onto}))
+        answers = []
+
+        class Asker(UserAgent):
+            def on_custom_timer(self, token, result, now):
+                message = KqmlMessage(
+                    Performative.ASK_ONE, sender=self.name, receiver="onto-agent",
+                    content=token,
+                )
+                self.ask(message, lambda r, res: answers.append(r), result)
+
+        asker = Asker("asker", config=AgentConfig(redundancy=0))
+        bus.register(asker)
+        for request in [("ontologies",), ("classes", "demo"), ("slots", "demo", "C1"),
+                        ("nonsense",)]:
+            bus.schedule_timer("asker", bus.now, request)
+        bus.run()
+        contents = {a.performative: None for a in answers}
+        tells = [a for a in answers if a.performative is Performative.TELL]
+        sorries = [a for a in answers if a.performative is Performative.SORRY]
+        assert len(tells) == 3 and len(sorries) == 1
+        assert ["demo"] in [t.content for t in tells]
+
+    def test_monitor_notifies_on_change(self):
+        bus, user, onto = build_figure5_community()
+        monitor = MonitorAgent("monitor", query_agent="MRQ-agent", poll_interval=10.0,
+                               config=AgentConfig(redundancy=0))
+        bus.register(monitor)
+        notifications = []
+
+        class Subscriber(UserAgent):
+            def on_tell(self, message, result, now):
+                notifications.append(message)
+
+            def on_custom_timer(self, token, result, now):
+                message = KqmlMessage(
+                    Performative.SUBSCRIBE, sender=self.name, receiver="monitor",
+                    content="select * from C1",
+                )
+                self.ask(message, lambda r, res: None, result)
+
+        sub = Subscriber("subscriber", config=AgentConfig(redundancy=0))
+        bus.register(sub)
+        bus.schedule_timer("subscriber", 2.0, "subscribe")
+        bus.run_until(15.0)  # first poll establishes the baseline
+        assert notifications == []
+        # Mutate the data; the next poll should notify.
+        db1 = bus.agent("DB1-resource")
+        db1.catalog["C1"].insert({"c1_id": 99, "c1_s1": 1, "c1_s2": 2, "c1_s3": 3})
+        bus.run_until(40.0)
+        assert len(notifications) == 1
+        assert notifications[0].extra("subscription") == "sub1"

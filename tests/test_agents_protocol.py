@@ -1,0 +1,179 @@
+"""Protocol edge cases: malformed content, unsupported performatives,
+unadvertise flows, recommend-one semantics."""
+
+import pytest
+
+from repro.agents import (
+    AgentConfig,
+    BrokerAgent,
+    CostModel,
+    MessageBus,
+    MultiResourceQueryAgent,
+    ResourceAgent,
+)
+from repro.agents.base import Agent, HandlerResult
+from repro.agents.broker import RecommendRequest
+from repro.core import BrokerQuery
+from repro.core.matcher import MatchContext
+from repro.core.policy import SearchPolicy
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology import demo_ontology
+from repro.relational.generate import generate_table
+
+
+def fast_costs():
+    return CostModel(latency_seconds=0.001, base_handling_seconds=0.0001,
+                     bandwidth_bytes_per_second=1e9)
+
+
+class Prober(Agent):
+    """Sends one prepared message and records the reply."""
+
+    def __init__(self, name, **kw):
+        super().__init__(name, **kw)
+        self.replies = []
+
+    def on_custom_timer(self, token, result, now):
+        message = token
+        if message.expects_reply() or message.reply_with:
+            self.ask(message, lambda r, res: self.replies.append(r), result)
+        else:
+            result.send(message)
+
+
+def probe(bus, message):
+    name = f"prober{len(bus.agent_names())}"
+    prober = Prober(name, config=AgentConfig(redundancy=0))
+    bus.register(prober)
+    fixed = KqmlMessage(
+        message.performative, sender=name, receiver=message.receiver,
+        content=message.content, language=message.language,
+        reply_with=message.reply_with, extras=message.extras,
+    )
+    bus.schedule_timer(name, bus.now, fixed)
+    bus.run()
+    return prober.replies[0] if prober.replies else None
+
+
+def community():
+    onto = demo_ontology(1)
+    context = MatchContext(ontologies={"demo": onto})
+    bus = MessageBus(fast_costs())
+    bus.register(BrokerAgent("b1", context=context))
+    bus.register(ResourceAgent(
+        "R1", {"C1": generate_table(onto, "C1", 3, seed=1)}, "demo",
+        config=AgentConfig(preferred_brokers=("b1",), redundancy=1,
+                           advertisement_size_mb=0.01),
+    ))
+    bus.run_until(1.0)
+    return bus
+
+
+class TestMalformedContent:
+    def test_broker_rejects_non_request_content(self):
+        bus = community()
+        reply = probe(bus, KqmlMessage(
+            Performative.RECOMMEND_ALL, sender="x", receiver="b1",
+            content="who has SQL?",
+        ))
+        assert reply.performative is Performative.SORRY
+
+    def test_broker_rejects_non_advertisement(self):
+        bus = community()
+        reply = probe(bus, KqmlMessage(
+            Performative.ADVERTISE, sender="x", receiver="b1",
+            content={"not": "an advertisement"}, reply_with="adv1",
+        ))
+        assert reply.performative is Performative.SORRY
+
+    def test_resource_rejects_non_sql(self):
+        bus = community()
+        reply = probe(bus, KqmlMessage(
+            Performative.ASK_ALL, sender="x", receiver="R1", content=42,
+        ))
+        assert reply.performative is Performative.SORRY
+
+    def test_resource_reports_sql_errors(self):
+        bus = community()
+        reply = probe(bus, KqmlMessage(
+            Performative.ASK_ALL, sender="x", receiver="R1",
+            content="select ghost from C1",
+        ))
+        assert reply.performative is Performative.SORRY
+        assert "ghost" in str(reply.content)
+
+    def test_unsupported_performative_gets_sorry(self):
+        bus = community()
+        reply = probe(bus, KqmlMessage(
+            Performative.SUBSCRIBE, sender="x", receiver="b1",
+            content="select * from C1",
+        ))
+        assert reply.performative is Performative.SORRY
+
+
+class TestUnadvertise:
+    def test_unadvertise_removes_and_confirms(self):
+        bus = community()
+        broker = bus.agent("b1")
+        assert broker.repository.knows("R1")
+        reply = probe(bus, KqmlMessage(
+            Performative.UNADVERTISE, sender="R1", receiver="b1",
+            content="R1", reply_with="un1",
+        ))
+        assert reply.performative is Performative.TELL
+        assert not broker.repository.knows("R1")
+
+    def test_unadvertise_unknown_agent_sorry(self):
+        bus = community()
+        reply = probe(bus, KqmlMessage(
+            Performative.UNADVERTISE, sender="x", receiver="b1",
+            content="nobody", reply_with="un2",
+        ))
+        assert reply.performative is Performative.SORRY
+
+
+class TestRecommendOne:
+    def test_returns_at_most_one(self):
+        bus = community()
+        onto = demo_ontology(1)
+        bus.register(ResourceAgent(
+            "R2", {"C1": generate_table(onto, "C1", 3, seed=2)}, "demo",
+            config=AgentConfig(preferred_brokers=("b1",), redundancy=1,
+                               advertisement_size_mb=0.01),
+        ))
+        bus.run_until(bus.now + 1.0)
+        reply = probe(bus, KqmlMessage(
+            Performative.RECOMMEND_ONE, sender="x", receiver="b1",
+            content=RecommendRequest(
+                query=BrokerQuery(agent_type="resource", ontology_name="demo"),
+                policy=SearchPolicy(hop_count=0),
+            ),
+        ))
+        assert reply.performative is Performative.TELL
+        assert len(reply.content) == 1
+
+    def test_empty_when_nothing_matches(self):
+        bus = community()
+        reply = probe(bus, KqmlMessage(
+            Performative.RECOMMEND_ONE, sender="x", receiver="b1",
+            content=RecommendRequest(
+                query=BrokerQuery(agent_type="resource", ontology_name="nosuch"),
+                policy=SearchPolicy(hop_count=0),
+            ),
+        ))
+        assert reply.performative is Performative.TELL
+        assert reply.content == []
+
+
+class TestProcessorSpeedScaling:
+    def test_faster_processors_answer_sooner(self):
+        from repro.sim import SimConfig, run_simulation
+
+        def response(speed):
+            return run_simulation(SimConfig(
+                n_brokers=3, n_resources=12, mean_query_interval=25.0,
+                duration=2400.0, warmup=400.0, advertisement_size_mb=0.1,
+                processor_speed=speed, seed=5,
+            )).average_broker_response
+
+        assert response(2.0) < response(1.0) < response(0.5)

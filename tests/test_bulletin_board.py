@@ -1,0 +1,91 @@
+"""Tests for bulletin-board broker discovery (Section 4.1)."""
+
+import pytest
+
+from repro.agents import AgentConfig, BrokerAgent, CostModel, MessageBus, ResourceAgent
+from repro.agents.directory import BulletinBoardAgent, post_to_board
+from repro.ontology import demo_ontology
+from repro.relational.generate import generate_table
+
+
+def fast_costs():
+    return CostModel(latency_seconds=0.001, base_handling_seconds=0.0001,
+                     bandwidth_bytes_per_second=1e9)
+
+
+def resource(name, board=None, preferred=(), ping_interval=30.0):
+    onto = demo_ontology(1)
+    return ResourceAgent(
+        name, {"C1": generate_table(onto, "C1", 2, seed=1)}, "demo",
+        config=AgentConfig(preferred_brokers=preferred, redundancy=1,
+                           ping_interval=ping_interval, reply_timeout=5.0,
+                           advertisement_size_mb=0.01,
+                           bulletin_board=board),
+    )
+
+
+class TestBulletinBoard:
+    def test_board_accumulates_postings(self):
+        bus = MessageBus(fast_costs())
+        board = BulletinBoardAgent(initial_brokers=["b0"])
+        bus.register(board)
+        bus.send(post_to_board("b1", "bulletin-board"), at=0.0)
+        bus.send(post_to_board("b1", "bulletin-board"), at=0.1)  # idempotent
+        bus.run_until(1.0)
+        assert board.published == ["b0", "b1"]
+
+    def test_agent_with_no_brokers_discovers_via_board(self):
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("b1"))
+        bus.register(BulletinBoardAgent(initial_brokers=["b1"]))
+        agent = resource("R1", board="bulletin-board", preferred=())
+        bus.register(agent)
+        bus.run_until(5.0)
+        assert agent.connected_broker_list == ["b1"]
+        assert bus.agent("b1").repository.knows("R1")
+
+    def test_dormant_agent_recovers_through_board(self):
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("dead-broker"))
+        bus.register(BrokerAgent("live-broker"))
+        bus.register(BulletinBoardAgent(initial_brokers=["live-broker"]))
+        # The agent only knows the soon-to-die broker.
+        agent = resource("R1", board="bulletin-board",
+                         preferred=("dead-broker",))
+        bus.register(agent)
+        bus.run_until(2.0)
+        assert agent.connected_broker_list == ["dead-broker"]
+        bus.set_offline("dead-broker")
+        # Ping cycle drops the dead broker; the next dormant cycle asks
+        # the bulletin board and re-advertises to the live one.
+        bus.run_until(200.0)
+        assert "live-broker" in agent.connected_broker_list
+        assert bus.agent("live-broker").repository.knows("R1")
+
+    def test_board_rejects_unknown_requests(self):
+        bus = MessageBus(fast_costs())
+        board = BulletinBoardAgent()
+        bus.register(board)
+        replies = []
+
+        from repro.agents.base import Agent
+        from repro.kqml import KqmlMessage, Performative
+
+        class Asker(Agent):
+            def on_custom_timer(self, token, result, now):
+                message = KqmlMessage(Performative.ASK_ONE, sender=self.name,
+                                      receiver="bulletin-board", content="pizza")
+                self.ask(message, lambda r, res: replies.append(r), result)
+
+        bus.register(Asker("asker", AgentConfig(redundancy=0)))
+        bus.schedule_timer("asker", 0.0, "go")
+        bus.run()
+        assert replies[0].performative is Performative.SORRY
+
+    def test_no_board_stays_dormant(self):
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("live-broker"))
+        agent = resource("R1", board=None, preferred=("ghost-broker",))
+        bus.register(agent)
+        bus.run_until(200.0)
+        assert agent.connected_broker_list == []

@@ -1,0 +1,138 @@
+"""Tests for the high-level CommunityBuilder API."""
+
+import pytest
+
+from repro.agents.errors import AgentError
+from repro.community import Community, CommunityBuilder
+from repro.ontology import demo_ontology, healthcare_ontology
+from repro.relational.generate import generate_healthcare_table, generate_table
+
+
+def demo_community(n_brokers=2, topology="full"):
+    onto = demo_ontology(2)
+    return (
+        CommunityBuilder(ontologies=[onto])
+        .with_brokers(n_brokers, topology=topology)
+        .with_resource("R1", {"C1": generate_table(onto, "C1", 5)}, "demo")
+        .with_resource("R2", {"C2": generate_table(onto, "C2", 7)}, "demo")
+        .with_query_agent()
+        .with_user("alice")
+        .build()
+    )
+
+
+class TestBuilderBasics:
+    def test_end_to_end_query(self):
+        community = demo_community()
+        result = community.query("alice", "select * from C1")
+        assert result.row_count == 5
+        result = community.query("alice", "select * from C2")
+        assert result.row_count == 7
+
+    def test_unknown_user_rejected(self):
+        community = demo_community()
+        with pytest.raises(AgentError):
+            community.query("bob", "select * from C1")
+
+    def test_failed_query_raises_with_reason(self):
+        community = demo_community()
+        with pytest.raises(AgentError, match="no matching resources"):
+            community.query("alice", "select * from Ghost")
+
+    def test_builder_single_use(self):
+        onto = demo_ontology(1)
+        builder = CommunityBuilder(ontologies=[onto]).with_brokers(1)
+        builder.build()
+        with pytest.raises(AgentError):
+            builder.build()
+
+    def test_needs_a_broker(self):
+        with pytest.raises(AgentError):
+            CommunityBuilder().build()
+
+    def test_validation(self):
+        with pytest.raises(AgentError):
+            CommunityBuilder().with_brokers(0)
+        with pytest.raises(AgentError):
+            CommunityBuilder().with_brokers(2, topology="star")
+        with pytest.raises(AgentError):
+            CommunityBuilder().with_brokers(2, names=["only-one"])
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("topology", ["full", "chain", "ring"])
+    def test_queries_work_on_all_topologies(self, topology):
+        community = demo_community(n_brokers=3, topology=topology)
+        # Raise the hop budget for multi-hop topologies.
+        assert community.query("alice", "select * from C1").row_count == 5
+
+    def test_chain_peers(self):
+        onto = demo_ontology(1)
+        community = (
+            CommunityBuilder(ontologies=[onto])
+            .with_brokers(3, topology="chain")
+            .build()
+        )
+        assert community.broker("broker1").peer_brokers == ["broker2"]
+        assert sorted(community.broker("broker2").peer_brokers) == ["broker1", "broker3"]
+
+    def test_ring_peers(self):
+        onto = demo_ontology(1)
+        community = (
+            CommunityBuilder(ontologies=[onto])
+            .with_brokers(4, topology="ring")
+            .build()
+        )
+        assert sorted(community.broker("broker1").peer_brokers) == ["broker2", "broker4"]
+
+
+class TestRicherCommunities:
+    def test_multiple_ontologies_and_agents(self):
+        demo = demo_ontology(1)
+        health = healthcare_ontology()
+        community = (
+            CommunityBuilder(ontologies=[demo, health])
+            .with_brokers(2)
+            .with_resource("R1", {"C1": generate_table(demo, "C1", 3)}, "demo")
+            .with_resource(
+                "RH", {"patient": generate_healthcare_table("patient", 6)},
+                "healthcare",
+            )
+            .with_query_agent(ontology_name="demo")
+            .with_ontology_agent()
+            .with_user("u1")
+            .with_user("u2")
+            .build()
+        )
+        assert community.query("u1", "select * from C1").row_count == 3
+        assert community.query("u2", "select * from patient").row_count == 6
+
+    def test_monitor_agent_included(self):
+        onto = demo_ontology(1)
+        community = (
+            CommunityBuilder(ontologies=[onto])
+            .with_brokers(1)
+            .with_resource("R1", {"C1": generate_table(onto, "C1", 3)}, "demo")
+            .with_query_agent()
+            .with_monitor(poll_interval=30.0)
+            .build()
+        )
+        assert "monitor" in community.bus.agent_names()
+
+    def test_resources_spread_over_brokers(self):
+        onto = demo_ontology(2)
+        community = (
+            CommunityBuilder(ontologies=[onto])
+            .with_brokers(2)
+            .with_resource("R1", {"C1": generate_table(onto, "C1", 2)}, "demo")
+            .with_resource("R2", {"C2": generate_table(onto, "C2", 2)}, "demo")
+            .with_query_agent()
+            .with_user("u")
+            .build()
+        )
+        counts = [
+            community.broker(b).repository.agent_count
+            for b in community.broker_names
+        ]
+        assert sum(counts) == 4  # 2 resources + mrq + user
+        assert all(count > 0 for count in counts)  # round-robin spread

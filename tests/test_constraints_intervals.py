@@ -1,0 +1,144 @@
+"""Tests for intervals and interval sets."""
+
+import pytest
+
+from repro.constraints.intervals import Interval, IntervalSet
+
+
+class TestInterval:
+    def test_contains_closed(self):
+        iv = Interval(25, 65)
+        assert iv.contains(25) and iv.contains(65) and iv.contains(40)
+        assert not iv.contains(24) and not iv.contains(66)
+
+    def test_contains_open(self):
+        iv = Interval(0, 1, lo_open=True, hi_open=True)
+        assert iv.contains(0.5)
+        assert not iv.contains(0) and not iv.contains(1)
+
+    def test_unbounded(self):
+        assert Interval(None, 10).contains(-1e9)
+        assert Interval(10, None).contains(1e9)
+        assert Interval.full().contains("anything")
+
+    def test_invalid_reversed(self):
+        with pytest.raises(ValueError):
+            Interval(5, 3)
+
+    def test_invalid_open_point(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5, lo_open=True)
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(TypeError):
+            Interval(1, "z")
+
+    def test_point(self):
+        assert Interval.point(3).is_point()
+        assert not Interval(3, 4).is_point()
+
+    def test_intersect_overlapping(self):
+        assert Interval(0, 10).intersect(Interval(5, 15)) == Interval(5, 10)
+
+    def test_intersect_disjoint(self):
+        assert Interval(0, 10).intersect(Interval(11, 15)) is None
+
+    def test_intersect_touching_closed(self):
+        assert Interval(0, 10).intersect(Interval(10, 20)) == Interval.point(10)
+
+    def test_intersect_touching_open(self):
+        assert Interval(0, 10, hi_open=True).intersect(Interval(10, 20)) is None
+
+    def test_subsumes(self):
+        assert Interval(0, 100).subsumes(Interval(10, 20))
+        assert not Interval(10, 20).subsumes(Interval(0, 100))
+        assert Interval.full().subsumes(Interval(0, 1))
+        assert not Interval(0, 1).subsumes(Interval.full())
+
+    def test_subsumes_open_boundary(self):
+        assert not Interval(0, 10, hi_open=True).subsumes(Interval(0, 10))
+        assert Interval(0, 10).subsumes(Interval(0, 10, hi_open=True))
+
+    def test_remove_point_middle(self):
+        pieces = Interval(0, 10).remove_point(5)
+        assert pieces == [
+            Interval(0, 5, hi_open=True),
+            Interval(5, 10, lo_open=True),
+        ]
+
+    def test_remove_point_at_closed_end(self):
+        assert Interval(0, 10).remove_point(0) == [Interval(0, 10, lo_open=True)]
+        assert Interval(0, 10).remove_point(10) == [Interval(0, 10, hi_open=True)]
+
+    def test_remove_point_absent(self):
+        iv = Interval(0, 10)
+        assert iv.remove_point(20) == [iv]
+
+    def test_remove_point_from_point(self):
+        assert Interval.point(5).remove_point(5) == []
+
+    def test_string_intervals(self):
+        iv = Interval("a", "m")
+        assert iv.contains("hello")
+        assert not iv.contains("zebra")
+
+
+class TestIntervalSet:
+    def test_empty_and_full(self):
+        assert IntervalSet.empty().is_empty()
+        assert IntervalSet.full().is_full()
+        assert not IntervalSet.full().is_empty()
+
+    def test_normalization_merges_overlaps(self):
+        s = IntervalSet([Interval(0, 5), Interval(3, 10)])
+        assert s.intervals == (Interval(0, 10),)
+
+    def test_normalization_merges_touching_closed(self):
+        s = IntervalSet([Interval(0, 5), Interval(5, 10)])
+        assert s.intervals == (Interval(0, 10),)
+
+    def test_normalization_keeps_open_gap(self):
+        s = IntervalSet([Interval(0, 5, hi_open=True), Interval(5, 10, lo_open=True)])
+        assert len(s.intervals) == 2
+        assert not s.contains(5)
+
+    def test_normalization_sorts(self):
+        s = IntervalSet([Interval(10, 20), Interval(0, 5)])
+        assert s.intervals == (Interval(0, 5), Interval(10, 20))
+
+    def test_mixed_type_sets_rejected(self):
+        with pytest.raises(TypeError):
+            IntervalSet([Interval(0, 5), Interval("a", "b")])
+
+    def test_intersect(self):
+        a = IntervalSet([Interval(0, 10), Interval(20, 30)])
+        b = IntervalSet([Interval(5, 25)])
+        assert a.intersect(b).intervals == (Interval(5, 10), Interval(20, 25))
+
+    def test_overlaps(self):
+        a = IntervalSet([Interval(0, 10)])
+        assert a.overlaps(IntervalSet([Interval(10, 20)]))
+        assert not a.overlaps(IntervalSet([Interval(11, 20)]))
+
+    def test_subsumes(self):
+        big = IntervalSet([Interval(0, 100)])
+        small = IntervalSet([Interval(10, 20), Interval(30, 40)])
+        assert big.subsumes(small)
+        assert not small.subsumes(big)
+
+    def test_subsumes_empty(self):
+        assert IntervalSet.empty().subsumes(IntervalSet.empty())
+        assert IntervalSet([Interval(0, 1)]).subsumes(IntervalSet.empty())
+
+    def test_remove_points(self):
+        s = IntervalSet([Interval(0, 10)]).remove_points([5, 7])
+        assert not s.contains(5) and not s.contains(7)
+        assert s.contains(6) and s.contains(0) and s.contains(10)
+
+    def test_equality_is_structural(self):
+        assert IntervalSet([Interval(0, 5), Interval(5, 10)]) == IntervalSet(
+            [Interval(0, 10)]
+        )
+
+    def test_hashable(self):
+        assert len({IntervalSet.full(), IntervalSet.full()}) == 1

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the constraint algebra.
+
+These pin the semantic invariants the broker relies on:
+
+* membership distributes over intersection;
+* subsumption implies overlap (for inhabited domains);
+* overlap is symmetric; intersection is commutative w.r.t. membership;
+* ``matches_record`` agrees with domain membership.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import Atom, Constraint, Op
+from repro.constraints.domains import (
+    Complement,
+    DiscreteSet,
+    intersect_domains,
+    overlaps_domains,
+    subsumes_domain,
+)
+from repro.constraints.intervals import Interval, IntervalSet
+
+values = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(st.one_of(st.none(), values))
+    hi = draw(st.one_of(st.none(), values))
+    if lo is not None and hi is not None and lo > hi:
+        lo, hi = hi, lo
+    lo_open = draw(st.booleans()) if lo is not None else False
+    hi_open = draw(st.booleans()) if hi is not None else False
+    if lo is not None and lo == hi:
+        lo_open = hi_open = False
+    return Interval(lo, hi, lo_open, hi_open)
+
+
+@st.composite
+def interval_sets(draw):
+    return IntervalSet(draw(st.lists(intervals(), max_size=4)))
+
+
+@st.composite
+def domains(draw):
+    kind = draw(st.sampled_from(["interval", "discrete", "complement"]))
+    if kind == "interval":
+        return draw(interval_sets())
+    members = frozenset(draw(st.lists(values, max_size=5)))
+    if kind == "discrete":
+        return DiscreteSet(members)
+    return Complement(members)
+
+
+@given(interval_sets(), interval_sets(), values)
+def test_intervalset_intersection_membership(a, b, v):
+    assert a.intersect(b).contains(v) == (a.contains(v) and b.contains(v))
+
+
+@given(interval_sets())
+def test_intervalset_normalization_idempotent(a):
+    assert IntervalSet(a.intervals) == a
+
+
+@given(interval_sets(), interval_sets())
+def test_intervalset_intersection_commutes(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(interval_sets(), interval_sets())
+def test_intervalset_subsumes_via_intersection(a, b):
+    # a ⊇ b iff a ∩ b == b (for normalized sets).
+    assert a.subsumes(b) == (a.intersect(b) == b)
+
+
+@given(domains(), domains(), values)
+def test_domain_intersection_membership(a, b, v):
+    assert intersect_domains(a, b).contains(v) == (a.contains(v) and b.contains(v))
+
+
+@given(domains(), domains())
+def test_domain_overlap_symmetric(a, b):
+    assert overlaps_domains(a, b) == overlaps_domains(b, a)
+
+
+@given(domains(), domains(), values)
+def test_domain_subsumption_sound(a, b, v):
+    if subsumes_domain(a, b) and b.contains(v):
+        assert a.contains(v)
+
+
+@st.composite
+def atoms(draw):
+    slot = draw(st.sampled_from(["age", "size", "count"]))
+    op = draw(st.sampled_from(list(Op)))
+    if op is Op.BETWEEN:
+        lo, hi = sorted((draw(values), draw(values)))
+        return Atom(slot, op, (lo, hi))
+    if op is Op.IN:
+        members = draw(st.lists(values, min_size=1, max_size=4))
+        return Atom(slot, op, tuple(members))
+    return Atom(slot, op, draw(values))
+
+
+@st.composite
+def constraints(draw):
+    return Constraint.from_atoms(draw(st.lists(atoms(), max_size=4)))
+
+
+@given(constraints(), constraints())
+def test_constraint_overlap_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(constraints(), constraints())
+def test_constraint_subsumption_implies_overlap(a, b):
+    if b.is_satisfiable() and a.subsumes(b) and _inhabited(b):
+        assert a.overlaps(b)
+
+
+def _inhabited(constraint):
+    """Satisfiable over the integer grid we generate from."""
+    record = _witness(constraint)
+    return record is not None
+
+
+def _witness(constraint):
+    record = {}
+    for slot in constraint.slots:
+        domain = constraint.domain(slot)
+        found = None
+        for v in range(-60, 61):
+            if domain.contains(v):
+                found = v
+                break
+        if found is None:
+            return None
+        record[slot] = found
+    return record
+
+
+@given(constraints(), constraints())
+def test_intersect_matches_conjunction_on_records(a, b):
+    merged = a.intersect(b)
+    record = _witness(merged)
+    if record is not None:
+        assert a.matches_record(record)
+        assert b.matches_record(record)
+
+
+@given(constraints(), st.dictionaries(st.sampled_from(["age", "size", "count"]), values, max_size=3))
+def test_matches_record_agrees_with_domains(constraint, record):
+    expected = all(
+        slot in record and constraint.domain(slot).contains(record[slot])
+        for slot in constraint.slots
+    )
+    assert constraint.matches_record(record) == expected

@@ -1,0 +1,284 @@
+"""Tests for the direct matching engine and scoring (paper scenarios)."""
+
+import pytest
+
+from repro.constraints import Constraint, parse_constraint
+from repro.core import (
+    Advertisement,
+    BrokerQuery,
+    BrokeringError,
+    Match,
+    MatchContext,
+    QueryMode,
+    match_advertisements,
+)
+from repro.ontology import (
+    AgentLocation,
+    AgentProperties,
+    Capabilities,
+    ContentInfo,
+    ServiceDescription,
+    SyntacticInfo,
+    healthcare_ontology,
+)
+from repro.ontology.service import example_resource_agent5
+
+
+def make_ad(
+    name,
+    agent_type="resource",
+    content_languages=("SQL 2.0",),
+    conversations=("ask-all",),
+    functions=("relational",),
+    ontology="healthcare",
+    classes=("patient",),
+    slots=(),
+    constraints="",
+    mobile=False,
+    response_time=None,
+):
+    return Advertisement(
+        ServiceDescription(
+            location=AgentLocation(name=name, agent_type=agent_type),
+            syntax=SyntacticInfo(content_languages=content_languages),
+            capabilities=Capabilities(conversations=conversations, functions=functions),
+            content=ContentInfo(
+                ontology_name=ontology,
+                classes=classes,
+                slots=slots,
+                constraints=parse_constraint(constraints),
+            ),
+            properties=AgentProperties(
+                mobile=mobile, estimated_response_time=response_time
+            ),
+        )
+    )
+
+
+def healthcare_context():
+    return MatchContext(ontologies={"healthcare": healthcare_ontology()})
+
+
+def names(matches):
+    return [m.agent_name for m in matches]
+
+
+class TestSyntacticMatching:
+    def test_agent_type_filter(self):
+        ads = [make_ad("r1"), make_ad("q1", agent_type="query")]
+        query = BrokerQuery(agent_type="resource")
+        assert names(match_advertisements(query, ads)) == ["r1"]
+
+    def test_content_language_filter(self):
+        ads = [make_ad("sql"), make_ad("oql", content_languages=("OQL",))]
+        query = BrokerQuery(content_language="SQL 2.0")
+        assert names(match_advertisements(query, ads)) == ["sql"]
+
+    def test_communication_language_filter(self):
+        ads = [make_ad("k")]
+        assert names(match_advertisements(BrokerQuery(communication_language="KQML"), ads)) == ["k"]
+        assert match_advertisements(BrokerQuery(communication_language="FIPA-ACL"), ads) == []
+
+    def test_conversation_filter(self):
+        ads = [make_ad("a", conversations=("ask-all", "subscribe")), make_ad("b")]
+        query = BrokerQuery(conversations=("subscribe",))
+        assert names(match_advertisements(query, ads)) == ["a"]
+
+    def test_all_requested_conversations_needed(self):
+        ads = [make_ad("a", conversations=("ask-all",))]
+        query = BrokerQuery(conversations=("ask-all", "subscribe"))
+        assert match_advertisements(query, ads) == []
+
+
+class TestCapabilityMatching:
+    def test_hierarchy_containment(self):
+        # "If an agent does all query processing, then it certainly does
+        # relational query processing and could process a simple select."
+        general = make_ad("general", functions=("query-processing",))
+        select_only = make_ad("select-only", functions=("select",))
+        query = BrokerQuery(capabilities=("select",))
+        matched = names(match_advertisements(query, [general, select_only]))
+        assert set(matched) == {"general", "select-only"}
+
+    def test_specific_does_not_imply_general(self):
+        # "Just because an agent can process a simple select query does not
+        # mean that it can do any relational query."
+        select_only = make_ad("select-only", functions=("select",))
+        query = BrokerQuery(capabilities=("relational",))
+        assert match_advertisements(query, [select_only]) == []
+
+    def test_multiple_capabilities_all_required(self):
+        ad = make_ad("a", functions=("relational", "subscription"))
+        ok = BrokerQuery(capabilities=("select", "subscription"))
+        assert names(match_advertisements(ok, [ad])) == ["a"]
+        too_much = BrokerQuery(capabilities=("select", "data-mining"))
+        assert match_advertisements(too_much, [ad]) == []
+
+
+class TestContentMatching:
+    def test_ontology_name_filter(self):
+        ads = [make_ad("h"), make_ad("a", ontology="aerospace")]
+        query = BrokerQuery(ontology_name="healthcare")
+        assert names(match_advertisements(query, ads)) == ["h"]
+
+    def test_class_filter_exact(self):
+        ads = [make_ad("p", classes=("patient",)), make_ad("d", classes=("diagnosis",))]
+        query = BrokerQuery(ontology_name="healthcare", classes=("patient",))
+        assert names(match_advertisements(query, ads)) == ["p"]
+
+    def test_class_hierarchy_reasoning(self):
+        context = healthcare_context()
+        pod = make_ad("pod", classes=("podiatrist",))
+        query = BrokerQuery(ontology_name="healthcare", classes=("provider",))
+        assert names(match_advertisements(query, [pod], context)) == ["pod"]
+        # And the other direction: an agent holding all providers is
+        # potentially relevant to a podiatrist query.
+        prov = make_ad("prov", classes=("provider",))
+        query = BrokerQuery(ontology_name="healthcare", classes=("podiatrist",))
+        assert names(match_advertisements(query, [prov], context)) == ["prov"]
+
+    def test_unrelated_classes_no_match(self):
+        context = healthcare_context()
+        ads = [make_ad("pat", classes=("patient",))]
+        query = BrokerQuery(ontology_name="healthcare", classes=("provider",))
+        assert match_advertisements(query, ads, context) == []
+
+    def test_unknown_ontology_degrades_to_exact(self):
+        ads = [make_ad("x", ontology="mystery", classes=("alpha",))]
+        query = BrokerQuery(ontology_name="mystery", classes=("alpha",))
+        assert names(match_advertisements(query, ads)) == ["x"]
+        query = BrokerQuery(ontology_name="mystery", classes=("beta",))
+        assert match_advertisements(query, ads) == []
+
+    def test_classes_require_ontology_name(self):
+        with pytest.raises(BrokeringError):
+            BrokerQuery(classes=("patient",))
+
+
+class TestConstraintMatching:
+    def test_paper_section_2_4(self):
+        # ResourceAgent5 advertises patients 43..75; the query wants 25..65
+        # with code 40W; the paper says the reasoning engine matches it.
+        ad = Advertisement(example_resource_agent5())
+        query = BrokerQuery(
+            agent_type="resource",
+            content_language="SQL 2.0",
+            ontology_name="healthcare",
+            constraints=parse_constraint(
+                "patient_age between 25 and 65 and diagnosis_code = '40W'"
+            ),
+        )
+        assert names(match_advertisements(query, [ad])) == ["ResourceAgent5"]
+
+    def test_disjoint_constraints_ruled_out(self):
+        # "Restricted to podiatrists in Dallas and Houston ... if the broker
+        # receives a request that does not overlap, it will not recommend."
+        ad = make_ad("dallas", constraints="city in ('Dallas', 'Houston')")
+        no = BrokerQuery(constraints=parse_constraint("city = 'Austin'"))
+        yes = BrokerQuery(constraints=parse_constraint("city = 'Dallas'"))
+        assert match_advertisements(no, [ad]) == []
+        assert names(match_advertisements(yes, [ad])) == ["dallas"]
+
+    def test_unconstrained_ad_matches_any_constraint(self):
+        ad = make_ad("open")
+        query = BrokerQuery(constraints=parse_constraint("patient_age > 120"))
+        assert names(match_advertisements(query, [ad])) == ["open"]
+
+
+class TestSlotMatching:
+    def test_partial_slots_for_fragmented_classes(self):
+        # "It can return all matched slots from classes that are fragmented."
+        left = make_ad("left", slots=("patient_id", "patient_age"))
+        right = make_ad("right", slots=("patient_id", "city"))
+        query = BrokerQuery(slots=("patient_age", "city"))
+        matches = match_advertisements(query, [left, right])
+        by_name = {m.agent_name: m.matched_slots for m in matches}
+        assert by_name == {"left": ("patient_age",), "right": ("city",)}
+
+    def test_full_slot_coverage_mode(self):
+        left = make_ad("left", slots=("patient_age",))
+        both = make_ad("both", slots=("patient_age", "city"))
+        query = BrokerQuery(slots=("patient_age", "city"), allow_partial_slots=False)
+        assert names(match_advertisements(query, [left, both])) == ["both"]
+
+    def test_slotless_ad_is_unrestricted(self):
+        ad = make_ad("whole-class", slots=())
+        query = BrokerQuery(slots=("anything",))
+        matches = match_advertisements(query, [ad])
+        assert matches[0].matched_slots == ("anything",)
+
+    def test_no_common_slots_no_match(self):
+        ad = make_ad("a", slots=("x",))
+        query = BrokerQuery(slots=("y",))
+        assert match_advertisements(query, [ad]) == []
+
+
+class TestPragmaticMatching:
+    def test_mobility(self):
+        ads = [make_ad("fixed"), make_ad("roving", mobile=True)]
+        assert names(match_advertisements(BrokerQuery(require_mobile=True), ads)) == ["roving"]
+        assert names(match_advertisements(BrokerQuery(require_mobile=False), ads)) == ["fixed"]
+
+    def test_response_time_ceiling(self):
+        ads = [make_ad("fast", response_time=2.0), make_ad("slow", response_time=60.0),
+               make_ad("unknown")]
+        query = BrokerQuery(max_response_time=5.0)
+        assert set(names(match_advertisements(query, ads))) == {"fast", "unknown"}
+
+
+class TestScoringAndRanking:
+    def test_mrq2_better_semantic_match(self):
+        # Section 2.2: MRQ2 "specializes in queries over the class C2" and
+        # is recommended over the general MRQ agent.
+        mrq = make_ad(
+            "MRQ", agent_type="query",
+            functions=("multiresource-query-processing",),
+            ontology="", classes=(),
+        )
+        mrq2 = make_ad(
+            "MRQ2", agent_type="query",
+            functions=("multiresource-query-processing",),
+            ontology="demo", classes=("C2",),
+        )
+        query = BrokerQuery(
+            agent_type="query",
+            capabilities=("multiresource-query-processing",),
+            ontology_name="demo",
+            classes=("C2",),
+        )
+        ranking = names(match_advertisements(query, [mrq, mrq2]))
+        assert ranking == ["MRQ2", "MRQ"]  # both match; MRQ2 outranks
+
+    def test_subsuming_constraints_score_higher(self):
+        narrow = make_ad("narrow", constraints="patient_age between 40 and 50")
+        wide = make_ad("wide", constraints="patient_age between 0 and 120")
+        query = BrokerQuery(constraints=parse_constraint("patient_age between 41 and 49"))
+        ranking = names(match_advertisements(query, [wide, narrow]))
+        assert ranking[0] == "narrow"  # subsumes AND is more specific
+
+    def test_deterministic_tiebreak_by_name(self):
+        ads = [make_ad("b"), make_ad("a")]
+        ranking = names(match_advertisements(BrokerQuery(), ads))
+        assert ranking == ["a", "b"]
+
+    def test_query_mode(self):
+        q = BrokerQuery(mode=QueryMode.ONE)
+        assert q.wants_single()
+        assert not BrokerQuery().wants_single()
+
+
+class TestQueryValidation:
+    def test_bad_max_response_time(self):
+        with pytest.raises(BrokeringError):
+            BrokerQuery(max_response_time=0)
+
+    def test_bad_mode(self):
+        with pytest.raises(BrokeringError):
+            BrokerQuery(mode="all")
+
+    def test_unsatisfiable_constraints_rejected(self):
+        from repro.constraints import Atom, Op
+
+        bad = Constraint.from_atoms([Atom("a", Op.LT, 0), Atom("a", Op.GT, 0)])
+        with pytest.raises(BrokeringError):
+            BrokerQuery(constraints=bad)

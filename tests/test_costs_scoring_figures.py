@@ -1,0 +1,100 @@
+"""Unit tests for the cost model, the match-scoring function, and the
+figure-series builders (at miniature scale)."""
+
+import pytest
+
+from repro.agents.costs import CostModel
+from repro.core import BrokerQuery, MatchContext
+from repro.core.scoring import score_match
+from repro.constraints import parse_constraint
+from repro.experiments.figures import (
+    figure14_series,
+    figure15_series,
+    figure16_series,
+    figure17_series,
+)
+from tests.test_core_matcher import make_ad
+
+
+class TestCostModel:
+    def test_transfer_time(self):
+        costs = CostModel(latency_seconds=0.05, bandwidth_bytes_per_second=125_000)
+        assert costs.transfer_seconds(0) == pytest.approx(0.05)
+        assert costs.transfer_seconds(125_000) == pytest.approx(1.05)
+
+    def test_broker_reasoning_scales_with_repository(self):
+        costs = CostModel(broker_seconds_per_mb=1.0, base_handling_seconds=0.0)
+        assert costs.broker_reasoning_seconds(10.0) == pytest.approx(10.0)
+        assert costs.broker_reasoning_seconds(10.0, complexity=2.0) == pytest.approx(20.0)
+
+    def test_resource_query_scales_with_data(self):
+        costs = CostModel(resource_seconds_per_mb=0.1, base_handling_seconds=0.0)
+        assert costs.resource_query_seconds(10.0) == pytest.approx(1.0)
+
+    def test_nonpositive_complexity_guarded(self):
+        costs = CostModel(base_handling_seconds=0.0)
+        assert costs.broker_reasoning_seconds(1.0, complexity=0.0) == pytest.approx(1.0)
+        assert costs.broker_reasoning_seconds(1.0, complexity=-3.0) == pytest.approx(1.0)
+
+
+class TestScoring:
+    def context(self):
+        return MatchContext()
+
+    def test_exact_class_beats_none(self):
+        query = BrokerQuery(ontology_name="healthcare", classes=("patient",))
+        exact = make_ad("a", classes=("patient",))
+        vacuous = make_ad("b", classes=())
+        assert score_match(query, exact, self.context()) > score_match(
+            query, vacuous, self.context()
+        )
+
+    def test_subsuming_constraints_scored(self):
+        query = BrokerQuery(constraints=parse_constraint("patient_age between 40 and 50"))
+        covers = make_ad("a", constraints="patient_age between 0 and 100")
+        partial = make_ad("b", constraints="patient_age between 45 and 100")
+        assert score_match(query, covers, self.context()) > score_match(
+            query, partial, self.context()
+        )
+
+    def test_exact_capability_beats_inherited(self):
+        query = BrokerQuery(capabilities=("select",))
+        exact = make_ad("a", functions=("select",))
+        general = make_ad("b", functions=("query-processing",))
+        assert score_match(query, exact, self.context()) > score_match(
+            query, general, self.context()
+        )
+
+    def test_faster_response_time_tiebreak(self):
+        query = BrokerQuery()
+        fast = make_ad("a", response_time=1.0)
+        slow = make_ad("b", response_time=100.0)
+        assert score_match(query, fast, self.context()) > score_match(
+            query, slow, self.context()
+        )
+
+
+class TestFigureBuilders:
+    """Miniature sweeps: structure and basic sanity only (the shape
+    assertions live in benchmarks/)."""
+
+    def test_figure14_structure(self):
+        series = figure14_series(duration=1500.0, runs=1, intervals=(10.0, 20.0))
+        assert set(series) == {"single", "replicated", "specialized"}
+        for points in series.values():
+            assert [x for x, _ in points] == [10.0, 20.0]
+            assert all(y > 0 for _, y in points)
+
+    def test_figure15_is_two_strategies(self):
+        series = figure15_series(duration=1500.0, runs=1, intervals=(20.0,))
+        assert set(series) == {"replicated", "specialized"}
+
+    def test_figure16_uses_five_brokers(self):
+        series = figure16_series(duration=1500.0, runs=1, intervals=(20.0,))
+        assert set(series) == {"replicated", "specialized"}
+
+    def test_figure17_sweeps_population(self):
+        series = figure17_series(duration=1500.0, runs=1,
+                                 resources=(25, 50), intervals=(60.0,))
+        assert set(series) == {"QF=60"}
+        assert [x for x, _ in series["QF=60"]] == [25, 50]

@@ -1,0 +1,104 @@
+"""Property-based tests for the Datalog engine.
+
+The engine's recursive queries are checked against networkx graph
+algorithms as an independent oracle.
+"""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Engine, Var
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+nodes = st.integers(min_value=0, max_value=12)
+edge_lists = st.lists(st.tuples(nodes, nodes), max_size=25)
+
+
+def reachability_engine(edges):
+    engine = Engine()
+    for a, b in edges:
+        engine.fact("edge", a, b)
+    engine.rule(("reach", X, Y), [("edge", X, Y)])
+    engine.rule(("reach", X, Z), [("reach", X, Y), ("edge", Y, Z)])
+    return engine
+
+
+def _reachable_one_plus(edges):
+    """Oracle: pairs (u, v) with a path of length >= 1 (cycles included)."""
+    from collections import defaultdict
+
+    adjacency = defaultdict(set)
+    for a, b in edges:
+        adjacency[a].add(b)
+    pairs = set()
+    all_nodes = {n for edge in edges for n in edge}
+    for u in all_nodes:
+        stack = list(adjacency[u])
+        seen = set()
+        while stack:
+            v = stack.pop()
+            if v not in seen:
+                seen.add(v)
+                stack.extend(adjacency[v])
+        pairs.update((u, v) for v in seen)
+    return pairs
+
+
+@given(edge_lists)
+def test_transitive_closure_matches_oracle(edges):
+    engine = reachability_engine(edges)
+    derived = {tuple(t) for t in engine.query("reach", Var("A"), Var("B"))}
+    assert derived == _reachable_one_plus(edges)
+
+
+@given(edge_lists)
+def test_transitive_closure_matches_networkx(edges):
+    engine = reachability_engine(edges)
+    graph = nx.DiGraph(edges)
+    derived = {tuple(t) for t in engine.query("reach", Var("A"), Var("B"))}
+    closure = nx.transitive_closure(graph, reflexive=False)
+    assert derived == set(closure.edges)
+
+
+@given(edge_lists, nodes)
+def test_negated_reachability_is_complement(edges, source):
+    engine = reachability_engine(edges)
+    engine.fact("node", source)
+    for a, b in edges:
+        engine.fact("node", a)
+        engine.fact("node", b)
+    engine.rule(("unreached", Y), [("node", Y)], negative=[("reach", source, Y)])
+    reached = {t[1] for t in engine.query("reach", source, Var("B"))}
+    unreached = {t[0] for t in engine.query("unreached", Var("B"))}
+    all_nodes = {source} | {n for edge in edges for n in edge}
+    assert reached | unreached == all_nodes
+    assert reached & unreached == set()
+
+
+@given(edge_lists)
+def test_incremental_equals_batch(edges):
+    batch = reachability_engine(edges)
+    incremental = Engine()
+    incremental.rule(("reach", X, Y), [("edge", X, Y)])
+    incremental.rule(("reach", X, Z), [("reach", X, Y), ("edge", Y, Z)])
+    for index, (a, b) in enumerate(edges):
+        incremental.fact("edge", a, b)
+        if index == len(edges) // 2:
+            incremental.query("reach", Var("A"), Var("B"))  # force mid-way eval
+    assert incremental.query("reach", Var("A"), Var("B")) == batch.query(
+        "reach", Var("A"), Var("B")
+    )
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), max_size=20))
+def test_builtin_filter_matches_python(values):
+    engine = Engine()
+    for v in values:
+        engine.fact("num", v)
+    engine.rule(("pos", X), [("num", X), ("gt", X, 0)])
+    engine.rule(("small", X), [("num", X), ("between", X, -10, 10)])
+    assert {t[0] for t in engine.query("pos", Var("V"))} == {v for v in values if v > 0}
+    assert {t[0] for t in engine.query("small", Var("V"))} == {
+        v for v in values if -10 <= v <= 10
+    }

@@ -1,0 +1,77 @@
+"""Tests for datalog terms and one-way matching."""
+
+import pytest
+
+from repro.datalog.terms import Var, is_ground, is_var, substitute, term_vars
+from repro.datalog.unify import match
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("Y")
+
+    def test_hashable(self):
+        assert len({Var("X"), Var("X"), Var("Y")}) == 2
+
+    def test_repr(self):
+        assert repr(Var("Who")) == "?Who"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_var_not_equal_to_string(self):
+        assert Var("X") != "X"
+
+
+class TestTermHelpers:
+    def test_is_var(self):
+        assert is_var(Var("X"))
+        assert not is_var("X")
+        assert not is_var(3)
+
+    def test_term_vars_preserves_order_and_duplicates(self):
+        terms = [Var("A"), "c", Var("B"), Var("A")]
+        assert list(term_vars(terms)) == [Var("A"), Var("B"), Var("A")]
+
+    def test_substitute(self):
+        env = {Var("X"): 1}
+        assert substitute((Var("X"), "a", Var("Y")), env) == (1, "a", Var("Y"))
+
+    def test_is_ground(self):
+        assert is_ground(("a", 1, None))
+        assert not is_ground(("a", Var("X")))
+
+
+class TestMatch:
+    def test_constant_match(self):
+        assert match(("a", 1), ("a", 1)) == {}
+
+    def test_constant_mismatch(self):
+        assert match(("a",), ("b",)) is None
+
+    def test_binds_variables(self):
+        env = match((Var("X"), "b"), ("a", "b"))
+        assert env == {Var("X"): "a"}
+
+    def test_repeated_variable_must_agree(self):
+        assert match((Var("X"), Var("X")), ("a", "a")) == {Var("X"): "a"}
+        assert match((Var("X"), Var("X")), ("a", "b")) is None
+
+    def test_arity_mismatch(self):
+        assert match(("a",), ("a", "b")) is None
+
+    def test_existing_bindings_respected(self):
+        env = {Var("X"): "a"}
+        assert match((Var("X"),), ("a",), env) == {Var("X"): "a"}
+        assert match((Var("X"),), ("b",), env) is None
+
+    def test_input_bindings_not_mutated(self):
+        env = {Var("X"): "a"}
+        match((Var("X"), Var("Y")), ("a", "b"), env)
+        assert env == {Var("X"): "a"}
+
+    def test_false_like_constants_distinct(self):
+        assert match((0,), (False,)) is not None  # Python equality semantics
+        assert match((None,), (0,)) is None

@@ -1,0 +1,58 @@
+"""Run the library's docstring examples as tests, so the documentation
+cannot drift from the code."""
+
+import doctest
+
+import pytest
+
+import repro.community
+import repro.constraints.atoms
+import repro.constraints.conjunction
+import repro.constraints.intervals
+import repro.constraints.parser
+import repro.core.results
+import repro.datalog
+import repro.datalog.terms
+import repro.datalog.unify
+import repro.kqml.message
+import repro.ontology.demo
+import repro.ontology.model
+import repro.ontology.capability
+import repro.relational.io
+import repro.relational.table
+import repro.sql.parser
+import repro.agents.resource
+
+MODULES = [
+    repro.community,
+    repro.constraints.atoms,
+    repro.constraints.conjunction,
+    repro.constraints.intervals,
+    repro.constraints.parser,
+    repro.core.results,
+    repro.datalog,
+    repro.datalog.terms,
+    repro.datalog.unify,
+    repro.kqml.message,
+    repro.ontology.demo,
+    repro.ontology.model,
+    repro.ontology.capability,
+    repro.relational.io,
+    repro.relational.table,
+    repro.sql.parser,
+    repro.agents.resource,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+
+
+def test_doctests_actually_exist():
+    """Guard against silently losing all doctests."""
+    total = sum(
+        doctest.testmod(module, verbose=False).attempted for module in MODULES
+    )
+    assert total >= 15

@@ -1,0 +1,177 @@
+"""Tests for the experiment harness: streams, live runs, reports.
+
+Quick configurations only — the paper-scale shape assertions live in
+``benchmarks/``.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_STREAMS,
+    STREAMS,
+    build_experiment_community,
+    format_series,
+    format_table,
+    resources_required,
+    run_live_experiment,
+    table2_configurations,
+    table3_ratios,
+    table4_ratios,
+)
+from repro.experiments.report import format_percentage_grid
+from repro.experiments.robustness import robustness_config
+from repro.sim.simulator import run_simulation
+
+
+class TestStreamDefinitions:
+    def test_table1_resource_counts(self):
+        expected = {"SA": 1, "DA": 2, "4A": 4, "VF": 4, "CH": 4, "FH": 4}
+        assert {s.name: s.n_resource_agents for s in STREAMS.values()} == expected
+
+    def test_table2_cumulative_sets(self):
+        assert EXPERIMENT_STREAMS[1] == ("4A",)
+        assert set(EXPERIMENT_STREAMS[5]) == set(STREAMS)
+        for k in range(1, 5):
+            assert set(EXPERIMENT_STREAMS[k]) < set(EXPERIMENT_STREAMS[k + 1])
+
+    def test_table2_resource_totals(self):
+        assert [resources_required(k) for k in range(1, 6)] == [4, 4, 8, 12, 16]
+
+    def test_table2_configurations_helper(self):
+        rows = table2_configurations()
+        assert [r[0] for r in rows] == [1, 2, 3, 4, 5]
+        assert [r[2] for r in rows] == [4, 4, 8, 12, 16]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            build_experiment_community(7)
+
+
+class TestCommunityCorrectness:
+    """The streams must return *correct* answers, not just timings."""
+
+    @pytest.mark.parametrize("stream", ["SA", "DA", "4A", "VF", "CH", "FH"])
+    def test_stream_answers(self, stream):
+        community = build_experiment_community(5, n_brokers=4, seed=1)
+        user = community.users[stream]
+        user.submit(STREAMS[stream].sql)
+        community.bus.run()
+        done = user.completed[0]
+        assert done.succeeded, f"{stream}: {done.error}"
+        assert done.result.row_count > 0
+
+    def test_4a_row_total(self):
+        from repro.experiments.streams import ROWS_PER_CLASS
+
+        community = build_experiment_community(1, n_brokers=1, seed=0)
+        user = community.users["4A"]
+        user.submit("select * from QAC")
+        community.bus.run()
+        assert user.completed[0].result.row_count == ROWS_PER_CLASS
+
+    def test_vf_rejoins_all_columns(self):
+        community = build_experiment_community(3, n_brokers=1, seed=0)
+        user = community.users["VF"]
+        user.submit("select * from VFC")
+        community.bus.run()
+        result = user.completed[0].result
+        assert set(result.columns) >= {"vf_id", "vf_s1", "vf_s8"}
+        assert all(row["vf_s1"] is not None for row in result.rows)
+
+    def test_ch_unions_subclasses(self):
+        community = build_experiment_community(5, n_brokers=1, seed=0)
+        user = community.users["CH"]
+        user.submit("select ch_id, ch_val from CHC")
+        community.bus.run()
+        result = user.completed[0].result
+        assert result.row_count == 64  # 4 subclasses x 16 rows
+        assert len({row["ch_id"] for row in result.rows}) == 64
+
+    def test_same_answers_single_and_multi(self):
+        rows = {}
+        for n_brokers in (1, 4):
+            community = build_experiment_community(5, n_brokers=n_brokers, seed=2)
+            user = community.users["FH"]
+            user.submit("select * from FHC")
+            community.bus.run()
+            result = user.completed[0].result
+            rows[n_brokers] = sorted(
+                (tuple(sorted(r.items(), key=lambda kv: kv[0])) for r in result.rows),
+                key=repr,
+            )
+        assert rows[1] == rows[4]
+
+
+class TestLiveRuns:
+    def test_run_produces_all_streams(self):
+        result = run_live_experiment(3, n_brokers=1, queries_per_stream=3)
+        assert set(result.mean_response) == set(EXPERIMENT_STREAMS[3])
+        assert all(v > 0 for v in result.mean_response.values())
+        assert all(f == 0 for f in result.failures.values())
+
+    def test_deterministic_given_seed(self):
+        a = run_live_experiment(2, n_brokers=4, queries_per_stream=3, seed=5)
+        b = run_live_experiment(2, n_brokers=4, queries_per_stream=3, seed=5)
+        assert a.mean_response == b.mean_response
+
+    def test_table3_quick_shape(self):
+        ratios = table3_ratios(experiments=(1, 5), repetitions=1,
+                               queries_per_stream=6)
+        assert ratios[1]["4A"] > 0.9  # underloaded: no multibroker win
+        assert all(r < 0.7 for r in ratios[5].values())  # loaded: big win
+
+    def test_table4_quick_shape(self):
+        ratios = table4_ratios(repetitions=1, queries_per_stream=6)
+        assert set(ratios) == set(EXPERIMENT_STREAMS[5])
+        assert sum(ratios.values()) / len(ratios) < 1.0
+
+
+class TestRobustnessConfig:
+    def test_paper_population(self):
+        config = robustness_config(3600.0, 2)
+        assert config.n_brokers == 5
+        assert config.n_resources == 25
+        assert config.unique_domains
+        assert config.fixed_broker_assignment
+        assert config.query_reply_timeout == 60.0
+
+    def test_quick_run_trends(self):
+        reliable = run_simulation(robustness_config(1_000_000.0, 1, duration=4000.0))
+        failing = run_simulation(robustness_config(1_200.0, 1, duration=4000.0))
+        assert reliable.reply_fraction == pytest.approx(1.0)
+        assert reliable.success_fraction == pytest.approx(1.0)
+        assert failing.reply_fraction < reliable.reply_fraction
+
+
+class TestReportFormatting:
+    def test_format_table(self):
+        text = format_table(
+            "Table 3", {1: {"4A": 1.0}, 5: {"4A": 0.3}}, column_order=["4A"],
+            row_label="Expt",
+        )
+        assert "Table 3" in text
+        assert "Expt" in text
+        assert "0.30" in text
+
+    def test_format_table_missing_cell(self):
+        text = format_table("t", {1: {"a": 1.0}, 2: {}}, column_order=["a"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_format_empty_table(self):
+        assert "(empty)" in format_table("t", {})
+
+    def test_format_series(self):
+        text = format_series(
+            "Figure 14",
+            {"single": [(5, 100.0), (10, 50.0)], "specialized": [(5, 8.0)]},
+            x_label="QF",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 14"
+        assert "100.00" in text and "8.00" in text
+
+    def test_format_percentage_grid(self):
+        text = format_percentage_grid("Table 5", {3600.0: {1: 0.75, 2: 0.74}})
+        assert "75.00%" in text

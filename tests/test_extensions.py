@@ -1,0 +1,238 @@
+"""Tests for the paper's optional/extension features:
+
+* sequential until-match probing (Section 4.3);
+* broker objective analysis / adaptive specialization (Section 4.1);
+* adaptive broker preference in user agents (Section 4.1);
+* spanning-tree propagation analysis (Section 3.2);
+* the CLI.
+"""
+
+import pytest
+
+from repro.agents import AgentConfig, BrokerAgent, CostModel, MessageBus, ResourceAgent
+from repro.agents.adaptive import AdaptiveUserAgent
+from repro.agents.broker import RecommendRequest
+from repro.core import BrokerNetwork, BrokerQuery, Consortium
+from repro.core.matcher import MatchContext
+from repro.core.policy import FollowOption, SearchPolicy
+from repro.core.propagation import (
+    flood_cost,
+    propagation_summary,
+    reachable_within_hops,
+    spanning_tree_cost,
+)
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology import demo_ontology
+from repro.relational.generate import generate_table
+
+
+def fast_costs():
+    return CostModel(latency_seconds=0.001, base_handling_seconds=0.0001,
+                     bandwidth_bytes_per_second=1e9)
+
+
+def three_broker_bus(sequential=True):
+    onto = demo_ontology(3)
+    context = MatchContext(ontologies={"demo": onto})
+    bus = MessageBus(fast_costs())
+    names = ["b1", "b2", "b3"]
+    for name in names:
+        bus.register(BrokerAgent(name, context=context,
+                                 peer_brokers=[b for b in names if b != name],
+                                 sequential_until_match=sequential))
+    cfg = lambda b: AgentConfig(preferred_brokers=(b,), redundancy=1,
+                                advertisement_size_mb=0.01)
+    bus.register(ResourceAgent("R2", {"C2": generate_table(onto, "C2", 3, seed=1)},
+                               "demo", config=cfg("b2")))
+    bus.register(ResourceAgent("R3", {"C3": generate_table(onto, "C3", 3, seed=2)},
+                               "demo", config=cfg("b3")))
+    bus.run_until(1.0)
+    return bus
+
+
+def drive_recommend(bus, broker, classes, follow,
+                    performative=Performative.RECOMMEND_ALL, ontology="demo"):
+    from repro.agents.base import Agent, HandlerResult
+
+    replies = []
+
+    class Driver(Agent):
+        def on_custom_timer(self, token, result, now):
+            request = RecommendRequest(
+                query=BrokerQuery(agent_type="resource", ontology_name=ontology,
+                                  classes=classes),
+                policy=SearchPolicy(hop_count=3, follow=follow),
+            )
+            message = KqmlMessage(performative, sender=self.name, receiver=broker,
+                                  content=request)
+            self.ask(message, lambda r, res: replies.append(r), result)
+
+    name = f"drv{len(bus.agent_names())}"
+    bus.register(Driver(name, AgentConfig(redundancy=0)))
+    bus.schedule_timer(name, bus.now, "go")
+    bus.run()
+    return replies[0]
+
+
+class TestSequentialUntilMatch:
+    def test_until_match_probes_stop_at_first_hit(self):
+        bus = three_broker_bus(sequential=True)
+        reply = drive_recommend(bus, "b1", ("C2",), FollowOption.UNTIL_MATCH)
+        assert [m.agent_name for m in reply.content] == ["R2"]
+        # b2 holds the match; the probe chain should never consult b3.
+        assert bus.agent("b3").repository.stats.queries_answered == 0
+
+    def test_until_match_exhausts_probes_on_miss(self):
+        bus = three_broker_bus(sequential=True)
+        reply = drive_recommend(bus, "b1", ("C1",), FollowOption.UNTIL_MATCH)
+        assert reply.content == []
+        assert bus.agent("b2").repository.stats.queries_answered >= 1
+        assert bus.agent("b3").repository.stats.queries_answered >= 1
+
+    def test_parallel_mode_consults_everyone(self):
+        bus = three_broker_bus(sequential=False)
+        reply = drive_recommend(bus, "b1", ("C2",), FollowOption.UNTIL_MATCH)
+        assert [m.agent_name for m in reply.content] == ["R2"]
+        assert bus.agent("b3").repository.stats.queries_answered >= 1
+
+    def test_all_mode_unaffected(self):
+        bus = three_broker_bus(sequential=True)
+        reply = drive_recommend(bus, "b1", ("C3",), FollowOption.ALL)
+        assert [m.agent_name for m in reply.content] == ["R3"]
+
+
+class TestBrokerObjectiveAnalysis:
+    def test_histogram_and_suggestion(self):
+        bus = three_broker_bus()
+        for _ in range(3):
+            drive_recommend(bus, "b1", ("C2",), FollowOption.ALL)
+        drive_recommend(bus, "b1", (), FollowOption.ALL, ontology=None)
+        b1 = bus.agent("b1")
+        assert b1.query_ontology_counts["demo"] >= 3
+        assert b1.query_ontology_counts["(none)"] >= 1
+        assert b1.suggest_specializations(min_share=0.5) == ("demo",)
+        assert b1.suggest_specializations(min_share=0.99) == ()
+
+    def test_adopt_suggestion(self):
+        bus = three_broker_bus()
+        drive_recommend(bus, "b1", ("C2",), FollowOption.ALL)
+        b1 = bus.agent("b1")
+        adopted = b1.adopt_suggested_specializations(min_share=0.5)
+        assert adopted == ("demo",)
+        assert b1.specializations == ("demo",)
+        assert "demo" in b1.build_description().broker.specializations
+
+    def test_no_queries_no_suggestion(self):
+        bus = three_broker_bus()
+        assert bus.agent("b1").suggest_specializations() == ()
+
+
+class TestAdaptiveUserAgent:
+    def test_learns_faster_broker(self):
+        from repro.agents import MultiResourceQueryAgent
+
+        onto = demo_ontology(1)
+        context = MatchContext(ontologies={"demo": onto})
+        bus = MessageBus(fast_costs())
+        # b-slow holds a huge repository (slow reasoning); b-fast is lean.
+        bus.register(BrokerAgent("b-slow", context=context, peer_brokers=["b-fast"]))
+        bus.register(BrokerAgent("b-fast", context=context, peer_brokers=["b-slow"]))
+        for i in range(12):
+            bus.register(ResourceAgent(
+                f"pad{i}", {"C1": generate_table(onto, "C1", 2, seed=i)}, "demo",
+                config=AgentConfig(preferred_brokers=("b-slow",), redundancy=1,
+                                   advertisement_size_mb=2.0),
+            ))
+        bus.register(ResourceAgent(
+            "R1", {"C1": generate_table(onto, "C1", 4, seed=99)}, "demo",
+            config=AgentConfig(preferred_brokers=("b-fast",), redundancy=1,
+                               advertisement_size_mb=0.01),
+        ))
+        bus.register(MultiResourceQueryAgent(
+            "mrq", "demo", ontology=onto,
+            config=AgentConfig(preferred_brokers=("b-fast",), redundancy=1,
+                               advertisement_size_mb=0.01),
+        ))
+        user = AdaptiveUserAgent(
+            "user",
+            config=AgentConfig(preferred_brokers=("b-slow", "b-fast"), redundancy=2,
+                               advertisement_size_mb=0.01),
+        )
+        bus.register(user)
+        bus.run_until(60.0)
+        assert "b-slow" in user.connected_broker_list
+        # Space the queries out so each reply lands before the next pick:
+        # the agent explores both brokers, then exploits the faster one.
+        for k in range(6):
+            user.submit("select * from C1", at=bus.now + 1.0 + k * 250.0)
+        bus.run()
+        assert all(c.succeeded for c in user.completed)
+        assert len(user.broker_history["b-fast"]) >= 2
+        assert len(user.broker_history["b-slow"]) >= 2
+        # The lean broker answers recommends faster and wins the ranking.
+        assert user.rerankings >= 1
+        assert user.preferred_now() == "b-fast"
+        fast_mean = sum(user.broker_history["b-fast"]) / len(user.broker_history["b-fast"])
+        slow_mean = sum(user.broker_history["b-slow"]) / len(user.broker_history["b-slow"])
+        assert fast_mean < slow_mean
+
+
+class TestPropagationAnalysis:
+    def network(self):
+        net = BrokerNetwork()
+        net.add_consortium(Consortium("west", frozenset({"b1", "b2", "b3"})))
+        net.add_consortium(Consortium("east", frozenset({"b3", "b4", "b5"})))
+        return net
+
+    def test_flood_vs_tree_costs(self):
+        net = self.network()
+        flood = flood_cost(net, "b1", hop_count=3)
+        tree = spanning_tree_cost(net, "b1")
+        assert tree == 2 * 4  # spanning tree of 5 nodes has 4 edges
+        assert flood >= tree
+
+    def test_fully_connected_flood_equals_tree(self):
+        net = BrokerNetwork()
+        net.add_consortium(Consortium("c", frozenset({"a", "b", "c"})))
+        # One hop reaches everyone; flood = 2 messages x 2 peers = tree cost.
+        assert flood_cost(net, "a", 1) == spanning_tree_cost(net, "a") == 4
+
+    def test_reachability_bounded_by_hops(self):
+        net = self.network()
+        assert reachable_within_hops(net, "b1", 0) == {"b1"}
+        assert reachable_within_hops(net, "b1", 1) == {"b1", "b2", "b3"}
+        assert reachable_within_hops(net, "b1", 2) == {"b1", "b2", "b3", "b4", "b5"}
+
+    def test_summary(self):
+        summary = propagation_summary(self.network(), "b1", 2)
+        assert summary["coverage"] == 1.0
+        assert summary["flood_messages"] >= summary["tree_messages"]
+        assert summary["savings"] == summary["flood_messages"] - summary["tree_messages"]
+
+    def test_unknown_origin(self):
+        from repro.core import BrokeringError
+
+        with pytest.raises(BrokeringError):
+            flood_cost(self.network(), "ghost", 1)
+
+
+class TestCli:
+    def test_list_target(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig17" in out
+
+    def test_table1_target(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "VF" in out
+
+    def test_bad_target_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,229 @@
+"""Tests for the third extension batch: derived constraints, resource
+subscriptions, and the MRQ's on-demand ontology fetching."""
+
+import pytest
+
+from repro.agents import (
+    AgentConfig,
+    BrokerAgent,
+    CostModel,
+    MessageBus,
+    MultiResourceQueryAgent,
+    OntologyAgent,
+    ResourceAgent,
+    UserAgent,
+)
+from repro.agents.resource import DERIVE_CONSTRAINTS, derive_constraints
+from repro.core import BrokerQuery
+from repro.core.matcher import MatchContext
+from repro.constraints import parse_constraint
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology import demo_ontology
+from repro.relational import Column, Schema, Table
+from repro.relational.generate import generate_table
+
+
+def fast_costs():
+    return CostModel(latency_seconds=0.001, base_handling_seconds=0.0001,
+                     bandwidth_bytes_per_second=1e9)
+
+
+class TestDeriveConstraints:
+    def make_table(self):
+        schema = Schema(
+            (Column("id", "number"), Column("age", "number"),
+             Column("city", "string"), Column("note", "string")),
+            key="id",
+        )
+        rows = [
+            {"id": i, "age": 20 + i, "city": ["Dallas", "Houston"][i % 2],
+             "note": f"unique-{i}"}
+            for i in range(10)
+        ]
+        return Table("t", schema, rows)
+
+    def test_numeric_ranges(self):
+        constraint = derive_constraints({"t": self.make_table()})
+        assert constraint.domain("age").contains(25)
+        assert not constraint.domain("age").contains(19)
+        assert not constraint.domain("age").contains(30)
+
+    def test_categorical_sets(self):
+        constraint = derive_constraints({"t": self.make_table()})
+        assert constraint.domain("city").contains("Dallas")
+        assert not constraint.domain("city").contains("Austin")
+
+    def test_high_cardinality_strings_unconstrained(self):
+        constraint = derive_constraints({"t": self.make_table()})
+        assert "note" not in constraint.slots  # 10 distinct values > cap
+
+    def test_empty_and_null_columns_skipped(self):
+        schema = Schema((Column("a", "number"), Column("b", "number")))
+        table = Table("t", schema, [{"a": 1, "b": None}])
+        constraint = derive_constraints({"t": table})
+        assert constraint.slots == ["a"]
+
+    def test_sentinel_in_agent(self):
+        bus = MessageBus(fast_costs())
+        agent = ResourceAgent(
+            "r", {"t": self.make_table()}, "demo",
+            constraints=DERIVE_CONSTRAINTS,
+            config=AgentConfig(redundancy=0),
+        )
+        bus.register(agent)
+        assert agent.constraints.domain("age").contains(22)
+        assert not agent.constraints.domain("age").contains(99)
+
+    def test_derived_constraints_drive_broker_pruning(self):
+        onto = demo_ontology(1)
+        context = MatchContext(ontologies={"demo": onto})
+        bus = MessageBus(fast_costs())
+        broker = BrokerAgent("b1", context=context)
+        bus.register(broker)
+        table = generate_table(onto, "C1", 10, seed=3)
+        agent = ResourceAgent(
+            "r", {"C1": table}, "demo", constraints=DERIVE_CONSTRAINTS,
+            config=AgentConfig(preferred_brokers=("b1",), redundancy=1,
+                               advertisement_size_mb=0.01),
+        )
+        bus.register(agent)
+        bus.run_until(1.0)
+        ids = [row["c1_id"] for row in table.rows()]
+        inside = BrokerQuery(constraints=parse_constraint(
+            f"c1_id = {min(ids)}"
+        ))
+        outside = BrokerQuery(constraints=parse_constraint(
+            f"c1_id = {max(ids) + 100}"
+        ))
+        assert [m.agent_name for m in broker.repository.query(inside)] == ["r"]
+        assert broker.repository.query(outside) == []
+
+
+class TestResourceSubscriptions:
+    def build(self):
+        onto = demo_ontology(1)
+        bus = MessageBus(fast_costs())
+        table = generate_table(onto, "C1", 5, seed=1)
+        resource = ResourceAgent(
+            "r", {"C1": table}, "demo", subscription_poll_interval=10.0,
+            config=AgentConfig(redundancy=0),
+        )
+        bus.register(resource)
+        notifications = []
+
+        class Subscriber(UserAgent):
+            def on_tell(self, message, result, now):
+                notifications.append(message)
+
+        subscriber = Subscriber("sub", config=AgentConfig(redundancy=0))
+        bus.register(subscriber)
+        replies = []
+
+        def go(token, result, now):
+            message = KqmlMessage(
+                Performative.SUBSCRIBE, sender="sub", receiver="r",
+                content=token,
+            )
+            subscriber.ask(message, lambda rep, res: replies.append(rep), result)
+
+        subscriber.on_custom_timer = go
+        return bus, resource, notifications, replies
+
+    def test_subscribe_and_notify_on_change(self):
+        bus, resource, notifications, replies = self.build()
+        bus.schedule_timer("sub", 0.0, "select * from C1 where c1_id >= 4")
+        bus.run_until(15.0)
+        assert replies and replies[0].performative is Performative.TELL
+        assert notifications == []  # nothing changed yet
+        resource.catalog["C1"].insert(
+            {"c1_id": 99, "c1_s1": 1, "c1_s2": 2, "c1_s3": 3}
+        )
+        bus.run_until(30.0)
+        assert len(notifications) == 1
+        assert any(row["c1_id"] == 99 for row in notifications[0].content.rows)
+
+    def test_no_notification_without_change(self):
+        bus, resource, notifications, replies = self.build()
+        bus.schedule_timer("sub", 0.0, "select * from C1")
+        bus.run_until(100.0)
+        assert notifications == []
+        assert resource.subscriptions
+
+    def test_bad_sql_rejected(self):
+        bus, resource, notifications, replies = self.build()
+        bus.schedule_timer("sub", 0.0, "select * from Ghost")
+        bus.run_until(5.0)
+        assert replies[0].performative is Performative.SORRY
+
+    def test_unsubscribe_stops_polling(self):
+        bus, resource, notifications, replies = self.build()
+        bus.schedule_timer("sub", 0.0, "select * from C1")
+        bus.run_until(5.0)
+        subscription_id = replies[0].content
+        resource.subscriptions.pop(subscription_id)
+        resource.catalog["C1"].insert(
+            {"c1_id": 77, "c1_s1": 1, "c1_s2": 2, "c1_s3": 3}
+        )
+        bus.run_until(60.0)
+        assert notifications == []
+
+
+class TestOntologyFetching:
+    def test_mrq_fetches_unknown_ontology(self):
+        onto_a = demo_ontology(1)  # the MRQ's default vocabulary
+        from repro.ontology.demo import hierarchy_ontology
+
+        onto_h = hierarchy_ontology(depth=2, fanout=2)
+        context = MatchContext(ontologies={"demo": onto_a,
+                                           "hierarchy": onto_h})
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("b1", context=context))
+        cfg = AgentConfig(preferred_brokers=("b1",), redundancy=1,
+                          advertisement_size_mb=0.01)
+        bus.register(OntologyAgent("onto-agent",
+                                   {"demo": onto_a, "hierarchy": onto_h},
+                                   config=AgentConfig(redundancy=0)))
+        h1 = generate_table(onto_h, "H1", 4, seed=1)
+        bus.register(ResourceAgent("RH", {"H1": h1}, "hierarchy", config=cfg))
+        mrq = MultiResourceQueryAgent(
+            "mrq", "demo", ontology=onto_a, config=cfg,
+            ontology_agent="onto-agent",
+        )
+        bus.register(mrq)
+        user = UserAgent("user", config=cfg)
+        bus.register(user)
+        bus.run_until(1.0)
+        # H (the hierarchy root) is outside the MRQ's configured
+        # vocabulary: it must fetch the ontology to resolve subclasses.
+        user.submit("select h_id from H")
+        bus.run()
+        done = user.completed[0]
+        assert done.succeeded, done.error
+        assert done.result.row_count == 4
+        assert mrq.ontologies_fetched == 1
+        # A second query reuses the cached ontology.
+        user.submit("select h_id from H")
+        bus.run()
+        assert mrq.ontologies_fetched == 1
+
+    def test_fetch_failure_falls_back(self):
+        onto = demo_ontology(1)
+        context = MatchContext(ontologies={"demo": onto})
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("b1", context=context))
+        cfg = AgentConfig(preferred_brokers=("b1",), redundancy=1,
+                          advertisement_size_mb=0.01)
+        bus.register(OntologyAgent("onto-agent", {"demo": onto},
+                                   config=AgentConfig(redundancy=0)))
+        mrq = MultiResourceQueryAgent("mrq", "demo", ontology=onto, config=cfg,
+                                      ontology_agent="onto-agent")
+        bus.register(mrq)
+        user = UserAgent("user", config=cfg)
+        bus.register(user)
+        bus.run_until(1.0)
+        user.submit("select * from Mystery")
+        bus.run()
+        done = user.completed[0]
+        assert not done.succeeded  # no resources for the unknown class
+        assert mrq.ontologies_fetched == 0
+        assert "Mystery" in mrq._ontology_fetch_failed

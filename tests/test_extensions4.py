@@ -1,0 +1,134 @@
+"""Tests for the fourth extension batch: result-format projection,
+predicate-based horizontal fragmentation, resource failures in the sim."""
+
+import pytest
+
+from repro.core import (
+    Advertisement,
+    BrokerQuery,
+    BrokeringError,
+    match_advertisements,
+    project_matches,
+    result_format_fields,
+)
+from repro.ontology.service import example_resource_agent5
+from repro.relational import (
+    Column,
+    Schema,
+    Table,
+    TableError,
+    horizontal_fragments_by_predicate,
+    union_all,
+)
+from repro.sim import BrokerStrategy, SimConfig, run_simulation
+
+
+class TestResultFormatProjection:
+    def matches(self):
+        ad = Advertisement(example_resource_agent5())
+        return match_advertisements(BrokerQuery(), [ad])
+
+    def test_paper_result_format(self):
+        # The Section 2.4 query's result clause, verbatim fields.
+        rows = project_matches(self.matches(), [
+            "agent-address", "agent-name", "class-keys",
+            "available-classes", "available-class-slots", "response-time",
+        ])
+        assert rows == [{
+            "agent-address": "tcp://b1.mcc.com:4356",
+            "agent-name": "ResourceAgent5",
+            "class-keys": ["patient_id"],
+            "available-classes": ["diagnosis", "patient"],
+            "available-class-slots": ["diagnosis_code", "patient_age"],
+            "response-time": 5.0,
+        }]
+
+    def test_score_and_matched_slots_available(self):
+        rows = project_matches(self.matches(), ["score", "matched-slots"])
+        assert rows[0]["score"] >= 0
+        assert rows[0]["matched-slots"] == []
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(BrokeringError):
+            project_matches(self.matches(), ["agent-name", "shoe-size"])
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(BrokeringError):
+            project_matches(self.matches(), [])
+
+    def test_field_catalogue(self):
+        fields = result_format_fields()
+        assert "agent-name" in fields and "constraints" in fields
+        # Every advertised field actually projects without error.
+        rows = project_matches(self.matches(), fields)
+        assert set(rows[0]) == set(fields)
+
+
+class TestPredicateFragmentation:
+    def table(self):
+        schema = Schema((Column("id", "number"), Column("age", "number")), key="id")
+        return Table("patient", schema,
+                     [{"id": i, "age": age} for i, age in
+                      enumerate([10, 30, 44, 45, 60, 90])])
+
+    def test_split_by_age_band(self):
+        young, old = horizontal_fragments_by_predicate(
+            self.table(),
+            [lambda r: r["age"] < 45, lambda r: r["age"] >= 45],
+            names=["pediatric", "geriatric"],
+        )
+        assert young.name == "pediatric" and young.row_count == 3
+        assert old.row_count == 3
+        merged = union_all([young, old])
+        assert merged.row_count == 6
+
+    def test_first_matching_predicate_wins(self):
+        a, b = horizontal_fragments_by_predicate(
+            self.table(), [lambda r: r["age"] < 50, lambda r: r["age"] < 100]
+        )
+        assert a.row_count == 4 and b.row_count == 2
+
+    def test_strict_coverage(self):
+        with pytest.raises(TableError):
+            horizontal_fragments_by_predicate(
+                self.table(), [lambda r: r["age"] < 45]
+            )
+        (only_young,) = horizontal_fragments_by_predicate(
+            self.table(), [lambda r: r["age"] < 45], strict=False
+        )
+        assert only_young.row_count == 3
+
+    def test_validation(self):
+        with pytest.raises(TableError):
+            horizontal_fragments_by_predicate(self.table(), [])
+        with pytest.raises(TableError):
+            horizontal_fragments_by_predicate(
+                self.table(), [lambda r: True], names=["a", "b"]
+            )
+
+
+class TestResourceFailuresInSim:
+    def config(self, resource_mttf):
+        return SimConfig(
+            n_brokers=2,
+            n_resources=8,
+            unique_domains=True,
+            strategy=BrokerStrategy.SPECIALIZED,
+            advertisement_size_mb=0.1,
+            mean_query_interval=15.0,
+            duration=4000.0,
+            warmup=400.0,
+            resource_mttf=resource_mttf,
+            resource_mttr=400.0,
+            query_reply_timeout=60.0,
+            seed=11,
+        )
+
+    def test_resource_failures_lose_resource_replies(self):
+        healthy = run_simulation(self.config(None))
+        failing = run_simulation(self.config(800.0))
+        # Brokers stay up: broker replies unaffected.
+        assert failing.reply_fraction == pytest.approx(1.0, abs=0.02)
+        # But fewer resource queries complete.
+        assert (len(failing.metrics.resource_response_times)
+                < len(healthy.metrics.resource_response_times))

@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.report import format_ascii_chart
+
+
+def sample_series():
+    return {
+        "single": [(5, 2000.0), (10, 1000.0), (20, 20.0), (30, 15.0)],
+        "specialized": [(5, 15.0), (10, 13.0), (20, 12.0), (30, 11.0)],
+    }
+
+
+class TestAsciiChart:
+    def test_contains_title_axes_and_legend(self):
+        text = format_ascii_chart("Figure 14", sample_series())
+        assert text.splitlines()[0] == "Figure 14"
+        assert "x: 5 .. 30" in text
+        assert "*=single" in text and "o=specialized" in text
+
+    def test_marks_present(self):
+        text = format_ascii_chart("t", sample_series())
+        assert "*" in text and "o" in text
+
+    def test_log_scale_annotated(self):
+        text = format_ascii_chart("t", sample_series(), log_y=True)
+        assert "(log scale)" in text
+
+    def test_log_scale_separates_series(self):
+        # On a linear scale the specialized series is squashed into one
+        # row; on a log scale it spans several.
+        def rows_used(text, mark):
+            return sum(1 for line in text.splitlines() if mark in line)
+
+        linear = format_ascii_chart("t", sample_series(), height=20)
+        logged = format_ascii_chart("t", sample_series(), height=20, log_y=True)
+        assert rows_used(logged, "o") >= rows_used(linear, "o")
+
+    def test_empty_series(self):
+        assert "(no data)" in format_ascii_chart("t", {})
+        assert "(no data)" in format_ascii_chart("t", {"a": []})
+
+    def test_nan_points_dropped(self):
+        text = format_ascii_chart("t", {"a": [(1, float("nan")), (2, 5.0)]})
+        assert "x: 2 .. 2" in text
+
+    def test_single_point(self):
+        text = format_ascii_chart("t", {"a": [(1, 1.0)]})
+        assert "*" in text
+
+    def test_dimensions_respected(self):
+        text = format_ascii_chart("t", sample_series(), width=30, height=5)
+        body = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(body) == 5
+        assert all(len(l) == 31 for l in body)

@@ -1,0 +1,95 @@
+"""Tests for the ontology-indexed repository fast path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BrokerQuery, BrokerRepository, MatchContext
+from repro.ontology import healthcare_ontology
+from tests.test_core_matcher import make_ad
+
+ONTOLOGIES = ["healthcare", "aerospace", "finance", ""]
+
+
+def build_repos(ads):
+    context = MatchContext(ontologies={"healthcare": healthcare_ontology()})
+    plain = BrokerRepository(context)
+    indexed = BrokerRepository(context, index_by_ontology=True)
+    for ad in ads:
+        plain.advertise(ad)
+        indexed.advertise(ad)
+    return plain, indexed
+
+
+def sample_ads():
+    return [
+        make_ad(f"agent{i}", ontology=ONTOLOGIES[i % len(ONTOLOGIES)],
+                classes=("patient",) if ONTOLOGIES[i % len(ONTOLOGIES)] == "healthcare" else ())
+        for i in range(12)
+    ]
+
+
+class TestOntologyIndex:
+    def test_same_results_with_and_without_index(self):
+        plain, indexed = build_repos(sample_ads())
+        query = BrokerQuery(ontology_name="healthcare", classes=("patient",))
+        assert [m.agent_name for m in plain.query(query)] == [
+            m.agent_name for m in indexed.query(query)
+        ]
+
+    def test_index_reduces_work(self):
+        plain, indexed = build_repos(sample_ads())
+        query = BrokerQuery(ontology_name="healthcare")
+        plain.query(query)
+        indexed.query(query)
+        assert (indexed.stats.advertisements_reasoned_over
+                < plain.stats.advertisements_reasoned_over)
+
+    def test_unrestricted_ads_always_candidates(self):
+        plain, indexed = build_repos(sample_ads())
+        query = BrokerQuery(ontology_name="finance")
+        names = {m.agent_name for m in indexed.query(query)}
+        # agents with ontology "" (content-unrestricted) must appear.
+        assert any(
+            ad.agent_name in names for ad in sample_ads()
+            if not ad.description.content.ontology_name
+        )
+
+    def test_no_ontology_query_scans_everything(self):
+        plain, indexed = build_repos(sample_ads())
+        query = BrokerQuery(agent_type="resource")
+        indexed.query(query)
+        assert indexed.stats.advertisements_reasoned_over == 12
+
+    def test_index_tracks_updates_and_removal(self):
+        _, indexed = build_repos(sample_ads())
+        # Re-advertise agent0 under a different ontology.
+        indexed.advertise(make_ad("agent0", ontology="finance"))
+        healthcare = {m.agent_name for m in indexed.query(
+            BrokerQuery(ontology_name="healthcare"))}
+        assert "agent0" not in healthcare
+        finance = {m.agent_name for m in indexed.query(
+            BrokerQuery(ontology_name="finance"))}
+        assert "agent0" in finance
+        indexed.unadvertise("agent0")
+        finance = {m.agent_name for m in indexed.query(
+            BrokerQuery(ontology_name="finance"))}
+        assert "agent0" not in finance
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ontologies=st.lists(st.sampled_from(ONTOLOGIES), min_size=1, max_size=10),
+    query_ontology=st.sampled_from(["healthcare", "aerospace", "finance"]),
+)
+def test_property_index_is_invisible(ontologies, query_ontology):
+    ads = [make_ad(f"a{i}", ontology=o, classes=())
+           for i, o in enumerate(ontologies)]
+    plain, indexed = build_repos(ads)
+    for query in (
+        BrokerQuery(ontology_name=query_ontology),
+        BrokerQuery(agent_type="resource"),
+        BrokerQuery(ontology_name=query_ontology, content_language="SQL 2.0"),
+    ):
+        assert [m.agent_name for m in plain.query(query)] == [
+            m.agent_name for m in indexed.query(query)
+        ]

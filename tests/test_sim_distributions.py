@@ -1,0 +1,110 @@
+"""Statistical sanity of the simulator's workload distributions
+(Section 5.2.1's exponential arrivals and bounded Gaussians)."""
+
+import math
+
+import pytest
+
+from repro.sim import BrokerStrategy, SimConfig
+from repro.sim.agents import SimQueryAgent
+from repro.sim.metrics import SimMetrics
+from repro.sim.rng import SimRng
+from repro.sim.simulator import Simulation, run_simulation
+
+
+def long_run(qf=20.0, duration=20_000.0):
+    config = SimConfig(
+        n_brokers=3, n_resources=12, strategy=BrokerStrategy.SPECIALIZED,
+        advertisement_size_mb=0.1, mean_query_interval=qf,
+        duration=duration, warmup=400.0, seed=123,
+    )
+    sim = Simulation(config)
+    report = sim.run()
+    return sim, report
+
+
+class TestArrivalProcess:
+    def test_mean_interarrival_matches_qf(self):
+        _, report = long_run(qf=20.0)
+        times = sorted(r.issued_at for r in report.metrics.broker_queries)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(20.0, rel=0.15)
+
+    def test_interarrivals_look_exponential(self):
+        """For an exponential, the variance equals the mean squared."""
+        _, report = long_run(qf=20.0)
+        times = sorted(r.issued_at for r in report.metrics.broker_queries)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        assert variance == pytest.approx(mean ** 2, rel=0.35)
+
+    def test_brokers_chosen_uniformly(self):
+        sim, report = long_run()
+        counts = {}
+        for record in report.metrics.broker_queries:
+            counts[record.broker] = counts.get(record.broker, 0) + 1
+        total = sum(counts.values())
+        for broker in sim.broker_names:
+            assert counts.get(broker, 0) / total == pytest.approx(1 / 3, abs=0.12)
+
+    def test_domains_chosen_uniformly(self):
+        _, report = long_run()
+        counts = {}
+        for record in report.metrics.broker_queries:
+            counts[record.domain] = counts.get(record.domain, 0) + 1
+        total = sum(counts.values())
+        n_domains = len(counts)
+        assert n_domains == 3  # 12 resources / 4 per domain
+        for share in counts.values():
+            assert share / total == pytest.approx(1 / n_domains, abs=0.12)
+
+
+class TestWorkloadDistributions:
+    def test_complexity_bounded_gaussian(self):
+        rng = SimRng(7, "c")
+        config = SimConfig()
+        values = [
+            rng.bounded_gaussian(config.complexity_mean, config.complexity_std,
+                                 *config.complexity_bounds)
+            for _ in range(2000)
+        ]
+        lo, hi = config.complexity_bounds
+        assert all(lo <= v <= hi for v in values)
+        assert sum(values) / len(values) == pytest.approx(
+            config.complexity_mean, abs=0.1
+        )
+
+    def test_coverage_bounded_gaussian(self):
+        rng = SimRng(7, "v")
+        config = SimConfig()
+        values = [
+            rng.bounded_gaussian(config.coverage_mean, config.coverage_std,
+                                 *config.coverage_bounds)
+            for _ in range(2000)
+        ]
+        lo, hi = config.coverage_bounds
+        assert all(lo <= v <= hi for v in values)
+        assert sum(values) / len(values) == pytest.approx(
+            config.coverage_mean, abs=0.03
+        )
+
+    def test_complexity_scales_resource_time(self):
+        """More complex queries take proportionally longer at resources."""
+        from repro.agents.costs import CostModel
+
+        costs = CostModel()
+        simple = costs.resource_query_seconds(10.0, complexity=0.5)
+        complex_ = costs.resource_query_seconds(10.0, complexity=2.0)
+        assert complex_ == pytest.approx(4 * simple, rel=0.01)
+
+
+class TestMatchCounts:
+    def test_four_resources_per_domain_found(self):
+        """"A query over a particular data domain would have four separate
+        resources that satisfied the query"."""
+        _, report = long_run(duration=6000.0)
+        answered = report.metrics.completed(after=400.0)
+        assert answered
+        assert all(len(r.matched_agents) == 4 for r in answered)

@@ -1,0 +1,221 @@
+"""Tests for the SQL subset: lexer, parser, executor, constraint bridge."""
+
+import pytest
+
+from repro.constraints import Constraint
+from repro.relational import Column, Schema, Table
+from repro.sql import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    SqlParseError,
+    execute_select,
+    parse_select,
+    where_to_constraint,
+)
+from repro.sql.errors import SqlExecutionError
+from repro.sql.lexer import tokenize
+
+
+def patients():
+    schema = Schema(
+        (Column("patient_id", "number"), Column("patient_age", "number"),
+         Column("city", "string"), Column("diagnosis_code", "string")),
+        key="patient_id",
+    )
+    rows = [
+        {"patient_id": 1, "patient_age": 30, "city": "Dallas", "diagnosis_code": "40W"},
+        {"patient_id": 2, "patient_age": 50, "city": "Houston", "diagnosis_code": "41A"},
+        {"patient_id": 3, "patient_age": 70, "city": "Dallas", "diagnosis_code": "40W"},
+        {"patient_id": 4, "patient_age": 45, "city": "Austin", "diagnosis_code": None},
+    ]
+    return Table("patient", schema, rows)
+
+
+def run(sql, table=None):
+    table = table or patients()
+    return execute_select(parse_select(sql), {table.name: table})
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("SELECT select SeLeCt")]
+        assert kinds == ["keyword"] * 3 + ["end"]
+
+    def test_string_with_doubled_quote(self):
+        tokens = tokenize("'O''Brien'")
+        assert tokens[0].value == "O'Brien"
+
+    def test_numbers(self):
+        tokens = tokenize("42 -1.5")
+        assert tokens[0].value == 42
+        assert tokens[1].value == -1.5
+
+    def test_lex_error(self):
+        with pytest.raises(SqlParseError):
+            tokenize("select @ from t")
+
+
+class TestParser:
+    def test_select_star(self):
+        s = parse_select("select * from C2")
+        assert s.table == "C2" and s.is_star() and s.where is None
+
+    def test_select_columns(self):
+        s = parse_select("select a, b from t")
+        assert s.columns == ("a", "b")
+
+    def test_where_comparison(self):
+        s = parse_select("select * from t where age >= 25")
+        assert s.where == Comparison("age", ">=", 25)
+
+    def test_where_between_and_precedence(self):
+        s = parse_select(
+            "select * from t where age between 25 and 65 and code = '40W'"
+        )
+        assert isinstance(s.where, And)
+        assert s.where.left == Between("age", 25, 65)
+        assert s.where.right == Comparison("code", "=", "40W")
+
+    def test_or_binds_looser_than_and(self):
+        s = parse_select("select * from t where a = 1 or b = 2 and c = 3")
+        assert isinstance(s.where, Or)
+        assert isinstance(s.where.right, And)
+
+    def test_parentheses_override(self):
+        s = parse_select("select * from t where (a = 1 or b = 2) and c = 3")
+        assert isinstance(s.where, And)
+        assert isinstance(s.where.left, Or)
+
+    def test_not_and_not_in(self):
+        s = parse_select("select * from t where not a = 1")
+        assert s.where == Not(Comparison("a", "=", 1))
+        s = parse_select("select * from t where a not in (1, 2)")
+        assert s.where == Not(InList("a", (1, 2)))
+
+    def test_in_list(self):
+        s = parse_select("select * from t where city in ('Dallas', 'Houston')")
+        assert s.where == InList("city", ("Dallas", "Houston"))
+
+    def test_order_by_and_limit(self):
+        s = parse_select("select * from t order by age desc limit 5")
+        assert s.order_by.column == "age" and s.order_by.descending
+        assert s.limit == 5
+
+    def test_parse_errors(self):
+        for bad in (
+            "select",
+            "select * from",
+            "select from t",
+            "select * from t where",
+            "select * from t where a",
+            "select * from t where a = ",
+            "select * from t limit -1",
+            "select * from t limit 1.5",
+            "select * from t garbage",
+            "select a b from t",
+        ):
+            with pytest.raises(SqlParseError):
+                parse_select(bad)
+
+
+class TestExecutor:
+    def test_select_star_returns_all(self):
+        result = run("select * from patient")
+        assert result.row_count == 4
+        assert result.rows_scanned == 4
+        assert result.columns == ("patient_id", "patient_age", "city", "diagnosis_code")
+
+    def test_projection(self):
+        result = run("select city from patient")
+        assert result.columns == ("city",)
+        assert all(set(r) == {"city"} for r in result.rows)
+
+    def test_where_filters(self):
+        result = run("select * from patient where patient_age between 25 and 65")
+        assert {r["patient_id"] for r in result.rows} == {1, 2, 4}
+        assert result.rows_scanned == 4  # full scan regardless
+
+    def test_paper_query(self):
+        result = run(
+            "select * from patient where patient_age between 25 and 65 "
+            "and diagnosis_code = '40W'"
+        )
+        assert [r["patient_id"] for r in result.rows] == [1]
+
+    def test_in_and_or(self):
+        result = run("select * from patient where city = 'Austin' or city = 'Dallas'")
+        assert {r["patient_id"] for r in result.rows} == {1, 3, 4}
+
+    def test_null_comparisons_false(self):
+        result = run("select * from patient where diagnosis_code = '40W'")
+        assert {r["patient_id"] for r in result.rows} == {1, 3}
+        result = run("select * from patient where diagnosis_code != '40W'")
+        assert {r["patient_id"] for r in result.rows} == {2}
+
+    def test_is_null_via_eq_null(self):
+        result = run("select * from patient where diagnosis_code = null")
+        assert {r["patient_id"] for r in result.rows} == {4}
+
+    def test_order_by_and_limit(self):
+        result = run("select patient_id from patient order by patient_age desc limit 2")
+        assert [r["patient_id"] for r in result.rows] == [3, 2]
+
+    def test_bytes_returned(self):
+        everything = run("select * from patient")
+        one_col = run("select city from patient")
+        assert one_col.bytes_returned < everything.bytes_returned
+
+    def test_unknown_table(self):
+        with pytest.raises(SqlExecutionError):
+            run("select * from ghost")
+
+    def test_unknown_column(self):
+        with pytest.raises(SqlExecutionError):
+            run("select ghost from patient")
+        with pytest.raises(SqlExecutionError):
+            run("select * from patient order by ghost")
+
+    def test_type_mismatch_row_is_false(self):
+        result = run("select * from patient where city > 5")
+        assert result.row_count == 0
+
+
+class TestWhereToConstraint:
+    def test_simple_conjunction(self):
+        s = parse_select(
+            "select * from p where patient_age between 25 and 65 and diagnosis_code = '40W'"
+        )
+        constraint = where_to_constraint(s.where)
+        assert constraint.matches_record({"patient_age": 30, "diagnosis_code": "40W"})
+        assert not constraint.matches_record({"patient_age": 80, "diagnosis_code": "40W"})
+
+    def test_none_where_is_unconstrained(self):
+        assert where_to_constraint(None) == Constraint.unconstrained()
+
+    def test_or_is_out_of_fragment(self):
+        s = parse_select("select * from p where a = 1 or b = 2")
+        assert where_to_constraint(s.where) is None
+
+    def test_not_is_out_of_fragment(self):
+        s = parse_select("select * from p where not a = 1")
+        assert where_to_constraint(s.where) is None
+
+    def test_null_literal_out_of_fragment(self):
+        s = parse_select("select * from p where a = null")
+        assert where_to_constraint(s.where) is None
+
+    def test_in_list(self):
+        s = parse_select("select * from p where city in ('Dallas', 'Houston')")
+        constraint = where_to_constraint(s.where)
+        assert constraint.matches_record({"city": "Dallas"})
+        assert not constraint.matches_record({"city": "Waco"})
+
+    def test_reversed_between_unsatisfiable(self):
+        s = parse_select("select * from p where a between 5 and 3")
+        constraint = where_to_constraint(s.where)
+        assert constraint is not None
+        assert not constraint.is_satisfiable()
