@@ -9,13 +9,25 @@ By default the benchmarks run a scaled-down version of each experiment
 (shorter simulated duration, fewer replicate runs) so the whole suite
 finishes in minutes.  Set ``REPRO_FULL_SCALE=1`` for the paper-scale
 parameters (12 simulated hours, 10 replicates — much slower).
+
+Each session also writes ``benchmarks/BENCH_obs.json`` with per-test
+wall times.  Set ``REPRO_BENCH_METRICS=1`` to additionally install a
+process-wide :class:`repro.obs.MetricsObserver` around each test and
+include its registry snapshot in the artifact (off by default so the
+default run measures the uninstrumented fast path).
 """
 
+import json
 import os
+import time
 
 import pytest
 
 FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") == "1"
+BENCH_METRICS = os.environ.get("REPRO_BENCH_METRICS", "") == "1"
+
+#: Per-test observations accumulated for ``BENCH_obs.json``.
+_BENCH_RECORDS = []
 
 #: Simulated seconds per run (paper: 43200 = 12 h).
 SIM_DURATION = 43_200.0 if FULL_SCALE else 7_200.0
@@ -37,3 +49,44 @@ def once(benchmark):
                                   rounds=1, iterations=1)
 
     return run
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Record every benchmark test's wall time (and, opt-in, its metrics
+    registry) for the ``BENCH_obs.json`` artifact."""
+    record = {"test": item.nodeid}
+    observer = None
+    if BENCH_METRICS:
+        from repro import obs
+
+        observer = obs.install(obs.MetricsObserver())
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        record["wall_seconds"] = time.perf_counter() - started
+        if observer is not None:
+            from repro import obs
+
+            obs.uninstall(observer)
+            record["metrics"] = observer.registry.snapshot()
+        _BENCH_RECORDS.append(record)
+
+
+def pytest_sessionfinish(session):
+    if not _BENCH_RECORDS:
+        return
+    path = os.path.join(os.path.dirname(__file__), "BENCH_obs.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "full_scale": FULL_SCALE,
+                "metrics_enabled": BENCH_METRICS,
+                "tests": _BENCH_RECORDS,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.agents.costs import CostModel
 from repro.agents.errors import AgentError
 from repro.core.advertisement import Advertisement
+from repro.obs.events import NULL_OBSERVER, Observer
 from repro.kqml import KqmlMessage, Performative
 from repro.ontology.service import AgentLocation, ServiceDescription
 
@@ -109,6 +110,12 @@ class Agent:
     @property
     def cost_model(self) -> CostModel:
         return self.bus.cost_model
+
+    @property
+    def observer(self) -> Observer:
+        """The bus's observer (no-op when detached or un-instrumented)."""
+        bus = self.bus
+        return bus.observer if bus is not None else NULL_OBSERVER
 
     # ------------------------------------------------------------------
     # self-description
@@ -261,6 +268,9 @@ class Agent:
         _kind, reply_id, _n = token
         conversation = self._conversations.pop(reply_id, None)
         if conversation is not None and conversation.deadline_token == token:
+            obs = self.observer
+            if obs.enabled:
+                obs.conversation_timeout(self.bus.now, self.name, reply_id)
             conversation.callback(None, result)
 
     # ------------------------------------------------------------------

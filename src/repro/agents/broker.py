@@ -19,6 +19,7 @@ Implements the full Section 2.2 / Section 4 behaviour:
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -195,6 +196,7 @@ class BrokerAgent(Agent):
 
         if self._accepts(ad):
             self.repository.advertise(ad.renewed(now))
+            self.observer.inc("broker.advertise.count", outcome="accepted")
             result.send(
                 message.reply(Performative.TELL, content="accepted",
                               **{"accepted-by": self.name})
@@ -204,8 +206,10 @@ class BrokerAgent(Agent):
         self.rejected_advertisements += 1
         target = self._better_home_for(ad)
         if target is None:
+            self.observer.inc("broker.advertise.count", outcome="rejected")
             result.send(message.reply(Performative.SORRY, content="outside specialty"))
             return
+        self.observer.inc("broker.advertise.count", outcome="forwarded")
         # Forward the advertisement to a better-suited peer and relay the
         # outcome back to the advertiser (Section 4.1).
         forwarded = KqmlMessage(
@@ -256,6 +260,8 @@ class BrokerAgent(Agent):
 
     def on_unadvertise(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
         removed = self.repository.unadvertise(str(message.content))
+        if removed:
+            self.observer.inc("broker.unadvertise.count")
         if message.expects_reply() or message.reply_with:
             performative = Performative.TELL if removed else Performative.SORRY
             result.send(message.reply(performative, content=removed))
@@ -316,11 +322,13 @@ class BrokerAgent(Agent):
             self.query_ontology_counts.get(ontology, 0) + 1
         )
 
+        obs = self.observer
+        wall_start = _time.perf_counter() if obs.enabled else 0.0
         if message.extra("directory"):
             # A peer broker pulling our broker directory (Section 4.1).
             local = self.repository.query_brokers(request.query)
         else:
-            local = self.repository.query(request.query)
+            local = self.repository.query(request.query, observer=obs)
         result.cost_seconds += self.cost_model.broker_reasoning_seconds(
             self.repository.size_mb()
         )
@@ -330,6 +338,25 @@ class BrokerAgent(Agent):
             policy.follow is FollowOption.UNTIL_MATCH and local
         ) or not policy.may_forward()
         targets = [] if done_early else self._forward_targets(request)
+
+        if obs.enabled:
+            obs.observe("broker.recommend.latency",
+                        _time.perf_counter() - wall_start)
+            obs.inc("broker.recommend.count", broker=self.name)
+            obs.observe("broker.recommend.local_matches", float(len(local)))
+            obs.observe("broker.recommend.visited", float(len(request.visited)))
+            obs.observe("broker.recommend.hops_remaining",
+                        float(policy.hop_count))
+            if targets:
+                obs.inc("broker.forward.count", float(len(targets)))
+                obs.observe("broker.forward.fanout", float(len(targets)))
+            obs.annotate(
+                self.bus.now, message, "recommend",
+                broker=self.name, ontology=ontology,
+                local_matches=len(local), forward_targets=len(targets),
+                visited=len(request.visited), hops_remaining=policy.hop_count,
+            )
+
         if not targets:
             self._reply_matches(message, {m.agent_name: m for m in local}, result)
             return
@@ -412,7 +439,13 @@ class BrokerAgent(Agent):
         reply: Optional[KqmlMessage],
         result: HandlerResult,
     ) -> None:
-        if reply is not None and reply.performative is Performative.TELL and reply.content:
+        hit = (
+            reply is not None
+            and reply.performative is Performative.TELL
+            and bool(reply.content)
+        )
+        self.observer.inc("broker.probe.count", outcome="hit" if hit else "miss")
+        if hit:
             self._reply_matches(
                 message, {m.agent_name: m for m in reply.content}, result
             )

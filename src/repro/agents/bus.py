@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 from repro.agents.costs import CostModel
 from repro.agents.errors import AgentError
 from repro.kqml import KqmlMessage
+from repro.obs.events import NULL_OBSERVER, Observer, compose, summarize_content
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.agents.base import Agent
@@ -54,14 +55,37 @@ class TraceEntry:
     summary: str
 
 
-def _summarize_content(content) -> str:
-    text = repr(content)
-    return text if len(text) <= 60 else text[:57] + "..."
+_summarize_content = summarize_content
 
 
-def format_message_trace(trace: List[TraceEntry]) -> str:
+class MessageLogObserver(Observer):
+    """Appends a :class:`TraceEntry` per delivered message to a caller-
+    owned list — the legacy ``bus.trace`` behaviour, recast as an
+    observer so the delivery path never branches on tracing."""
+
+    enabled = True
+
+    def __init__(self, entries: List[TraceEntry]):
+        self.entries = entries
+
+    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0):
+        self.entries.append(TraceEntry(
+            time=time,
+            sender=message.sender,
+            receiver=message.receiver,
+            performative=message.performative.value,
+            summary=summarize_content(message.content),
+        ))
+
+
+def format_message_trace(trace) -> str:
     """Render a recorded trace as a textual sequence diagram — the shape
-    of the paper's Figures 5-7."""
+    of the paper's Figures 5-7.
+
+    Accepts any sequence of entries with ``time``/``sender``/``receiver``/
+    ``performative``/``summary`` attributes: the bus's legacy
+    :class:`TraceEntry` list or a
+    :class:`~repro.obs.tracing.ConversationTracer`'s message log."""
     if not trace:
         return "(no messages)"
     lines = []
@@ -76,7 +100,10 @@ def format_message_trace(trace: List[TraceEntry]) -> str:
 class MessageBus:
     """Deterministic virtual-time transport connecting agents."""
 
-    def __init__(self, cost_model: Optional[CostModel] = None):
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 observer: Optional[Observer] = None):
+        from repro import obs as _obs
+
         self.cost_model = cost_model or CostModel()
         self.now = 0.0
         self.stats = BusStats()
@@ -85,10 +112,43 @@ class MessageBus:
         self._queue: List = []
         self._sequence = itertools.count()
         self._cancelled_timers: set = set()
-        #: When set to a list, every delivered message is appended as a
-        #: :class:`TraceEntry` (sequence-diagram material; see
-        #: :func:`format_message_trace`).
-        self.trace: Optional[List[TraceEntry]] = None
+        #: The message whose handling is currently running; sends emitted
+        #: during that handling are causally attributed to it.
+        self._cause: Optional[KqmlMessage] = None
+        self._trace_list: Optional[List[TraceEntry]] = None
+        self._trace_observer: Optional[MessageLogObserver] = None
+        self._base_observer = (
+            observer if observer is not None else _obs.current()
+        )
+        #: The effective observer every hook goes through; NULL_OBSERVER
+        #: by default, so instrumented paths never branch.
+        self.observer: Observer = self._base_observer
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def set_observer(self, observer: Optional[Observer]) -> None:
+        """Replace this bus's primary observer (None resets to no-op)."""
+        self._base_observer = observer if observer is not None else NULL_OBSERVER
+        self._rebuild_observer()
+
+    def _rebuild_observer(self) -> None:
+        self.observer = compose(self._base_observer, self._trace_observer)
+
+    @property
+    def trace(self) -> Optional[List[TraceEntry]]:
+        """Legacy flat trace: assign a list to start appending a
+        :class:`TraceEntry` per delivered message (see
+        :func:`format_message_trace`); assign None to stop."""
+        return self._trace_list
+
+    @trace.setter
+    def trace(self, entries: Optional[List[TraceEntry]]) -> None:
+        self._trace_list = entries
+        self._trace_observer = (
+            MessageLogObserver(entries) if entries is not None else None
+        )
+        self._rebuild_observer()
 
     # ------------------------------------------------------------------
     # agent lifecycle
@@ -132,7 +192,8 @@ class MessageBus:
         size = size_bytes if size_bytes is not None else self.cost_model.control_message_bytes
         arrival = at + self.cost_model.transfer_seconds(size)
         self.stats.bytes_transferred += size
-        self._push(arrival, ("deliver", message))
+        self.observer.message_sent(at, message, size, self._cause)
+        self._push(arrival, ("deliver", message, size))
 
     def schedule_callback(self, fire_at: float, callback: Callable[[], None]) -> None:
         """Run *callback* at virtual time *fire_at* (failure injection,
@@ -202,7 +263,7 @@ class MessageBus:
         self.now = max(self.now, time)
         kind = event[0]
         if kind == "deliver":
-            self._deliver(event[1], time)
+            self._deliver(event[1], time, event[2])
         elif kind == "timer":
             self._fire_timer(event[1], event[2], time)
         elif kind == "start":
@@ -212,25 +273,23 @@ class MessageBus:
         else:  # pragma: no cover - defensive
             raise AgentError(f"unknown bus event {kind!r}")
 
-    def _deliver(self, message: KqmlMessage, time: float) -> None:
+    def _deliver(self, message: KqmlMessage, time: float, size: float) -> None:
         receiver = self._agents.get(message.receiver)
         if receiver is None or message.receiver in self._offline:
             self.stats.messages_dropped += 1
+            self.observer.message_dropped(time, message)
             return
         self.stats.messages_delivered += 1
-        if self.trace is not None:
-            self.trace.append(TraceEntry(
-                time=time,
-                sender=message.sender,
-                receiver=message.receiver,
-                performative=message.performative.value,
-                summary=_summarize_content(message.content),
-            ))
         start = max(receiver.busy_until, time)
-        result = receiver.handle_message(message, start)
-        completion = start + max(result.cost_seconds, 0.0)
-        receiver.busy_until = completion
-        self._emit(receiver, result, completion)
+        self.observer.message_delivered(time, message, start - time, size)
+        self._cause = message
+        try:
+            result = receiver.handle_message(message, start)
+            completion = start + max(result.cost_seconds, 0.0)
+            receiver.busy_until = completion
+            self._emit(receiver, result, completion)
+        finally:
+            self._cause = None
 
     def _fire_timer(self, agent_name: str, token: object, time: float) -> None:
         try:
@@ -243,6 +302,7 @@ class MessageBus:
         if agent is None or agent_name in self._offline:
             return
         self.stats.timers_fired += 1
+        self.observer.timer_fired(time, agent_name)
         start = max(agent.busy_until, time)
         result = agent.on_timer(token, start)
         completion = start + max(result.cost_seconds, 0.0)

@@ -24,6 +24,18 @@ class _Subscription:
     sql: str
     last_rows: Optional[Tuple] = None
     notifications_sent: int = 0
+    polls_fired: int = 0
+
+
+def _row_snapshot(query_result: QueryResult) -> Tuple:
+    """An order-insensitive fingerprint of a result set.
+
+    Rows are canonicalised (sorted column items) and then sorted by a
+    total order over their repr — value types may be mixed across rows
+    (ints, strings, None), so the natural tuple ordering is partial.
+    Row-order-only changes between polls therefore do not notify."""
+    canonical = (tuple(sorted(row.items())) for row in query_result.rows)
+    return tuple(sorted(canonical, key=repr))
 
 
 class MonitorAgent(Agent):
@@ -43,6 +55,16 @@ class MonitorAgent(Agent):
         self.poll_interval = poll_interval
         self.subscriptions: Dict[str, _Subscription] = {}
         self._ids = itertools.count(1)
+
+    @property
+    def polls_fired(self) -> int:
+        """Total polls issued across live subscriptions."""
+        return sum(s.polls_fired for s in self.subscriptions.values())
+
+    @property
+    def notifications_sent(self) -> int:
+        """Total change notifications across live subscriptions."""
+        return sum(s.notifications_sent for s in self.subscriptions.values())
 
     def build_description(self) -> ServiceDescription:
         return ServiceDescription(
@@ -83,6 +105,8 @@ class MonitorAgent(Agent):
         subscription = self.subscriptions.get(subscription_id)
         if subscription is None:
             return
+        subscription.polls_fired += 1
+        self.observer.inc("monitor.polls.count", agent=self.name)
         ask = KqmlMessage(
             Performative.ASK_ALL,
             sender=self.name,
@@ -106,9 +130,10 @@ class MonitorAgent(Agent):
         if reply is None or reply.performative is not Performative.TELL:
             return
         query_result: QueryResult = reply.content
-        snapshot = tuple(tuple(sorted(row.items())) for row in query_result.rows)
+        snapshot = _row_snapshot(query_result)
         if subscription.last_rows is not None and snapshot != subscription.last_rows:
             subscription.notifications_sent += 1
+            self.observer.inc("monitor.notifications.count", agent=self.name)
             result.send(
                 KqmlMessage(
                     Performative.TELL,

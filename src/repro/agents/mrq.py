@@ -285,6 +285,11 @@ class MultiResourceQueryAgent(Agent):
             )
             return
         plan.outstanding = sent
+        obs = self.observer
+        if obs.enabled:
+            obs.observe("mrq.fanout", float(sent))
+            obs.annotate(self.bus.now, plan.original, "mrq-fanout",
+                         resources=sent, recommended=len(matches))
 
     def _rewrite_for(
         self, match: Match, select: Select, ontology: Optional[Ontology]
@@ -400,6 +405,10 @@ class MultiResourceQueryAgent(Agent):
         result.cost_seconds += self.cost_model.resource_query_seconds(
             total_bytes / 1_000_000.0
         )
+        obs = self.observer
+        if obs.enabled:
+            obs.inc("mrq.assembled.count")
+            obs.observe("mrq.assemble.bytes", float(total_bytes))
         result.send(
             plan.original.reply(Performative.TELL, content=final),
             size_bytes=max(final.bytes_returned, self.cost_model.control_message_bytes),

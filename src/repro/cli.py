@@ -6,6 +6,8 @@ Examples::
     python -m repro table3                # Table 3 at quick scale
     python -m repro fig15 --full-scale    # paper-scale Figure 15
     python -m repro all                   # everything, quick scale
+    python -m repro trace quickstart      # span tree of a traced community
+    python -m repro fig14 --metrics m.json   # dump the metrics registry
 """
 
 from __future__ import annotations
@@ -154,6 +156,89 @@ TARGETS: Dict[str, Callable[[Scale], str]] = {
 }
 
 
+# ----------------------------------------------------------------------
+# traced scenarios (``python -m repro trace <scenario>``)
+# ----------------------------------------------------------------------
+def _traced_quickstart() -> str:
+    """Two brokers: the resource advertises only to broker2 while the
+    query path enters at broker1, so answering requires a forward hop."""
+    from repro.community import CommunityBuilder
+    from repro.ontology import demo_ontology
+    from repro.relational.generate import generate_table
+
+    onto = demo_ontology(1)
+    community = (
+        CommunityBuilder(ontologies=[onto])
+        .with_brokers(2)
+        .with_resource("R1", {"C1": generate_table(onto, "C1", 12, seed=1)},
+                       "demo", brokers=["broker2"])
+        .with_query_agent(brokers=["broker1"])
+        .with_user("alice", brokers=["broker1"])
+        .build()
+    )
+    result = community.query("alice", "select * from C1 where c1_s1 >= 0")
+    return (f"quickstart: 2 brokers, resource on broker2, query via broker1 "
+            f"-> {result.row_count} rows (one forward hop)")
+
+
+def _traced_multibroker() -> str:
+    """Three brokers in a chain: the query enters at one end, the data
+    lives at the other, so the request traverses two forward hops."""
+    from repro.community import CommunityBuilder
+    from repro.ontology import demo_ontology
+    from repro.relational.generate import generate_table
+
+    onto = demo_ontology(1)
+    community = (
+        CommunityBuilder(ontologies=[onto])
+        .with_brokers(3, topology="chain")
+        .with_resource("R1", {"C1": generate_table(onto, "C1", 8, seed=2)},
+                       "demo", brokers=["broker3"])
+        .with_query_agent(brokers=["broker1"])
+        .with_user("alice", brokers=["broker1"])
+        .build()
+    )
+    result = community.query("alice", "select * from C1")
+    return (f"multibroker: 3 brokers in a chain, resource on broker3, query "
+            f"via broker1 -> {result.row_count} rows (two forward hops)")
+
+
+TRACE_SCENARIOS: Dict[str, Callable[[], str]] = {
+    "quickstart": _traced_quickstart,
+    "multibroker": _traced_multibroker,
+}
+
+
+def _run_trace(example: Optional[str], metrics_path: Optional[str],
+               jsonl_path: Optional[str]) -> int:
+    from repro import obs
+
+    name = example or "quickstart"
+    scenario = TRACE_SCENARIOS.get(name)
+    if scenario is None:
+        print(f"unknown trace scenario {name!r}; choose from: "
+              f"{', '.join(TRACE_SCENARIOS)}", file=sys.stderr)
+        return 2
+    tracer = obs.ConversationTracer()
+    metrics_observer = obs.MetricsObserver()
+    with obs.installed(obs.compose(metrics_observer, tracer)):
+        summary = scenario()
+    print(summary)
+    print()
+    print(obs.render_span_tree(tracer))
+    closed = [s for s in tracer.spans if s.end is not None]
+    print()
+    print(f"[{len(tracer.spans)} spans ({len(closed)} closed), "
+          f"{len(tracer.messages)} messages delivered]")
+    if jsonl_path:
+        obs.write_jsonl(jsonl_path, tracer)
+        print(f"[trace events written to {jsonl_path}]")
+    if metrics_path:
+        obs.registry_to_json(metrics_observer.registry, metrics_path)
+        print(f"[metrics registry written to {metrics_path}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -161,14 +246,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=[*TARGETS, "all", "list"],
+        choices=[*TARGETS, "all", "list", "trace"],
         help="which table/figure to regenerate ('all' for everything, "
-             "'list' to enumerate targets)",
+             "'list' to enumerate targets, 'trace' to run an instrumented "
+             "example community and print its conversation span tree)",
+    )
+    parser.add_argument(
+        "example", nargs="?", default=None,
+        help="for 'trace': the scenario to run "
+             f"({', '.join(TRACE_SCENARIOS)}; default quickstart)",
     )
     parser.add_argument(
         "--full-scale", action="store_true",
         help="paper-scale parameters (12 simulated hours, 10 replicates); "
              "much slower",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="record counters/histograms while running and write the "
+             "metrics registry to PATH as JSON",
+    )
+    parser.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="for 'trace': also write the span/message event stream to "
+             "PATH as JSONL",
     )
     return parser
 
@@ -178,16 +279,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.target == "list":
         for name in TARGETS:
             print(name)
+        for name in TRACE_SCENARIOS:
+            print(f"trace {name}")
         return 0
+    if args.target == "trace":
+        return _run_trace(args.example, args.metrics, args.trace_jsonl)
+
     scale = Scale(full=args.full_scale)
     targets = list(TARGETS) if args.target == "all" else [args.target]
-    for name in targets:
-        started = time.perf_counter()
-        output = TARGETS[name](scale)
-        elapsed = time.perf_counter() - started
-        print(output)
-        print(f"[{name}: regenerated in {elapsed:.1f}s wall]")
-        print()
+
+    from contextlib import nullcontext
+
+    if args.metrics:
+        from repro import obs
+
+        metrics_observer = obs.MetricsObserver()
+        observing = obs.installed(metrics_observer)
+    else:
+        metrics_observer = None
+        observing = nullcontext()
+
+    with observing:
+        for name in targets:
+            started = time.perf_counter()
+            output = TARGETS[name](scale)
+            elapsed = time.perf_counter() - started
+            print(output)
+            print(f"[{name}: regenerated in {elapsed:.1f}s wall]")
+            print()
+
+    if args.metrics:
+        from repro.obs import registry_to_json
+
+        registry_to_json(metrics_observer.registry, args.metrics)
+        print(f"[metrics registry written to {args.metrics}]")
     return 0
 
 

@@ -69,21 +69,41 @@ class Match:
         return self.advertisement.agent_name
 
 
+@dataclass
+class MatchStats:
+    """Per-query matching work, for the observability layer.
+
+    ``constraint_checks``/``constraint_hits`` count the constraint-
+    overlap reasoning specifically: how many advertisements survived the
+    syntactic and semantic filters far enough to need an overlap check,
+    and how many passed it.
+    """
+
+    candidates: int = 0
+    matched: int = 0
+    constraint_checks: int = 0
+    constraint_hits: int = 0
+
+
 def match_advertisements(
     query: BrokerQuery,
     advertisements: Iterable[Advertisement],
     context: Optional[MatchContext] = None,
+    stats: Optional[MatchStats] = None,
 ) -> List[Match]:
     """All advertisements matching *query*, best semantic score first.
 
     For ``QueryMode.ONE`` queries the caller takes the head of the list;
     the full ranking is returned either way so brokers can merge
-    rankings from collaborating brokers.
+    rankings from collaborating brokers.  Pass a :class:`MatchStats` to
+    collect attempt/hit counts (None, the default, records nothing).
     """
     context = context or MatchContext()
     matches = []
     for ad in advertisements:
-        matched_slots = _matches(query, ad, context)
+        if stats is not None:
+            stats.candidates += 1
+        matched_slots = _matches(query, ad, context, stats)
         if matched_slots is None:
             continue
         matches.append(
@@ -93,12 +113,15 @@ def match_advertisements(
                 matched_slots=tuple(matched_slots),
             )
         )
+    if stats is not None:
+        stats.matched += len(matches)
     matches.sort(key=lambda m: (-m.score, m.agent_name))
     return matches
 
 
 def _matches(
-    query: BrokerQuery, ad: Advertisement, context: MatchContext
+    query: BrokerQuery, ad: Advertisement, context: MatchContext,
+    stats: Optional[MatchStats] = None,
 ) -> Optional[List[str]]:
     """None when *ad* fails *query*; otherwise the covered slot list."""
     desc = ad.description
@@ -148,8 +171,12 @@ def _matches(
     if matched_slots is None:
         return None
 
+    if stats is not None:
+        stats.constraint_checks += 1
     if not desc.content.constraints.overlaps(query.constraints):
         return None
+    if stats is not None:
+        stats.constraint_hits += 1
 
     # --- pragmatic -------------------------------------------------------
     if query.require_mobile is not None and desc.properties.mobile != query.require_mobile:

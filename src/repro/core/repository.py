@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.core.advertisement import Advertisement
 from repro.core.errors import BrokeringError
-from repro.core.matcher import Match, MatchContext, match_advertisements
+from repro.core.matcher import Match, MatchContext, MatchStats, match_advertisements
 from repro.core.query import BrokerQuery
 
 
@@ -133,14 +133,28 @@ class BrokerRepository:
     # ------------------------------------------------------------------
     # matchmaking
     # ------------------------------------------------------------------
-    def query(self, query: BrokerQuery) -> List[Match]:
-        """Match *query* against the stored (non-broker) advertisements."""
+    def query(self, query: BrokerQuery, observer=None) -> List[Match]:
+        """Match *query* against the stored (non-broker) advertisements.
+
+        *observer* (a :class:`repro.obs.Observer`) receives the per-query
+        matching work — candidates reasoned over, constraint-overlap
+        attempts vs. hits — as ``matcher.*`` counters."""
         self.stats.queries_answered += 1
         candidates = self._candidates(query)
         self.stats.advertisements_reasoned_over += len(candidates)
+        stats = (
+            MatchStats() if observer is not None and observer.enabled else None
+        )
         if self.engine == "datalog":
-            return self._datalog_query(query, candidates)
-        return match_advertisements(query, candidates, self.context)
+            matches = self._datalog_query(query, candidates, stats)
+        else:
+            matches = match_advertisements(query, candidates, self.context, stats)
+        if stats is not None:
+            observer.inc("matcher.candidates", stats.candidates)
+            observer.inc("matcher.matched", stats.matched)
+            observer.inc("matcher.constraint.attempts", stats.constraint_checks)
+            observer.inc("matcher.constraint.hits", stats.constraint_hits)
+        return matches
 
     def _candidates(self, query: BrokerQuery) -> List[Advertisement]:
         """The advertisements worth reasoning over for *query*."""
@@ -153,15 +167,18 @@ class BrokerRepository:
         return [self._agents[name] for name in names]
 
     def _datalog_query(
-        self, query: BrokerQuery, candidates: List[Advertisement]
+        self, query: BrokerQuery, candidates: List[Advertisement],
+        stats: Optional[MatchStats] = None,
     ) -> List[Match]:
         """LDL-style matchmaking: names from the Datalog engine, ranking
-        from the shared scoring function."""
+        from the shared scoring function.  (With *stats*, counts reflect
+        the ranking pass over the Datalog-selected subset.)"""
         from repro.core.datalog_matcher import DatalogMatcher
 
         names = DatalogMatcher(self.context).match_names(query, candidates)
         ranked = match_advertisements(
-            query, [ad for ad in candidates if ad.agent_name in names], self.context
+            query, [ad for ad in candidates if ad.agent_name in names],
+            self.context, stats,
         )
         return ranked
 

@@ -1,0 +1,125 @@
+"""Observability: structured events, conversation spans, and metrics.
+
+The measurement substrate for everything the paper evaluates — reply
+latency, match counts, forwarding fan-out, advertisement churn — and
+for every future optimisation PR.  Three cooperating pieces:
+
+* :mod:`repro.obs.events` — the :class:`Observer` interface.  All
+  instrumented code (the bus, the broker, the matcher, the simulator)
+  talks to an observer unconditionally; the default observer is a
+  do-nothing singleton, so un-instrumented runs never branch and never
+  allocate.
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges and fixed-bucket histograms (no external dependencies), plus
+  the :class:`MetricsObserver` that feeds it.
+* :mod:`repro.obs.tracing` — the :class:`ConversationTracer`, which
+  folds the KQML ``:reply-with``/``:in-reply-to`` chains into a span
+  tree: broker forwarding hops, sequential probes and MRQ subquery
+  fan-out all appear as child spans of the conversation that caused
+  them.
+* :mod:`repro.obs.export` — JSONL round-tripping and the ASCII span
+  tree renderer behind ``python -m repro trace``.
+
+A process-wide default observer can be installed (the CLI's
+``--metrics`` does this) so that buses and simulations constructed
+deep inside the experiment harness pick it up without plumbing::
+
+    from repro import obs
+    with obs.installed(obs.MetricsObserver()) as mo:
+        run_simulation(config)
+    print(mo.registry.to_json())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List
+
+from repro.obs.events import (
+    NULL_OBSERVER,
+    CompositeObserver,
+    Event,
+    MessageRecord,
+    Observer,
+    compose,
+    summarize_content,
+)
+from repro.obs.export import (
+    read_jsonl,
+    registry_to_json,
+    render_span_tree,
+    spans_to_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+)
+from repro.obs.tracing import ConversationTracer, Span
+
+__all__ = [
+    "NULL_OBSERVER",
+    "CompositeObserver",
+    "ConversationTracer",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MessageRecord",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "Observer",
+    "Span",
+    "compose",
+    "current",
+    "install",
+    "installed",
+    "read_jsonl",
+    "registry_to_json",
+    "render_span_tree",
+    "spans_to_jsonl",
+    "summarize_content",
+    "uninstall",
+    "write_jsonl",
+]
+
+#: Stack of process-wide default observers; empty means "not observing".
+_installed: List[Observer] = []
+
+
+def current() -> Observer:
+    """The process-wide default observer (NULL_OBSERVER when none is
+    installed).  New :class:`~repro.agents.bus.MessageBus` instances
+    capture this at construction time."""
+    return _installed[-1] if _installed else NULL_OBSERVER
+
+
+def install(observer: Observer) -> Observer:
+    """Push *observer* as the process-wide default; returns it."""
+    _installed.append(observer)
+    return observer
+
+
+def uninstall(observer: Observer = None) -> None:
+    """Pop the most recent default observer (validating *observer* when
+    given)."""
+    if not _installed:
+        return
+    if observer is not None and _installed[-1] is not observer:
+        raise ValueError("uninstall order mismatch: not the installed observer")
+    _installed.pop()
+
+
+@contextmanager
+def installed(observer: Observer):
+    """Context manager form of :func:`install`/:func:`uninstall`."""
+    install(observer)
+    try:
+        yield observer
+    finally:
+        uninstall(observer)

@@ -1,0 +1,167 @@
+"""The observer interface and structured event primitives.
+
+Instrumented code calls observer hooks *unconditionally* — the default
+:data:`NULL_OBSERVER` turns every hook into a no-op method call, so
+callers never branch on "is tracing on?".  Hooks that would need to do
+non-trivial work to *prepare* their arguments (wall-clock reads, list
+materialisation) are guarded by the observer's :attr:`Observer.enabled`
+class attribute, which is ``False`` only on the null observer.
+
+Two families of hooks:
+
+* **transport hooks** (``message_sent`` / ``message_delivered`` / ...)
+  carry the live :class:`~repro.kqml.message.KqmlMessage` objects the
+  tracer needs to stitch conversations together;
+* **generic metric hooks** (``inc`` / ``observe`` / ``gauge``) carry
+  name + value + labels and are what agent code uses for counters and
+  histograms (see the metric naming scheme in README's Observability
+  section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+
+def summarize_content(content: Any, limit: int = 60) -> str:
+    """A short, human-oriented rendering of a message payload."""
+    text = repr(content)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured point-in-time annotation (attached to a span)."""
+
+    name: str
+    time: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One delivered message, as recorded by the tracer's flat log.
+
+    Field-compatible with the bus's legacy ``TraceEntry`` so
+    :func:`repro.agents.bus.format_message_trace` renders either.
+    """
+
+    time: float
+    sender: str
+    receiver: str
+    performative: str
+    summary: str
+
+
+class Observer:
+    """No-op base observer.  Subclass and override what you care about.
+
+    ``enabled`` is a *class* attribute: ``False`` here (and on
+    :data:`NULL_OBSERVER`), ``True`` on every real observer.  Hot paths
+    consult it only to skip argument preparation that is itself costly
+    (e.g. ``perf_counter`` reads); the hook calls themselves are
+    unconditional.
+    """
+
+    enabled = False
+
+    # -- transport hooks (called by the message bus) -------------------
+    def message_sent(self, time: float, message, size_bytes: float,
+                     cause=None) -> None:
+        """*message* departs its sender at *time*; *cause* is the message
+        whose handling emitted it (None for timer- or externally-driven
+        sends)."""
+
+    def message_delivered(self, time: float, message,
+                          queue_time: float = 0.0,
+                          size_bytes: float = 0.0) -> None:
+        """*message* arrives at *time*; it waited *queue_time* virtual
+        seconds for the receiver's single-server queue."""
+
+    def message_dropped(self, time: float, message) -> None:
+        """*message* was addressed to a dead or unknown agent."""
+
+    def timer_fired(self, time: float, agent_name: str) -> None:
+        """A scheduled timer was delivered to *agent_name*."""
+
+    # -- conversation hooks (called by agents) -------------------------
+    def conversation_timeout(self, time: float, agent_name: str,
+                             reply_id: str) -> None:
+        """A registered reply never arrived; the continuation ran with
+        ``None``."""
+
+    def annotate(self, time: float, message, name: str, **attrs) -> None:
+        """Attach a structured event to the conversation span that
+        *message* (a request carrying ``:reply-with``) opened."""
+
+    # -- generic metric hooks ------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment counter *name* by *value*."""
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record *value* into histogram *name*."""
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set gauge *name* to *value*."""
+
+
+#: The process-wide do-nothing observer (the default everywhere).
+NULL_OBSERVER = Observer()
+
+
+class CompositeObserver(Observer):
+    """Fans every hook out to each child observer."""
+
+    enabled = True
+
+    def __init__(self, children: Sequence[Observer]):
+        self.children = [c for c in children if c is not None and c is not NULL_OBSERVER]
+
+    def message_sent(self, time, message, size_bytes, cause=None):
+        for child in self.children:
+            child.message_sent(time, message, size_bytes, cause)
+
+    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0):
+        for child in self.children:
+            child.message_delivered(time, message, queue_time, size_bytes)
+
+    def message_dropped(self, time, message):
+        for child in self.children:
+            child.message_dropped(time, message)
+
+    def timer_fired(self, time, agent_name):
+        for child in self.children:
+            child.timer_fired(time, agent_name)
+
+    def conversation_timeout(self, time, agent_name, reply_id):
+        for child in self.children:
+            child.conversation_timeout(time, agent_name, reply_id)
+
+    def annotate(self, time, message, name, **attrs):
+        for child in self.children:
+            child.annotate(time, message, name, **attrs)
+
+    def inc(self, name, value=1.0, **labels):
+        for child in self.children:
+            child.inc(name, value, **labels)
+
+    def observe(self, name, value, **labels):
+        for child in self.children:
+            child.observe(name, value, **labels)
+
+    def gauge(self, name, value, **labels):
+        for child in self.children:
+            child.gauge(name, value, **labels)
+
+
+def compose(*observers: Optional[Observer]) -> Observer:
+    """The cheapest observer equivalent to notifying all *observers*:
+    NULL for none, the single real observer for one, a composite
+    otherwise."""
+    real = [o for o in observers if o is not None and o is not NULL_OBSERVER]
+    if not real:
+        return NULL_OBSERVER
+    if len(real) == 1:
+        return real[0]
+    return CompositeObserver(real)

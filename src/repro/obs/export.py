@@ -1,0 +1,182 @@
+"""Exporting observability data: JSONL round-trips and ASCII rendering.
+
+JSONL layout — one JSON object per line, discriminated by ``type``:
+
+* ``{"type": "span", ...}`` — one conversation span, with its
+  annotation events inlined;
+* ``{"type": "message", ...}`` — one delivered message from the flat
+  log.
+
+:func:`read_jsonl` reconstructs :class:`~repro.obs.tracing.Span` and
+:class:`~repro.obs.events.MessageRecord` objects, so a trace written by
+one process can be rendered or analysed by another.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.obs.events import Event, MessageRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import ConversationTracer, Span
+
+
+def _span_to_dict(span: Span) -> dict:
+    return {
+        "type": "span",
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "performative": span.performative,
+        "sender": span.sender,
+        "receiver": span.receiver,
+        "start": span.start,
+        "end": span.end,
+        "status": span.status,
+        "attrs": span.attrs,
+        "events": [
+            {"name": e.name, "time": e.time, "attrs": e.attrs}
+            for e in span.events
+        ],
+    }
+
+
+def _message_to_dict(record: MessageRecord) -> dict:
+    return {
+        "type": "message",
+        "time": record.time,
+        "sender": record.sender,
+        "receiver": record.receiver,
+        "performative": record.performative,
+        "summary": record.summary,
+    }
+
+
+def spans_to_jsonl(tracer: ConversationTracer) -> str:
+    """The tracer's spans and message log as JSONL text."""
+    lines = [json.dumps(_span_to_dict(s), default=str) for s in tracer.spans]
+    lines.extend(json.dumps(_message_to_dict(m)) for m in tracer.messages)
+    return "\n".join(lines)
+
+
+def write_jsonl(path: str, tracer: ConversationTracer) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        text = spans_to_jsonl(tracer)
+        if text:
+            handle.write(text + "\n")
+
+
+def read_jsonl(
+    source: Union[str, Iterable[str]],
+) -> Tuple[List[Span], List[MessageRecord]]:
+    """Parse JSONL text (or an iterable of lines) back into spans and
+    message records.  Span ``children`` are re-linked."""
+    if isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = list(source)
+    spans: List[Span] = []
+    messages: List[MessageRecord] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        if data.get("type") == "span":
+            spans.append(Span(
+                span_id=data["span_id"],
+                parent_id=data.get("parent_id"),
+                name=data["name"],
+                performative=data["performative"],
+                sender=data["sender"],
+                receiver=data["receiver"],
+                start=data["start"],
+                end=data.get("end"),
+                status=data.get("status", "open"),
+                attrs=data.get("attrs", {}),
+                events=[
+                    Event(name=e["name"], time=e["time"], attrs=e.get("attrs", {}))
+                    for e in data.get("events", ())
+                ],
+            ))
+        elif data.get("type") == "message":
+            messages.append(MessageRecord(
+                time=data["time"],
+                sender=data["sender"],
+                receiver=data["receiver"],
+                performative=data["performative"],
+                summary=data["summary"],
+            ))
+    by_id = {s.span_id: s for s in spans}
+    for span in spans:
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        if parent is not None:
+            parent.children.append(span)
+    return spans, messages
+
+
+def registry_to_json(registry: MetricsRegistry, path: Optional[str] = None) -> str:
+    """The registry snapshot as JSON text, optionally written to *path*."""
+    text = registry.to_json()
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+# ----------------------------------------------------------------------
+# ASCII rendering (``python -m repro trace``)
+# ----------------------------------------------------------------------
+def _format_duration(span: Span) -> str:
+    if span.duration is None:
+        return "  ...  "
+    return f"{span.duration * 1000:8.1f}ms"
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    rendered = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{rendered}]"
+
+
+def _render(span: Span, prefix: str, is_last: bool, is_root: bool,
+            lines: List[str]) -> None:
+    connector = "" if is_root else ("`- " if is_last else "|- ")
+    lines.append(
+        f"{prefix}{connector}{span.name}  {_format_duration(span)}"
+        f"  t={span.start:.3f}  [{span.status}]{_format_attrs(span.attrs)}"
+    )
+    child_prefix = prefix if is_root else prefix + ("   " if is_last else "|  ")
+    for event in span.events:
+        lines.append(
+            f"{child_prefix}{'|  ' if span.children else '   '}"
+            f". {event.name}{_format_attrs(event.attrs)}"
+        )
+    for index, child in enumerate(span.children):
+        _render(child, child_prefix, index == len(span.children) - 1, False, lines)
+
+
+def render_span_tree(
+    source: Union[ConversationTracer, List[Span]],
+    include_pings: bool = False,
+) -> str:
+    """The span forest as an indented ASCII tree with per-span durations.
+
+    ``include_pings=False`` drops ping/advertise housekeeping roots so a
+    query's forwarding structure is not buried in liveness noise (child
+    spans of kept roots are always shown).
+    """
+    if isinstance(source, ConversationTracer):
+        roots = source.roots()
+    else:
+        roots = [s for s in source if s.parent_id is None]
+    if not include_pings:
+        roots = [r for r in roots if r.performative not in ("ping", "advertise")]
+    if not roots:
+        return "(no conversations)"
+    lines: List[str] = []
+    for root in roots:
+        _render(root, "", True, True, lines)
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+No external dependencies.  Histograms use fixed cumulative-style bucket
+boundaries (a sample lands in the first bucket whose upper bound is
+``>=`` the value; values above every bound land in the overflow
+bucket), so bucket math is exact and mergeable.
+
+Naming scheme (dotted names, optional ``{key=value}`` labels)::
+
+    bus.delivered.count                  total deliveries
+    bus.delivered.count{performative=x}  deliveries by performative
+    bus.delivered.bytes{performative=x}  payload volume by performative
+    bus.queue.seconds                    per-delivery queue wait (hist)
+    broker.recommend.latency             wall seconds per local match (hist)
+    broker.recommend.local_matches       local repository hits (hist)
+    broker.forward.fanout                peers consulted per forward (hist)
+    broker.probe.count{outcome=hit|miss} sequential until-match probes
+    matcher.constraint.attempts/.hits    constraint-overlap checks
+    mrq.fanout                           subqueries per user query (hist)
+    monitor.polls.count / monitor.notifications.count
+    sim.queries.issued / sim.queries.replied / sim.broker.response
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.obs.events import Observer
+
+#: Default histogram bucket upper bounds (seconds): geometric, covering
+#: microsecond wall-clock matching up to multi-minute virtual latencies.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count/min/max.
+
+    ``bounds`` are inclusive upper bounds; ``counts`` has one extra
+    overflow slot for samples above the last bound.  A sample exactly on
+    a boundary is counted in that boundary's bucket (``value <= bound``).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Optional[Iterable[float]] = None):
+        self.bounds: Tuple[float, ...] = tuple(sorted(bounds or DEFAULT_BUCKETS))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def _key(name: str, labels: Dict[str, object]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create storage for named metrics.
+
+    Metrics are keyed by name plus sorted labels, rendered Prometheus
+    style: ``bus.delivered.count{performative=tell}``.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = _key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, buckets: Optional[Iterable[float]] = None,
+                  **labels) -> Histogram:
+        key = _key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(buckets)
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Everything recorded, as plain JSON-serializable data."""
+        return {
+            "counters": {k: c.snapshot() for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.snapshot() for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.snapshot() for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+class MetricsObserver(Observer):
+    """Maps observer hooks onto a :class:`MetricsRegistry`.
+
+    The transport hooks populate the ``bus.*`` metrics; the generic
+    ``inc``/``observe``/``gauge`` hooks pass straight through, so agent
+    instrumentation (``broker.*``, ``mrq.*``, ``monitor.*``, ``sim.*``)
+    lands in the same registry.
+    """
+
+    enabled = True
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # -- transport ------------------------------------------------------
+    def message_sent(self, time, message, size_bytes, cause=None):
+        self.registry.counter("bus.sent.count").inc()
+
+    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0):
+        performative = message.performative.value
+        self.registry.counter("bus.delivered.count").inc()
+        self.registry.counter("bus.delivered.count",
+                              performative=performative).inc()
+        self.registry.counter("bus.delivered.bytes",
+                              performative=performative).inc(size_bytes)
+        self.registry.histogram("bus.queue.seconds").observe(queue_time)
+
+    def message_dropped(self, time, message):
+        self.registry.counter("bus.dropped.count").inc()
+
+    def timer_fired(self, time, agent_name):
+        self.registry.counter("bus.timers.count").inc()
+
+    def conversation_timeout(self, time, agent_name, reply_id):
+        self.registry.counter("agent.reply.timeout",
+                              agent=agent_name).inc()
+
+    # -- generic --------------------------------------------------------
+    def inc(self, name, value=1.0, **labels):
+        self.registry.counter(name, **labels).inc(value)
+
+    def observe(self, name, value, **labels):
+        self.registry.histogram(name, **labels).observe(value)
+
+    def gauge(self, name, value, **labels):
+        self.registry.gauge(name, **labels).set(value)

@@ -1,0 +1,162 @@
+"""Conversation spans: KQML reply chains folded into trees.
+
+Every message that opens a conversation (carries ``:reply-with`` and
+expects a reply) starts a :class:`Span` when it leaves its sender; the
+span closes when the reply is delivered (or when the asker's timeout
+fires).  Parentage follows *causality as the bus sees it*: a request
+emitted while handling message *M* becomes a child of *M*'s
+conversation — so a broker forwarding ``recommend-all`` to its peers
+produces child spans under the original request, an MRQ agent's
+subquery fan-out hangs under the user's ``ask-all``, and a sequential
+until-match probe chain appears as siblings under the probed request.
+
+Agent-level instrumentation attaches :class:`~repro.obs.events.Event`
+annotations to the span of the request being handled (match counts,
+visited-list sizes, fan-out decisions) via ``Observer.annotate``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.events import Event, MessageRecord, Observer, summarize_content
+
+_OK_PERFORMATIVES = ("tell", "pong")
+
+
+@dataclass
+class Span:
+    """One request/reply conversation."""
+
+    span_id: int
+    name: str
+    performative: str
+    sender: str
+    receiver: str
+    start: float
+    parent_id: Optional[int] = None
+    end: Optional[float] = None
+    status: str = "open"  # open | ok | sorry | timeout | <performative>
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    events: List[Event] = field(default_factory=list)
+    #: Filled in by :meth:`ConversationTracer.roots` (and by JSONL
+    #: loading); not maintained incrementally.
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+
+class ConversationTracer(Observer):
+    """Builds the span forest and a flat message log from bus hooks."""
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self.messages: List[MessageRecord] = []
+        self._ids = itertools.count(1)
+        self._by_id: Dict[int, Span] = {}
+        #: reply-with id -> span, for every span ever opened (closed
+        #: spans stay addressable: continuation-driven sends parent
+        #: through them).
+        self._by_reply: Dict[str, Span] = {}
+        self._open: Dict[str, Span] = {}
+
+    # ------------------------------------------------------------------
+    # observer hooks
+    # ------------------------------------------------------------------
+    def message_sent(self, time, message, size_bytes, cause=None):
+        # Anything carrying :reply-with opens a conversation — including
+        # advertise, which sets it explicitly even though the performative
+        # itself does not demand a reply.
+        if not message.reply_with:
+            return
+        parent = self._parent_for(cause)
+        span = Span(
+            span_id=next(self._ids),
+            name=f"{message.performative.value} {message.sender}->{message.receiver}",
+            performative=message.performative.value,
+            sender=message.sender,
+            receiver=message.receiver,
+            start=time,
+            parent_id=parent.span_id if parent is not None else None,
+        )
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        self._by_reply[message.reply_with] = span
+        self._open[message.reply_with] = span
+
+    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0):
+        self.messages.append(MessageRecord(
+            time=time,
+            sender=message.sender,
+            receiver=message.receiver,
+            performative=message.performative.value,
+            summary=summarize_content(message.content),
+        ))
+        if not message.in_reply_to:
+            return
+        span = self._open.pop(message.in_reply_to, None)
+        if span is None:
+            return
+        performative = message.performative.value
+        span.end = time
+        span.status = "ok" if performative in _OK_PERFORMATIVES else performative
+        if isinstance(message.content, (list, tuple)):
+            span.attrs["reply_items"] = len(message.content)
+
+    def conversation_timeout(self, time, agent_name, reply_id):
+        span = self._open.pop(reply_id, None)
+        if span is not None:
+            span.end = time
+            span.status = "timeout"
+
+    def annotate(self, time, message, name, **attrs):
+        span = self._by_reply.get(message.reply_with) if message.reply_with else None
+        if span is not None:
+            span.events.append(Event(name=name, time=time, attrs=attrs))
+
+    # ------------------------------------------------------------------
+    # causality
+    # ------------------------------------------------------------------
+    def _parent_for(self, cause) -> Optional[Span]:
+        """The span a new request belongs under, given the message whose
+        handling emitted it.
+
+        * handling a *request* -> child of that request's span;
+        * handling a *reply* (a continuation resuming) -> sibling of the
+          conversation the reply closed, i.e. child of its parent (the
+          sequential-probe chain case);
+        * timer- or externally-driven -> a root span.
+        """
+        if cause is None:
+            return None
+        if cause.in_reply_to:
+            closed = self._by_reply.get(cause.in_reply_to)
+            if closed is not None:
+                if closed.parent_id is not None:
+                    return self._by_id.get(closed.parent_id)
+                return None
+        if cause.reply_with:
+            return self._by_reply.get(cause.reply_with)
+        return None
+
+    # ------------------------------------------------------------------
+    # the finished forest
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Span]:
+        """Root spans with ``children`` lists populated (stable order)."""
+        for span in self.spans:
+            span.children = []
+        roots: List[Span] = []
+        for span in self.spans:
+            parent = self._by_id.get(span.parent_id) if span.parent_id else None
+            if parent is None:
+                roots.append(span)
+            else:
+                parent.children.append(span)
+        return roots

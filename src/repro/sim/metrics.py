@@ -60,6 +60,21 @@ class SimMetrics:
             return float("nan")
         return len([r for r in issued if r.replied]) / len(issued)
 
+    def publish(self, observer) -> None:
+        """Push this run's aggregates into the observability registry
+        (``sim.*`` metrics), so simulation benchmarks report through the
+        same substrate as the live agent stack.  No-op when *observer*
+        is the default null observer."""
+        if observer is None or not observer.enabled:
+            return
+        observer.inc("sim.queries.issued", float(len(self.broker_queries)))
+        replied = [r for r in self.broker_queries if r.replied]
+        observer.inc("sim.queries.replied", float(len(replied)))
+        for record in replied:
+            observer.observe("sim.broker.response", record.response_time)
+        for elapsed in self.resource_response_times:
+            observer.observe("sim.resource.response", elapsed)
+
     def success_fraction(self, expected_matches: dict, after: float = 0.0,
                          before: float = float("inf")) -> float:
         """Table 6: among *answered* queries, the fraction whose reply

@@ -64,12 +64,22 @@ class SimReport:
 
 
 class Simulation:
-    """A fully wired community, ready to run."""
+    """A fully wired community, ready to run.
 
-    def __init__(self, config: SimConfig):
+    *observer* (a :class:`repro.obs.Observer`) instruments the run: the
+    bus reports deliveries through it and :meth:`run` publishes the
+    collected :class:`SimMetrics` into it, so figure benchmarks and live
+    experiments share one metric vocabulary.  Defaults to the process-
+    wide observer (:func:`repro.obs.current`), a no-op unless installed.
+    """
+
+    def __init__(self, config: SimConfig, observer=None):
+        from repro import obs as _obs
+
         self.config = config
         self.rng = SimRng(config.seed, "sim")
         self.metrics = SimMetrics()
+        self.observer = observer if observer is not None else _obs.current()
         self.bus = MessageBus(
             CostModel(
                 broker_seconds_per_mb=config.broker_seconds_per_mb / config.processor_speed,
@@ -78,7 +88,8 @@ class Simulation:
                 latency_seconds=config.network_latency_s,
                 bandwidth_bytes_per_second=config.network_bandwidth_bytes_per_s,
                 broker_reply_bytes_per_match=config.broker_reply_bytes_per_match,
-            )
+            ),
+            observer=self.observer,
         )
         self.broker_names: List[str] = []
         self.expected_matches: Dict[str, Set[str]] = {}
@@ -189,6 +200,7 @@ class Simulation:
                 controller.apply(schedule)
 
         self.bus.run_until(config.duration)
+        self.metrics.publish(self.observer)
         return SimReport(
             config=config,
             metrics=self.metrics,
@@ -197,9 +209,9 @@ class Simulation:
         )
 
 
-def run_simulation(config: SimConfig) -> SimReport:
+def run_simulation(config: SimConfig, observer=None) -> SimReport:
     """Build and run one simulated community."""
-    return Simulation(config).run()
+    return Simulation(config, observer=observer).run()
 
 
 def run_replicates(config: SimConfig, runs: int = 10) -> List[SimReport]:

@@ -1,0 +1,392 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the span-tree construction from a real multibroker forward
+chain, histogram bucket math at the boundaries, the JSONL round-trip,
+and the zero-overhead / back-compat guarantees of the null observer.
+"""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.agents import (
+    AgentConfig,
+    BrokerAgent,
+    CostModel,
+    MessageBus,
+    MonitorAgent,
+    ResourceAgent,
+    UserAgent,
+)
+from repro.agents.broker import RecommendRequest
+from repro.core.matcher import MatchContext
+from repro.core.policy import FollowOption, SearchPolicy
+from repro.core.query import BrokerQuery
+from repro.kqml import KqmlMessage, Performative
+from repro.ontology import demo_ontology
+from repro.relational.generate import generate_table as gen
+from repro.sql.executor import QueryResult
+
+
+def fast_costs():
+    return CostModel(
+        broker_seconds_per_mb=0.01,
+        resource_seconds_per_mb=0.01,
+        base_handling_seconds=0.0001,
+        latency_seconds=0.001,
+        bandwidth_bytes_per_second=1e9,
+    )
+
+
+# ----------------------------------------------------------------------
+# metrics: registry, counters, histogram bucket boundaries
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_histogram_boundary_values_land_in_their_bucket(self):
+        h = obs.Histogram(bounds=(1.0, 2.0, 5.0))
+        # A sample exactly on a bound counts in that bound's bucket.
+        for value in (0.5, 1.0):
+            h.observe(value)
+        for value in (1.5, 2.0):
+            h.observe(value)
+        h.observe(5.0)
+        h.observe(7.0)  # above every bound -> overflow slot
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.min == 0.5 and h.max == 7.0
+        assert h.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0)
+        assert h.mean == pytest.approx(h.sum / 6)
+
+    def test_histogram_empty_mean_is_nan(self):
+        assert math.isnan(obs.Histogram().mean)
+
+    def test_registry_keys_render_sorted_labels(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("bus.delivered.count", performative="tell").inc(3)
+        registry.counter("bus.delivered.count").inc()
+        registry.gauge("x", b="2", a="1").set(9.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["bus.delivered.count{performative=tell}"] == 3
+        assert snap["counters"]["bus.delivered.count"] == 1
+        assert snap["gauges"]["x{a=1,b=2}"] == 9.0
+
+    def test_registry_get_or_create_returns_same_metric(self):
+        registry = obs.MetricsRegistry()
+        assert registry.counter("c", k="v") is registry.counter("c", k="v")
+        assert registry.counter("c", k="v") is not registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_metrics_observer_transport_hooks(self):
+        observer = obs.MetricsObserver()
+        tell = KqmlMessage(Performative.TELL, sender="a", receiver="b",
+                           content=[1, 2])
+        observer.message_delivered(1.0, tell, queue_time=0.25, size_bytes=64.0)
+        observer.message_delivered(2.0, tell, queue_time=0.75, size_bytes=36.0)
+        observer.conversation_timeout(3.0, "a", "q1")
+        snap = observer.registry.snapshot()
+        assert snap["counters"]["bus.delivered.count"] == 2
+        assert snap["counters"]["bus.delivered.count{performative=tell}"] == 2
+        assert snap["counters"]["bus.delivered.bytes{performative=tell}"] == 100.0
+        assert snap["counters"]["agent.reply.timeout{agent=a}"] == 1
+        assert snap["histograms"]["bus.queue.seconds"]["count"] == 2
+
+
+# ----------------------------------------------------------------------
+# the process-wide observer stack
+# ----------------------------------------------------------------------
+class TestObserverStack:
+    def test_default_is_null_observer(self):
+        assert obs.current() is obs.NULL_OBSERVER
+        assert not obs.NULL_OBSERVER.enabled
+
+    def test_install_uninstall_nesting(self):
+        a, b = obs.MetricsObserver(), obs.MetricsObserver()
+        with obs.installed(a):
+            assert obs.current() is a
+            with obs.installed(b):
+                assert obs.current() is b
+            assert obs.current() is a
+        assert obs.current() is obs.NULL_OBSERVER
+
+    def test_uninstall_order_mismatch_raises(self):
+        a, b = obs.MetricsObserver(), obs.MetricsObserver()
+        obs.install(a)
+        try:
+            with pytest.raises(ValueError):
+                obs.uninstall(b)
+        finally:
+            obs.uninstall(a)
+
+    def test_bus_captures_installed_observer_at_construction(self):
+        observer = obs.MetricsObserver()
+        with obs.installed(observer):
+            bus = MessageBus(fast_costs())
+        assert bus.observer is observer
+        assert MessageBus(fast_costs()).observer is obs.NULL_OBSERVER
+
+    def test_compose(self):
+        a = obs.MetricsObserver()
+        assert obs.compose() is obs.NULL_OBSERVER
+        assert obs.compose(a) is a
+        both = obs.compose(a, obs.ConversationTracer())
+        assert both.enabled
+
+
+# ----------------------------------------------------------------------
+# span trees from a real multibroker forward chain
+# ----------------------------------------------------------------------
+def build_chain_community(observer):
+    """b1 - b2 - b3 in a chain; the only matching resource sits on b3."""
+    onto = demo_ontology(1)
+    context = MatchContext(ontologies={"demo": onto})
+    bus = MessageBus(fast_costs(), observer=observer)
+    peers = {"b1": ["b2"], "b2": ["b1", "b3"], "b3": ["b2"]}
+    for name, peer_list in peers.items():
+        bus.register(BrokerAgent(name, context=context, peer_brokers=peer_list,
+                                 prune_peers_by_specialty=False))
+    bus.register(ResourceAgent(
+        "R3", {"C1": gen(onto, "C1", 5, seed=3)}, "demo",
+        config=AgentConfig(preferred_brokers=("b3",), redundancy=1),
+    ))
+    bus.run_until(1.0)
+    return bus
+
+
+def drive_recommend(bus, broker="b1", follow=FollowOption.UNTIL_MATCH):
+    replies = []
+
+    class Driver(UserAgent):
+        def on_custom_timer(self, token, result, now):
+            request = RecommendRequest(
+                query=BrokerQuery(agent_type="resource", ontology_name="demo",
+                                  classes=("C1",)),
+                policy=SearchPolicy(hop_count=8, follow=follow),
+            )
+            message = KqmlMessage(
+                Performative.RECOMMEND_ALL, sender=self.name, receiver=broker,
+                content=request,
+            )
+            self.ask(message, lambda r, res: replies.append(r), result)
+
+    bus.register(Driver("driver", config=AgentConfig(preferred_brokers=(broker,),
+                                                     redundancy=0)))
+    bus.schedule_timer("driver", bus.now, "go")
+    bus.run()
+    return replies
+
+
+class TestSpanTree:
+    def test_until_match_forward_chain_nests_spans(self):
+        tracer = obs.ConversationTracer()
+        metrics = obs.MetricsObserver()
+        bus = build_chain_community(obs.compose(metrics, tracer))
+        replies = drive_recommend(bus)
+        assert replies and [m.agent_name for m in replies[0].content] == ["R3"]
+
+        by_name = {s.name: s for s in tracer.spans}
+        root = by_name["recommend-all driver->b1"]
+        hop1 = by_name["recommend-all b1->b2"]
+        hop2 = by_name["recommend-all b2->b3"]
+        assert root.parent_id is None
+        assert hop1.parent_id == root.span_id
+        assert hop2.parent_id == hop1.span_id
+        for span in (root, hop1, hop2):
+            assert span.status == "ok"
+            assert span.duration is not None and span.duration > 0.0
+        # the request traversed the chain: each hop starts after its parent
+        assert root.start < hop1.start < hop2.start
+        # the matching broker annotated its span with the match outcome
+        recommend_events = [e for e in hop2.events if e.name == "recommend"]
+        assert recommend_events and recommend_events[0].attrs["local_matches"] == 1
+
+        roots = tracer.roots()
+        assert root in roots
+        assert root.children == [hop1] and hop1.children == [hop2]
+
+    def test_render_span_tree_shows_nested_hops_and_durations(self):
+        tracer = obs.ConversationTracer()
+        bus = build_chain_community(tracer)
+        drive_recommend(bus)
+        rendered = obs.render_span_tree(tracer)
+        lines = rendered.splitlines()
+        assert any("recommend-all driver->b1" in l for l in lines)
+        assert any("recommend-all b1->b2" in l and ("|-" in l or "`-" in l)
+                   for l in lines)
+        assert any("recommend-all b2->b3" in l for l in lines)
+        assert "ms" in rendered and "[ok]" in rendered
+        # housekeeping roots (advertise) are filtered by default
+        assert "advertise" not in rendered
+        assert "advertise" in obs.render_span_tree(tracer, include_pings=True)
+
+    def test_chain_metrics_land_in_registry(self):
+        tracer = obs.ConversationTracer()
+        metrics = obs.MetricsObserver()
+        bus = build_chain_community(obs.compose(metrics, tracer))
+        drive_recommend(bus)
+        snap = metrics.registry.snapshot()
+        assert snap["counters"]["bus.delivered.count"] > 0
+        assert snap["histograms"]["broker.recommend.latency"]["count"] >= 3
+        assert snap["counters"]["broker.forward.count"] == 2
+        attempts = snap["counters"]["matcher.constraint.attempts"]
+        hits = snap["counters"]["matcher.constraint.hits"]
+        assert attempts >= hits >= 0
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+class TestJsonlRoundTrip:
+    def traced_chain(self):
+        tracer = obs.ConversationTracer()
+        bus = build_chain_community(tracer)
+        drive_recommend(bus)
+        return tracer
+
+    def test_round_trip_preserves_spans_events_and_messages(self):
+        tracer = self.traced_chain()
+        spans, messages = obs.read_jsonl(obs.spans_to_jsonl(tracer))
+        assert len(spans) == len(tracer.spans)
+        assert len(messages) == len(tracer.messages)
+        originals = {s.span_id: s for s in tracer.spans}
+        for loaded in spans:
+            original = originals[loaded.span_id]
+            assert loaded.name == original.name
+            assert loaded.parent_id == original.parent_id
+            assert loaded.status == original.status
+            assert loaded.start == original.start and loaded.end == original.end
+            assert [e.name for e in loaded.events] == [e.name for e in original.events]
+        # children are re-linked, so the loaded forest renders identically
+        assert obs.render_span_tree(spans) == obs.render_span_tree(tracer)
+
+    def test_write_jsonl_file(self, tmp_path):
+        tracer = self.traced_chain()
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(str(path), tracer)
+        spans, messages = obs.read_jsonl(path.read_text().splitlines())
+        assert len(spans) == len(tracer.spans)
+        assert len(messages) == len(tracer.messages)
+
+    def test_registry_to_json_file(self, tmp_path):
+        import json
+
+        registry = obs.MetricsRegistry()
+        registry.counter("bus.delivered.count").inc(5)
+        path = tmp_path / "metrics.json"
+        obs.registry_to_json(registry, str(path))
+        data = json.loads(path.read_text())
+        assert data["counters"]["bus.delivered.count"] == 5
+
+
+# ----------------------------------------------------------------------
+# zero-overhead default and bus.trace back-compat
+# ----------------------------------------------------------------------
+class TestNullObserverDefault:
+    def test_default_bus_has_null_observer_and_no_trace(self):
+        bus = MessageBus(fast_costs())
+        assert bus.observer is obs.NULL_OBSERVER
+        assert bus.trace is None
+
+    def test_observation_does_not_perturb_virtual_time(self):
+        """Tracing must be read-only: same community, same virtual-time
+        outcome with and without an observer attached."""
+        plain_bus = build_chain_community(obs.NULL_OBSERVER)
+        plain = drive_recommend(plain_bus)
+        tracer = obs.ConversationTracer()
+        traced_bus = build_chain_community(tracer)
+        traced = drive_recommend(traced_bus)
+        assert plain_bus.now == traced_bus.now
+        assert [m.agent_name for m in plain[0].content] == \
+            [m.agent_name for m in traced[0].content]
+        assert tracer.spans  # and the observed run actually recorded spans
+
+    def test_null_observer_hooks_are_noops(self):
+        null = obs.Observer()
+        message = KqmlMessage(Performative.TELL, sender="a", receiver="b",
+                              content="x")
+        assert null.message_sent(0.0, message, 10.0) is None
+        assert null.message_delivered(0.0, message) is None
+        assert null.inc("anything") is None
+        assert null.observe("anything", 1.0) is None
+        assert null.annotate(0.0, message, "noop") is None
+
+    def test_bus_trace_back_compat_records_entries(self):
+        bus = build_chain_community(obs.NULL_OBSERVER)
+        bus.trace = []
+        drive_recommend(bus)
+        assert bus.trace and all(hasattr(e, "performative") for e in bus.trace)
+        from repro.agents.bus import format_message_trace
+
+        rendered = format_message_trace(bus.trace)
+        assert "recommend-all" in rendered
+
+
+# ----------------------------------------------------------------------
+# monitor fixes: stable row snapshots and surfaced counters
+# ----------------------------------------------------------------------
+class TestMonitorObservability:
+    def test_row_snapshot_is_order_insensitive(self):
+        from repro.agents.monitor import _row_snapshot
+
+        rows = (
+            {"id": 1, "name": "a", "score": None},
+            {"id": 2, "name": "b", "score": 7},
+        )
+        forward = QueryResult(columns=("id", "name", "score"), rows=rows,
+                              rows_scanned=2)
+        backward = QueryResult(columns=("id", "name", "score"),
+                               rows=tuple(reversed(rows)), rows_scanned=2)
+        assert _row_snapshot(forward) == _row_snapshot(backward)
+
+    def test_row_snapshot_handles_mixed_value_types(self):
+        from repro.agents.monitor import _row_snapshot
+
+        # None vs int in the same column must not raise during sorting.
+        rows = ({"v": None}, {"v": 3}, {"v": "s"})
+        result = QueryResult(columns=("v",), rows=rows, rows_scanned=3)
+        assert len(_row_snapshot(result)) == 3
+
+    def test_row_snapshot_detects_real_changes(self):
+        from repro.agents.monitor import _row_snapshot
+
+        before = QueryResult(columns=("v",), rows=({"v": 1},), rows_scanned=1)
+        after = QueryResult(columns=("v",), rows=({"v": 2},), rows_scanned=1)
+        assert _row_snapshot(before) != _row_snapshot(after)
+
+    def test_monitor_counters_surface_in_registry(self):
+        from tests.test_agents_community import build_figure5_community
+
+        metrics = obs.MetricsObserver()
+        with obs.installed(metrics):
+            bus, user, onto = build_figure5_community()
+        monitor = MonitorAgent("monitor", query_agent="MRQ-agent",
+                               poll_interval=10.0,
+                               config=AgentConfig(redundancy=0))
+        bus.register(monitor)
+        notifications = []
+
+        class Subscriber(UserAgent):
+            def on_tell(self, message, result, now):
+                notifications.append(message)
+
+            def on_custom_timer(self, token, result, now):
+                message = KqmlMessage(
+                    Performative.SUBSCRIBE, sender=self.name,
+                    receiver="monitor", content="select * from C1",
+                )
+                self.ask(message, lambda r, res: None, result)
+
+        bus.register(Subscriber("subscriber", config=AgentConfig(redundancy=0)))
+        bus.schedule_timer("subscriber", 2.0, "subscribe")
+        bus.run_until(15.0)
+        assert notifications == []  # first poll is the baseline
+        bus.agent("DB1-resource").catalog["C1"].insert(
+            {"c1_id": 99, "c1_s1": 1, "c1_s2": 2, "c1_s3": 3})
+        bus.run_until(40.0)
+        assert len(notifications) == 1
+        assert monitor.polls_fired >= 2
+        assert monitor.notifications_sent == 1
+        snap = metrics.registry.snapshot()
+        assert snap["counters"]["monitor.polls.count{agent=monitor}"] == \
+            monitor.polls_fired
+        assert snap["counters"]["monitor.notifications.count{agent=monitor}"] == 1
