@@ -1,0 +1,189 @@
+"""Microbenchmark — the matchmaking hot path at community scale.
+
+Times a repeated query batch against repositories of 100 / 1 000 /
+5 000 advertisements under three variants:
+
+* ``scan``            — no candidate index, no match cache (the seed
+  repository's behaviour);
+* ``indexed``         — full multi-dimension candidate index, no cache;
+* ``indexed+cache``   — the production default: index plus the
+  fingerprint-keyed match cache.
+
+The ontology distribution is *skewed* (Zipf-ish: a few big domains,
+a long tail), the realistic shape for an InfoSleuth deployment and the
+regime where posting-list intersection pays most.  Every variant must
+return byte-identical ranked results; the timing table is written to
+``benchmarks/BENCH_match.json`` (consumed by the README performance
+table and the CI benchmark smoke job).
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) to drop the 5 000-ad
+tier and the speedup floor and just verify agreement + artifact shape.
+"""
+
+import json
+import os
+import time
+
+from repro.core import BrokerQuery, BrokerRepository, MatchContext
+from repro.experiments import format_table
+from repro.ontology import healthcare_ontology
+from tests.test_core_matcher import make_ad
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+SIZES = [100, 1_000] if QUICK else [100, 1_000, 5_000]
+#: Queries per batch; the batch repeats so the cache variant can hit.
+N_QUERIES = 60
+BATCH_REPEATS = 3
+#: Skewed domain popularity: domain0 holds ~half the community.
+DOMAIN_WEIGHTS = [50, 20, 10, 8, 5, 3, 2, 1, 1]
+
+VARIANTS = {
+    "scan": dict(index_mode="none", match_cache_size=0),
+    "indexed": dict(index_mode="full", match_cache_size=0),
+    "indexed+cache": dict(index_mode="full"),
+}
+
+#: The acceptance floor: indexed+cache vs scan at the largest tier.
+SPEEDUP_FLOOR = 5.0
+
+
+def _domain_of(i):
+    total = sum(DOMAIN_WEIGHTS)
+    slot = i % total
+    acc = 0
+    for domain, weight in enumerate(DOMAIN_WEIGHTS):
+        acc += weight
+        if slot < acc:
+            return domain
+    return 0
+
+
+def build_ads(n):
+    ads = []
+    for i in range(n):
+        domain = _domain_of(i)
+        ontology = "healthcare" if domain == 0 else f"domain{domain}"
+        ads.append(
+            make_ad(
+                f"agent{i}",
+                ontology=ontology,
+                classes=("patient",) if domain == 0 and i % 2 == 0 else (),
+                functions=("relational",) if i % 3 else ("query-processing",),
+                conversations=("ask-all", "subscribe") if i % 4 else ("ask-all",),
+                constraints="age between 20 and 60" if i % 5 == 0 else "",
+            )
+        )
+    return ads
+
+
+def build_queries():
+    """Query batch uniform over domains: most queries target a narrow
+    tail domain (the Section 3.2 "reasoning over a narrower domain"
+    case), a few hit the big one."""
+    queries = []
+    for i in range(N_QUERIES):
+        domain = i % len(DOMAIN_WEIGHTS)
+        ontology = "healthcare" if domain == 0 else f"domain{domain}"
+        queries.append(
+            BrokerQuery(
+                ontology_name=ontology,
+                classes=("patient",) if domain == 0 and i % 2 == 0 else (),
+                capabilities=("select",) if i % 3 == 0 else (),
+                conversations=("subscribe",) if i % 4 == 0 else (),
+            )
+        )
+    return queries
+
+
+def build_repo(ads, **kwargs):
+    context = MatchContext(ontologies={"healthcare": healthcare_ontology()})
+    repo = BrokerRepository(context, **kwargs)
+    for ad in ads:
+        repo.advertise(ad)
+    return repo
+
+
+def run_batch(repo, queries):
+    """Total wall seconds for BATCH_REPEATS passes over the query batch,
+    plus the (variant-independent) ranked results of the final pass."""
+    results = None
+    started = time.perf_counter()
+    for _ in range(BATCH_REPEATS):
+        results = [
+            tuple(m.agent_name for m in repo.query(query)) for query in queries
+        ]
+    return time.perf_counter() - started, results
+
+
+def test_micro_matchmaking(once):
+    def run_all():
+        queries = build_queries()
+        table = {}
+        for size in SIZES:
+            ads = build_ads(size)
+            reference = None
+            for variant, kwargs in VARIANTS.items():
+                repo = build_repo(ads, **kwargs)
+                wall, results = run_batch(repo, queries)
+                if reference is None:
+                    reference = results
+                else:
+                    # Zero result-set differences, in ranked order.
+                    assert results == reference, (
+                        f"{variant} diverged from scan at {size} ads"
+                    )
+                table.setdefault(variant, {})[f"{size} ads"] = wall
+        return table
+
+    table = once(run_all)
+
+    columns = [f"{size} ads" for size in SIZES]
+    speedups = {
+        column: table["scan"][column] / table["indexed+cache"][column]
+        for column in columns
+    }
+    table["speedup (cache)"] = speedups
+    print()
+    print(format_table(
+        f"Matchmaking hot path: {N_QUERIES}-query batch x{BATCH_REPEATS}, "
+        "skewed domains",
+        table, column_order=columns, row_label="variant",
+        value_format="{:.4f}",
+    ))
+
+    path = os.path.join(os.path.dirname(__file__), "BENCH_match.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "quick": QUICK,
+                "sizes": SIZES,
+                "queries_per_batch": N_QUERIES,
+                "batch_repeats": BATCH_REPEATS,
+                "wall_seconds": {
+                    variant: {
+                        str(size): table[variant][f"{size} ads"]
+                        for size in SIZES
+                    }
+                    for variant in VARIANTS
+                },
+                "speedup_cache_vs_scan": {
+                    str(size): speedups[f"{size} ads"] for size in SIZES
+                },
+            },
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+
+    # Timing assertions are skipped in quick mode: the CI smoke job
+    # only guards result agreement and the artifact shape.
+    if not QUICK:
+        # Index alone must already beat the scan at every tier...
+        for column in columns:
+            assert table["indexed"][column] < table["scan"][column]
+        # ...and at the 5 000-ad tier the production configuration
+        # clears the acceptance floor.
+        top = f"{SIZES[-1]} ads"
+        assert speedups[top] >= SPEEDUP_FLOOR, (
+            f"indexed+cache only {speedups[top]:.1f}x faster at {top}"
+        )

@@ -86,6 +86,8 @@ class BrokerAgent(Agent):
         # opt-in (see benchmarks/test_ablation_sequential_probe.py).
         sequential_until_match: bool = False,
         matching_engine: str = "direct",
+        repository_index_mode: str = "full",
+        match_cache_size: Optional[int] = None,
         pull_broker_directory: bool = False,
     ):
         super().__init__(
@@ -103,7 +105,17 @@ class BrokerAgent(Agent):
                 advertisement_size_mb=0.01,
             ),
         )
-        self.repository = BrokerRepository(context, engine=matching_engine)
+        from repro.core.repository import DEFAULT_MATCH_CACHE_SIZE
+
+        self.repository = BrokerRepository(
+            context,
+            engine=matching_engine,
+            index_mode=repository_index_mode,
+            match_cache_size=(
+                DEFAULT_MATCH_CACHE_SIZE if match_cache_size is None
+                else match_cache_size
+            ),
+        )
         self.pull_broker_directory = pull_broker_directory
         self.peer_brokers: List[str] = list(peer_brokers)
         self.specializations: Tuple[str, ...] = tuple(specializations)

@@ -21,6 +21,7 @@ from repro.constraints.domains import (
     Domain,
     FULL_DOMAIN,
     domain_is_full,
+    domain_key,
     intersect_domains,
     overlaps_domains,
     subsumes_domain,
@@ -136,6 +137,18 @@ class Constraint:
             except TypeError:
                 return False
         return True
+
+    def cache_key(self):
+        """A canonical, hashable fingerprint of this constraint.
+
+        Equal constraints always produce equal keys (slot order and
+        frozenset iteration order are normalized away), so the broker's
+        match cache can key on it.
+        """
+        return tuple(
+            (slot, domain_key(domain))
+            for slot, domain in sorted(self._domains.items())
+        )
 
     # ------------------------------------------------------------------
     # dunder plumbing

@@ -178,3 +178,24 @@ def _safe_contains(interval_set: IntervalSet, value) -> bool:
         return interval_set.contains(value)
     except TypeError:
         return False
+
+
+def domain_key(domain: Domain):
+    """A canonical, hashable key for *domain* (same key iff same domain).
+
+    Frozensets iterate in hash order, so the key sorts their members (by
+    repr, to tolerate mixed value types); interval sets are already
+    normalized to sorted disjoint runs.  Used to fingerprint constraints
+    for the broker's match cache.
+    """
+    if isinstance(domain, IntervalSet):
+        return (
+            "iv",
+            tuple(
+                (iv.lo, iv.hi, iv.lo_open, iv.hi_open)
+                for iv in domain.intervals
+            ),
+        )
+    if isinstance(domain, DiscreteSet):
+        return ("in", tuple(sorted(domain.allowed, key=repr)))
+    return ("not", tuple(sorted(domain.excluded, key=repr)))

@@ -8,16 +8,29 @@ the Datalog engine does the reasoning — including constraint-interval
 overlap via the ``iv_overlaps`` builtin and capability/class hierarchy
 facts.
 
-The compiled engine covers the same query language as the direct
-matcher in :mod:`repro.core.matcher`; the test suite asserts the two
+Two front-ends share the same fact/rule vocabulary:
+
+* :class:`DatalogMatcher` — one-shot: a fresh engine per query over an
+  explicit advertisement list.  The fidelity reference the property
+  tests compare against.
+* :class:`IncrementalDatalogMatcher` — persistent: one engine per
+  broker repository.  Advertisements are asserted (and retracted) as
+  EDB deltas, compiled query rules are cached by the query's canonical
+  fingerprint, and the engine's delta-only semi-naive evaluation keeps
+  an advertise → query loop from recomputing the whole model per
+  advertise (see :class:`repro.datalog.engine.EngineStats`).
+
+The compiled engines cover the same query language as the direct
+matcher in :mod:`repro.core.matcher`; the test suite asserts all three
 agree on randomized inputs.  The direct matcher remains the production
-path (it is faster); this one is the fidelity reference.
+path (it is faster); these are the fidelity reference and the
+LDL-architecture backend.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.constraints.domains import Complement, DiscreteSet
 from repro.constraints.intervals import Interval, IntervalSet
@@ -46,79 +59,12 @@ class DatalogMatcher:
     ) -> Set[str]:
         """The set of agent names matching *query* (unranked)."""
         engine = Engine()
-        self._assert_advertisements(engine, advertisements, query)
-        self._assert_hierarchies(engine, advertisements, query)
-        self._compile_query(engine, query)
-        return {args[0] for args in engine.query("match", A)}
-
-    # ------------------------------------------------------------------
-    # fact compilation
-    # ------------------------------------------------------------------
-    def _assert_advertisements(
-        self,
-        engine: Engine,
-        advertisements: Sequence[Advertisement],
-        query: BrokerQuery,
-    ) -> None:
         for ad in advertisements:
-            desc = ad.description
-            name = ad.agent_name
-            engine.fact("agent", name)
-            engine.fact("agent_type", name, desc.agent_type)
-            for lang in desc.syntax.content_languages:
-                engine.fact("speaks", name, lang)
-            for lang in desc.syntax.communication_languages:
-                engine.fact("comm", name, lang)
-            for conversation in desc.capabilities.conversations:
-                engine.fact("conversation", name, conversation)
-            for function in desc.capabilities.functions:
-                engine.fact("function", name, function)
-            if desc.content.ontology_name:
-                engine.fact("onto", name, desc.content.ontology_name)
-            else:
-                engine.fact("no_onto", name)
-            if desc.content.classes:
-                for cls in desc.content.classes:
-                    engine.fact("a_class", name, cls)
-            else:
-                engine.fact("no_classes", name)
-            if desc.content.slots:
-                for slot in desc.content.slots:
-                    engine.fact("a_slot", name, slot)
-            else:
-                engine.fact("no_slots", name)
-
-            if not desc.content.constraints.is_satisfiable():
-                engine.fact("unsat", name)
-            for slot in query.constraints.slots:
-                self._assert_slot_domain(engine, name, slot, desc.content.constraints)
-
-            props = desc.properties
-            engine.fact("mobile", name, props.mobile)
-            if props.estimated_response_time is not None:
-                engine.fact("ert", name, props.estimated_response_time)
-            else:
-                engine.fact("no_ert", name)
-
-    def _assert_slot_domain(self, engine: Engine, name: str, slot: str, constraints) -> None:
-        domain = constraints.domain(slot)
-        if isinstance(domain, Complement):
-            if not domain.excluded:
-                engine.fact("unconstrained", name, slot)
-                return
-            engine.fact("c_complement", name, slot)
-            for value in domain.excluded:
-                engine.fact("c_excluded", name, slot, value)
-        elif isinstance(domain, DiscreteSet):
-            for value in domain.allowed:
-                engine.fact("c_value", name, slot, value)
-        else:  # IntervalSet
-            for interval in domain.intervals:
-                lo, hi = _bounds(interval)
-                engine.fact(
-                    "c_interval", name, slot, lo, hi,
-                    interval.lo_open, interval.hi_open,
-                )
+            for fact in _advertisement_facts(ad, query.constraints.slots):
+                engine.fact(*fact)
+        self._assert_hierarchies(engine, advertisements, query)
+        _compile_query(engine, query, self.context)
+        return {args[0] for args in engine.query("match", A)}
 
     def _assert_hierarchies(
         self,
@@ -144,159 +90,395 @@ class DatalogMatcher:
                     if self.context.classes_related(
                         query.ontology_name, requested, advertised
                     ):
-                        engine.fact("related", advertised, requested)
+                        engine.fact(
+                            "related", query.ontology_name, advertised, requested
+                        )
+
+
+class IncrementalDatalogMatcher:
+    """A persistent LDL engine serving one repository's query stream.
+
+    Advertisement facts live in the engine across queries; compiled
+    query rules are cached per canonical fingerprint under a unique
+    predicate prefix.  Steady-state advertise → query traffic therefore
+    hits the engine's incremental path: asserting a new advertisement
+    queues EDB facts, and the next (already-compiled) query applies
+    them as a semi-naive delta instead of recomputing the model.
+
+    Query-dependent vocabulary (constraint slot domains, capability
+    ``covers`` facts, per-ontology ``related`` facts) is registered
+    lazily the first time a query mentions it, then extended as new
+    advertisements arrive.  Unadvertising retracts the agent's facts,
+    which correctly falls back to a full recomputation.  Beyond
+    :attr:`max_compiled_queries` distinct query shapes, new shapes are
+    answered by a one-shot :class:`DatalogMatcher` so the persistent
+    rule set stays bounded.
+    """
+
+    max_compiled_queries = 64
+
+    def __init__(self, context: Optional[MatchContext] = None):
+        self.context = context or MatchContext()
+        self.engine = Engine()
+        self._ads: Dict[str, Advertisement] = {}
+        self._agent_facts: Dict[str, List[tuple]] = {}
+        self._slots: Set[str] = set()
+        self._functions: Set[str] = set()
+        self._advertised_classes: Set[str] = set()
+        self._requested_caps: Set[str] = set()
+        self._requested_classes: Set[Tuple[str, str]] = set()
+        self._compiled: Dict[tuple, str] = {}
+        #: One-shot fallbacks taken because the compiled-rule cache was
+        #: full (observability for the bound).
+        self.fallback_queries = 0
 
     # ------------------------------------------------------------------
-    # rule compilation
+    # advertisement lifecycle
     # ------------------------------------------------------------------
-    def _compile_query(self, engine: Engine, query: BrokerQuery) -> None:
-        conditions: List[str] = []
+    def advertise(self, ad: Advertisement) -> None:
+        name = ad.agent_name
+        if name in self._agent_facts:
+            self._retract_agent(name)
+        facts = list(_advertisement_facts(ad, sorted(self._slots)))
+        for fact in facts:
+            self.engine.fact(*fact)
+        self._ads[name] = ad
+        self._agent_facts[name] = facts
+        self._extend_hierarchy_facts(ad)
 
-        def add_condition(pred: str, rules: List[tuple]):
-            """Register *pred* as a required condition with OR-rules."""
-            conditions.append(pred)
-            for body in rules:
-                engine.rule((pred, A), list(body))
+    def unadvertise(self, agent_name: str) -> None:
+        if agent_name in self._agent_facts:
+            self._retract_agent(agent_name)
 
-        if query.agent_type is not None:
-            add_condition("ok_type", [[("agent_type", A, query.agent_type)]])
-        if query.content_language is not None:
-            add_condition("ok_speak", [[("speaks", A, query.content_language)]])
-        if query.communication_language is not None:
-            add_condition("ok_comm", [[("comm", A, query.communication_language)]])
-        for index, conversation in enumerate(query.conversations):
-            add_condition(f"ok_conv_{index}", [[("conversation", A, conversation)]])
-        for index, capability in enumerate(query.capabilities):
-            add_condition(
-                f"ok_cap_{index}",
-                [[("function", A, Var("F")), ("covers", Var("F"), capability)]],
+    def _retract_agent(self, name: str) -> None:
+        for fact in self._agent_facts.pop(name):
+            self.engine.retract_fact(*fact)
+        self._ads.pop(name, None)
+
+    def _extend_hierarchy_facts(self, ad: Advertisement) -> None:
+        """Emit ``covers``/``related`` facts the new advertisement makes
+        relevant to already-registered query vocabulary.  These facts
+        are keyed by vocabulary names (not agents), so they are shared
+        and never retracted — a leftover is harmless because the match
+        rules also require the per-agent ``function``/``a_class``
+        facts."""
+        hierarchy = self.context.capability_hierarchy
+        for function in ad.description.capabilities.functions:
+            if function in self._functions:
+                continue
+            self._functions.add(function)
+            for requested in self._requested_caps:
+                if hierarchy.covers(function, requested):
+                    self.engine.fact("covers", function, requested)
+        for cls in ad.description.content.classes:
+            if cls in self._advertised_classes:
+                continue
+            self._advertised_classes.add(cls)
+            for ontology_name, requested in self._requested_classes:
+                if self.context.classes_related(ontology_name, requested, cls):
+                    self.engine.fact("related", ontology_name, cls, requested)
+
+    # ------------------------------------------------------------------
+    # matchmaking
+    # ------------------------------------------------------------------
+    def match_names(self, query: BrokerQuery) -> Set[str]:
+        """Agent names matching *query* over all stored advertisements."""
+        fingerprint = query.fingerprint()
+        prefix = self._compiled.get(fingerprint)
+        if prefix is None and len(self._compiled) >= self.max_compiled_queries:
+            self.fallback_queries += 1
+            return DatalogMatcher(self.context).match_names(
+                query, list(self._ads.values())
             )
-        if query.ontology_name is not None:
-            add_condition(
-                "ok_onto",
-                [[("onto", A, query.ontology_name)], [("no_onto", A)]],
-            )
-        for index, cls in enumerate(query.classes):
-            add_condition(
-                f"ok_class_{index}",
-                [
-                    [("a_class", A, Var("C")), ("related", Var("C"), cls)],
-                    [("no_classes", A)],
-                ],
-            )
+        self._register_vocabulary(query)
+        if prefix is None:
+            prefix = f"q{len(self._compiled)}_"
+            self._compiled[fingerprint] = prefix
+            _compile_query(self.engine, query, self.context, prefix=prefix)
+        return {args[0] for args in self.engine.query(f"{prefix}match", A)}
 
-        self._compile_slots(engine, query, conditions)
-        self._compile_constraints(engine, query, conditions)
-
-        if query.require_mobile is not None:
-            add_condition("ok_mobile", [[("mobile", A, query.require_mobile)]])
-        if query.max_response_time is not None:
-            add_condition(
-                "ok_time",
-                [
-                    [("no_ert", A)],
-                    [("ert", A, Var("T")), ("le", Var("T"), query.max_response_time)],
-                ],
-            )
-
-        body = [("agent", A)] + [(pred, A) for pred in conditions]
-        engine.rule(("match", A), body, negative=[("unsat", A)])
-
-    def _compile_slots(self, engine: Engine, query: BrokerQuery, conditions: List[str]) -> None:
-        if not query.slots:
-            return
-        conditions.append("ok_slots")
-        engine.rule(("ok_slots", A), [("no_slots", A)])
-        if query.allow_partial_slots:
-            for slot in query.slots:
-                engine.rule(("ok_slots", A), [("a_slot", A, slot)])
-        else:
-            body = [("a_slot", A, slot) for slot in query.slots]
-            engine.rule(("ok_slots", A), body)
-
-    def _compile_constraints(
-        self, engine: Engine, query: BrokerQuery, conditions: List[str]
-    ) -> None:
-        for index, slot in enumerate(query.constraints.slots):
-            pred = f"ok_cons_{index}"
-            conditions.append(pred)
-            engine.rule((pred, A), [("unconstrained", A, slot)])
-            domain = query.constraints.domain(slot)
-            if isinstance(domain, Complement):
-                self._complement_rules(engine, pred, slot, domain)
-            elif isinstance(domain, DiscreteSet):
-                self._discrete_rules(engine, pred, slot, domain)
-            else:
-                self._interval_rules(engine, pred, slot, domain)
-
-    def _interval_rules(self, engine: Engine, pred: str, slot: str, domain: IntervalSet) -> None:
-        L, H, LO, HO = Var("L"), Var("H"), Var("LO"), Var("HO")
-        for interval in domain.intervals:
-            qlo, qhi = _bounds(interval)
-            engine.rule(
-                (pred, A),
-                [
-                    ("c_interval", A, slot, L, H, LO, HO),
-                    ("iv_overlaps", L, H, LO, HO, qlo, qhi,
-                     interval.lo_open, interval.hi_open),
-                ],
-            )
-            V = Var("V")
-            engine.rule(
-                (pred, A),
-                [
-                    ("c_value", A, slot, V),
-                    ("iv_overlaps", V, V, False, False, qlo, qhi,
-                     interval.lo_open, interval.hi_open),
-                ],
-            )
-            if interval.is_point():
-                # A cofinite advertisement misses a point query only when
-                # that exact point is excluded.
-                engine.rule(
-                    (pred, A),
-                    [("c_complement", A, slot)],
-                    negative=[("c_excluded", A, slot, interval.lo)],
+    def _register_vocabulary(self, query: BrokerQuery) -> None:
+        for slot in query.constraints.slots:
+            if slot in self._slots:
+                continue
+            self._slots.add(slot)
+            for name, ad in self._ads.items():
+                domain_facts = list(
+                    _slot_domain_facts(
+                        name, slot, ad.description.content.constraints
+                    )
                 )
-            else:
-                engine.rule((pred, A), [("c_complement", A, slot)])
+                for fact in domain_facts:
+                    self.engine.fact(*fact)
+                self._agent_facts[name].extend(domain_facts)
 
-    def _discrete_rules(self, engine: Engine, pred: str, slot: str, domain: DiscreteSet) -> None:
-        L, H, LO, HO = Var("L"), Var("H"), Var("LO"), Var("HO")
+        hierarchy = self.context.capability_hierarchy
+        for requested in query.capabilities:
+            if requested in self._requested_caps:
+                continue
+            self._requested_caps.add(requested)
+            for function in self._functions:
+                if hierarchy.covers(function, requested):
+                    self.engine.fact("covers", function, requested)
+
+        if query.ontology_name:
+            for requested in query.classes:
+                key = (query.ontology_name, requested)
+                if key in self._requested_classes:
+                    continue
+                self._requested_classes.add(key)
+                for cls in self._advertised_classes:
+                    if self.context.classes_related(
+                        query.ontology_name, requested, cls
+                    ):
+                        self.engine.fact(
+                            "related", query.ontology_name, cls, requested
+                        )
+
+
+# ----------------------------------------------------------------------
+# fact compilation (shared by both front-ends)
+# ----------------------------------------------------------------------
+def _advertisement_facts(ad: Advertisement, constraint_slots: Sequence[str]):
+    """Yield the ground facts describing *ad*.
+
+    *constraint_slots* selects which slots get constraint-domain facts
+    (the one-shot matcher passes the query's constrained slots, the
+    persistent matcher its registered-slot set)."""
+    desc = ad.description
+    name = ad.agent_name
+    yield ("agent", name)
+    yield ("agent_type", name, desc.agent_type)
+    for lang in desc.syntax.content_languages:
+        yield ("speaks", name, lang)
+    for lang in desc.syntax.communication_languages:
+        yield ("comm", name, lang)
+    for conversation in desc.capabilities.conversations:
+        yield ("conversation", name, conversation)
+    for function in desc.capabilities.functions:
+        yield ("function", name, function)
+    if desc.content.ontology_name:
+        yield ("onto", name, desc.content.ontology_name)
+    else:
+        yield ("no_onto", name)
+    if desc.content.classes:
+        for cls in desc.content.classes:
+            yield ("a_class", name, cls)
+    else:
+        yield ("no_classes", name)
+    if desc.content.slots:
+        for slot in desc.content.slots:
+            yield ("a_slot", name, slot)
+    else:
+        yield ("no_slots", name)
+
+    if not desc.content.constraints.is_satisfiable():
+        yield ("unsat", name)
+    for slot in constraint_slots:
+        yield from _slot_domain_facts(name, slot, desc.content.constraints)
+
+    props = desc.properties
+    yield ("mobile", name, props.mobile)
+    if props.estimated_response_time is not None:
+        yield ("ert", name, props.estimated_response_time)
+    else:
+        yield ("no_ert", name)
+
+
+def _slot_domain_facts(name: str, slot: str, constraints):
+    domain = constraints.domain(slot)
+    if isinstance(domain, Complement):
+        if not domain.excluded:
+            yield ("unconstrained", name, slot)
+            return
+        yield ("c_complement", name, slot)
+        for value in domain.excluded:
+            yield ("c_excluded", name, slot, value)
+    elif isinstance(domain, DiscreteSet):
         for value in domain.allowed:
-            engine.rule((pred, A), [("c_value", A, slot, value)])
-            engine.rule(
-                (pred, A),
-                [
-                    ("c_interval", A, slot, L, H, LO, HO),
-                    ("iv_overlaps", L, H, LO, HO, value, value, False, False),
-                ],
+            yield ("c_value", name, slot, value)
+    else:  # IntervalSet
+        for interval in domain.intervals:
+            lo, hi = _bounds(interval)
+            yield (
+                "c_interval", name, slot, lo, hi,
+                interval.lo_open, interval.hi_open,
             )
+
+
+# ----------------------------------------------------------------------
+# rule compilation (shared by both front-ends)
+# ----------------------------------------------------------------------
+def _compile_query(
+    engine: Engine,
+    query: BrokerQuery,
+    context: MatchContext,
+    prefix: str = "",
+) -> None:
+    """Compile *query* into rules deriving ``{prefix}match(Agent)``.
+
+    All intermediate condition predicates carry *prefix* too, so the
+    persistent matcher can host many compiled queries in one engine
+    without collisions."""
+    conditions: List[str] = []
+
+    def add_condition(pred: str, rules: List[tuple]):
+        """Register *pred* as a required condition with OR-rules."""
+        pred = prefix + pred
+        conditions.append(pred)
+        for body in rules:
+            engine.rule((pred, A), list(body))
+
+    if query.agent_type is not None:
+        add_condition("ok_type", [[("agent_type", A, query.agent_type)]])
+    if query.content_language is not None:
+        add_condition("ok_speak", [[("speaks", A, query.content_language)]])
+    if query.communication_language is not None:
+        add_condition("ok_comm", [[("comm", A, query.communication_language)]])
+    for index, conversation in enumerate(query.conversations):
+        add_condition(f"ok_conv_{index}", [[("conversation", A, conversation)]])
+    for index, capability in enumerate(query.capabilities):
+        add_condition(
+            f"ok_cap_{index}",
+            [[("function", A, Var("F")), ("covers", Var("F"), capability)]],
+        )
+    if query.ontology_name is not None:
+        add_condition(
+            "ok_onto",
+            [[("onto", A, query.ontology_name)], [("no_onto", A)]],
+        )
+    for index, cls in enumerate(query.classes):
+        add_condition(
+            f"ok_class_{index}",
+            [
+                [
+                    ("a_class", A, Var("C")),
+                    ("related", query.ontology_name, Var("C"), cls),
+                ],
+                [("no_classes", A)],
+            ],
+        )
+
+    _compile_slots(engine, query, conditions, prefix)
+    _compile_constraints(engine, query, conditions, prefix)
+
+    if query.require_mobile is not None:
+        add_condition("ok_mobile", [[("mobile", A, query.require_mobile)]])
+    if query.max_response_time is not None:
+        add_condition(
+            "ok_time",
+            [
+                [("no_ert", A)],
+                [("ert", A, Var("T")), ("le", Var("T"), query.max_response_time)],
+            ],
+        )
+
+    body = [("agent", A)] + [(pred, A) for pred in conditions]
+    engine.rule((prefix + "match", A), body, negative=[("unsat", A)])
+
+
+def _compile_slots(
+    engine: Engine, query: BrokerQuery, conditions: List[str], prefix: str
+) -> None:
+    if not query.slots:
+        return
+    pred = prefix + "ok_slots"
+    conditions.append(pred)
+    engine.rule((pred, A), [("no_slots", A)])
+    if query.allow_partial_slots:
+        for slot in query.slots:
+            engine.rule((pred, A), [("a_slot", A, slot)])
+    else:
+        body = [("a_slot", A, slot) for slot in query.slots]
+        engine.rule((pred, A), body)
+
+
+def _compile_constraints(
+    engine: Engine, query: BrokerQuery, conditions: List[str], prefix: str
+) -> None:
+    for index, slot in enumerate(query.constraints.slots):
+        pred = f"{prefix}ok_cons_{index}"
+        conditions.append(pred)
+        engine.rule((pred, A), [("unconstrained", A, slot)])
+        domain = query.constraints.domain(slot)
+        if isinstance(domain, Complement):
+            _complement_rules(engine, pred, slot, domain)
+        elif isinstance(domain, DiscreteSet):
+            _discrete_rules(engine, pred, slot, domain)
+        else:
+            _interval_rules(engine, pred, slot, domain)
+
+
+def _interval_rules(engine: Engine, pred: str, slot: str, domain: IntervalSet) -> None:
+    L, H, LO, HO = Var("L"), Var("H"), Var("LO"), Var("HO")
+    for interval in domain.intervals:
+        qlo, qhi = _bounds(interval)
+        engine.rule(
+            (pred, A),
+            [
+                ("c_interval", A, slot, L, H, LO, HO),
+                ("iv_overlaps", L, H, LO, HO, qlo, qhi,
+                 interval.lo_open, interval.hi_open),
+            ],
+        )
+        V = Var("V")
+        engine.rule(
+            (pred, A),
+            [
+                ("c_value", A, slot, V),
+                ("iv_overlaps", V, V, False, False, qlo, qhi,
+                 interval.lo_open, interval.hi_open),
+            ],
+        )
+        if interval.is_point():
+            # A cofinite advertisement misses a point query only when
+            # that exact point is excluded.
             engine.rule(
                 (pred, A),
                 [("c_complement", A, slot)],
-                negative=[("c_excluded", A, slot, value)],
+                negative=[("c_excluded", A, slot, interval.lo)],
             )
+        else:
+            engine.rule((pred, A), [("c_complement", A, slot)])
 
-    def _complement_rules(self, engine: Engine, pred: str, slot: str, domain: Complement) -> None:
-        # Ad complement vs query complement: two cofinite sets always meet.
-        engine.rule((pred, A), [("c_complement", A, slot)])
-        # Ad discrete value: overlaps unless every advertised value is
-        # excluded by the query — i.e. some value differs from all of them.
-        V = Var("V")
-        body = [("c_value", A, slot, V)]
-        body += [("neq", V, excluded) for excluded in domain.excluded]
-        engine.rule((pred, A), body)
-        # Ad interval: a non-point interval always meets a cofinite set; a
-        # point interval must avoid every excluded value.
-        L, H = Var("L"), Var("H")
+
+def _discrete_rules(engine: Engine, pred: str, slot: str, domain: DiscreteSet) -> None:
+    L, H, LO, HO = Var("L"), Var("H"), Var("LO"), Var("HO")
+    for value in domain.allowed:
+        engine.rule((pred, A), [("c_value", A, slot, value)])
         engine.rule(
             (pred, A),
-            [("c_interval", A, slot, L, H, Var("LO"), Var("HO")), ("lt", L, H)],
+            [
+                ("c_interval", A, slot, L, H, LO, HO),
+                ("iv_overlaps", L, H, LO, HO, value, value, False, False),
+            ],
         )
-        point_body = [("c_interval", A, slot, L, H, Var("LO"), Var("HO")), ("eq", L, H)]
-        point_body += [("neq", L, excluded) for excluded in domain.excluded]
-        engine.rule((pred, A), point_body)
+        engine.rule(
+            (pred, A),
+            [("c_complement", A, slot)],
+            negative=[("c_excluded", A, slot, value)],
+        )
+
+
+def _complement_rules(engine: Engine, pred: str, slot: str, domain: Complement) -> None:
+    # Ad complement vs query complement: two cofinite sets always meet.
+    engine.rule((pred, A), [("c_complement", A, slot)])
+    # Ad discrete value: overlaps unless every advertised value is
+    # excluded by the query — i.e. some value differs from all of them.
+    V = Var("V")
+    body = [("c_value", A, slot, V)]
+    body += [("neq", V, excluded) for excluded in domain.excluded]
+    engine.rule((pred, A), body)
+    # Ad interval: a non-point interval always meets a cofinite set; a
+    # point interval must avoid every excluded value.
+    L, H = Var("L"), Var("H")
+    engine.rule(
+        (pred, A),
+        [("c_interval", A, slot, L, H, Var("LO"), Var("HO")), ("lt", L, H)],
+    )
+    point_body = [("c_interval", A, slot, L, H, Var("LO"), Var("HO")), ("eq", L, H)]
+    point_body += [("neq", L, excluded) for excluded in domain.excluded]
+    engine.rule((pred, A), point_body)
 
 
 def _bounds(interval: Interval):

@@ -15,6 +15,13 @@ This is the broker's core reasoning, combining:
 
 An equivalent Datalog-compiled engine lives in
 :mod:`repro.core.datalog_matcher`; property tests assert they agree.
+
+This matcher is the per-candidate predicate; the repository wraps it
+with inverted candidate indexes and a fingerprint-keyed match cache
+(see :mod:`repro.core.repository`), so in production it only runs over
+index survivors.  The hierarchy tests below go through the memoized
+closures (:meth:`CapabilityHierarchy.cover_set`,
+:meth:`Ontology.related_closure`) shared with those indexes.
 """
 
 from __future__ import annotations
@@ -54,6 +61,15 @@ class MatchContext:
         return ontology.is_subclass(advertised, requested) or ontology.is_subclass(
             requested, advertised
         )
+
+    def related_classes(self, ontology_name: str, requested: str) -> frozenset:
+        """All advertised class names :meth:`classes_related` accepts for
+        *requested* — the memoized is-a closure when the ontology knows
+        the class, exact name otherwise."""
+        ontology = self.ontologies.get(ontology_name)
+        if ontology is None or requested not in ontology:
+            return frozenset((requested,))
+        return ontology.related_closure(requested)
 
 
 @dataclass(frozen=True)
@@ -142,11 +158,12 @@ def _matches(
             return None
 
     # --- semantic: capabilities ----------------------------------------
+    # cover_set(requested) is the memoized set of advertised names that
+    # cover the request, so each test is a small set intersection.
     hierarchy = context.capability_hierarchy
     for requested in query.capabilities:
-        if not any(
-            hierarchy.covers(advertised, requested)
-            for advertised in desc.capabilities.functions
+        if not hierarchy.cover_set(requested).intersection(
+            desc.capabilities.functions
         ):
             return None
 
@@ -161,10 +178,9 @@ def _matches(
             return None
     if desc.content.classes:
         for requested_class in query.classes:
-            if not any(
-                context.classes_related(query.ontology_name, requested_class, advertised)
-                for advertised in desc.content.classes
-            ):
+            if not context.related_classes(
+                query.ontology_name, requested_class
+            ).intersection(desc.content.classes):
                 return None
 
     matched_slots = _match_slots(query, ad)

@@ -71,5 +71,33 @@ class BrokerQuery:
         """True when the query matches every advertisement."""
         return self == BrokerQuery(mode=self.mode)
 
+    def fingerprint(self) -> tuple:
+        """A canonical, hashable key identifying this query's *match set*.
+
+        Two queries with the same fingerprint are guaranteed to produce
+        identical rankings from the same repository state: every
+        matching-relevant field is included, with order-insensitive
+        multi-valued fields (conversations, capabilities, classes)
+        sorted and constraints canonicalized.  ``slots`` stays
+        order-sensitive because each match reports its covered slots in
+        query order.  ``mode`` is deliberately excluded — the repository
+        returns the full ranking either way and the caller truncates.
+        This is the broker match cache's key.
+        """
+        return (
+            self.agent_type,
+            self.content_language,
+            self.communication_language,
+            tuple(sorted(self.conversations)),
+            tuple(sorted(self.capabilities)),
+            self.ontology_name,
+            tuple(sorted(self.classes)),
+            self.slots,
+            self.constraints.cache_key(),
+            self.max_response_time,
+            self.require_mobile,
+            self.allow_partial_slots,
+        )
+
     def wants_single(self) -> bool:
         return self.mode is QueryMode.ONE

@@ -7,17 +7,51 @@ agent and broker advertisements separately (a broker reasons over other
 brokers' capabilities when deciding where to forward — Section 4.1),
 tracks its nominal size in megabytes (the reasoning-cost driver in the
 experiments), and counts the work it performs.
+
+Matchmaking hot path
+--------------------
+``query_matches`` used to be a linear scan over every stored
+advertisement.  It is now served by three cooperating layers (all
+result-invisible — only the work changes):
+
+1. **Candidate indexes.**  Inverted indexes over ontology name, class
+   (expanded through the ontology's memoized subclass closure),
+   capability (expanded through the capability hierarchy's cover
+   closure) and conversation.  A query intersects the posting lists of
+   the dimensions it constrains and only runs the full semantic matcher
+   over the survivors.  Vacuously-passing advertisements (no ontology,
+   no classes) live in dedicated buckets so the pruning is *sound*: the
+   candidate set always contains every true match.
+2. **Match cache.**  Results are cached per canonical query fingerprint
+   (:meth:`BrokerQuery.fingerprint`) and stamped with the repository's
+   monotonically increasing advertisement *generation*; any advertise /
+   unadvertise bumps the generation, so dynamic communities never see a
+   stale recommendation.
+3. **Incremental Datalog backend.**  With ``engine="datalog"`` the
+   repository keeps one persistent
+   :class:`~repro.core.datalog_matcher.IncrementalDatalogMatcher`, so an
+   advertise → query loop applies EDB deltas instead of recompiling and
+   re-evaluating the whole LDL program per advertisement.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.advertisement import Advertisement
 from repro.core.errors import BrokeringError
 from repro.core.matcher import Match, MatchContext, MatchStats, match_advertisements
 from repro.core.query import BrokerQuery
+
+#: Accepted ``index_mode`` values: no index (the original linear scan),
+#: the ontology dimension only (the paper's "narrower domain"
+#: optimisation), or all four dimensions.
+INDEX_MODES = ("none", "ontology", "full")
+
+#: Default bound on distinct cached query fingerprints per repository.
+DEFAULT_MATCH_CACHE_SIZE = 256
 
 
 @dataclass
@@ -28,6 +62,11 @@ class RepositoryStats:
     advertisements_removed: int = 0
     queries_answered: int = 0
     advertisements_reasoned_over: int = 0
+    #: Advertisements the candidate indexes excluded without reasoning.
+    candidates_pruned: int = 0
+    #: Match-cache outcomes (hits skip matching entirely).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class BrokerRepository:
@@ -38,40 +77,88 @@ class BrokerRepository:
     queries to rules — the original broker's LDL architecture).  Both
     produce identical match sets; the Datalog backend ranks them with
     the same scoring function.
+
+    ``index_mode`` selects candidate pruning (``"full"`` by default; see
+    the module docstring), and ``match_cache_size`` bounds the
+    fingerprint-keyed match cache (0 disables it).  ``index_by_ontology``
+    is a deprecated alias kept for older callers: ``True`` maps to
+    ``index_mode="ontology"``, ``False`` to ``"none"``.
     """
 
     def __init__(
         self,
         context: Optional[MatchContext] = None,
         engine: str = "direct",
-        index_by_ontology: bool = False,
+        index_mode: str = "full",
+        match_cache_size: int = DEFAULT_MATCH_CACHE_SIZE,
+        index_by_ontology: Optional[bool] = None,
     ):
         if engine not in ("direct", "datalog"):
             raise BrokeringError(f"unknown matching engine {engine!r}")
+        if index_by_ontology is not None:  # deprecated alias
+            index_mode = "ontology" if index_by_ontology else "none"
+        if index_mode not in INDEX_MODES:
+            raise BrokeringError(f"unknown index mode {index_mode!r}")
+        if match_cache_size < 0:
+            raise BrokeringError("match_cache_size must be >= 0")
         self._agents: Dict[str, Advertisement] = {}
         self._brokers: Dict[str, Advertisement] = {}
         self.context = context or MatchContext()
         self.engine = engine
-        #: When True, ontology-named queries only reason over the
-        #: advertisements of that ontology (plus content-unrestricted
-        #: agents) — the mechanical form of the paper's "optimized
-        #: reasoning over a narrower domain".  Results are identical;
-        #: only the work differs (see the index ablation benchmark).
-        self.index_by_ontology = index_by_ontology
-        self._ontology_index: Dict[str, set] = {}
+        self.index_mode = index_mode
+        self.match_cache_size = match_cache_size
+        # Inverted indexes: dimension value -> agent names.  ``""`` in
+        # the ontology index collects content-unrestricted agents;
+        # ``_no_class_agents`` collects agents advertising no classes
+        # (both pass those requirements vacuously).
+        self._ontology_index: Dict[str, Set[str]] = {}
+        self._class_index: Dict[str, Set[str]] = {}
+        self._no_class_agents: Set[str] = set()
+        self._capability_index: Dict[str, Set[str]] = {}
+        self._conversation_index: Dict[str, Set[str]] = {}
+        #: Bumped on every repository mutation; cached match lists carry
+        #: the generation they were computed at and are ignored (and
+        #: eventually evicted) once it moves on.
+        self.generation = 0
+        self._match_cache: "OrderedDict[tuple, Tuple[int, Tuple[Match, ...]]]" = (
+            OrderedDict()
+        )
+        self._datalog = None
+        if engine == "datalog":
+            from repro.core.datalog_matcher import IncrementalDatalogMatcher
+
+            self._datalog = IncrementalDatalogMatcher(self.context)
         self.stats = RepositoryStats()
+
+    @property
+    def index_by_ontology(self) -> bool:
+        """Deprecated: True when any candidate indexing is active."""
+        return self.index_mode != "none"
 
     # ------------------------------------------------------------------
     # advertisement lifecycle
     # ------------------------------------------------------------------
     def advertise(self, ad: Advertisement) -> None:
-        """Store or update an advertisement (agents re-advertise freely)."""
-        if ad.agent_name in self._agents:
-            self._unindex(self._agents[ad.agent_name])
+        """Store or update an advertisement (agents re-advertise freely).
+
+        A re-advertisement fully replaces the previous one — including
+        across the agent/broker boundary, so an agent that starts
+        advertising broker capabilities (or vice versa) never leaves a
+        stale entry in the other store or the candidate indexes.
+        """
+        previous = self._agents.pop(ad.agent_name, None)
+        if previous is not None:
+            self._unindex(previous)
+        self._brokers.pop(ad.agent_name, None)
         store = self._brokers if ad.is_broker() else self._agents
         store[ad.agent_name] = ad
         if not ad.is_broker():
             self._index(ad)
+            if self._datalog is not None:
+                self._datalog.advertise(ad)
+        elif previous is not None and self._datalog is not None:
+            self._datalog.unadvertise(ad.agent_name)
+        self._bump_generation()
         self.stats.advertisements_accepted += 1
 
     def unadvertise(self, agent_name: str) -> bool:
@@ -80,21 +167,52 @@ class BrokerRepository:
             if agent_name in store:
                 if store is self._agents:
                     self._unindex(store[agent_name])
+                    if self._datalog is not None:
+                        self._datalog.unadvertise(agent_name)
                 del store[agent_name]
+                self._bump_generation()
                 self.stats.advertisements_removed += 1
                 return True
         return False
 
-    def _index_key(self, ad: Advertisement) -> str:
-        return ad.description.content.ontology_name or ""
+    def _bump_generation(self) -> None:
+        self.generation += 1
 
     def _index(self, ad: Advertisement) -> None:
-        self._ontology_index.setdefault(self._index_key(ad), set()).add(ad.agent_name)
+        name = ad.agent_name
+        desc = ad.description
+        self._ontology_index.setdefault(
+            desc.content.ontology_name or "", set()
+        ).add(name)
+        if desc.content.classes:
+            for cls in desc.content.classes:
+                self._class_index.setdefault(cls, set()).add(name)
+        else:
+            self._no_class_agents.add(name)
+        for function in desc.capabilities.functions:
+            self._capability_index.setdefault(function, set()).add(name)
+        for conversation in desc.capabilities.conversations:
+            self._conversation_index.setdefault(conversation, set()).add(name)
 
     def _unindex(self, ad: Advertisement) -> None:
-        bucket = self._ontology_index.get(self._index_key(ad))
+        name = ad.agent_name
+        desc = ad.description
+        self._discard(self._ontology_index, desc.content.ontology_name or "", name)
+        for cls in desc.content.classes:
+            self._discard(self._class_index, cls, name)
+        self._no_class_agents.discard(name)
+        for function in desc.capabilities.functions:
+            self._discard(self._capability_index, function, name)
+        for conversation in desc.capabilities.conversations:
+            self._discard(self._conversation_index, conversation, name)
+
+    @staticmethod
+    def _discard(index: Dict[str, Set[str]], key: str, name: str) -> None:
+        bucket = index.get(key)
         if bucket is not None:
-            bucket.discard(ad.agent_name)
+            bucket.discard(name)
+            if not bucket:
+                del index[key]
 
     def knows(self, agent_name: str) -> bool:
         return agent_name in self._agents or agent_name in self._brokers
@@ -137,45 +255,110 @@ class BrokerRepository:
         """Match *query* against the stored (non-broker) advertisements.
 
         *observer* (a :class:`repro.obs.Observer`) receives the per-query
-        matching work — candidates reasoned over, constraint-overlap
-        attempts vs. hits — as ``matcher.*`` counters."""
+        matching work — candidates reasoned over, pruned, cache
+        outcomes, constraint-overlap attempts vs. hits — as
+        ``matcher.*`` / ``repo.*`` counters."""
         self.stats.queries_answered += 1
+        observing = observer is not None and observer.enabled
+
+        key = query.fingerprint() if self.match_cache_size else None
+        if key is not None:
+            entry = self._match_cache.get(key)
+            if entry is not None and entry[0] == self.generation:
+                self._match_cache.move_to_end(key)
+                self.stats.cache_hits += 1
+                if observing:
+                    observer.inc("repo.cache.count", outcome="hit")
+                return list(entry[1])
+            self.stats.cache_misses += 1
+            if observing:
+                observer.inc("repo.cache.count", outcome="miss")
+
         candidates = self._candidates(query)
+        pruned = len(self._agents) - len(candidates)
         self.stats.advertisements_reasoned_over += len(candidates)
-        stats = (
-            MatchStats() if observer is not None and observer.enabled else None
-        )
-        if self.engine == "datalog":
+        self.stats.candidates_pruned += pruned
+        stats = MatchStats() if observing else None
+        if self._datalog is not None:
+            recomputes_before = self._datalog.engine.stats.full_recomputes
             matches = self._datalog_query(query, candidates, stats)
+            if observing:
+                observer.inc(
+                    "datalog.recompute",
+                    self._datalog.engine.stats.full_recomputes - recomputes_before,
+                )
         else:
             matches = match_advertisements(query, candidates, self.context, stats)
-        if stats is not None:
+        if observing:
+            observer.inc("repo.index.pruned", pruned)
             observer.inc("matcher.candidates", stats.candidates)
             observer.inc("matcher.matched", stats.matched)
             observer.inc("matcher.constraint.attempts", stats.constraint_checks)
             observer.inc("matcher.constraint.hits", stats.constraint_hits)
+
+        if key is not None:
+            self._match_cache[key] = (self.generation, tuple(matches))
+            self._match_cache.move_to_end(key)
+            while len(self._match_cache) > self.match_cache_size:
+                self._match_cache.popitem(last=False)
         return matches
 
     def _candidates(self, query: BrokerQuery) -> List[Advertisement]:
-        """The advertisements worth reasoning over for *query*."""
-        if not self.index_by_ontology or query.ontology_name is None:
+        """The advertisements worth reasoning over for *query*: the
+        intersection of the posting lists of every indexed dimension the
+        query constrains (sound — a superset of the true match set)."""
+        if self.index_mode == "none":
             return list(self._agents.values())
-        names = (
-            self._ontology_index.get(query.ontology_name, set())
-            | self._ontology_index.get("", set())  # content-unrestricted ads
-        )
-        return [self._agents[name] for name in names]
+
+        names: Optional[Set[str]] = None
+        if query.ontology_name is not None:
+            names = self._ontology_index.get(query.ontology_name, set()) | (
+                self._ontology_index.get("", set())  # content-unrestricted ads
+            )
+
+        if self.index_mode == "full":
+            for requested in query.classes:
+                bucket = set(self._no_class_agents)
+                for cls in self._class_expansion(query.ontology_name, requested):
+                    bucket |= self._class_index.get(cls, set())
+                names = bucket if names is None else names & bucket
+                if not names:
+                    return []
+            hierarchy = self.context.capability_hierarchy
+            for requested in query.capabilities:
+                bucket: Set[str] = set()
+                for function in hierarchy.cover_set(requested):
+                    bucket |= self._capability_index.get(function, set())
+                names = bucket if names is None else names & bucket
+                if not names:
+                    return []
+            for conversation in query.conversations:
+                bucket = self._conversation_index.get(conversation, set())
+                names = bucket if names is None else names & bucket
+                if not names:
+                    return []
+
+        if names is None:  # no indexed dimension constrained
+            return list(self._agents.values())
+        return [self._agents[name] for name in sorted(names)]
+
+    def _class_expansion(self, ontology_name: str, requested: str):
+        """Advertised class names relatable to *requested* (the memoized
+        is-a closure when the ontology is known, else exact match)."""
+        ontology = self.context.ontologies.get(ontology_name)
+        if ontology is None or requested not in ontology:
+            return (requested,)
+        return ontology.related_closure(requested)
 
     def _datalog_query(
         self, query: BrokerQuery, candidates: List[Advertisement],
         stats: Optional[MatchStats] = None,
     ) -> List[Match]:
-        """LDL-style matchmaking: names from the Datalog engine, ranking
-        from the shared scoring function.  (With *stats*, counts reflect
-        the ranking pass over the Datalog-selected subset.)"""
-        from repro.core.datalog_matcher import DatalogMatcher
-
-        names = DatalogMatcher(self.context).match_names(query, candidates)
+        """LDL-style matchmaking: names from the persistent incremental
+        Datalog engine, ranking from the shared scoring function.  (With
+        *stats*, counts reflect the ranking pass over the
+        Datalog-selected subset.)"""
+        names = self._datalog.match_names(query)
         ranked = match_advertisements(
             query, [ad for ad in candidates if ad.agent_name in names],
             self.context, stats,

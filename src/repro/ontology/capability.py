@@ -34,6 +34,9 @@ class CapabilityHierarchy:
 
     def __init__(self, edges: Iterable[Tuple[str, str]] = ()):
         self._parent: Dict[str, Optional[str]] = {}
+        # requested-capability -> frozenset of advertised names covering
+        # it; invalidated on every hierarchy mutation.
+        self._cover_cache: Dict[str, frozenset] = {}
         for parent, child in edges:
             self.add(child, parent)
 
@@ -46,6 +49,7 @@ class CapabilityHierarchy:
         if parent is not None and parent not in self._parent:
             raise CapabilityError(f"unknown parent capability {parent!r}")
         self._parent[capability] = parent
+        self._cover_cache.clear()
 
     def __contains__(self, capability: str) -> bool:
         return capability in self._parent
@@ -88,6 +92,24 @@ class CapabilityHierarchy:
         if advertised not in self._parent or requested not in self._parent:
             return False
         return advertised in self.ancestors(requested)
+
+    def cover_set(self, requested: str) -> frozenset:
+        """Every advertised name that :meth:`covers` *requested*,
+        including itself (memoized).
+
+        An unknown capability is covered only by its own name.  The
+        repository's capability index expands requested capabilities
+        through this closure instead of testing :meth:`covers` per
+        advertisement.
+        """
+        cached = self._cover_cache.get(requested)
+        if cached is None:
+            names = {requested}
+            if requested in self._parent:
+                names.update(self.ancestors(requested))
+            cached = frozenset(names)
+            self._cover_cache[requested] = cached
+        return cached
 
     def prune_redundant(self, capabilities: Iterable[str]) -> List[str]:
         """Drop capabilities already implied by more general members.

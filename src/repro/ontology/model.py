@@ -75,6 +75,12 @@ class Ontology:
             raise OntologyError("ontology name must be non-empty")
         self.name = name
         self._classes: Dict[str, OntClass] = {}
+        # Hierarchy-walk memos, invalidated whenever a class is added.
+        # The broker's candidate index asks for the same closures on
+        # every query, so these are hot.
+        self._ancestor_cache: Dict[str, Tuple[str, ...]] = {}
+        self._descendant_cache: Dict[str, Tuple[str, ...]] = {}
+        self._related_cache: Dict[str, frozenset] = {}
         for cls in classes:
             self.add_class(cls)
 
@@ -98,6 +104,9 @@ class Ontology:
                     f"key {cls.key!r} of class {cls.name!r} is not a slot"
                 )
         self._classes[cls.name] = cls
+        self._ancestor_cache.clear()
+        self._descendant_cache.clear()
+        self._related_cache.clear()
 
     # ------------------------------------------------------------------
     # lookup
@@ -128,7 +137,10 @@ class Ontology:
     # hierarchy
     # ------------------------------------------------------------------
     def ancestors(self, class_name: str) -> List[str]:
-        """Proper ancestors of *class_name*, nearest first."""
+        """Proper ancestors of *class_name*, nearest first (memoized)."""
+        cached = self._ancestor_cache.get(class_name)
+        if cached is not None:
+            return list(cached)
         chain = []
         current = self.get(class_name).parent
         while current is not None:
@@ -136,10 +148,14 @@ class Ontology:
                 raise OntologyError(f"cycle in class hierarchy at {current!r}")
             chain.append(current)
             current = self._classes[current].parent
+        self._ancestor_cache[class_name] = tuple(chain)
         return chain
 
     def descendants(self, class_name: str) -> List[str]:
-        """Proper descendants of *class_name*, sorted."""
+        """Proper descendants of *class_name*, sorted (memoized)."""
+        cached = self._descendant_cache.get(class_name)
+        if cached is not None:
+            return list(cached)
         self.get(class_name)
         found: Set[str] = set()
         frontier = {class_name}
@@ -150,7 +166,28 @@ class Ontology:
                 if cls.parent in frontier
             }
             found |= frontier
-        return sorted(found)
+        result = sorted(found)
+        self._descendant_cache[class_name] = tuple(result)
+        return result
+
+    def related_closure(self, class_name: str) -> frozenset:
+        """All classes related to *class_name* by is-a in either
+        direction, *including itself* (memoized).
+
+        This is exactly the set of advertised class names that
+        :meth:`repro.core.matcher.MatchContext.classes_related` accepts
+        for a query over *class_name*; the repository's class index
+        expands requested classes through it.
+        """
+        cached = self._related_cache.get(class_name)
+        if cached is None:
+            cached = frozenset(
+                {class_name}
+                | set(self.ancestors(class_name))
+                | set(self.descendants(class_name))
+            )
+            self._related_cache[class_name] = cached
+        return cached
 
     def is_subclass(self, child: str, parent: str) -> bool:
         """Reflexive-transitive is-a test."""

@@ -216,3 +216,113 @@ class TestLargerPrograms:
         e.rule(("reach", X, Z), [("reach", X, Y), ("edge", Y, Z)])
         assert e.ask("reach", 0, 100)
         assert len(e.query("reach", 0, Var("T"))) == 100
+
+
+class TestIncrementalEvaluation:
+    """Delta-only re-evaluation for EDB additions (EngineStats)."""
+
+    def test_fact_addition_after_query_is_incremental(self):
+        e = family_engine()
+        assert e.ask("anc", "ann", "dee")
+        assert e.stats.full_recomputes == 1
+        e.fact("parent", "dee", "ed")
+        assert e.ask("anc", "ann", "ed")
+        assert e.stats.full_recomputes == 1
+        assert e.stats.incremental_updates == 1
+
+    def test_incremental_chain_of_additions(self):
+        e = family_engine()
+        e.query("anc", Var("A"), Var("B"))
+        for i in range(5):
+            e.fact("parent", f"x{i}", f"x{i + 1}")
+            assert e.ask("anc", "x0", f"x{i + 1}")
+        assert e.stats.full_recomputes == 1
+        assert e.stats.incremental_updates == 5
+
+    def test_duplicate_fact_is_a_noop_delta(self):
+        e = family_engine()
+        before = len(e.query("anc", Var("A"), Var("B")))
+        e.fact("parent", "ann", "bob")  # already known
+        assert len(e.query("anc", Var("A"), Var("B"))) == before
+        assert e.stats.full_recomputes == 1
+
+    def test_unaffected_strata_are_skipped(self):
+        e = Engine()
+        e.fact("edge", 1, 2)
+        e.fact("node", 1)
+        e.fact("node", 2)
+        e.rule(("reach", X, Y), [("edge", X, Y)])
+        e.rule(("reach", X, Z), [("reach", X, Y), ("edge", Y, Z)])
+        e.rule(("source", X), [("node", X)], negative=[("reach_any", X)])
+        e.rule(("reach_any", Y), [("reach", X, Y)])
+        e.query("source", Var("S"))
+        skipped_before = e.stats.strata_skipped
+        # "colour" touches no rule body: every stratum can be skipped.
+        e.fact("colour", 1, "red")
+        assert e.query("colour", 1, Var("C")) == [(1, "red")]
+        assert e.stats.full_recomputes == 1
+        assert e.stats.strata_skipped > skipped_before
+
+    def test_delta_feeding_negation_forces_full_recompute(self):
+        e = Engine()
+        e.fact("node", 1)
+        e.fact("node", 2)
+        e.fact("edge", 1, 2)
+        e.rule(("target", Y), [("edge", X, Y)])
+        e.rule(("source", X), [("node", X)], negative=[("target", X)])
+        assert {t[0] for t in e.query("source", X)} == {1}
+        # edge feeds the negated target: the non-monotone support set
+        # must trigger a full recompute so source can *shrink*.
+        e.fact("edge", 2, 1)
+        assert e.query("source", X) == []
+        assert e.stats.full_recomputes == 2
+        assert e.stats.incremental_updates == 0
+
+    def test_retraction_forces_full_recompute(self):
+        e = family_engine()
+        assert e.ask("anc", "ann", "dee")
+        assert e.retract_fact("parent", "cy", "dee")
+        assert not e.ask("anc", "ann", "dee")
+        assert e.stats.full_recomputes == 2
+        assert not e.retract_fact("parent", "cy", "dee")  # already gone
+
+    def test_retract_predicate_forces_full_recompute(self):
+        e = family_engine()
+        e.query("anc", Var("A"), Var("B"))
+        e.retract_predicate("parent")
+        assert e.query("anc", Var("A"), Var("B")) == []
+        assert e.stats.full_recomputes == 2
+
+    def test_rule_addition_forces_full_recompute(self):
+        e = family_engine()
+        e.query("anc", Var("A"), Var("B"))
+        e.rule(("desc", Y, X), [("anc", X, Y)])
+        assert e.ask("desc", "dee", "ann")
+        assert e.stats.full_recomputes == 2
+
+    def test_incremental_matches_from_scratch(self):
+        # Ground truth: interleaved additions give the same model as
+        # asserting everything up front.
+        def edges():
+            return [(1, 2), (2, 3), (3, 4), (1, 5), (5, 4), (4, 6)]
+
+        incremental = Engine()
+        incremental.rule(("reach", X, Y), [("edge", X, Y)])
+        incremental.rule(("reach", X, Z), [("reach", X, Y), ("edge", Y, Z)])
+        for a, b in edges()[:2]:
+            incremental.fact("edge", a, b)
+        incremental.query("reach", Var("A"), Var("B"))
+        for a, b in edges()[2:]:
+            incremental.fact("edge", a, b)
+            incremental.query("reach", Var("A"), Var("B"))
+
+        fresh = Engine()
+        fresh.rule(("reach", X, Y), [("edge", X, Y)])
+        fresh.rule(("reach", X, Z), [("reach", X, Y), ("edge", Y, Z)])
+        for a, b in edges():
+            fresh.fact("edge", a, b)
+
+        assert set(incremental.query("reach", Var("A"), Var("B"))) == set(
+            fresh.query("reach", Var("A"), Var("B"))
+        )
+        assert incremental.stats.full_recomputes == 1

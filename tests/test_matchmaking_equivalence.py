@@ -1,0 +1,146 @@
+"""Property test: every matchmaking backend agrees on every community.
+
+Seeded-random agent communities — subclass hierarchies, capability
+trees, data constraints, slot fragments — are matched three ways:
+
+* the direct matcher with no candidate index and no cache (the
+  reference linear scan),
+* the direct matcher with the full candidate index and match cache,
+* the persistent incremental Datalog backend.
+
+All three must return the *same agents in the same ranked order* for
+every query.  This pins down the tentpole's soundness claim: the
+indexes, the cache and the incremental LDL program are pure
+work-savers, invisible in the results.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints import parse_constraint
+from repro.core import BrokerQuery, BrokerRepository, MatchContext
+from repro.ontology import OntClass, Ontology, Slot
+
+ONTOLOGY_NAMES = ["healthcare", "aerospace", "finance"]
+CLASS_POOL = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+SLOT_POOL = ["age", "cost", "city", "code", "days"]
+FUNCTION_POOL = [
+    "query-processing", "relational", "select", "join",
+    "multiresource-query-processing", "data-mining", "notification",
+]
+CONVERSATION_POOL = ["ask-all", "ask-one", "subscribe", "recommend-all"]
+LANGUAGE_POOL = ["SQL 2.0", "OQL", "LDL"]
+CONSTRAINT_POOL = [
+    "",
+    "age between 20 and 60",
+    "age between 50 and 90",
+    "cost < 1000",
+    "code in ('40W', '41X')",
+    "city != 'Dallas'",
+]
+
+
+def random_ontology(rng, name):
+    """A random is-a forest over a shuffled slice of CLASS_POOL."""
+    onto = Ontology(name)
+    classes = CLASS_POOL[: rng.randint(2, len(CLASS_POOL))]
+    rng.shuffle(classes)
+    added = []
+    for cls in classes:
+        parent = rng.choice(added) if added and rng.random() < 0.6 else None
+        slots = tuple(
+            Slot(slot, "number" if slot in ("age", "cost", "days") else "string")
+            for slot in rng.sample(SLOT_POOL, rng.randint(1, 3))
+        )
+        onto.add_class(OntClass(cls, slots, parent=parent))
+        added.append(cls)
+    return onto, classes
+
+
+def random_ad(rng, name, ontologies):
+    from tests.test_core_matcher import make_ad
+
+    ontology = rng.choice(ONTOLOGY_NAMES + [""])
+    classes = ()
+    if ontology and rng.random() < 0.8:
+        known = ontologies[ontology][1]
+        classes = tuple(rng.sample(known, rng.randint(1, min(2, len(known)))))
+    return make_ad(
+        name,
+        agent_type=rng.choice(["resource", "query", "analysis"]),
+        content_languages=tuple(
+            rng.sample(LANGUAGE_POOL, rng.randint(1, len(LANGUAGE_POOL)))
+        ),
+        conversations=tuple(
+            rng.sample(CONVERSATION_POOL, rng.randint(1, len(CONVERSATION_POOL)))
+        ),
+        functions=tuple(rng.sample(FUNCTION_POOL, rng.randint(1, 3))),
+        ontology=ontology,
+        classes=classes,
+        slots=tuple(rng.sample(SLOT_POOL, rng.randint(0, 3))),
+        constraints=rng.choice(CONSTRAINT_POOL),
+        mobile=rng.random() < 0.2,
+        response_time=rng.choice([None, 5.0, 60.0]),
+    )
+
+
+def random_query(rng, ontologies):
+    ontology = rng.choice(ONTOLOGY_NAMES + [None])
+    classes = ()
+    if ontology and rng.random() < 0.7:
+        known = ontologies[ontology][1]
+        classes = (rng.choice(known),)
+    return BrokerQuery(
+        agent_type=rng.choice([None, None, "resource", "query"]),
+        content_language=rng.choice([None, "SQL 2.0", "OQL"]),
+        conversations=tuple(rng.sample(CONVERSATION_POOL, rng.randint(0, 1))),
+        capabilities=tuple(rng.sample(FUNCTION_POOL, rng.randint(0, 2))),
+        ontology_name=ontology,
+        classes=classes,
+        slots=tuple(rng.sample(SLOT_POOL, rng.randint(0, 2))),
+        constraints=parse_constraint(rng.choice(CONSTRAINT_POOL)),
+        max_response_time=rng.choice([None, None, 30.0]),
+        require_mobile=rng.choice([None, None, None, False]),
+        allow_partial_slots=rng.random() < 0.8,
+    )
+
+
+def ranked(matches):
+    return [(m.agent_name, round(m.score, 9), m.matched_slots) for m in matches]
+
+
+@pytest.mark.parametrize("seed", [7, 23, 1999])
+def test_backends_agree_on_random_communities(seed):
+    rng = random.Random(seed)
+    ontologies = {name: random_ontology(rng, name) for name in ONTOLOGY_NAMES}
+    context = MatchContext(
+        ontologies={name: pair[0] for name, pair in ontologies.items()}
+    )
+
+    scan = BrokerRepository(context, index_mode="none", match_cache_size=0)
+    indexed = BrokerRepository(context, index_mode="full")
+    datalog = BrokerRepository(context, engine="datalog")
+    repos = (scan, indexed, datalog)
+
+    ads = [random_ad(rng, f"agent-{i}", ontologies) for i in range(18)]
+    for ad in ads:
+        for repo in repos:
+            repo.advertise(ad)
+
+    queries = [random_query(rng, ontologies) for _ in range(10)]
+    # Interleave repeats so the indexed repo serves some from cache and
+    # the datalog repo reuses compiled query rules.
+    for query in queries + queries[: len(queries) // 2]:
+        expected = ranked(scan.query(query))
+        assert ranked(indexed.query(query)) == expected
+        assert ranked(datalog.query(query)) == expected
+
+    # Churn: drop a third of the community, backends must stay aligned.
+    for ad in ads[::3]:
+        for repo in repos:
+            assert repo.unadvertise(ad.agent_name)
+    for query in queries:
+        expected = ranked(scan.query(query))
+        assert ranked(indexed.query(query)) == expected
+        assert ranked(datalog.query(query)) == expected

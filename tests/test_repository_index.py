@@ -1,23 +1,32 @@
-"""Tests for the ontology-indexed repository fast path."""
+"""Tests for the repository's candidate indexes and match cache.
+
+Covers the multi-dimension inverted indexes (ontology, class closure,
+capability closure, conversation), the fingerprint-keyed match cache
+with its generation-counter invalidation, and full index consistency
+across advertise → unadvertise → re-advertise cycles — including
+agent/broker type flips (the re-advertisement bug this PR fixed).
+"""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import BrokerQuery, BrokerRepository, MatchContext
+from repro.core import BrokerQuery, BrokerRepository, BrokeringError, MatchContext
 from repro.ontology import healthcare_ontology
 from tests.test_core_matcher import make_ad
+from tests.test_core_infrastructure import broker_ad
 
 ONTOLOGIES = ["healthcare", "aerospace", "finance", ""]
 
 
-def build_repos(ads):
+def build_repos(ads, **indexed_kwargs):
+    """A linear-scan repository and an indexed one over the same ads."""
     context = MatchContext(ontologies={"healthcare": healthcare_ontology()})
-    plain = BrokerRepository(context)
-    indexed = BrokerRepository(context, index_by_ontology=True)
+    scan = BrokerRepository(context, index_mode="none", match_cache_size=0)
+    indexed = BrokerRepository(context, **indexed_kwargs)
     for ad in ads:
-        plain.advertise(ad)
+        scan.advertise(ad)
         indexed.advertise(ad)
-    return plain, indexed
+    return scan, indexed
 
 
 def sample_ads():
@@ -28,52 +37,224 @@ def sample_ads():
     ]
 
 
-class TestOntologyIndex:
+def names(matches):
+    return [m.agent_name for m in matches]
+
+
+class TestCandidateIndex:
     def test_same_results_with_and_without_index(self):
-        plain, indexed = build_repos(sample_ads())
+        scan, indexed = build_repos(sample_ads())
         query = BrokerQuery(ontology_name="healthcare", classes=("patient",))
-        assert [m.agent_name for m in plain.query(query)] == [
-            m.agent_name for m in indexed.query(query)
-        ]
+        assert names(scan.query(query)) == names(indexed.query(query))
 
     def test_index_reduces_work(self):
-        plain, indexed = build_repos(sample_ads())
+        scan, indexed = build_repos(sample_ads())
         query = BrokerQuery(ontology_name="healthcare")
-        plain.query(query)
+        scan.query(query)
         indexed.query(query)
         assert (indexed.stats.advertisements_reasoned_over
-                < plain.stats.advertisements_reasoned_over)
+                < scan.stats.advertisements_reasoned_over)
+        assert indexed.stats.candidates_pruned > 0
+        assert scan.stats.candidates_pruned == 0
 
     def test_unrestricted_ads_always_candidates(self):
-        plain, indexed = build_repos(sample_ads())
+        _, indexed = build_repos(sample_ads())
         query = BrokerQuery(ontology_name="finance")
-        names = {m.agent_name for m in indexed.query(query)}
+        matched = set(names(indexed.query(query)))
         # agents with ontology "" (content-unrestricted) must appear.
         assert any(
-            ad.agent_name in names for ad in sample_ads()
+            ad.agent_name in matched for ad in sample_ads()
             if not ad.description.content.ontology_name
         )
 
-    def test_no_ontology_query_scans_everything(self):
-        plain, indexed = build_repos(sample_ads())
-        query = BrokerQuery(agent_type="resource")
-        indexed.query(query)
+    def test_no_indexed_dimension_scans_everything(self):
+        _, indexed = build_repos(sample_ads())
+        indexed.query(BrokerQuery(agent_type="resource"))
         assert indexed.stats.advertisements_reasoned_over == 12
 
+    def test_class_index_expands_subclass_closure(self):
+        # A query over the superclass must reach subclass advertisers
+        # and vice versa (is-a both ways), while unrelated classes prune.
+        onto = healthcare_ontology()
+        roots = onto.roots()
+        parent = roots[0]
+        children = onto.descendants(parent)
+        ads = [make_ad("up", classes=(parent,)),
+               make_ad("down", classes=(children[0],)) if children else None,
+               make_ad("none", classes=())]
+        ads = [ad for ad in ads if ad is not None]
+        scan, indexed = build_repos(ads)
+        for requested in [parent] + children[:1]:
+            query = BrokerQuery(ontology_name="healthcare", classes=(requested,))
+            assert names(scan.query(query)) == names(indexed.query(query))
+
+    def test_capability_index_expands_cover_closure(self):
+        ads = [
+            make_ad("general", functions=("query-processing",)),
+            make_ad("special", functions=("select",)),
+            make_ad("other", functions=("data-mining",)),
+        ]
+        scan, indexed = build_repos(ads)
+        # "select" is served by the exact advertiser and by the
+        # query-processing generalist, not by the data miner.
+        query = BrokerQuery(capabilities=("select",))
+        assert set(names(indexed.query(query))) == {"general", "special"}
+        assert names(scan.query(query)) == names(indexed.query(query))
+        # An agent advertising only a *descendant* does not cover the
+        # more general request.
+        general = BrokerQuery(capabilities=("relational",))
+        assert "special" not in names(indexed.query(general))
+
+    def test_conversation_index(self):
+        ads = [make_ad("a", conversations=("ask-all", "subscribe")),
+               make_ad("b", conversations=("ask-all",))]
+        scan, indexed = build_repos(ads)
+        query = BrokerQuery(conversations=("subscribe",))
+        assert names(indexed.query(query)) == ["a"]
+        assert indexed.stats.advertisements_reasoned_over == 1
+        assert names(scan.query(query)) == names(indexed.query(query))
+
+    def test_ontology_only_mode_matches_deprecated_alias(self):
+        ads = sample_ads()
+        _, via_mode = build_repos(ads, index_mode="ontology")
+        _, via_alias = build_repos(ads, index_by_ontology=True)
+        assert via_mode.index_mode == via_alias.index_mode == "ontology"
+        _, disabled = build_repos(ads, index_by_ontology=False)
+        assert disabled.index_mode == "none"
+        query = BrokerQuery(ontology_name="healthcare", capabilities=("relational",))
+        assert names(via_mode.query(query)) == names(via_alias.query(query))
+        # Ontology-only mode does not prune on capabilities.
+        via_mode.stats.advertisements_reasoned_over = 0
+        via_mode.query(BrokerQuery(capabilities=("relational",)))
+        assert via_mode.stats.advertisements_reasoned_over == len(ads)
+
+    def test_unknown_index_mode_rejected(self):
+        with pytest.raises(BrokeringError):
+            BrokerRepository(index_mode="bogus")
+
+
+class TestAdvertisementLifecycle:
     def test_index_tracks_updates_and_removal(self):
         _, indexed = build_repos(sample_ads())
         # Re-advertise agent0 under a different ontology.
         indexed.advertise(make_ad("agent0", ontology="finance"))
-        healthcare = {m.agent_name for m in indexed.query(
-            BrokerQuery(ontology_name="healthcare"))}
+        healthcare = set(names(indexed.query(BrokerQuery(ontology_name="healthcare"))))
         assert "agent0" not in healthcare
-        finance = {m.agent_name for m in indexed.query(
-            BrokerQuery(ontology_name="finance"))}
+        finance = set(names(indexed.query(BrokerQuery(ontology_name="finance"))))
         assert "agent0" in finance
         indexed.unadvertise("agent0")
-        finance = {m.agent_name for m in indexed.query(
-            BrokerQuery(ontology_name="finance"))}
+        finance = set(names(indexed.query(BrokerQuery(ontology_name="finance"))))
         assert "agent0" not in finance
+
+    def test_readvertise_cycles_keep_indexes_consistent(self):
+        repo = BrokerRepository(MatchContext())
+        for _ in range(3):
+            repo.advertise(make_ad("a1", ontology="finance",
+                                   functions=("select",), classes=()))
+            assert names(repo.query(BrokerQuery(ontology_name="finance"))) == ["a1"]
+            repo.advertise(make_ad("a1", ontology="aerospace",
+                                   functions=("join",), classes=()))
+            # The old index entries must be gone in every dimension.
+            assert repo.query(BrokerQuery(ontology_name="finance")) == []
+            assert repo.query(BrokerQuery(capabilities=("select",))) == []
+            assert names(repo.query(BrokerQuery(capabilities=("join",)))) == ["a1"]
+            assert repo.unadvertise("a1")
+            assert repo.query(BrokerQuery(ontology_name="aerospace")) == []
+
+    def test_agent_to_broker_readvertisement_clears_agent_store(self):
+        repo = BrokerRepository(MatchContext())
+        repo.advertise(make_ad("flip", ontology="finance", classes=()))
+        assert repo.agent_names() == ["flip"]
+        repo.advertise(broker_ad("flip"))
+        # The old agent entry and its index postings must be gone.
+        assert repo.agent_names() == []
+        assert repo.broker_names() == ["flip"]
+        assert repo.query(BrokerQuery(ontology_name="finance")) == []
+        # And back again.
+        repo.advertise(make_ad("flip", ontology="finance", classes=()))
+        assert repo.agent_names() == ["flip"]
+        assert repo.broker_names() == []
+        assert names(repo.query(BrokerQuery(ontology_name="finance"))) == ["flip"]
+
+    def test_broker_to_agent_flip_in_datalog_backend(self):
+        repo = BrokerRepository(MatchContext(), engine="datalog")
+        repo.advertise(make_ad("flip", ontology="finance", classes=()))
+        repo.advertise(broker_ad("flip"))
+        assert repo.query(BrokerQuery(ontology_name="finance")) == []
+        repo.advertise(make_ad("flip", ontology="finance", classes=()))
+        assert names(repo.query(BrokerQuery(ontology_name="finance"))) == ["flip"]
+
+
+class TestMatchCache:
+    def test_repeated_query_hits_cache(self):
+        _, repo = build_repos(sample_ads())
+        query = BrokerQuery(ontology_name="healthcare")
+        first = repo.query(query)
+        reasoned = repo.stats.advertisements_reasoned_over
+        second = repo.query(query)
+        assert names(first) == names(second)
+        assert repo.stats.cache_hits == 1
+        # A hit does no matching work at all.
+        assert repo.stats.advertisements_reasoned_over == reasoned
+
+    def test_equivalent_queries_share_cache_entry(self):
+        _, repo = build_repos(sample_ads())
+        repo.query(BrokerQuery(capabilities=("select", "join")))
+        repo.query(BrokerQuery(capabilities=("join", "select")))
+        assert repo.stats.cache_hits == 1
+
+    def test_advertise_bumps_generation_and_invalidates(self):
+        _, repo = build_repos(sample_ads())
+        query = BrokerQuery(ontology_name="healthcare", classes=("patient",))
+        before = set(names(repo.query(query)))
+        generation = repo.generation
+        repo.advertise(make_ad("late", classes=("patient",)))
+        assert repo.generation > generation
+        after = set(names(repo.query(query)))
+        assert "late" in after
+        assert after == before | {"late"}
+        assert repo.stats.cache_hits == 0
+
+    def test_unadvertise_bumps_generation_and_invalidates(self):
+        _, repo = build_repos(sample_ads())
+        query = BrokerQuery(ontology_name="healthcare")
+        matched = names(repo.query(query))
+        assert matched
+        generation = repo.generation
+        assert repo.unadvertise(matched[0])
+        assert repo.generation > generation
+        assert matched[0] not in names(repo.query(query))
+
+    def test_broker_ad_churn_also_invalidates(self):
+        # Conservative: any repository mutation bumps the generation.
+        _, repo = build_repos(sample_ads())
+        generation = repo.generation
+        repo.advertise(broker_ad("b-late"))
+        assert repo.generation > generation
+
+    def test_cache_disabled(self):
+        _, repo = build_repos(sample_ads(), match_cache_size=0)
+        query = BrokerQuery(ontology_name="healthcare")
+        repo.query(query)
+        repo.query(query)
+        assert repo.stats.cache_hits == 0
+        assert repo.stats.cache_misses == 0
+
+    def test_cache_eviction_is_bounded(self):
+        _, repo = build_repos(sample_ads(), match_cache_size=2)
+        for ontology in ("healthcare", "aerospace", "finance"):
+            repo.query(BrokerQuery(ontology_name=ontology))
+        assert len(repo._match_cache) <= 2
+        # The oldest entry was evicted; re-querying it misses.
+        repo.query(BrokerQuery(ontology_name="healthcare"))
+        assert repo.stats.cache_hits == 0
+
+    def test_cached_results_are_copies(self):
+        _, repo = build_repos(sample_ads())
+        query = BrokerQuery(ontology_name="healthcare")
+        first = repo.query(query)
+        first.append("sentinel")
+        assert "sentinel" not in repo.query(query)
 
 
 @settings(max_examples=40, deadline=None)
@@ -84,12 +265,10 @@ class TestOntologyIndex:
 def test_property_index_is_invisible(ontologies, query_ontology):
     ads = [make_ad(f"a{i}", ontology=o, classes=())
            for i, o in enumerate(ontologies)]
-    plain, indexed = build_repos(ads)
+    scan, indexed = build_repos(ads)
     for query in (
         BrokerQuery(ontology_name=query_ontology),
         BrokerQuery(agent_type="resource"),
         BrokerQuery(ontology_name=query_ontology, content_language="SQL 2.0"),
     ):
-        assert [m.agent_name for m in plain.query(query)] == [
-            m.agent_name for m in indexed.query(query)
-        ]
+        assert names(scan.query(query)) == names(indexed.query(query))
