@@ -1,0 +1,89 @@
+"""Chaos grid — query delivery vs network-fault intensity.
+
+Not a paper table: this sweeps the robustness community (Tables 5/6
+population) over link-loss rates and broker-partition durations with the
+delivery-resilience machinery (retries, dedup, circuit breakers)
+enabled, and records query success rate and p95 time-to-answer per cell
+against the fault-free baseline.  The artifact lands in
+``benchmarks/BENCH_chaos.json``.
+
+Set ``REPRO_BENCH_QUICK=1`` for a CI-smoke-sized grid (2x2 cells, one
+replicate, one simulated hour).
+"""
+
+import json
+import math
+import os
+
+from conftest import SIM_DURATION, SIM_RUNS
+
+from repro.experiments.robustness import chaos_grid
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+LOSS_RATES = (0.0, 0.10) if QUICK else (0.0, 0.05, 0.10, 0.20)
+PARTITION_DURATIONS = (0.0, 600.0) if QUICK else (0.0, 600.0, 1_800.0)
+DURATION = 3_600.0 if QUICK else SIM_DURATION
+RUNS = 1 if QUICK else SIM_RUNS
+
+
+def _cell(rows, loss, partition):
+    for row in rows:
+        if row["loss_rate"] == loss and row["partition_duration"] == partition:
+            return row
+    raise AssertionError(f"missing cell ({loss}, {partition})")
+
+
+def test_chaos_grid(once):
+    rows = once(
+        chaos_grid,
+        loss_rates=LOSS_RATES,
+        partition_durations=PARTITION_DURATIONS,
+        duration=DURATION,
+        runs=RUNS,
+    )
+
+    print()
+    header = (f"{'loss':>6} {'partition':>10} {'reply%':>8} "
+              f"{'success%':>9} {'p95 (s)':>8} {'queries':>8}")
+    print(header)
+    for row in rows:
+        print(f"{row['loss_rate']:>6.2f} {row['partition_duration']:>10.0f} "
+              f"{row['reply_fraction']:>8.1%} {row['success_fraction']:>9.1%} "
+              f"{row['p95_response_s']:>8.2f} {row['queries']:>8.0f}")
+
+    assert len(rows) == len(LOSS_RATES) * len(PARTITION_DURATIONS)
+    baseline = _cell(rows, 0.0, 0.0)
+    # The fault-free baseline answers everything.
+    assert baseline["reply_fraction"] > 0.99
+    assert baseline["success_fraction"] > 0.99
+    assert baseline["p95_response_s"] > 0.0
+    for row in rows:
+        assert row["queries"] > 0
+        assert not math.isnan(row["reply_fraction"])
+        # Retries and breakers keep delivery useful even at the harshest
+        # cell: most queries still get an answer.
+        assert row["reply_fraction"] > 0.5, row
+        # Chaos cells pay for resilience with latency, never with a
+        # better-than-baseline answer rate.
+        assert row["reply_fraction"] <= baseline["reply_fraction"] + 1e-9
+
+    worst = _cell(rows, LOSS_RATES[-1], PARTITION_DURATIONS[-1])
+    assert worst["p95_response_s"] >= baseline["p95_response_s"]
+
+    path = os.path.join(os.path.dirname(__file__), "BENCH_chaos.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "quick": QUICK,
+                "duration": DURATION,
+                "runs": RUNS,
+                "loss_rates": list(LOSS_RATES),
+                "partition_durations": list(PARTITION_DURATIONS),
+                "cells": rows,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")

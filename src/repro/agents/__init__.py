@@ -22,6 +22,16 @@ Agents provided (paper Figure 1):
 from repro.agents.errors import AgentError
 from repro.agents.costs import CostModel
 from repro.agents.bus import MessageBus
+from repro.agents.faults import (
+    BackoffPolicy,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+)
 from repro.agents.base import Agent, AgentConfig, HandlerResult
 from repro.agents.broker import BrokerAgent
 from repro.agents.adaptive import AdaptiveUserAgent
@@ -37,14 +47,22 @@ __all__ = [
     "Agent",
     "AgentConfig",
     "AgentError",
+    "BackoffPolicy",
+    "BreakerConfig",
+    "BreakerState",
     "BrokerAgent",
     "BulletinBoardAgent",
+    "CircuitBreaker",
     "CostModel",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaults",
     "HandlerResult",
     "MessageBus",
     "MonitorAgent",
     "MultiResourceQueryAgent",
     "OntologyAgent",
+    "Partition",
     "ResourceAgent",
     "UserAgent",
 ]

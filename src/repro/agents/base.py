@@ -22,11 +22,14 @@ the ``on_<performative>`` handlers.
 
 from __future__ import annotations
 
+import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.agents.costs import CostModel
 from repro.agents.errors import AgentError
+from repro.agents.faults import DEFAULT_BACKOFF, BackoffPolicy
 from repro.core.advertisement import Advertisement
 from repro.obs.events import NULL_OBSERVER, Observer
 from repro.kqml import KqmlMessage, Performative
@@ -65,6 +68,15 @@ class AgentConfig:
     #: bulletin boards"), consulted when a ping cycle ends with no
     #: connected brokers.
     bulletin_board: Optional[str] = None
+    #: Per-conversation attempt budget for :meth:`Agent.ask`.  1 (the
+    #: default) preserves the legacy one-shot-timeout behaviour; higher
+    #: values resend after each timeout with exponential backoff.
+    max_attempts: int = 1
+    #: Backoff schedule between retries (None = the module default).
+    backoff: Optional[BackoffPolicy] = None
+    #: Entries kept in the idempotent-receive caches (seen request ids,
+    #: cached replies); duplicates outside the window re-execute.
+    dedup_window: int = 1024
 
     def __post_init__(self):
         object.__setattr__(self, "preferred_brokers", tuple(self.preferred_brokers))
@@ -72,12 +84,23 @@ class AgentConfig:
             raise AgentError("redundancy must be >= 0")
         if self.ping_interval <= 0 or self.reply_timeout <= 0:
             raise AgentError("intervals must be positive")
+        if self.max_attempts < 1:
+            raise AgentError("max_attempts must be >= 1")
+        if self.dedup_window < 1:
+            raise AgentError("dedup_window must be >= 1")
 
 
 @dataclass
 class _Conversation:
     callback: Callable[[Optional[KqmlMessage], "HandlerResult"], None]
     deadline_token: object
+    #: Retry state: the original request is kept so a timeout can resend
+    #: it verbatim (same ``:reply-with``; receivers dedup).
+    message: Optional[KqmlMessage] = None
+    size_bytes: Optional[float] = None
+    timeout: float = 0.0
+    attempts_left: int = 0
+    attempt: int = 1
 
 
 _PING_TIMER = "ping-cycle"
@@ -100,6 +123,13 @@ class Agent:
         self._conversations: Dict[str, _Conversation] = {}
         self._timeout_counter = 0
         self._advert_cursor = 0
+        #: Idempotent receive: request ids already executed, and the
+        #: replies they produced (resent verbatim when a retry or a
+        #: network-duplicated copy arrives).  Both LRU-bounded.
+        self._seen_requests: OrderedDict = OrderedDict()
+        self._reply_cache: OrderedDict = OrderedDict()
+        #: Seeded per-agent stream for retry-backoff jitter.
+        self._retry_rng = random.Random(f"retry:{name}")
 
     # ------------------------------------------------------------------
     # wiring
@@ -205,7 +235,11 @@ class Agent:
             conversation = self._conversations.pop(message.in_reply_to)
             self.bus.cancel_timer(self.name, conversation.deadline_token)
             conversation.callback(message, result)
+            self._record_replies(result)
             return result
+        if message.reply_with and not message.in_reply_to:
+            if not self._first_delivery(message, result):
+                return result
         handler = getattr(
             self, "on_" + message.performative.value.replace("-", "_"), None
         )
@@ -215,7 +249,42 @@ class Agent:
                 result.send(reply)
             return result
         handler(message, result, now)
+        self._record_replies(result)
         return result
+
+    # ------------------------------------------------------------------
+    # idempotent receive (exactly-once handler effects under retry/dup)
+    # ------------------------------------------------------------------
+    def _first_delivery(self, message: KqmlMessage, result: HandlerResult) -> bool:
+        """True when *message* opens a new conversation at this agent.
+
+        Redundant deliveries of the same request — sender retries after a
+        lost reply, or network-level duplication — are suppressed: the
+        handler does not run again, and the cached reply (if the first
+        execution already produced one) is resent so the requester's
+        retry still completes."""
+        key = (message.sender, message.performative.value, message.reply_with)
+        if key in self._seen_requests:
+            self._seen_requests.move_to_end(key)
+            self.observer.inc("agent.dedup.count", agent=self.name)
+            cached = self._reply_cache.get(message.reply_with)
+            if cached is not None:
+                result.send(cached[0], size_bytes=cached[1])
+            return False
+        self._seen_requests[key] = True
+        while len(self._seen_requests) > self.config.dedup_window:
+            self._seen_requests.popitem(last=False)
+        return True
+
+    def _record_replies(self, result: HandlerResult) -> None:
+        """Remember outgoing replies by the request id they answer, so a
+        duplicated request can be answered from cache."""
+        for message, size in result.outbox:
+            if message.in_reply_to:
+                self._reply_cache[message.in_reply_to] = (message, size)
+                self._reply_cache.move_to_end(message.in_reply_to)
+        while len(self._reply_cache) > self.config.dedup_window:
+            self._reply_cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     # conversations
@@ -240,12 +309,33 @@ class Agent:
         result: HandlerResult,
         size_bytes: Optional[float] = None,
         timeout: Optional[float] = None,
+        attempts: Optional[int] = None,
     ) -> None:
-        """Send a query and register its continuation."""
+        """Send a query and register its continuation.
+
+        *attempts* caps total transmissions of this request (default:
+        ``config.max_attempts``).  With more than one attempt, each
+        timeout waits an exponentially backed-off delay (see
+        :class:`~repro.agents.faults.BackoffPolicy`) and resends the
+        *same* message — same ``:reply-with`` — so the receiver's
+        idempotent-receive layer either executes it once or answers from
+        its reply cache.
+        """
         if not message.reply_with:
             raise AgentError("ask() requires a message with :reply-with")
         result.send(message, size_bytes=size_bytes)
         self._await_reply(message.reply_with, callback, result, timeout)
+        budget = attempts if attempts is not None else self.config.max_attempts
+        if budget < 1:
+            raise AgentError("ask() attempts must be >= 1")
+        if budget > 1:
+            conversation = self._conversations[message.reply_with]
+            conversation.message = message
+            conversation.size_bytes = size_bytes
+            conversation.timeout = (
+                timeout if timeout is not None else self.config.reply_timeout
+            )
+            conversation.attempts_left = budget - 1
 
     # ------------------------------------------------------------------
     # timers
@@ -254,11 +344,14 @@ class Agent:
         result = HandlerResult(cost_seconds=self.cost_model.base_handling_seconds)
         if isinstance(token, tuple) and token and token[0] == "timeout":
             self._handle_timeout(token, result)
+        elif isinstance(token, tuple) and token and token[0] == "retry":
+            self._handle_retry(token, result)
         elif token == _PING_TIMER:
             self._ping_cycle(result, now)
             result.arm(self.config.ping_interval, _PING_TIMER, maintenance=True)
         else:
             self.on_custom_timer(token, result, now)
+        self._record_replies(result)
         return result
 
     def on_custom_timer(self, token: object, result: HandlerResult, now: float) -> None:
@@ -266,12 +359,40 @@ class Agent:
 
     def _handle_timeout(self, token: tuple, result: HandlerResult) -> None:
         _kind, reply_id, _n = token
-        conversation = self._conversations.pop(reply_id, None)
-        if conversation is not None and conversation.deadline_token == token:
-            obs = self.observer
-            if obs.enabled:
-                obs.conversation_timeout(self.bus.now, self.name, reply_id)
-            conversation.callback(None, result)
+        conversation = self._conversations.get(reply_id)
+        if conversation is None or conversation.deadline_token != token:
+            return
+        if conversation.attempts_left > 0:
+            # Budget remains: back off, then resend the same request.
+            conversation.attempts_left -= 1
+            conversation.attempt += 1
+            policy = self.config.backoff or DEFAULT_BACKOFF
+            delay = policy.delay(conversation.attempt - 1, self._retry_rng)
+            self._timeout_counter += 1
+            retry_token = ("retry", reply_id, self._timeout_counter)
+            conversation.deadline_token = retry_token
+            result.arm(delay, retry_token)
+            self.observer.inc("agent.retry.count", agent=self.name)
+            return
+        self._conversations.pop(reply_id, None)
+        obs = self.observer
+        if obs.enabled:
+            obs.conversation_timeout(self.bus.now, self.name, reply_id)
+        conversation.callback(None, result)
+
+    def _handle_retry(self, token: tuple, result: HandlerResult) -> None:
+        """The backoff delay elapsed: resend the request and re-arm its
+        reply timeout.  A reply arriving during the backoff window pops
+        the conversation and cancels this timer, so retries stop."""
+        _kind, reply_id, _n = token
+        conversation = self._conversations.get(reply_id)
+        if conversation is None or conversation.deadline_token != token:
+            return
+        result.send(conversation.message, size_bytes=conversation.size_bytes)
+        self._timeout_counter += 1
+        deadline = ("timeout", reply_id, self._timeout_counter)
+        conversation.deadline_token = deadline
+        result.arm(conversation.timeout, deadline)
 
     # ------------------------------------------------------------------
     # liveness

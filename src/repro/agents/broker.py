@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.agents.base import Agent, AgentConfig, HandlerResult
 from repro.agents.errors import AgentError
+from repro.agents.faults import BreakerConfig, BreakerState, CircuitBreaker
 from repro.core.advertisement import Advertisement
 from repro.core.matcher import Match, MatchContext
 from repro.core.policy import FollowOption, SearchPolicy
@@ -62,6 +63,10 @@ class _Aggregation:
     original: KqmlMessage
     matches: Dict[str, Match]
     outstanding: int
+    #: Peers that could not contribute: skipped by an open circuit
+    #: breaker, or timed out.  Reported in the degraded-mode ``partial``
+    #: annotation on the reply.
+    unreachable: List[str] = field(default_factory=list)
 
 
 class BrokerAgent(Agent):
@@ -89,6 +94,11 @@ class BrokerAgent(Agent):
         repository_index_mode: str = "full",
         match_cache_size: Optional[int] = None,
         pull_broker_directory: bool = False,
+        # Per-peer circuit breakers (None = disabled, the legacy
+        # behaviour): persistently dead consortium peers are skipped
+        # after `failure_threshold` consecutive timeouts and probed back
+        # in with half-open pings after a cooldown.
+        breaker: Optional[BreakerConfig] = None,
     ):
         super().__init__(
             name,
@@ -124,6 +134,8 @@ class BrokerAgent(Agent):
         self.max_hop_count = max_hop_count
         self.agent_ping_interval = agent_ping_interval
         self.sequential_until_match = sequential_until_match
+        self.breaker_config = breaker
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._aggregations: Dict[str, _Aggregation] = {}
         self.rejected_advertisements = 0
         #: Ontology-name histogram of received broker queries, the input
@@ -291,6 +303,9 @@ class BrokerAgent(Agent):
         if token == _AGENT_PING_TIMER:
             self._ping_advertised_agents(result, now)
             result.arm(self.agent_ping_interval, _AGENT_PING_TIMER, maintenance=True)
+        elif isinstance(token, tuple) and token and token[0] == "breaker-probe":
+            if self.breaker_config is not None:
+                self._probe_peer(token[1], result, now)
 
     def _ping_advertised_agents(self, result: HandlerResult, now: float) -> None:
         """Discover failed agents and purge them (Section 2.2)."""
@@ -350,6 +365,17 @@ class BrokerAgent(Agent):
             policy.follow is FollowOption.UNTIL_MATCH and local
         ) or not policy.may_forward()
         targets = [] if done_early else self._forward_targets(request)
+        # Degraded mode: skip peers behind an open circuit breaker and
+        # annotate the eventual reply instead of silently thinning it.
+        skipped: List[str] = []
+        if self.breaker_config is not None and targets:
+            reachable = []
+            for target in targets:
+                if self._breaker(target).allows():
+                    reachable.append(target)
+                else:
+                    skipped.append(target)
+            targets = reachable
 
         if obs.enabled:
             obs.observe("broker.recommend.latency",
@@ -370,7 +396,8 @@ class BrokerAgent(Agent):
             )
 
         if not targets:
-            self._reply_matches(message, {m.agent_name: m for m in local}, result)
+            self._reply_matches(message, {m.agent_name: m for m in local}, result,
+                                partial=skipped)
             return
 
         if (
@@ -386,6 +413,7 @@ class BrokerAgent(Agent):
             original=message,
             matches={m.agent_name: m for m in local},
             outstanding=len(targets),
+            unreachable=list(skipped),
         )
         visited = request.visited | {self.name} | set(targets)
         forwarded_request = RecommendRequest(
@@ -402,7 +430,8 @@ class BrokerAgent(Agent):
             )
             self.ask(
                 forward,
-                lambda reply, res, agg=aggregation: self._collect(agg, reply, res),
+                lambda reply, res, agg=aggregation, peer=target:
+                    self._collect(agg, peer, reply, res),
                 result,
             )
 
@@ -417,8 +446,13 @@ class BrokerAgent(Agent):
         remaining: List[str],
         result: HandlerResult,
     ) -> None:
+        skipped: List[str] = []
+        if self.breaker_config is not None:
+            while remaining and not self._breaker(remaining[0]).allows():
+                skipped.append(remaining[0])
+                remaining = remaining[1:]
         if not remaining:
-            self._reply_matches(message, {}, result)
+            self._reply_matches(message, {}, result, partial=skipped)
             return
         target = remaining[0]
         forwarded = RecommendRequest(
@@ -436,8 +470,8 @@ class BrokerAgent(Agent):
         )
         self.ask(
             probe,
-            lambda reply, res: self._probe_outcome(
-                message, request, policy, remaining[1:], reply, res
+            lambda reply, res, peer=target: self._probe_outcome(
+                message, request, policy, peer, remaining[1:], reply, res
             ),
             result,
         )
@@ -447,6 +481,7 @@ class BrokerAgent(Agent):
         message: KqmlMessage,
         request: RecommendRequest,
         policy: SearchPolicy,
+        peer: str,
         remaining: List[str],
         reply: Optional[KqmlMessage],
         result: HandlerResult,
@@ -456,6 +491,10 @@ class BrokerAgent(Agent):
             and reply.performative is Performative.TELL
             and bool(reply.content)
         )
+        if reply is None:
+            self._record_peer_failure(peer, result)
+        else:
+            self._record_peer_success(peer)
         self.observer.inc("broker.probe.count", outcome="hit" if hit else "miss")
         if hit:
             self._reply_matches(
@@ -489,16 +528,85 @@ class BrokerAgent(Agent):
         return self.repository.get(peer).description.broker
 
     def _collect(
-        self, aggregation: _Aggregation, reply: Optional[KqmlMessage], result: HandlerResult
+        self,
+        aggregation: _Aggregation,
+        peer: str,
+        reply: Optional[KqmlMessage],
+        result: HandlerResult,
     ) -> None:
         if reply is not None and reply.performative is Performative.TELL:
+            self._record_peer_success(peer)
             for match in reply.content:
                 existing = aggregation.matches.get(match.agent_name)
                 if existing is None or match.score > existing.score:
                     aggregation.matches[match.agent_name] = match
+        else:
+            aggregation.unreachable.append(peer)
+            self._record_peer_failure(peer, result)
         aggregation.outstanding -= 1
         if aggregation.outstanding == 0:
-            self._reply_matches(aggregation.original, aggregation.matches, result)
+            self._reply_matches(aggregation.original, aggregation.matches, result,
+                                partial=aggregation.unreachable)
+
+    # ------------------------------------------------------------------
+    # per-peer circuit breakers
+    # ------------------------------------------------------------------
+    def _breaker(self, peer: str) -> CircuitBreaker:
+        breaker = self._breakers.get(peer)
+        if breaker is None:
+            breaker = self._breakers[peer] = CircuitBreaker(self.breaker_config)
+        return breaker
+
+    def _record_peer_success(self, peer: str) -> None:
+        if self.breaker_config is None:
+            return
+        self._breaker(peer).record_success()
+
+    def _record_peer_failure(self, peer: str, result: HandlerResult) -> None:
+        if self.breaker_config is None:
+            return
+        breaker = self._breaker(peer)
+        if breaker.record_failure(self.bus.now):
+            self.observer.inc("broker.breaker.open", broker=self.name, peer=peer)
+            # Maintenance so an eternally-dead peer's probe cycle never
+            # holds bus.run() open.
+            result.arm(self.breaker_config.cooldown,
+                       ("breaker-probe", peer), maintenance=True)
+
+    def _probe_peer(self, peer: str, result: HandlerResult, now: float) -> None:
+        """Half-open probe: one ping decides whether the peer rejoins
+        the forwarding set or waits out another cooldown."""
+        breaker = self._breaker(peer)
+        if breaker.state is not BreakerState.OPEN:
+            return
+        breaker.begin_probe()
+        ping = KqmlMessage(
+            Performative.PING,
+            sender=self.name,
+            receiver=peer,
+            content=self.name,
+            reply_with=f"{self.name}-breakerprobe-{peer}-{now}",
+        )
+        self.ask(
+            ping,
+            lambda reply, res, peer=peer: self._probe_ping_outcome(peer, reply, res),
+            result,
+            timeout=self.breaker_config.probe_timeout,
+            attempts=1,
+        )
+
+    def _probe_ping_outcome(
+        self, peer: str, reply: Optional[KqmlMessage], result: HandlerResult
+    ) -> None:
+        breaker = self._breaker(peer)
+        if reply is not None and reply.performative is Performative.PONG:
+            breaker.record_success()
+            self.observer.inc("broker.breaker.close", broker=self.name, peer=peer)
+        else:
+            breaker.trip(self.bus.now)
+            self.observer.inc("broker.breaker.open", broker=self.name, peer=peer)
+            result.arm(self.breaker_config.cooldown,
+                       ("breaker-probe", peer), maintenance=True)
 
     # ------------------------------------------------------------------
     # objective analysis (Section 4.1)
@@ -531,13 +639,22 @@ class BrokerAgent(Agent):
         return suggestion
 
     def _reply_matches(
-        self, message: KqmlMessage, matches: Dict[str, Match], result: HandlerResult
+        self,
+        message: KqmlMessage,
+        matches: Dict[str, Match],
+        result: HandlerResult,
+        partial: Sequence[str] = (),
     ) -> None:
         ranked = sorted(matches.values(), key=lambda m: (-m.score, m.agent_name))
         if message.performative is Performative.RECOMMEND_ONE:
             ranked = ranked[:1]
+        extras: Dict[str, str] = {}
+        if partial:
+            # Degraded mode: name the consortium peers that could not
+            # contribute instead of silently returning fewer matches.
+            extras["partial"] = "unreachable:" + ",".join(sorted(set(partial)))
         result.send(
-            message.reply(Performative.TELL, content=ranked),
+            message.reply(Performative.TELL, content=ranked, **extras),
             size_bytes=max(
                 len(ranked) * self.cost_model.broker_reply_bytes_per_match,
                 self.cost_model.control_message_bytes,

@@ -32,16 +32,29 @@ from repro.obs.events import NULL_OBSERVER, Observer, compose, summarize_content
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.agents.base import Agent
+    from repro.agents.faults import FaultInjector, FaultPlan
 
 
 @dataclass
 class BusStats:
-    """Counters for tests and experiments."""
+    """Counters for tests and experiments.
+
+    Drops are split by cause so chaos runs are diagnosable: a message
+    addressed to a dead/unknown agent counts as ``dropped_offline``; one
+    eaten by the installed fault plan (loss or partition) counts as
+    ``dropped_injected``.
+    """
 
     messages_delivered: int = 0
-    messages_dropped: int = 0
+    dropped_offline: int = 0
+    dropped_injected: int = 0
     timers_fired: int = 0
     bytes_transferred: float = 0.0
+
+    @property
+    def messages_dropped(self) -> int:
+        """Total drops from any cause (the legacy counter)."""
+        return self.dropped_offline + self.dropped_injected
 
 
 @dataclass(frozen=True)
@@ -112,6 +125,12 @@ class MessageBus:
         self._queue: List = []
         self._sequence = itertools.count()
         self._cancelled_timers: set = set()
+        #: Scheduled-but-not-yet-fired instance counts per (agent, token),
+        #: so cancelling an already-fired timer cannot leak a cancellation
+        #: entry forever.
+        self._pending_timers: Dict = {}
+        #: Fault injection (None = perfectly reliable network).
+        self.faults: Optional["FaultInjector"] = None
         #: The message whose handling is currently running; sends emitted
         #: during that handling are causally attributed to it.
         self._cause: Optional[KqmlMessage] = None
@@ -185,6 +204,21 @@ class MessageBus:
         return name in self._offline
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def install_faults(self, plan: Optional["FaultPlan"]) -> Optional["FaultInjector"]:
+        """Install *plan* as this bus's network fault model (None removes
+        it).  Returns the live :class:`~repro.agents.faults.FaultInjector`
+        so callers can inspect its stats after a run."""
+        if plan is None:
+            self.faults = None
+            return None
+        from repro.agents.faults import FaultInjector
+
+        self.faults = FaultInjector(plan)
+        return self.faults
+
+    # ------------------------------------------------------------------
     # sending and timers (called by agents from inside handlers)
     # ------------------------------------------------------------------
     def send(self, message: KqmlMessage, at: float, size_bytes: Optional[float] = None) -> None:
@@ -193,6 +227,17 @@ class MessageBus:
         arrival = at + self.cost_model.transfer_seconds(size)
         self.stats.bytes_transferred += size
         self.observer.message_sent(at, message, size, self._cause)
+        if self.faults is not None:
+            arrivals, reason = self.faults.arrivals(
+                message.sender, message.receiver, at, arrival
+            )
+            if not arrivals:
+                self.stats.dropped_injected += 1
+                self.observer.message_dropped(at, message, reason="injected")
+                return
+            for when in arrivals:
+                self._push(when, ("deliver", message, size))
+            return
         self._push(arrival, ("deliver", message, size))
 
     def schedule_callback(self, fire_at: float, callback: Callable[[], None]) -> None:
@@ -208,13 +253,28 @@ class MessageBus:
         ``maintenance`` marks recurring background timers (ping cycles,
         poll loops); :meth:`run` stops once only maintenance remains.
         """
+        try:
+            key = (agent_name, token)
+            self._pending_timers[key] = self._pending_timers.get(key, 0) + 1
+        except TypeError:
+            pass  # unhashable token: never cancellable, never tracked
         self._push(fire_at, ("timer", agent_name, token), maintenance)
 
     def cancel_timer(self, agent_name: str, token: object) -> None:
         """Mark a scheduled timer as dead (lazy deletion): it will be
         skipped when it fires and never holds :meth:`run` open.  Used to
-        retire reply-timeout timers once the reply has arrived."""
-        self._cancelled_timers.add((agent_name, token))
+        retire reply-timeout timers once the reply has arrived.
+
+        Cancelling a timer that already fired (e.g. it was skipped while
+        its owner was offline) is a no-op — recording it would leave the
+        cancellation entry in ``_cancelled_timers`` forever."""
+        try:
+            key = (agent_name, token)
+            if self._pending_timers.get(key, 0) <= 0:
+                return
+            self._cancelled_timers.add(key)
+        except TypeError:
+            pass  # unhashable token: never cancellable
 
     # ------------------------------------------------------------------
     # event loop
@@ -276,8 +336,8 @@ class MessageBus:
     def _deliver(self, message: KqmlMessage, time: float, size: float) -> None:
         receiver = self._agents.get(message.receiver)
         if receiver is None or message.receiver in self._offline:
-            self.stats.messages_dropped += 1
-            self.observer.message_dropped(time, message)
+            self.stats.dropped_offline += 1
+            self.observer.message_dropped(time, message, reason="offline")
             return
         self.stats.messages_delivered += 1
         start = max(receiver.busy_until, time)
@@ -292,14 +352,25 @@ class MessageBus:
             self._cause = None
 
     def _fire_timer(self, agent_name: str, token: object, time: float) -> None:
+        pending = None
         try:
-            if (agent_name, token) in self._cancelled_timers:
-                self._cancelled_timers.discard((agent_name, token))
+            key = (agent_name, token)
+            pending = self._pending_timers.get(key, 1) - 1
+            if pending > 0:
+                self._pending_timers[key] = pending
+            else:
+                self._pending_timers.pop(key, None)
+            if key in self._cancelled_timers:
+                self._cancelled_timers.discard(key)
                 return
         except TypeError:
-            pass  # unhashable token: never cancellable
+            key = None  # unhashable token: never cancellable
         agent = self._agents.get(agent_name)
         if agent is None or agent_name in self._offline:
+            # Skipped fire: purge any cancellation that can no longer be
+            # consumed, or it would sit in _cancelled_timers forever.
+            if key is not None and not pending:
+                self._cancelled_timers.discard(key)
             return
         self.stats.timers_fired += 1
         self.observer.timer_fired(time, agent_name)

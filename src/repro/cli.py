@@ -209,6 +209,69 @@ TRACE_SCENARIOS: Dict[str, Callable[[], str]] = {
 }
 
 
+# ----------------------------------------------------------------------
+# chaos scenarios (``python -m repro chaos <scenario>``)
+# ----------------------------------------------------------------------
+#: (loss rate, partition duration in seconds) per named chaos scenario.
+CHAOS_SCENARIOS: Dict[str, tuple] = {
+    "baseline": (0.0, 0.0),
+    "lossy": (0.10, 0.0),
+    "partition": (0.0, 600.0),
+    "harsh": (0.20, 600.0),
+}
+
+
+def _run_chaos(scenario: Optional[str], metrics_path: Optional[str],
+               full: bool) -> int:
+    """Run one chaos scenario against the robustness community and
+    report how delivery degraded (or didn't)."""
+    from repro import obs
+    from repro.experiments.robustness import chaos_config
+    from repro.sim.simulator import Simulation
+
+    name = scenario or "baseline"
+    if name not in CHAOS_SCENARIOS:
+        print(f"unknown chaos scenario {name!r}; choose from: "
+              f"{', '.join(CHAOS_SCENARIOS)}", file=sys.stderr)
+        return 2
+    loss, partition = CHAOS_SCENARIOS[name]
+    duration = 43_200.0 if full else 3_600.0
+    config = chaos_config(loss, partition, duration=duration)
+
+    metrics_observer = obs.MetricsObserver()
+    with obs.installed(metrics_observer):
+        simulation = Simulation(config)
+        report = simulation.run()
+
+    stats = simulation.bus.stats
+    faults = simulation.bus.faults.stats if simulation.bus.faults else None
+    registry = metrics_observer.registry
+
+    def counter_total(prefix: str) -> float:
+        return sum(c.value for key, c in registry._counters.items()
+                   if key == prefix or key.startswith(prefix + "{"))
+
+    print(f"chaos scenario {name!r}: loss={loss:.0%}, "
+          f"partition={partition:.0f}s, duration={duration:.0f}s")
+    print(f"  queries issued     {report.queries_issued}")
+    print(f"  reply fraction     {report.reply_fraction:.1%}")
+    print(f"  success fraction   {report.success_fraction:.1%}")
+    print(f"  messages delivered {stats.messages_delivered}")
+    print(f"  dropped (injected) {stats.dropped_injected}")
+    print(f"  dropped (offline)  {stats.dropped_offline}")
+    if faults is not None:
+        print(f"    by loss          {faults.dropped_loss}")
+        print(f"    by partition     {faults.dropped_partition}")
+        print(f"    duplicated       {faults.duplicated}")
+    print(f"  retries            {counter_total('agent.retry.count'):.0f}")
+    print(f"  duplicates deduped {counter_total('agent.dedup.count'):.0f}")
+    print(f"  breaker openings   {counter_total('broker.breaker.open'):.0f}")
+    if metrics_path:
+        obs.registry_to_json(registry, metrics_path)
+        print(f"[metrics registry written to {metrics_path}]")
+    return 0
+
+
 def _run_trace(example: Optional[str], metrics_path: Optional[str],
                jsonl_path: Optional[str]) -> int:
     from repro import obs
@@ -246,15 +309,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=[*TARGETS, "all", "list", "trace"],
+        choices=[*TARGETS, "all", "list", "trace", "chaos"],
         help="which table/figure to regenerate ('all' for everything, "
              "'list' to enumerate targets, 'trace' to run an instrumented "
-             "example community and print its conversation span tree)",
+             "example community and print its conversation span tree, "
+             "'chaos' to run a fault-injected robustness scenario)",
     )
     parser.add_argument(
         "example", nargs="?", default=None,
         help="for 'trace': the scenario to run "
-             f"({', '.join(TRACE_SCENARIOS)}; default quickstart)",
+             f"({', '.join(TRACE_SCENARIOS)}; default quickstart); "
+             "for 'chaos': the fault scenario "
+             f"({', '.join(CHAOS_SCENARIOS)}; default baseline)",
     )
     parser.add_argument(
         "--full-scale", action="store_true",
@@ -281,9 +347,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         for name in TRACE_SCENARIOS:
             print(f"trace {name}")
+        for name in CHAOS_SCENARIOS:
+            print(f"chaos {name}")
         return 0
     if args.target == "trace":
         return _run_trace(args.example, args.metrics, args.trace_jsonl)
+    if args.target == "chaos":
+        return _run_chaos(args.example, args.metrics, args.full_scale)
 
     scale = Scale(full=args.full_scale)
     targets = list(TARGETS) if args.target == "all" else [args.target]

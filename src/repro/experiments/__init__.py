@@ -33,7 +33,12 @@ from repro.experiments.figures import (
     figure16_series,
     figure17_series,
 )
-from repro.experiments.robustness import table5_grid, table6_grid
+from repro.experiments.robustness import (
+    chaos_config,
+    chaos_grid,
+    table5_grid,
+    table6_grid,
+)
 from repro.experiments.report import format_series, format_table
 
 __all__ = [
@@ -42,6 +47,8 @@ __all__ = [
     "QueryStream",
     "STREAMS",
     "build_experiment_community",
+    "chaos_config",
+    "chaos_grid",
     "figure14_series",
     "figure15_series",
     "figure16_series",

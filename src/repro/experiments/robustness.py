@@ -97,3 +97,103 @@ def table6_grid(
     """Table 6: fraction of answered queries that found the matching
     resource."""
     return _grid("success_fraction", failure_means, redundancies, duration, runs)
+
+
+# ----------------------------------------------------------------------
+# chaos extension: network faults instead of (or alongside) crashes
+# ----------------------------------------------------------------------
+#: Per-link loss probabilities for the chaos sweep (0.0 = baseline).
+CHAOS_LOSS_RATES = (0.0, 0.05, 0.10, 0.20)
+#: Broker-partition durations (seconds); 0.0 = no partition.
+CHAOS_PARTITION_DURATIONS = (0.0, 600.0, 1_800.0)
+CHAOS_DUP_RATE = 0.05
+CHAOS_JITTER_S = 5.0
+CHAOS_RETRY_ATTEMPTS = 4
+
+
+def chaos_config(
+    loss: float,
+    partition_duration: float = 0.0,
+    duration: float = DEFAULT_DURATION,
+    seed: int = 0,
+) -> SimConfig:
+    """The robustness community under *network* hostility: lossy,
+    duplicating, jittery links — plus an optional mid-run partition
+    severing half the brokers — with retries and per-peer circuit
+    breakers enabled so delivery degrades instead of collapsing."""
+    chaotic = loss > 0.0 or partition_duration > 0.0
+    warmup = min(600.0, duration / 4)
+    return SimConfig(
+        n_brokers=ROBUSTNESS_BROKERS,
+        n_resources=ROBUSTNESS_RESOURCES,
+        unique_domains=True,
+        strategy=BrokerStrategy.SPECIALIZED,
+        advertisement_redundancy=2,
+        advertisement_size_mb=0.1,
+        mean_query_interval=ROBUSTNESS_QUERY_INTERVAL,
+        duration=duration,
+        warmup=warmup,
+        query_reply_timeout=60.0,
+        link_loss_rate=loss,
+        link_dup_rate=CHAOS_DUP_RATE if chaotic else 0.0,
+        link_jitter_s=CHAOS_JITTER_S if chaotic else 0.0,
+        partition_start=(warmup + (duration - warmup) / 3
+                         if partition_duration > 0 else None),
+        partition_duration=partition_duration,
+        retry_attempts=CHAOS_RETRY_ATTEMPTS if chaotic else 1,
+        breaker_failure_threshold=3 if chaotic else None,
+        seed=seed,
+    )
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; NaN on empty input."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def chaos_grid(
+    loss_rates: Sequence[float] = CHAOS_LOSS_RATES,
+    partition_durations: Sequence[float] = CHAOS_PARTITION_DURATIONS,
+    duration: float = DEFAULT_DURATION,
+    runs: int = DEFAULT_RUNS,
+) -> List[Dict[str, float]]:
+    """Query delivery vs fault intensity.
+
+    One row per (loss rate, partition duration) cell: reply fraction,
+    success fraction, and p95 time-to-answer, averaged/pooled over
+    *runs* replicate seeds.  The (0.0, 0.0) cell is the fault-free
+    baseline every other cell is judged against."""
+    rows: List[Dict[str, float]] = []
+    for loss in loss_rates:
+        for partition in partition_durations:
+            reports = run_replicates(
+                chaos_config(loss, partition, duration=duration), runs=runs
+            )
+            reply = [r.reply_fraction for r in reports]
+            success = [r.success_fraction for r in reports]
+            times: List[float] = []
+            for report in reports:
+                times.extend(
+                    rec.response_time
+                    for rec in report.metrics.completed(
+                        after=report.config.warmup,
+                        before=report._tail_cutoff,
+                    )
+                )
+            finite_reply = [v for v in reply if v == v]
+            finite_success = [v for v in success if v == v]
+            rows.append({
+                "loss_rate": loss,
+                "partition_duration": partition,
+                "reply_fraction": (sum(finite_reply) / len(finite_reply)
+                                   if finite_reply else float("nan")),
+                "success_fraction": (sum(finite_success) / len(finite_success)
+                                     if finite_success else float("nan")),
+                "p95_response_s": _percentile(times, 0.95),
+                "queries": float(sum(r.queries_issued for r in reports)),
+            })
+    return rows

@@ -79,8 +79,11 @@ class Observer:
         """*message* arrives at *time*; it waited *queue_time* virtual
         seconds for the receiver's single-server queue."""
 
-    def message_dropped(self, time: float, message) -> None:
-        """*message* was addressed to a dead or unknown agent."""
+    def message_dropped(self, time: float, message,
+                        reason: str = "offline") -> None:
+        """*message* never reached its receiver.  ``reason`` is
+        ``"offline"`` (dead or unknown agent) or ``"injected"`` (eaten
+        by the installed fault plan: loss or partition)."""
 
     def timer_fired(self, time: float, agent_name: str) -> None:
         """A scheduled timer was delivered to *agent_name*."""
@@ -126,9 +129,9 @@ class CompositeObserver(Observer):
         for child in self.children:
             child.message_delivered(time, message, queue_time, size_bytes)
 
-    def message_dropped(self, time, message):
+    def message_dropped(self, time, message, reason="offline"):
         for child in self.children:
-            child.message_dropped(time, message)
+            child.message_dropped(time, message, reason)
 
     def timer_fired(self, time, agent_name):
         for child in self.children:

@@ -15,6 +15,10 @@ Naming scheme (dotted names, optional ``{key=value}`` labels)::
     broker.recommend.local_matches       local repository hits (hist)
     broker.forward.fanout                peers consulted per forward (hist)
     broker.probe.count{outcome=hit|miss} sequential until-match probes
+    bus.drop.offline / bus.drop.injected drops split by cause
+    agent.retry.count{agent=x}           ask() retries after timeouts
+    agent.dedup.count{agent=x}           duplicate deliveries suppressed
+    broker.breaker.open{peer=x}          circuit-breaker openings
     matcher.constraint.attempts/.hits    constraint-overlap checks
     mrq.fanout                           subqueries per user query (hist)
     monitor.polls.count / monitor.notifications.count
@@ -199,8 +203,9 @@ class MetricsObserver(Observer):
                               performative=performative).inc(size_bytes)
         self.registry.histogram("bus.queue.seconds").observe(queue_time)
 
-    def message_dropped(self, time, message):
+    def message_dropped(self, time, message, reason="offline"):
         self.registry.counter("bus.dropped.count").inc()
+        self.registry.counter(f"bus.drop.{reason}").inc()
 
     def timer_fired(self, time, agent_name):
         self.registry.counter("bus.timers.count").inc()

@@ -91,6 +91,29 @@ class SimConfig:
     #: which is what Table 6 measures.
     fixed_broker_assignment: bool = False
 
+    # --- network fault injection (chaos experiments) -----------------------
+    #: Per-link probability a transmission is silently dropped.
+    link_loss_rate: float = 0.0
+    #: Per-link probability a delivered message arrives twice.
+    link_dup_rate: float = 0.0
+    #: Maximum extra per-copy latency (seconds), drawn uniformly — enough
+    #: to reorder messages that left in order.
+    link_jitter_s: float = 0.0
+    #: When set, half the brokers are severed from the rest of the
+    #: community for ``partition_duration`` seconds starting here.
+    partition_start: Optional[float] = None
+    partition_duration: float = 0.0
+
+    # --- delivery resilience ----------------------------------------------
+    #: Total send attempts per request (1 = legacy single-shot ``ask``).
+    retry_attempts: int = 1
+    #: First-retry backoff delay in seconds (doubles per retry).
+    retry_backoff_s: float = 2.0
+    #: When set, brokers run a per-peer circuit breaker with this
+    #: consecutive-failure threshold before skipping the peer.
+    breaker_failure_threshold: Optional[int] = None
+    breaker_cooldown_s: float = 120.0
+
     # --- run control ---------------------------------------------------------
     duration: float = 43_200.0  # 12 hours (substituted)
     warmup: float = 600.0  # ignore queries issued before this time
@@ -107,6 +130,24 @@ class SimConfig:
             raise ValueError("resources per domain must be >= 1")
         if self.duration <= self.warmup:
             raise ValueError("duration must exceed warmup")
+        if not 0.0 <= self.link_loss_rate < 1.0:
+            raise ValueError("link loss rate must be in [0, 1)")
+        if not 0.0 <= self.link_dup_rate <= 1.0:
+            raise ValueError("link duplicate rate must be in [0, 1]")
+        if self.link_jitter_s < 0.0:
+            raise ValueError("link jitter must be >= 0")
+        if self.partition_start is not None and self.partition_duration <= 0:
+            raise ValueError("partition_duration must be positive when "
+                             "partition_start is set")
+        if self.retry_attempts < 1:
+            raise ValueError("retry attempts must be >= 1")
+        if self.retry_backoff_s <= 0:
+            raise ValueError("retry backoff must be positive")
+        if (self.breaker_failure_threshold is not None
+                and self.breaker_failure_threshold < 1):
+            raise ValueError("breaker failure threshold must be >= 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker cooldown must be positive")
 
     @property
     def n_domains(self) -> int:
@@ -123,6 +164,17 @@ class SimConfig:
         if self.strategy is BrokerStrategy.SPECIALIZED:
             return self.hop_count
         return 0
+
+    def has_link_faults(self) -> bool:
+        """Does this scenario inject network faults at all?  When False
+        the simulator installs no fault plan and the bus behaves exactly
+        as the fault-free baseline."""
+        return (
+            self.link_loss_rate > 0.0
+            or self.link_dup_rate > 0.0
+            or self.link_jitter_s > 0.0
+            or self.partition_start is not None
+        )
 
     def effective_redundancy(self) -> int:
         """The per-strategy number of brokers each resource advertises to."""

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.agents.broker import BrokerAgent
 from repro.agents.bus import MessageBus
+from repro.agents.faults import FaultPlan
 from repro.core.repository import BrokerRepository
 from repro.sim.rng import SimRng
 
@@ -56,6 +57,21 @@ class FailureSchedule:
 
     def availability(self, horizon: float) -> float:
         return 1.0 - self.downtime() / horizon if horizon > 0 else 1.0
+
+    def as_partitions(self, plan: FaultPlan) -> FaultPlan:
+        """Recast this schedule's downtime windows as network partitions
+        on *plan*: the broker stays alive but is unreachable for each
+        window.  This composes crash schedules with link-level chaos —
+        useful to model a machine that is up but cut off, where the
+        broker keeps its repository and conversations yet its peers'
+        circuit breakers and the agents' retries must ride out the
+        outage exactly as for a crash."""
+        for index, (fail_at, repair_at) in enumerate(self.windows):
+            plan = plan.with_partition(
+                (self.broker,), fail_at, repair_at,
+                name=f"downtime-{self.broker}-{index}",
+            )
+        return plan
 
 
 class ReliabilityController:

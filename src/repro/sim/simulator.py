@@ -15,6 +15,7 @@ from repro.agents.base import AgentConfig
 from repro.agents.broker import BrokerAgent
 from repro.agents.bus import MessageBus
 from repro.agents.costs import CostModel
+from repro.agents.faults import BackoffPolicy, BreakerConfig, FaultPlan
 from repro.sim.agents import SimQueryAgent, SimResourceAgent
 from repro.sim.config import BrokerStrategy, SimConfig
 from repro.sim.metrics import SimMetrics
@@ -100,6 +101,18 @@ class Simulation:
     # ------------------------------------------------------------------
     def _build(self) -> None:
         config = self.config
+        retry = {}
+        if config.retry_attempts > 1:
+            retry = dict(
+                max_attempts=config.retry_attempts,
+                backoff=BackoffPolicy(base=config.retry_backoff_s),
+            )
+        breaker = None
+        if config.breaker_failure_threshold is not None:
+            breaker = BreakerConfig(
+                failure_threshold=config.breaker_failure_threshold,
+                cooldown=config.breaker_cooldown_s,
+            )
         n_brokers = 1 if config.strategy is BrokerStrategy.SINGLE else config.n_brokers
         self.broker_names = [f"broker{i}" for i in range(n_brokers)]
         for name in self.broker_names:
@@ -109,12 +122,14 @@ class Simulation:
                     name,
                     peer_brokers=peers,
                     max_hop_count=config.hop_count,
+                    breaker=breaker,
                     config=AgentConfig(
                         preferred_brokers=tuple(peers),
                         redundancy=len(peers),
                         ping_interval=config.ping_interval,
                         reply_timeout=config.broker_peer_timeout,
                         advertisement_size_mb=0.001,  # broker ads are tiny
+                        **retry,
                     ),
                 )
             )
@@ -144,6 +159,7 @@ class Simulation:
                         ping_interval=resource_ping,
                         reply_timeout=config.reply_timeout,
                         advertisement_size_mb=config.advertisement_size_mb,
+                        **retry,
                     ),
                 ),
                 # Stagger process start-up so periodic ping cycles do not
@@ -160,8 +176,32 @@ class Simulation:
                 sim_config=config,
                 metrics=self.metrics,
                 rng=SimRng(config.seed, "queries"),
+                config=AgentConfig(redundancy=0, **retry),
             )
         )
+        if config.has_link_faults():
+            self.bus.install_faults(self._fault_plan())
+
+    def _fault_plan(self) -> FaultPlan:
+        """The network hostility this scenario's chaos knobs describe:
+        uniform link faults everywhere, plus (optionally) one partition
+        window severing half the brokers from the rest of the world."""
+        config = self.config
+        plan = FaultPlan.uniform(
+            loss=config.link_loss_rate,
+            duplicate=config.link_dup_rate,
+            jitter=config.link_jitter_s,
+            seed=config.seed,
+        )
+        if config.partition_start is not None:
+            isolated = self.broker_names[: max(1, len(self.broker_names) // 2)]
+            plan = plan.with_partition(
+                isolated,
+                config.partition_start,
+                config.partition_start + config.partition_duration,
+                name="chaos-partition",
+            )
+        return plan
 
     # ------------------------------------------------------------------
     # execution

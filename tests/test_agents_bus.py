@@ -100,6 +100,38 @@ class TestBusMechanics:
         with pytest.raises(AgentError):
             make_bus().set_offline("ghost")
 
+    def test_cancel_after_skipped_fire_does_not_leak(self):
+        """Cancelling a timer that already fired (and was skipped because
+        its owner was offline) must not leave a permanent entry in the
+        lazy-cancellation set."""
+        bus = make_bus()
+        bus.register(Echo("echo"))
+        bus.schedule_timer("echo", 5.0, "tok")
+        bus.set_offline("echo")
+        bus.run_until(10.0)  # the timer fires and is skipped
+        bus.cancel_timer("echo", "tok")
+        assert not bus._cancelled_timers
+        assert not bus._pending_timers
+
+    def test_cancel_pending_timer_still_suppresses_it(self):
+        bus = make_bus()
+        echo = Echo("echo")
+        bus.register(echo)
+        fired = []
+        echo.on_custom_timer = lambda token, result, now: fired.append(token)
+        bus.schedule_timer("echo", 5.0, "tok")
+        bus.cancel_timer("echo", "tok")
+        bus.run_until(10.0)
+        assert fired == []
+        assert not bus._cancelled_timers
+        assert not bus._pending_timers
+
+    def test_cancel_never_scheduled_timer_is_noop(self):
+        bus = make_bus()
+        bus.register(Echo("echo"))
+        bus.cancel_timer("echo", "never-scheduled")
+        assert not bus._cancelled_timers
+
     def test_runaway_guard(self):
         class Looper(Agent):
             def on_custom_timer(self, token, result, now):

@@ -1,0 +1,510 @@
+"""Chaos-grade delivery: the fault-injection layer and the machinery
+that survives it.
+
+The headline invariant: under any fault plan that leaves a live broker
+path — lossy, duplicating, jittery links plus transient partitions —
+every user query still completes with the same answers as the fault-free
+run, and the brokers' repositories converge to the fault-free fixpoint.
+Everything is deterministic per seed, so these are exact regression
+tests, not statistical ones.
+"""
+
+import pytest
+
+from repro.agents import (
+    Agent,
+    AgentConfig,
+    BackoffPolicy,
+    BreakerConfig,
+    BreakerState,
+    BrokerAgent,
+    CostModel,
+    FaultInjector,
+    FaultPlan,
+    LinkFaults,
+    MessageBus,
+    MultiResourceQueryAgent,
+    Partition,
+    ResourceAgent,
+    UserAgent,
+)
+from repro.agents.broker import RecommendRequest
+from repro.core import BrokerQuery
+from repro.core.matcher import MatchContext
+from repro.core.policy import SearchPolicy
+from repro.kqml import KqmlMessage, Performative
+from repro.obs import MetricsObserver
+from repro.ontology import demo_ontology
+from repro.relational.generate import generate_table
+
+HORIZON = 1200.0
+QUERY_TIMES = (150.0, 250.0, 420.0, 600.0)
+QUERIES = ("select * from C1", "select * from C2",
+           "select * from C1", "select * from C2")
+
+
+def fast_costs():
+    return CostModel(latency_seconds=0.01, base_handling_seconds=0.001,
+                     bandwidth_bytes_per_second=1e9)
+
+
+def chaos_community(table_seed=0, observer=None):
+    """Two brokers, two resources advertising to both, one MRQ and one
+    user — everything configured with retry budgets so delivery heals."""
+    onto = demo_ontology(2)
+    context = MatchContext(ontologies={"demo": onto})
+    bus = MessageBus(fast_costs(), observer=observer)
+    names = ["b1", "b2"]
+    retry = dict(max_attempts=4,
+                 backoff=BackoffPolicy(base=2.0, jitter=0.5, max_delay=20.0))
+    for name in names:
+        bus.register(BrokerAgent(
+            name, context=context,
+            peer_brokers=[b for b in names if b != name],
+            config=AgentConfig(redundancy=0, ping_interval=30.0,
+                               reply_timeout=10.0, **retry),
+        ))
+
+    def cfg(*preferred, red=1, timeout=10.0):
+        return AgentConfig(preferred_brokers=preferred, redundancy=red,
+                           ping_interval=30.0, reply_timeout=timeout,
+                           advertisement_size_mb=0.01, **retry)
+
+    bus.register(ResourceAgent(
+        "R1", {"C1": generate_table(onto, "C1", 6, seed=table_seed + 1)},
+        "demo", config=cfg(*names, red=2),
+    ))
+    bus.register(ResourceAgent(
+        "R2", {"C2": generate_table(onto, "C2", 6, seed=table_seed + 2)},
+        "demo", config=cfg(*reversed(names), red=2),
+    ))
+    bus.register(MultiResourceQueryAgent(
+        "mrq", "demo", ontology=demo_ontology(2),
+        config=cfg("b1", timeout=30.0),
+    ))
+    user = UserAgent("user", config=cfg("b1"), query_timeout=90.0)
+    bus.register(user)
+    return bus, user
+
+
+def run_queries(bus, user):
+    for sql, at in zip(QUERIES, QUERY_TIMES):
+        user.submit(sql, at=at)
+    bus.run_until(HORIZON)
+    return user.completed
+
+
+def hostile_plan(seed):
+    """Lossy, duplicating, jittery links everywhere, plus two
+    transient partitions that sever broker b2 (one during start-up
+    advertising, one mid-query-stream) — b1 stays reachable throughout,
+    so a live broker path always exists.  Queries are issued only after
+    t=150 so the first re-advertising cycle has had a chance to heal
+    start-up losses; a query issued before its resource's advertisement
+    ever landed would get a correct-but-empty answer, which is a
+    convergence race, not a delivery failure."""
+    return FaultPlan.uniform(
+        loss=0.2, duplicate=0.2, jitter=0.5, seed=seed,
+    ).with_partition(["b2"], 30.0, 90.0, name="iso-b2"
+    ).with_partition(["b2"], 200.0, 260.0, name="iso-b2-again")
+
+
+class TestChaosInvariant:
+    """The tentpole: chaos must not change *what* is answered."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_queries_and_repositories_converge(self, seed):
+        clean_bus, clean_user = chaos_community(table_seed=seed)
+        clean_done = run_queries(clean_bus, clean_user)
+        assert len(clean_done) == len(QUERIES)
+        assert all(c.succeeded for c in clean_done)
+        clean_rows = [c.result.row_count for c in clean_done]
+        clean_repos = {
+            name: sorted(clean_bus.agent(name).repository.agent_names())
+            for name in ("b1", "b2")
+        }
+        assert clean_repos["b1"], "reference run must populate b1"
+
+        bus, user = chaos_community(table_seed=seed)
+        bus.install_faults(hostile_plan(seed))
+        done = run_queries(bus, user)
+        assert len(done) == len(QUERIES)
+        for query, clean in zip(done, clean_done):
+            assert query.succeeded, (seed, query.error)
+        assert [c.result.row_count for c in done] == clean_rows
+
+        # Repository state converges to the fault-free fixpoint: lost
+        # advertisements were re-sent by the agents' ping cycles.
+        chaos_repos = {
+            name: sorted(bus.agent(name).repository.agent_names())
+            for name in ("b1", "b2")
+        }
+        assert chaos_repos == clean_repos
+
+        # The plan actually did something: injected drops are visible
+        # in the split counters, not folded into offline drops.
+        assert bus.stats.dropped_injected > 0
+        assert bus.faults.stats.injected_drops == bus.stats.dropped_injected
+        assert bus.faults.stats.dropped_partition > 0
+
+    def test_retries_and_dedup_occur_under_chaos(self):
+        observer = MetricsObserver()
+        bus, user = chaos_community(table_seed=0, observer=observer)
+        bus.install_faults(hostile_plan(0))
+        run_queries(bus, user)
+        counters = observer.registry._counters
+
+        def total(prefix):
+            return sum(c.value for key, c in counters.items()
+                       if key == prefix or key.startswith(prefix + "{"))
+
+        assert total("agent.retry.count") > 0
+        assert total("agent.dedup.count") > 0
+        assert total("bus.drop.injected") == bus.stats.dropped_injected
+
+
+class TestStrictOptIn:
+    """A zero-rate plan must leave behaviour byte-identical to no plan."""
+
+    def test_zero_plan_changes_nothing(self):
+        results = []
+        for plan in (None, FaultPlan.uniform()):
+            bus, user = chaos_community(table_seed=3)
+            if plan is not None:
+                bus.install_faults(plan)
+            done = run_queries(bus, user)
+            results.append({
+                "now": bus.now,
+                "delivered": bus.stats.messages_delivered,
+                "dropped_offline": bus.stats.dropped_offline,
+                "dropped_injected": bus.stats.dropped_injected,
+                "timers": bus.stats.timers_fired,
+                "bytes": bus.stats.bytes_transferred,
+                "rows": [c.result.row_count for c in done],
+                "finished": [c.completed_at for c in done],
+            })
+        assert results[0] == results[1]
+
+    def test_single_attempt_config_never_retries(self):
+        observer = MetricsObserver()
+        bus, user = chaos_community(table_seed=0, observer=observer)
+        run_queries(bus, user)  # no faults installed -> no timeouts
+        counters = observer.registry._counters
+        assert not any(k.startswith("agent.retry.count") for k in counters)
+        assert bus.stats.dropped_injected == 0
+
+
+class TestIdempotentDelivery:
+    """Satellite: delivering a request twice must equal delivering once."""
+
+    @staticmethod
+    def _broker_bus(table_seed):
+        onto = demo_ontology(1)
+        context = MatchContext(ontologies={"demo": onto})
+        bus = MessageBus(fast_costs())
+        bus.register(BrokerAgent("b1", context=context))
+        bus.register(ResourceAgent(
+            "R1", {"C1": generate_table(onto, "C1", 4, seed=table_seed)},
+            "demo",
+            config=AgentConfig(preferred_brokers=("b1",), redundancy=1,
+                               advertisement_size_mb=0.01),
+        ))
+        bus.run_until(1.0)
+        return bus
+
+    @staticmethod
+    def _snapshot(bus):
+        repository = bus.agent("b1").repository
+        return (
+            sorted(repository.agent_names()),
+            repository.generation,
+            sorted(repository._match_cache),
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("performative", [
+        Performative.ADVERTISE,
+        Performative.UNADVERTISE,
+        Performative.RECOMMEND_ALL,
+    ])
+    def test_twice_equals_once(self, performative, seed):
+        def message_for(bus):
+            if performative is Performative.ADVERTISE:
+                agent = bus.agent("R1")
+                return KqmlMessage(
+                    performative, sender="R1", receiver="b1",
+                    content=agent.advertisement(bus.now),
+                    ontology="service", reply_with=f"dup-adv-{seed}",
+                )
+            if performative is Performative.UNADVERTISE:
+                return KqmlMessage(
+                    performative, sender="R1", receiver="b1",
+                    content=None, reply_with=f"dup-unadv-{seed}",
+                )
+            return KqmlMessage(
+                performative, sender="R1", receiver="b1",
+                content=RecommendRequest(
+                    query=BrokerQuery(agent_type="resource",
+                                      ontology_name="demo"),
+                    policy=SearchPolicy(hop_count=0),
+                ),
+                reply_with=f"dup-rec-{seed}",
+            )
+
+        snapshots = []
+        for copies in (1, 2):
+            bus = self._broker_bus(seed)
+            message = message_for(bus)
+            for _ in range(copies):
+                bus.send(message, at=bus.now + 0.5)
+            bus.run()
+            snapshots.append(self._snapshot(bus))
+        assert snapshots[0] == snapshots[1]
+
+    def test_duplicate_request_resends_cached_reply(self):
+        bus = self._broker_bus(7)
+        broker = bus.agent("b1")
+        message = KqmlMessage(
+            Performative.RECOMMEND_ALL, sender="R1", receiver="b1",
+            content=RecommendRequest(
+                query=BrokerQuery(agent_type="resource", ontology_name="demo"),
+                policy=SearchPolicy(hop_count=0),
+            ),
+            reply_with="dup-cached",
+        )
+        delivered_before = bus.stats.messages_delivered
+        bus.send(message, at=bus.now + 0.5)
+        bus.send(message, at=bus.now + 5.0)
+        bus.run()
+        # Both the first reply and the cached resend were delivered to
+        # R1 (plus the two request deliveries to the broker).
+        assert bus.stats.messages_delivered - delivered_before == 4
+        assert "dup-cached" in broker._reply_cache
+
+
+class TestRetryBackoff:
+    def test_backoff_delays_grow_and_cap(self):
+        import random
+
+        rng = random.Random("test")
+        policy = BackoffPolicy(base=2.0, factor=2.0, jitter=0.0, max_delay=10.0)
+        assert [policy.delay(n, rng) for n in (1, 2, 3, 4)] == [2.0, 4.0, 8.0, 10.0]
+        with pytest.raises(Exception):
+            policy.delay(0, rng)
+
+    def test_ask_retries_through_total_loss_window(self):
+        """A request whose first transmissions are all eaten eventually
+        lands once the link heals; the receiver executes it once."""
+        onto = demo_ontology(1)
+        context = MatchContext(ontologies={"demo": onto})
+        observer = MetricsObserver()
+        bus = MessageBus(fast_costs(), observer=observer)
+        bus.register(BrokerAgent("b1", context=context))
+        bus.register(ResourceAgent(
+            "R1", {"C1": generate_table(onto, "C1", 3, seed=1)}, "demo",
+            config=AgentConfig(preferred_brokers=("b1",), redundancy=1,
+                               ping_interval=30.0, reply_timeout=5.0,
+                               advertisement_size_mb=0.01, max_attempts=5,
+                               backoff=BackoffPolicy(base=2.0, jitter=0.0)),
+        ))
+        bus.run_until(1.0)
+        assert bus.agent("b1").repository.knows("R1")
+
+        prober = _Recorder("client")
+        bus.register(prober)
+        # Sever client -> b1 for 12 s: long enough to eat the first two
+        # transmissions, short enough for the budget of 5 to recover.
+        bus.install_faults(FaultPlan().with_partition(
+            ["client"], bus.now, bus.now + 12.0, name="client-cut"))
+        request = KqmlMessage(
+            Performative.RECOMMEND_ALL, sender="client", receiver="b1",
+            content=RecommendRequest(
+                query=BrokerQuery(agent_type="resource", ontology_name="demo"),
+                policy=SearchPolicy(hop_count=0),
+            ),
+            reply_with="retry-rec",
+        )
+        prober.ask_later(bus, request, timeout=5.0)
+        bus.run()
+        assert len(prober.replies) == 1
+        assert prober.replies[0] is not None
+        assert prober.replies[0].performative is Performative.TELL
+        counters = observer.registry._counters
+        retries = sum(c.value for k, c in counters.items()
+                      if k.startswith("agent.retry.count"))
+        assert retries >= 2
+
+    def test_budget_exhaustion_still_times_out(self):
+        bus = MessageBus(fast_costs())
+        prober = _Recorder("client")
+        bus.register(prober)
+        request = KqmlMessage(
+            Performative.PING, sender="client", receiver="ghost",
+            reply_with="ping-ghost",
+        )
+        prober.ask_later(bus, request, timeout=3.0, attempts=3)
+        bus.run()
+        assert prober.replies == [None]
+
+
+class _Recorder(Agent):
+    """Asks one prepared question when poked; records the outcome."""
+
+    agent_type = "recorder"
+
+    def __init__(self, name):
+        super().__init__(name, AgentConfig(redundancy=0, max_attempts=4,
+                                           backoff=BackoffPolicy(jitter=0.0)))
+        self.replies = []
+        self._pending = []
+
+    def ask_later(self, bus, message, timeout=None, attempts=None):
+        self._pending.append((message, timeout, attempts))
+        bus.schedule_timer(self.name, bus.now, "go")
+
+    def on_custom_timer(self, token, result, now):
+        for message, timeout, attempts in self._pending:
+            self.ask(message, lambda r, res: self.replies.append(r), result,
+                     timeout=timeout, attempts=attempts)
+        self._pending = []
+
+
+class TestCircuitBreaker:
+    @staticmethod
+    def _community():
+        onto = demo_ontology(1)
+        context = MatchContext(ontologies={"demo": onto})
+        observer = MetricsObserver()
+        bus = MessageBus(fast_costs(), observer=observer)
+        breaker = BreakerConfig(failure_threshold=2, cooldown=40.0,
+                                probe_timeout=5.0)
+        bus.register(BrokerAgent(
+            "b1", context=context, peer_brokers=["b2"], breaker=breaker,
+            config=AgentConfig(redundancy=0, reply_timeout=5.0),
+        ))
+        bus.register(BrokerAgent("b2", context=context, peer_brokers=["b1"]))
+        bus.register(ResourceAgent(
+            "R1", {"C1": generate_table(onto, "C1", 3, seed=1)}, "demo",
+            config=AgentConfig(preferred_brokers=("b1",), redundancy=1,
+                               advertisement_size_mb=0.01),
+        ))
+        bus.run_until(1.0)
+        return bus, observer
+
+    @staticmethod
+    def _recommend(bus, tag):
+        recorder = _Recorder(f"client-{tag}")
+        bus.register(recorder)
+        recorder.ask_later(bus, KqmlMessage(
+            Performative.RECOMMEND_ALL, sender=recorder.name, receiver="b1",
+            content=RecommendRequest(
+                query=BrokerQuery(agent_type="resource", ontology_name="demo"),
+                policy=SearchPolicy(hop_count=1),
+            ),
+            reply_with=f"rec-{tag}",
+        ), timeout=60.0, attempts=1)
+        bus.run()
+        return recorder.replies[0]
+
+    def test_opens_after_failures_then_probe_recloses(self):
+        bus, observer = self._community()
+        broker = bus.agent("b1")
+        bus.set_offline("b2")
+
+        first = self._recommend(bus, "a")
+        assert first.performative is Performative.TELL
+        assert first.extra("partial") == "unreachable:b2"
+        assert broker._breakers["b2"].state is BreakerState.CLOSED
+
+        second = self._recommend(bus, "b")
+        assert second.extra("partial") == "unreachable:b2"
+        assert broker._breakers["b2"].state is BreakerState.OPEN
+        assert broker._breakers["b2"].times_opened == 1
+
+        # While open, the peer is skipped entirely: the degraded answer
+        # arrives without waiting out a forward timeout, still annotated.
+        asked_at = bus.now
+        third = self._recommend(bus, "c")
+        assert third.extra("partial") == "unreachable:b2"
+        assert bus.now - asked_at < 5.0
+
+        counters = observer.registry._counters
+        opened = sum(c.value for k, c in counters.items()
+                     if k.startswith("broker.breaker.open"))
+        assert opened == 1
+
+        # Repair the peer; the armed probe ping finds it and recloses.
+        bus.set_offline("b2", offline=False)
+        bus.run_until(bus.now + 120.0)
+        assert broker._breakers["b2"].state is BreakerState.CLOSED
+        healthy = self._recommend(bus, "d")
+        assert healthy.extra("partial") is None
+
+    def test_probe_failure_reopens(self):
+        bus, _ = self._community()
+        broker = bus.agent("b1")
+        bus.set_offline("b2")
+        self._recommend(bus, "a")
+        self._recommend(bus, "b")
+        assert broker._breakers["b2"].state is BreakerState.OPEN
+        # Peer stays dead: every probe fails and re-trips the breaker.
+        bus.run_until(bus.now + 150.0)
+        assert broker._breakers["b2"].state is BreakerState.OPEN
+        assert broker._breakers["b2"].times_opened >= 2
+
+    def test_breaker_state_machine_unit(self):
+        breaker = __import__("repro.agents.faults", fromlist=["CircuitBreaker"]) \
+            .CircuitBreaker(BreakerConfig(failure_threshold=2, cooldown=10.0))
+        assert breaker.allows()
+        assert not breaker.record_failure(now=1.0)
+        assert breaker.record_failure(now=2.0)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows()
+        breaker.begin_probe()
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.record_failure(now=3.0)  # half-open failure re-trips
+        assert breaker.state is BreakerState.OPEN
+        breaker.begin_probe()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows()
+
+
+class TestFaultInjector:
+    def test_deterministic_across_instances(self):
+        plan = FaultPlan.uniform(loss=0.3, duplicate=0.3, jitter=2.0, seed=42)
+        sequence = [("a", "b", float(i), float(i) + 0.1) for i in range(200)]
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        out1 = [first.arrivals(*args) for args in sequence]
+        out2 = [second.arrivals(*args) for args in sequence]
+        assert out1 == out2
+        assert vars(first.stats) == vars(second.stats)
+        assert first.stats.dropped_loss > 0
+        assert first.stats.duplicated > 0
+
+    def test_partition_severs_both_directions_only_in_window(self):
+        plan = FaultPlan().with_partition(["x"], 10.0, 20.0)
+        injector = FaultInjector(plan)
+        assert injector.arrivals("x", "y", 15.0, 15.1) == ([], "partition")
+        assert injector.arrivals("y", "x", 15.0, 15.1) == ([], "partition")
+        assert injector.arrivals("x", "y", 25.0, 25.1) == ([25.1], None)
+        assert injector.arrivals("y", "z", 15.0, 15.1) == ([15.1], None)
+        assert injector.stats.dropped_partition == 2
+
+    def test_per_link_overrides(self):
+        plan = FaultPlan(links={("a", "b"): LinkFaults(loss=0.999999)})
+        injector = FaultInjector(plan)
+        times, reason = injector.arrivals("a", "b", 0.0, 0.1)
+        assert (times, reason) == ([], "loss")
+        assert injector.arrivals("b", "a", 0.0, 0.1) == ([0.1], None)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            LinkFaults(loss=1.5)
+        with pytest.raises(Exception):
+            Partition("p", frozenset({"a"}), start=5.0, end=5.0)
+        with pytest.raises(Exception):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(Exception):
+            BreakerConfig(failure_threshold=0)
