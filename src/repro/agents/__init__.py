@@ -34,6 +34,12 @@ from repro.agents.faults import (
 )
 from repro.agents.base import Agent, AgentConfig, HandlerResult
 from repro.agents.broker import BrokerAgent
+from repro.agents.recovery import (
+    AdvertisementJournal,
+    JournalRecord,
+    SyncDelta,
+    SyncDigest,
+)
 from repro.agents.adaptive import AdaptiveUserAgent
 from repro.agents.directory import BulletinBoardAgent
 from repro.agents.resource import ResourceAgent
@@ -44,6 +50,7 @@ from repro.agents.monitor import MonitorAgent
 
 __all__ = [
     "AdaptiveUserAgent",
+    "AdvertisementJournal",
     "Agent",
     "AgentConfig",
     "AgentError",
@@ -56,6 +63,7 @@ __all__ = [
     "CostModel",
     "FaultInjector",
     "FaultPlan",
+    "JournalRecord",
     "LinkFaults",
     "HandlerResult",
     "MessageBus",
@@ -64,5 +72,7 @@ __all__ = [
     "OntologyAgent",
     "Partition",
     "ResourceAgent",
+    "SyncDelta",
+    "SyncDigest",
     "UserAgent",
 ]

@@ -77,6 +77,14 @@ class AgentConfig:
     #: Entries kept in the idempotent-receive caches (seen request ids,
     #: cached replies); duplicates outside the window re-execute.
     dedup_window: int = 1024
+    #: What going offline means.  ``"lenient"`` (the legacy default)
+    #: preserves all in-memory state across an offline window, so a
+    #: revived agent resumes where it left off.  ``"strict"`` models a
+    #: real process crash: the bus calls :meth:`Agent.on_crash` when the
+    #: agent is taken offline, wiping volatile state, and the revived
+    #: agent must rebuild (re-advertise; brokers additionally replay
+    #: their journal and/or sync from peers).
+    crash_mode: str = "lenient"
 
     def __post_init__(self):
         object.__setattr__(self, "preferred_brokers", tuple(self.preferred_brokers))
@@ -88,6 +96,8 @@ class AgentConfig:
             raise AgentError("max_attempts must be >= 1")
         if self.dedup_window < 1:
             raise AgentError("dedup_window must be >= 1")
+        if self.crash_mode not in ("lenient", "strict"):
+            raise AgentError("crash_mode must be 'lenient' or 'strict'")
 
 
 @dataclass
@@ -123,6 +133,9 @@ class Agent:
         self._conversations: Dict[str, _Conversation] = {}
         self._timeout_counter = 0
         self._advert_cursor = 0
+        #: Advertise-round counter stamped into outgoing advertisements;
+        #: with the advertisement time it forms the replication LWW key.
+        self._advert_seq = 0
         #: Idempotent receive: request ids already executed, and the
         #: replies they produced (resent verbatim when a retry or a
         #: network-duplicated copy arrives).  Both LRU-bounded.
@@ -157,10 +170,12 @@ class Agent:
         )
 
     def advertisement(self, at: float) -> Advertisement:
+        self._advert_seq += 1
         return Advertisement(
             self.build_description(),
             size_mb=self.config.advertisement_size_mb,
             advertised_at=at,
+            seq=self._advert_seq,
         )
 
     # ------------------------------------------------------------------
@@ -178,14 +193,40 @@ class Agent:
             result.arm(self.config.ping_interval, _PING_TIMER, maintenance=True)
         return result
 
-    def _advertise_round(self, result: HandlerResult, now: float) -> None:
+    def on_crash(self) -> None:
+        """Wipe volatile state — the agent's process died.
+
+        Called by :meth:`MessageBus.set_offline` when an agent with
+        ``crash_mode="strict"`` goes offline.  Everything the paper
+        treats as in-memory is reset; the next ``on_start`` rebuilds
+        from configuration (and, for brokers, from durable journal or
+        peers).  ``_timeout_counter`` deliberately survives: stale
+        pre-crash timers are purged by the bus's epoch check, and a
+        reset counter could mint fresh timer tokens that collide with
+        in-flight cancellations of the old incarnation's timers.
+        """
+        self.busy_until = 0.0
+        self.known_broker_list = list(self.config.preferred_brokers)
+        self.connected_broker_list = []
+        self._conversations.clear()
+        self._advert_cursor = 0
+        self._advert_seq = 0
+        self._seen_requests.clear()
+        self._reply_cache.clear()
+        self._retry_rng = random.Random(f"retry:{self.name}")
+
+    def _advertise_round(
+        self, result: HandlerResult, now: float,
+        exclude: Tuple[str, ...] = (),
+    ) -> None:
         """Advertise to known-but-unconnected brokers up to the redundancy
         target (Section 4.2.1)."""
         needed = self.config.redundancy - len(self.connected_broker_list)
         if needed <= 0:
             return
         candidates = [
-            b for b in self.known_broker_list if b not in self.connected_broker_list
+            b for b in self.known_broker_list
+            if b not in self.connected_broker_list and b not in exclude
         ]
         if not candidates:
             return
@@ -194,12 +235,14 @@ class Agent:
         offset = self._advert_cursor % len(candidates)
         candidates = candidates[offset:] + candidates[:offset]
         self._advert_cursor += needed
+        ad = self.advertisement(now)
         for broker in candidates[:needed]:
+            self.observer.inc("agent.readvertise.count", agent=self.name)
             message = KqmlMessage(
                 Performative.ADVERTISE,
                 sender=self.name,
                 receiver=broker,
-                content=self.advertisement(now),
+                content=ad,
                 ontology="service",
                 reply_with=f"{self.name}-adv-{broker}-{now}",
             )
@@ -464,3 +507,10 @@ class Agent:
         )
         if not broker_knows_me and broker in self.connected_broker_list:
             self.connected_broker_list.remove(broker)
+            # The redundancy target just broke: start re-advertising now
+            # instead of sitting dormant for the rest of the ping
+            # interval (dead-broker reconnection latency fix).  The
+            # just-dropped broker is excluded — a full retry budget was
+            # spent establishing it is unreachable, so it only becomes a
+            # candidate again at the next ping cycle.
+            self._advertise_round(result, now, exclude=(broker,))

@@ -26,6 +26,14 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.agents.base import Agent, AgentConfig, HandlerResult
 from repro.agents.errors import AgentError
 from repro.agents.faults import BreakerConfig, BreakerState, CircuitBreaker
+from repro.agents.recovery import (
+    AdvertisementJournal,
+    JournalRecord,
+    OP_ADVERTISE,
+    OP_UNADVERTISE,
+    SyncDelta,
+    SyncDigest,
+)
 from repro.core.advertisement import Advertisement
 from repro.core.matcher import Match, MatchContext
 from repro.core.policy import FollowOption, SearchPolicy
@@ -41,6 +49,8 @@ from repro.ontology.service import (
 )
 
 _AGENT_PING_TIMER = "agent-ping-cycle"
+_SYNC_TIMER = "anti-entropy-cycle"
+_COMPACT_TIMER = "journal-compact"
 
 
 @dataclass(frozen=True)
@@ -99,6 +109,14 @@ class BrokerAgent(Agent):
         # after `failure_threshold` consecutive timeouts and probed back
         # in with half-open pings after a cooldown.
         breaker: Optional[BreakerConfig] = None,
+        # Crash recovery (all disabled by default — see agents/recovery):
+        # a durable advertisement journal replayed on restart, anti-
+        # entropy digest exchange with consortium peers at start and/or
+        # periodically, and periodic journal compaction.
+        journal: Optional[AdvertisementJournal] = None,
+        sync_on_start: bool = False,
+        sync_interval: Optional[float] = None,
+        journal_compact_interval: Optional[float] = None,
     ):
         super().__init__(
             name,
@@ -138,6 +156,19 @@ class BrokerAgent(Agent):
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._aggregations: Dict[str, _Aggregation] = {}
         self.rejected_advertisements = 0
+        self.journal = journal
+        self.sync_on_start = sync_on_start
+        self.sync_interval = sync_interval
+        self.journal_compact_interval = journal_compact_interval
+        #: Configured consortium, restored verbatim after a strict crash
+        #: (peers learned at runtime are volatile state).
+        self._initial_peers: Tuple[str, ...] = tuple(peer_brokers)
+        #: Newest advertise/unadvertise record per advertiser — the
+        #: replication state the anti-entropy digests summarize.
+        self._replication: Dict[str, JournalRecord] = {}
+        #: Virtual time of the last strict crash, cleared once a recovery
+        #: path (journal replay or first anti-entropy pull) completes.
+        self._crashed_at: Optional[float] = None
         #: Ontology-name histogram of received broker queries, the input
         #: to the Section 4.1 objective analysis ("a broker may modify
         #: its objective based on an analysis of the queries it is
@@ -162,13 +193,203 @@ class BrokerAgent(Agent):
     # ------------------------------------------------------------------
     # lifecycle: advertise self to peers, start agent-ping cycle
     # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """A strict crash: the repository, replication state, breakers,
+        in-flight aggregations and learned peers all die with the
+        process.  The journal (if any) deliberately survives — it models
+        durable storage."""
+        super().on_crash()
+        self.repository = self.repository.clone_empty()
+        self._replication.clear()
+        self._breakers.clear()
+        self._aggregations.clear()
+        self.query_ontology_counts.clear()
+        self.rejected_advertisements = 0
+        self.peer_brokers = list(self._initial_peers)
+        self._crashed_at = self.bus.now if self.bus is not None else 0.0
+
     def on_start(self, now: float) -> HandlerResult:
         result = super().on_start(now)
+        self._recover(result, now)
         if self.agent_ping_interval:
             result.arm(self.agent_ping_interval, _AGENT_PING_TIMER, maintenance=True)
         if self.pull_broker_directory:
             self._pull_directory(result, now)
         return result
+
+    # ------------------------------------------------------------------
+    # crash recovery (journal replay + anti-entropy)
+    # ------------------------------------------------------------------
+    def _recover(self, result: HandlerResult, now: float) -> None:
+        """Rebuild the repository before accepting traffic: replay the
+        durable journal (if one exists and the in-memory state is gone),
+        then ask consortium peers for what the journal missed."""
+        if self.journal is not None and len(self.journal) and not self._replication:
+            self._replay_journal(result, now)
+        if self.sync_on_start and self.peer_brokers:
+            self._sync_round(result, now)
+        if self.sync_interval:
+            result.arm(self.sync_interval, _SYNC_TIMER, maintenance=True)
+        if self.journal is not None and self.journal_compact_interval:
+            result.arm(
+                self.journal_compact_interval, _COMPACT_TIMER, maintenance=True
+            )
+
+    def _replay_journal(self, result: HandlerResult, now: float) -> None:
+        applied = 0
+        for record in self.journal.replay():
+            if self._apply_record(record, journal=False):
+                applied += 1
+        cost = self.cost_model.broker_reasoning_seconds(self.repository.size_mb())
+        result.cost_seconds += cost
+        obs = self.observer
+        if obs.enabled:
+            obs.inc("broker.recovery.replayed", applied, broker=self.name)
+            obs.region(self.name, "journal-replay", now, now + cost,
+                       records=applied, lines=len(self.journal))
+            if self._crashed_at is not None:
+                obs.observe("broker.recovery.time", cost, path="replay")
+        self._crashed_at = None
+
+    def _sync_round(self, result: HandlerResult, now: float) -> None:
+        """Send our per-advertiser digest to every reachable consortium
+        peer; each answers with the records we are missing."""
+        digest = SyncDigest(
+            tuple(sorted(
+                (agent, record.at, record.seq, record.deleted)
+                for agent, record in self._replication.items()
+            ))
+        )
+        for peer in sorted(set(self.peer_brokers) - {self.name}):
+            if self.breaker_config is not None and not self._breaker(peer).allows():
+                continue
+            message = KqmlMessage(
+                Performative.ASK_ALL,
+                sender=self.name,
+                receiver=peer,
+                content=digest,
+                ontology="service",
+                reply_with=f"{self.name}-sync-{peer}-{now}",
+            )
+            self.ask(
+                message,
+                lambda reply, res, peer=peer, started=now:
+                    self._sync_reply(peer, started, reply, res),
+                result,
+            )
+
+    def on_ask_all(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
+        """Anti-entropy: a peer sent its digest; answer with the records
+        it is missing or holds stale copies of (LWW by ``(at, seq)``)."""
+        digest = message.content
+        if not isinstance(digest, SyncDigest):
+            result.send(message.reply(Performative.SORRY, content="unsupported content"))
+            return
+        known = digest.as_map()
+        records = []
+        for agent, record in sorted(self._replication.items()):
+            if agent == message.sender:
+                continue
+            have = known.get(agent)
+            if have is not None and record.lww_key <= have:
+                continue
+            records.append(record)
+        delta = SyncDelta(tuple(records))
+        result.cost_seconds += self.cost_model.broker_reasoning_seconds(
+            self.repository.size_mb()
+        )
+        obs = self.observer
+        if obs.enabled:
+            obs.annotate(self.bus.now, message, "sync",
+                         broker=self.name, digest_entries=len(digest.entries),
+                         delta_records=len(records))
+        result.send(
+            message.reply(Performative.TELL, content=delta),
+            size_bytes=max(
+                delta.size_mb * 1_000_000, self.cost_model.control_message_bytes
+            ),
+        )
+
+    def _sync_reply(
+        self,
+        peer: str,
+        started: float,
+        reply: Optional[KqmlMessage],
+        result: HandlerResult,
+    ) -> None:
+        if (
+            reply is None
+            or reply.performative is not Performative.TELL
+            or not isinstance(reply.content, SyncDelta)
+        ):
+            if reply is None:
+                self._record_peer_failure(peer, result)
+            return
+        self._record_peer_success(peer)
+        pulled = 0
+        for record in reply.content.records:
+            if self._apply_record(record, journal=True):
+                pulled += 1
+        obs = self.observer
+        if obs.enabled:
+            now = self.bus.now
+            obs.inc("broker.recovery.sync_pulled", pulled, broker=self.name)
+            obs.region(self.name, "anti-entropy", started, now,
+                       peer=peer, pulled=pulled)
+            if self._crashed_at is not None:
+                obs.observe("broker.recovery.time", now - started, path="sync")
+        self._crashed_at = None
+
+    def _apply_record(self, record: JournalRecord, journal: bool) -> bool:
+        """Apply one replicated record to the repository if it is newer
+        than what we hold (last-writer-wins); True when it changed state.
+
+        Records about ourselves never apply — a broker is the authority
+        on its own advertisement."""
+        if record.agent == self.name:
+            return False
+        current = self._replication.get(record.agent)
+        if current is not None and record.lww_key <= current.lww_key:
+            return False
+        self._replication[record.agent] = record
+        if record.deleted:
+            self.repository.unadvertise(record.agent)
+        else:
+            self.repository.advertise(record.ad)
+            if record.ad.is_broker() and record.agent not in self.peer_brokers:
+                self.peer_brokers.append(record.agent)
+        if journal and self.journal is not None:
+            self.journal.append(record)
+        return True
+
+    def _note_advertise(self, ad: Advertisement) -> None:
+        """Record an accepted advertisement in the replication state and
+        the durable journal."""
+        record = JournalRecord(
+            op=OP_ADVERTISE,
+            agent=ad.agent_name,
+            seq=ad.seq,
+            at=ad.advertised_at,
+            ad=ad,
+        )
+        self._replication[ad.agent_name] = record
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _note_unadvertise(self, agent_name: str, now: float) -> None:
+        """Record a removal as a tombstone: it supersedes the removed
+        advertisement (purge time is now, sequence one past the last
+        known) so peers learn of the purge through anti-entropy."""
+        previous = self._replication.get(agent_name)
+        record = JournalRecord(
+            op=OP_UNADVERTISE,
+            agent=agent_name,
+            seq=(previous.seq + 1) if previous is not None else 1,
+            at=now,
+        )
+        self._replication[agent_name] = record
+        if self.journal is not None:
+            self.journal.append(record)
 
     def _pull_directory(self, result: HandlerResult, now: float) -> None:
         """Section 4.1: "The new broker may also query the other brokers it
@@ -205,6 +426,7 @@ class BrokerAgent(Agent):
             if ad.is_broker() and ad.agent_name != self.name:
                 if not self.repository.knows(ad.agent_name):
                     self.repository.advertise(ad)
+                    self._note_advertise(ad)
                     if ad.agent_name not in self.peer_brokers:
                         self.peer_brokers.append(ad.agent_name)
 
@@ -219,7 +441,9 @@ class BrokerAgent(Agent):
         result.cost_seconds += self.cost_model.base_handling_seconds
 
         if self._accepts(ad):
-            self.repository.advertise(ad.renewed(now))
+            stored = ad.renewed(now)
+            self.repository.advertise(stored)
+            self._note_advertise(stored)
             self.observer.inc("broker.advertise.count", outcome="accepted")
             result.send(
                 message.reply(Performative.TELL, content="accepted",
@@ -285,6 +509,7 @@ class BrokerAgent(Agent):
     def on_unadvertise(self, message: KqmlMessage, result: HandlerResult, now: float) -> None:
         removed = self.repository.unadvertise(str(message.content))
         if removed:
+            self._note_unadvertise(str(message.content), now)
             self.observer.inc("broker.unadvertise.count")
         if message.expects_reply() or message.reply_with:
             performative = Performative.TELL if removed else Performative.SORRY
@@ -303,6 +528,16 @@ class BrokerAgent(Agent):
         if token == _AGENT_PING_TIMER:
             self._ping_advertised_agents(result, now)
             result.arm(self.agent_ping_interval, _AGENT_PING_TIMER, maintenance=True)
+        elif token == _SYNC_TIMER:
+            if self.sync_interval:
+                self._sync_round(result, now)
+                result.arm(self.sync_interval, _SYNC_TIMER, maintenance=True)
+        elif token == _COMPACT_TIMER:
+            if self.journal is not None and self.journal_compact_interval:
+                self.journal.compact()
+                result.arm(
+                    self.journal_compact_interval, _COMPACT_TIMER, maintenance=True
+                )
         elif isinstance(token, tuple) and token and token[0] == "breaker-probe":
             if self.breaker_config is not None:
                 self._probe_peer(token[1], result, now)
@@ -327,7 +562,8 @@ class BrokerAgent(Agent):
         self, agent_name: str, reply: Optional[KqmlMessage], result: HandlerResult
     ) -> None:
         if reply is None:
-            self.repository.unadvertise(agent_name)
+            if self.repository.unadvertise(agent_name):
+                self._note_unadvertise(agent_name, self.bus.now)
 
     # ------------------------------------------------------------------
     # matchmaking (recommend-all / recommend-one)

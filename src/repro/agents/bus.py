@@ -129,6 +129,10 @@ class MessageBus:
         #: so cancelling an already-fired timer cannot leak a cancellation
         #: entry forever.
         self._pending_timers: Dict = {}
+        #: Incarnation numbers: bumped when a strict-crash agent goes
+        #: offline, so timers armed by the dead incarnation are silently
+        #: discarded instead of firing into the revived one.
+        self._agent_epochs: Dict[str, int] = {}
         #: Fault injection (None = perfectly reliable network).
         self.faults: Optional["FaultInjector"] = None
         #: The message whose handling is currently running; sends emitted
@@ -192,10 +196,21 @@ class MessageBus:
         return sorted(self._agents)
 
     def set_offline(self, name: str, offline: bool = True) -> None:
-        """Simulate a crash (True) or recovery (False) of *name*."""
-        self.agent(name)  # validate
+        """Simulate a crash (True) or recovery (False) of *name*.
+
+        Under ``crash_mode="strict"`` going offline is a real process
+        death: the agent's :meth:`~repro.agents.base.Agent.on_crash`
+        wipes its volatile state and the agent's timer epoch advances so
+        timers armed by the dead incarnation never fire into the revived
+        one.  The legacy ``"lenient"`` mode keeps all state (a network
+        blip, not a crash)."""
+        agent = self.agent(name)  # validate
         if offline:
+            newly_offline = name not in self._offline
             self._offline.add(name)
+            if newly_offline and getattr(agent.config, "crash_mode", "lenient") == "strict":
+                self._agent_epochs[name] = self._agent_epochs.get(name, 0) + 1
+                agent.on_crash()
         else:
             self._offline.discard(name)
             self._push(self.now, ("start", name))
@@ -258,7 +273,8 @@ class MessageBus:
             self._pending_timers[key] = self._pending_timers.get(key, 0) + 1
         except TypeError:
             pass  # unhashable token: never cancellable, never tracked
-        self._push(fire_at, ("timer", agent_name, token), maintenance)
+        epoch = self._agent_epochs.get(agent_name, 0)
+        self._push(fire_at, ("timer", agent_name, token, epoch), maintenance)
 
     def cancel_timer(self, agent_name: str, token: object) -> None:
         """Mark a scheduled timer as dead (lazy deletion): it will be
@@ -325,7 +341,9 @@ class MessageBus:
         if kind == "deliver":
             self._deliver(event[1], time, event[2])
         elif kind == "timer":
-            self._fire_timer(event[1], event[2], time)
+            self._fire_timer(
+                event[1], event[2], time, event[3] if len(event) > 3 else 0
+            )
         elif kind == "start":
             self._start_agent(event[1], time)
         elif kind == "call":
@@ -351,7 +369,9 @@ class MessageBus:
         finally:
             self._cause = None
 
-    def _fire_timer(self, agent_name: str, token: object, time: float) -> None:
+    def _fire_timer(
+        self, agent_name: str, token: object, time: float, epoch: int = 0
+    ) -> None:
         pending = None
         try:
             key = (agent_name, token)
@@ -365,6 +385,12 @@ class MessageBus:
                 return
         except TypeError:
             key = None  # unhashable token: never cancellable
+        if epoch != self._agent_epochs.get(agent_name, 0):
+            # Armed by a previous incarnation (strict crash happened in
+            # between): discard, purging any unconsumable cancellation.
+            if key is not None and not pending:
+                self._cancelled_timers.discard(key)
+            return
         agent = self._agents.get(agent_name)
         if agent is None or agent_name in self._offline:
             # Skipped fire: purge any cancellation that can no longer be

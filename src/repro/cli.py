@@ -272,6 +272,49 @@ def _run_chaos(scenario: Optional[str], metrics_path: Optional[str],
     return 0
 
 
+# ----------------------------------------------------------------------
+# recovery scenarios (``python -m repro recover <path>``)
+# ----------------------------------------------------------------------
+#: The three crash-healing paths (see experiments.robustness).
+RECOVERY_SCENARIOS = ("cold", "replay", "sync")
+
+
+def _run_recover(scenario: Optional[str], metrics_path: Optional[str],
+                 full: bool) -> int:
+    """Crash broker0 mid-run, restart it, and report how long its
+    repository took to reconverge via the chosen recovery path."""
+    from repro import obs
+    from repro.experiments.robustness import measure_reconvergence
+
+    name = scenario or "replay"
+    if name not in RECOVERY_SCENARIOS:
+        print(f"unknown recovery path {name!r}; choose from: "
+              f"{', '.join(RECOVERY_SCENARIOS)}", file=sys.stderr)
+        return 2
+    duration = 7_200.0 if full else 2_400.0
+    metrics_observer = obs.MetricsObserver()
+    row = measure_reconvergence(name, duration=duration,
+                                observer=metrics_observer)
+
+    print(f"recovery path {name!r}: crash at t=600s, restart at t=900s, "
+          f"duration={duration:.0f}s")
+    print(f"  pre-crash converged  {row['pre_crash_converged']}")
+    reconverged = row["reconverged_at"]
+    if reconverged is None:
+        print("  reconverged          never (horizon reached)")
+    else:
+        print(f"  reconverged at       t={reconverged:.0f}s "
+              f"({row['reconvergence_s']:.0f}s after restart)")
+    print(f"  journal replayed     {row['replayed']:.0f} records")
+    print(f"  anti-entropy pulled  {row['sync_pulled']:.0f} records")
+    print(f"  advertise messages   {row['readvertise_count']:.0f}")
+    print(f"  reply fraction       {row['reply_fraction']:.1%}")
+    if metrics_path:
+        obs.registry_to_json(metrics_observer.registry, metrics_path)
+        print(f"[metrics registry written to {metrics_path}]")
+    return 0
+
+
 def _run_trace(example: Optional[str], metrics_path: Optional[str],
                jsonl_path: Optional[str]) -> int:
     from repro import obs
@@ -309,18 +352,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=[*TARGETS, "all", "list", "trace", "chaos"],
+        choices=[*TARGETS, "all", "list", "trace", "chaos", "recover"],
         help="which table/figure to regenerate ('all' for everything, "
              "'list' to enumerate targets, 'trace' to run an instrumented "
              "example community and print its conversation span tree, "
-             "'chaos' to run a fault-injected robustness scenario)",
+             "'chaos' to run a fault-injected robustness scenario, "
+             "'recover' to crash and heal a broker via a recovery path)",
     )
     parser.add_argument(
         "example", nargs="?", default=None,
         help="for 'trace': the scenario to run "
              f"({', '.join(TRACE_SCENARIOS)}; default quickstart); "
              "for 'chaos': the fault scenario "
-             f"({', '.join(CHAOS_SCENARIOS)}; default baseline)",
+             f"({', '.join(CHAOS_SCENARIOS)}; default baseline); "
+             "for 'recover': the healing path "
+             f"({', '.join(RECOVERY_SCENARIOS)}; default replay)",
     )
     parser.add_argument(
         "--full-scale", action="store_true",
@@ -349,11 +395,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"trace {name}")
         for name in CHAOS_SCENARIOS:
             print(f"chaos {name}")
+        for name in RECOVERY_SCENARIOS:
+            print(f"recover {name}")
         return 0
     if args.target == "trace":
         return _run_trace(args.example, args.metrics, args.trace_jsonl)
     if args.target == "chaos":
         return _run_chaos(args.example, args.metrics, args.full_scale)
+    if args.target == "recover":
+        return _run_recover(args.example, args.metrics, args.full_scale)
 
     scale = Scale(full=args.full_scale)
     targets = list(TARGETS) if args.target == "all" else [args.target]

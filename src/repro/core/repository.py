@@ -135,6 +135,17 @@ class BrokerRepository:
         """Deprecated: True when any candidate indexing is active."""
         return self.index_mode != "none"
 
+    def clone_empty(self) -> "BrokerRepository":
+        """A fresh, empty repository with the same configuration — what a
+        strict crash leaves behind (the match context is shared ontology
+        knowledge, not volatile broker state)."""
+        return BrokerRepository(
+            self.context,
+            engine=self.engine,
+            index_mode=self.index_mode,
+            match_cache_size=self.match_cache_size,
+        )
+
     # ------------------------------------------------------------------
     # advertisement lifecycle
     # ------------------------------------------------------------------

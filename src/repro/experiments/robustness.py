@@ -14,10 +14,10 @@ advertisement redundancy swept 1..5.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.config import BrokerStrategy, SimConfig
-from repro.sim.simulator import run_replicates
+from repro.sim.simulator import Simulation, run_replicates
 
 #: The paper's failure means (seconds); 1e6 ~ "perfectly reliable".
 FAILURE_MEANS = (1_000_000.0, 3_600.0, 1_800.0, 900.0)
@@ -195,5 +195,185 @@ def chaos_grid(
                                      if finite_success else float("nan")),
                 "p95_response_s": _percentile(times, 0.95),
                 "queries": float(sum(r.queries_issued for r in reports)),
+            })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# crash recovery: time-to-reconvergence of the three healing paths
+# ----------------------------------------------------------------------
+#: ``cold`` — amnesia-correct crash healed only by the agents' periodic
+#: ping cycles noticing the broker forgot them and re-advertising.
+#: ``replay`` — the broker additionally rebuilds from its durable
+#: advertisement journal on restart.
+#: ``sync`` — the broker pulls missing advertisements from consortium
+#: peers via anti-entropy digest exchange on restart.
+RECOVERY_PATHS = ("cold", "replay", "sync")
+
+RECOVERY_BROKERS = 3
+RECOVERY_RESOURCES = 12
+RECOVERY_PING_INTERVAL = 180.0
+RECOVERY_CRASH_AT = 600.0
+RECOVERY_RESTART_AT = 900.0
+
+
+def recovery_config(
+    path: str,
+    loss: float = 0.0,
+    partition_duration: float = 0.0,
+    duration: float = 2_400.0,
+    seed: int = 0,
+) -> SimConfig:
+    """A small strict-crash community configured for one recovery path."""
+    if path not in RECOVERY_PATHS:
+        raise ValueError(f"unknown recovery path {path!r}")
+    chaotic = loss > 0.0 or partition_duration > 0.0
+    return SimConfig(
+        n_brokers=RECOVERY_BROKERS,
+        n_resources=RECOVERY_RESOURCES,
+        unique_domains=True,
+        strategy=BrokerStrategy.SPECIALIZED,
+        # Full redundancy: every broker holds every advertisement, so the
+        # surviving ground truth after a crash is the whole community.
+        advertisement_redundancy=RECOVERY_BROKERS,
+        advertisement_size_mb=0.1,
+        mean_query_interval=60.0,
+        ping_interval=RECOVERY_PING_INTERVAL,
+        duration=duration,
+        warmup=min(300.0, duration / 4),
+        query_reply_timeout=60.0,
+        link_loss_rate=loss,
+        partition_start=(250.0 if partition_duration > 0 else None),
+        partition_duration=partition_duration,
+        retry_attempts=CHAOS_RETRY_ATTEMPTS if chaotic else 1,
+        crash_mode="strict",
+        broker_journal=(path == "replay"),
+        broker_sync=(path == "sync"),
+        seed=seed,
+    )
+
+
+def measure_reconvergence(
+    path: str,
+    loss: float = 0.0,
+    partition_duration: float = 0.0,
+    seed: int = 0,
+    crash_at: float = RECOVERY_CRASH_AT,
+    restart_at: float = RECOVERY_RESTART_AT,
+    duration: float = 2_400.0,
+    probe_interval: float = 5.0,
+    observer=None,
+) -> Dict[str, object]:
+    """Kill ``broker0`` mid-run, restart it, and measure how long its
+    repository takes to reconverge to the surviving ground truth (every
+    resource advertisement) via *path*.
+
+    Returns one row: pre-crash convergence, reconvergence time from
+    restart (NaN if the horizon passed first), the recovery counters, and
+    the run's reply fraction."""
+    from repro.obs.metrics import MetricsObserver
+
+    obs = observer if observer is not None else MetricsObserver()
+    config = recovery_config(
+        path, loss=loss, partition_duration=partition_duration,
+        duration=duration, seed=seed,
+    )
+    sim = Simulation(config, observer=obs)
+    broker = sim.bus.agent("broker0")
+    expected = {f"resource{i}" for i in range(config.n_resources)}
+    state: Dict[str, object] = {"pre_crash_ok": False, "reconverged_at": None}
+
+    def crash() -> None:
+        state["pre_crash_ok"] = expected <= set(broker.repository.agent_names())
+        sim.bus.set_offline("broker0", True)
+
+    def restart() -> None:
+        sim.bus.set_offline("broker0", False)
+
+    sim.bus.schedule_callback(crash_at, crash)
+    sim.bus.schedule_callback(restart_at, restart)
+    probe_at = restart_at + probe_interval
+    while probe_at < duration:
+        def probe(at: float = probe_at) -> None:
+            if state["reconverged_at"] is None and expected <= set(
+                broker.repository.agent_names()
+            ):
+                state["reconverged_at"] = at
+
+        sim.bus.schedule_callback(probe_at, probe)
+        probe_at += probe_interval
+
+    report = sim.run()
+    registry = getattr(obs, "registry", None)
+    if registry is None:
+        # A CompositeObserver: use the first child with a registry.
+        for child in getattr(obs, "children", ()):
+            registry = getattr(child, "registry", None)
+            if registry is not None:
+                break
+
+    def counter_total(prefix: str) -> float:
+        if registry is None:
+            return 0.0
+        return sum(
+            counter.value
+            for key, counter in registry._counters.items()
+            if key == prefix or key.startswith(prefix + "{")
+        )
+
+    reconverged_at = state["reconverged_at"]
+    return {
+        "path": path,
+        "loss": loss,
+        "partition_duration": partition_duration,
+        "seed": seed,
+        "pre_crash_converged": bool(state["pre_crash_ok"]),
+        "reconverged_at": reconverged_at,
+        "reconvergence_s": (
+            reconverged_at - restart_at
+            if reconverged_at is not None else float("nan")
+        ),
+        "replayed": counter_total("broker.recovery.replayed"),
+        "sync_pulled": counter_total("broker.recovery.sync_pulled"),
+        "readvertise_count": counter_total("agent.readvertise.count"),
+        "reply_fraction": report.reply_fraction,
+    }
+
+
+def recovery_grid(
+    paths: Sequence[str] = RECOVERY_PATHS,
+    loss_rates: Sequence[float] = (0.0, 0.05, 0.10),
+    duration: float = 2_400.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[Dict[str, object]]:
+    """Time-to-reconvergence per (recovery path, loss rate), aggregated
+    over *seeds*: one row per cell with mean/max reconvergence seconds
+    and pooled recovery counters."""
+    rows: List[Dict[str, object]] = []
+    for path in paths:
+        for loss in loss_rates:
+            cells = [
+                measure_reconvergence(path, loss=loss, seed=seed,
+                                      duration=duration)
+                for seed in seeds
+            ]
+            times = [
+                c["reconvergence_s"] for c in cells
+                if c["reconvergence_s"] == c["reconvergence_s"]
+            ]
+            rows.append({
+                "path": path,
+                "loss_rate": loss,
+                "seeds": len(cells),
+                "recovered": len(times),
+                "mean_reconvergence_s": (
+                    sum(times) / len(times) if times else float("nan")
+                ),
+                "max_reconvergence_s": max(times) if times else float("nan"),
+                "replayed": sum(c["replayed"] for c in cells),
+                "sync_pulled": sum(c["sync_pulled"] for c in cells),
+                "readvertise_count": sum(
+                    c["readvertise_count"] for c in cells
+                ),
             })
     return rows

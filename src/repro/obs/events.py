@@ -98,6 +98,12 @@ class Observer:
         """Attach a structured event to the conversation span that
         *message* (a request carrying ``:reply-with``) opened."""
 
+    def region(self, agent_name: str, name: str, start: float, end: float,
+               **attrs) -> None:
+        """A named non-conversation activity window at *agent_name* —
+        e.g. a broker's journal replay or one anti-entropy round.
+        Tracers render it as a root span; metrics record its duration."""
+
     # -- generic metric hooks ------------------------------------------
     def inc(self, name: str, value: float = 1.0, **labels) -> None:
         """Increment counter *name* by *value*."""
@@ -144,6 +150,10 @@ class CompositeObserver(Observer):
     def annotate(self, time, message, name, **attrs):
         for child in self.children:
             child.annotate(time, message, name, **attrs)
+
+    def region(self, agent_name, name, start, end, **attrs):
+        for child in self.children:
+            child.region(agent_name, name, start, end, **attrs)
 
     def inc(self, name, value=1.0, **labels):
         for child in self.children:

@@ -19,6 +19,11 @@ Naming scheme (dotted names, optional ``{key=value}`` labels)::
     agent.retry.count{agent=x}           ask() retries after timeouts
     agent.dedup.count{agent=x}           duplicate deliveries suppressed
     broker.breaker.open{peer=x}          circuit-breaker openings
+    broker.recovery.replayed{broker=x}   journal records applied on restart
+    broker.recovery.sync_pulled{broker=x} records pulled via anti-entropy
+    broker.recovery.time{path=replay|sync} restart-to-recovered seconds (hist)
+    agent.readvertise.count{agent=x}     advertise messages sent
+    region.seconds{region=x}             named activity windows (hist)
     matcher.constraint.attempts/.hits    constraint-overlap checks
     mrq.fanout                           subqueries per user query (hist)
     monitor.polls.count / monitor.notifications.count
@@ -213,6 +218,11 @@ class MetricsObserver(Observer):
     def conversation_timeout(self, time, agent_name, reply_id):
         self.registry.counter("agent.reply.timeout",
                               agent=agent_name).inc()
+
+    def region(self, agent_name, name, start, end, **attrs):
+        self.registry.histogram("region.seconds", region=name).observe(
+            max(0.0, end - start)
+        )
 
     # -- generic --------------------------------------------------------
     def inc(self, name, value=1.0, **labels):

@@ -120,6 +120,24 @@ class ConversationTracer(Observer):
         if span is not None:
             span.events.append(Event(name=name, time=time, attrs=attrs))
 
+    def region(self, agent_name, name, start, end, **attrs):
+        """A named activity window (journal replay, anti-entropy round):
+        recorded as a closed root span so the recovery work shows up in
+        the same forest as the conversations around it."""
+        span = Span(
+            span_id=next(self._ids),
+            name=f"{name} {agent_name}",
+            performative="region",
+            sender=agent_name,
+            receiver=agent_name,
+            start=start,
+            end=end,
+            status="ok",
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+
     # ------------------------------------------------------------------
     # causality
     # ------------------------------------------------------------------

@@ -114,6 +114,21 @@ class SimConfig:
     breaker_failure_threshold: Optional[int] = None
     breaker_cooldown_s: float = 120.0
 
+    # --- crash recovery -----------------------------------------------------
+    #: What going offline means for every agent: ``"lenient"`` (legacy:
+    #: state survives) or ``"strict"`` (a real process crash; volatile
+    #: state is wiped and the community must heal — see agents/recovery).
+    crash_mode: str = "lenient"
+    #: Give each broker a durable advertisement journal, replayed on
+    #: restart to rebuild the repository (strict mode only matters).
+    broker_journal: bool = False
+    #: Brokers exchange anti-entropy digests with consortium peers on
+    #: every (re)start, pulling advertisements they are missing.
+    broker_sync: bool = False
+    #: When set, brokers additionally run periodic anti-entropy rounds at
+    #: this interval (seconds).
+    broker_sync_interval: Optional[float] = None
+
     # --- run control ---------------------------------------------------------
     duration: float = 43_200.0  # 12 hours (substituted)
     warmup: float = 600.0  # ignore queries issued before this time
@@ -148,6 +163,10 @@ class SimConfig:
             raise ValueError("breaker failure threshold must be >= 1")
         if self.breaker_cooldown_s <= 0:
             raise ValueError("breaker cooldown must be positive")
+        if self.crash_mode not in ("lenient", "strict"):
+            raise ValueError("crash_mode must be 'lenient' or 'strict'")
+        if self.broker_sync_interval is not None and self.broker_sync_interval <= 0:
+            raise ValueError("broker sync interval must be positive")
 
     @property
     def n_domains(self) -> int:

@@ -16,6 +16,7 @@ from repro.agents.broker import BrokerAgent
 from repro.agents.bus import MessageBus
 from repro.agents.costs import CostModel
 from repro.agents.faults import BackoffPolicy, BreakerConfig, FaultPlan
+from repro.agents.recovery import AdvertisementJournal
 from repro.sim.agents import SimQueryAgent, SimResourceAgent
 from repro.sim.config import BrokerStrategy, SimConfig
 from repro.sim.metrics import SimMetrics
@@ -123,12 +124,18 @@ class Simulation:
                     peer_brokers=peers,
                     max_hop_count=config.hop_count,
                     breaker=breaker,
+                    journal=(
+                        AdvertisementJournal() if config.broker_journal else None
+                    ),
+                    sync_on_start=config.broker_sync,
+                    sync_interval=config.broker_sync_interval,
                     config=AgentConfig(
                         preferred_brokers=tuple(peers),
                         redundancy=len(peers),
                         ping_interval=config.ping_interval,
                         reply_timeout=config.broker_peer_timeout,
                         advertisement_size_mb=0.001,  # broker ads are tiny
+                        crash_mode=config.crash_mode,
                         **retry,
                     ),
                 )
@@ -159,6 +166,7 @@ class Simulation:
                         ping_interval=resource_ping,
                         reply_timeout=config.reply_timeout,
                         advertisement_size_mb=config.advertisement_size_mb,
+                        crash_mode=config.crash_mode,
                         **retry,
                     ),
                 ),
@@ -176,7 +184,9 @@ class Simulation:
                 sim_config=config,
                 metrics=self.metrics,
                 rng=SimRng(config.seed, "queries"),
-                config=AgentConfig(redundancy=0, **retry),
+                config=AgentConfig(
+                    redundancy=0, crash_mode=config.crash_mode, **retry
+                ),
             )
         )
         if config.has_link_faults():
