@@ -298,6 +298,20 @@ class Agent:
     # ------------------------------------------------------------------
     # idempotent receive (exactly-once handler effects under retry/dup)
     # ------------------------------------------------------------------
+    def is_duplicate(self, message: KqmlMessage) -> bool:
+        """True when the idempotent-receive cache will suppress *message*.
+
+        Non-mutating: the bus consults this *before* dispatching so the
+        observer's ``message_delivered`` hook can flag duplicated
+        deliveries; :meth:`_first_delivery` still owns the cache update.
+        """
+        return bool(
+            message.reply_with
+            and not message.in_reply_to
+            and (message.sender, message.performative.value, message.reply_with)
+            in self._seen_requests
+        )
+
     def _first_delivery(self, message: KqmlMessage, result: HandlerResult) -> bool:
         """True when *message* opens a new conversation at this agent.
 

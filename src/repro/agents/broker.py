@@ -40,6 +40,12 @@ from repro.core.policy import FollowOption, SearchPolicy
 from repro.core.query import BrokerQuery
 from repro.core.repository import BrokerRepository
 from repro.kqml import KqmlMessage, Performative
+from repro.obs.explain import (
+    ExplainSink,
+    FlightEntry,
+    FlightRecorder,
+    QueryExplanation,
+)
 from repro.ontology.service import (
     AgentLocation,
     BrokerExtensions,
@@ -77,6 +83,22 @@ class _Aggregation:
     #: breaker, or timed out.  Reported in the degraded-mode ``partial``
     #: annotation on the reply.
     unreachable: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _RecommendForensics:
+    """Per-recommend forensic state at the originating broker, keyed by
+    the original ``:reply-with`` so probe/forward chains can find it."""
+
+    started: float
+    trace_id: str
+    trail: Optional[QueryExplanation] = None
+    local_count: int = 0
+    #: Repository size when the local match ran (explain invariant:
+    #: one verdict per advertisement considered).
+    ads_considered: int = 0
+    #: Peer matches received (pre-union), for the dedup/union counts.
+    received: int = 0
 
 
 class BrokerAgent(Agent):
@@ -117,6 +139,12 @@ class BrokerAgent(Agent):
         sync_on_start: bool = False,
         sync_interval: Optional[float] = None,
         journal_compact_interval: Optional[float] = None,
+        # Query forensics: keep the full explain trail + hop counters
+        # for the N slowest / failed recommends (see repro.obs.explain).
+        # Enabling this turns on per-recommend explain evaluation, which
+        # bypasses the match cache — diagnostic equipment, not a
+        # production default.
+        flight_recorder: Optional[FlightRecorder] = None,
     ):
         super().__init__(
             name,
@@ -153,8 +181,10 @@ class BrokerAgent(Agent):
         self.agent_ping_interval = agent_ping_interval
         self.sequential_until_match = sequential_until_match
         self.breaker_config = breaker
+        self.flight_recorder = flight_recorder
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._aggregations: Dict[str, _Aggregation] = {}
+        self._inflight: Dict[str, _RecommendForensics] = {}
         self.rejected_advertisements = 0
         self.journal = journal
         self.sync_on_start = sync_on_start
@@ -203,6 +233,7 @@ class BrokerAgent(Agent):
         self._replication.clear()
         self._breakers.clear()
         self._aggregations.clear()
+        self._inflight.clear()
         self.query_ontology_counts.clear()
         self.rejected_advertisements = 0
         self.peer_brokers = list(self._initial_peers)
@@ -587,11 +618,43 @@ class BrokerAgent(Agent):
 
         obs = self.observer
         wall_start = _time.perf_counter() if obs.enabled else 0.0
-        if message.extra("directory"):
+        directory = bool(message.extra("directory"))
+        # Hop-graph identity: reuse the inbound :x-trace-id (we are an
+        # inner hop of someone else's search) or mint one (we are the
+        # originating broker).  Every forward/probe re-keys :reply-with,
+        # so this is the only thread stitching the hops back together.
+        trace_id = message.extra("x-trace-id")
+        if trace_id is None:
+            trace_id = f"xq-{message.reply_with or f'{self.name}-{self.bus.now}'}"
+        if directory:
             # A peer broker pulling our broker directory (Section 4.1).
             local = self.repository.query_brokers(request.query)
         else:
-            local = self.repository.query(request.query, observer=obs)
+            trail: Optional[QueryExplanation] = None
+            if self.flight_recorder is not None:
+                # Evaluate this query in explain mode: hang a throwaway
+                # sink on the (shared) match context for the duration of
+                # the repository call.  Single-threaded and synchronous,
+                # so save/restore is safe even with a shared context.
+                sink = ExplainSink()
+                context = self.repository.context
+                previous_sink = context.explain_sink
+                context.explain_sink = sink
+                try:
+                    local = self.repository.query(request.query, observer=obs)
+                finally:
+                    context.explain_sink = previous_sink
+                trail = sink.queries[0] if sink.queries else None
+            else:
+                local = self.repository.query(request.query, observer=obs)
+            if message.reply_with and (obs.enabled or self.flight_recorder is not None):
+                self._inflight[message.reply_with] = _RecommendForensics(
+                    started=self.bus.now,
+                    trace_id=trace_id,
+                    trail=trail,
+                    local_count=len(local),
+                    ads_considered=self.repository.agent_count,
+                )
         result.cost_seconds += self.cost_model.broker_reasoning_seconds(
             self.repository.size_mb()
         )
@@ -626,9 +689,10 @@ class BrokerAgent(Agent):
                 obs.observe("broker.forward.fanout", float(len(targets)))
             obs.annotate(
                 self.bus.now, message, "recommend",
-                broker=self.name, ontology=ontology,
+                broker=self.name, ontology=ontology, trace_id=trace_id,
                 local_matches=len(local), forward_targets=len(targets),
                 visited=len(request.visited), hops_remaining=policy.hop_count,
+                skipped=sorted(skipped),
             )
 
         if not targets:
@@ -663,6 +727,7 @@ class BrokerAgent(Agent):
                 content=forwarded_request,
                 ontology="service",
                 reply_with=f"{self.name}-fwd-{target}-{message.reply_with}",
+                extras={"x-trace-id": trace_id},
             )
             self.ask(
                 forward,
@@ -696,6 +761,7 @@ class BrokerAgent(Agent):
             policy=policy.next_hop(),
             visited=request.visited | {self.name, target},
         )
+        info = self._inflight.get(message.reply_with) if message.reply_with else None
         probe = KqmlMessage(
             message.performative,
             sender=self.name,
@@ -703,6 +769,7 @@ class BrokerAgent(Agent):
             content=forwarded,
             ontology="service",
             reply_with=f"{self.name}-probe-{target}-{message.reply_with}",
+            extras={"x-trace-id": info.trace_id} if info is not None else (),
         )
         self.ask(
             probe,
@@ -733,6 +800,10 @@ class BrokerAgent(Agent):
             self._record_peer_success(peer)
         self.observer.inc("broker.probe.count", outcome="hit" if hit else "miss")
         if hit:
+            info = self._inflight.get(message.reply_with) \
+                if message.reply_with else None
+            if info is not None:
+                info.received += len(reply.content)
             self._reply_matches(
                 message, {m.agent_name: m for m in reply.content}, result
             )
@@ -772,6 +843,9 @@ class BrokerAgent(Agent):
     ) -> None:
         if reply is not None and reply.performative is Performative.TELL:
             self._record_peer_success(peer)
+            info = self._inflight.get(aggregation.original.reply_with or "")
+            if info is not None:
+                info.received += len(reply.content)
             for match in reply.content:
                 existing = aggregation.matches.get(match.agent_name)
                 if existing is None or match.score > existing.score:
@@ -881,14 +955,16 @@ class BrokerAgent(Agent):
         result: HandlerResult,
         partial: Sequence[str] = (),
     ) -> None:
+        union = len(matches)
         ranked = sorted(matches.values(), key=lambda m: (-m.score, m.agent_name))
         if message.performative is Performative.RECOMMEND_ONE:
             ranked = ranked[:1]
         extras: Dict[str, str] = {}
+        unreachable = tuple(sorted(set(partial)))
         if partial:
             # Degraded mode: name the consortium peers that could not
             # contribute instead of silently returning fewer matches.
-            extras["partial"] = "unreachable:" + ",".join(sorted(set(partial)))
+            extras["partial"] = "unreachable:" + ",".join(unreachable)
         result.send(
             message.reply(Performative.TELL, content=ranked, **extras),
             size_bytes=max(
@@ -896,3 +972,32 @@ class BrokerAgent(Agent):
                 self.cost_model.control_message_bytes,
             ),
         )
+        info = self._inflight.pop(message.reply_with, None) \
+            if message.reply_with else None
+        if info is None:
+            return
+        status = "partial" if unreachable else ("ok" if ranked else "empty")
+        obs = self.observer
+        if obs.enabled:
+            obs.annotate(
+                self.bus.now, message, "recommend-reply",
+                broker=self.name, trace_id=info.trace_id,
+                returned=len(ranked), union=union,
+                local_matches=info.local_count, peer_matches=info.received,
+                deduped=max(0, info.local_count + info.received - union),
+                unreachable=list(unreachable),
+            )
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(FlightEntry(
+                broker=self.name,
+                trace_id=info.trace_id,
+                started=info.started,
+                ended=self.bus.now,
+                status=status,
+                matches=union,
+                unreachable=unreachable,
+                local_matches=info.local_count,
+                peer_matches=info.received,
+                ads_considered=info.ads_considered,
+                explanation=info.trail,
+            ))

@@ -81,7 +81,8 @@ class MessageLogObserver(Observer):
     def __init__(self, entries: List[TraceEntry]):
         self.entries = entries
 
-    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0):
+    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0,
+                          dedup=False):
         self.entries.append(TraceEntry(
             time=time,
             sender=message.sender,
@@ -359,7 +360,11 @@ class MessageBus:
             return
         self.stats.messages_delivered += 1
         start = max(receiver.busy_until, time)
-        self.observer.message_delivered(time, message, start - time, size)
+        # Flag deliveries the receiver's idempotent-receive cache will
+        # suppress, so tracers/metrics never double-count retry echoes.
+        # Checked before dispatch: handle_message mutates the cache.
+        dedup = self.observer.enabled and receiver.is_duplicate(message)
+        self.observer.message_delivered(time, message, start - time, size, dedup)
         self._cause = message
         try:
             result = receiver.handle_message(message, start)

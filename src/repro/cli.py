@@ -159,7 +159,7 @@ TARGETS: Dict[str, Callable[[Scale], str]] = {
 # ----------------------------------------------------------------------
 # traced scenarios (``python -m repro trace <scenario>``)
 # ----------------------------------------------------------------------
-def _traced_quickstart() -> str:
+def _traced_quickstart(**broker_kwargs) -> str:
     """Two brokers: the resource advertises only to broker2 while the
     query path enters at broker1, so answering requires a forward hop."""
     from repro.community import CommunityBuilder
@@ -169,7 +169,7 @@ def _traced_quickstart() -> str:
     onto = demo_ontology(1)
     community = (
         CommunityBuilder(ontologies=[onto])
-        .with_brokers(2)
+        .with_brokers(2, **broker_kwargs)
         .with_resource("R1", {"C1": generate_table(onto, "C1", 12, seed=1)},
                        "demo", brokers=["broker2"])
         .with_query_agent(brokers=["broker1"])
@@ -181,7 +181,7 @@ def _traced_quickstart() -> str:
             f"-> {result.row_count} rows (one forward hop)")
 
 
-def _traced_multibroker() -> str:
+def _traced_multibroker(**broker_kwargs) -> str:
     """Three brokers in a chain: the query enters at one end, the data
     lives at the other, so the request traverses two forward hops."""
     from repro.community import CommunityBuilder
@@ -191,7 +191,7 @@ def _traced_multibroker() -> str:
     onto = demo_ontology(1)
     community = (
         CommunityBuilder(ontologies=[onto])
-        .with_brokers(3, topology="chain")
+        .with_brokers(3, topology="chain", **broker_kwargs)
         .with_resource("R1", {"C1": generate_table(onto, "C1", 8, seed=2)},
                        "demo", brokers=["broker3"])
         .with_query_agent(brokers=["broker1"])
@@ -207,6 +207,101 @@ TRACE_SCENARIOS: Dict[str, Callable[[], str]] = {
     "quickstart": _traced_quickstart,
     "multibroker": _traced_multibroker,
 }
+
+
+# ----------------------------------------------------------------------
+# explain scenarios (``python -m repro explain <scenario>``)
+# ----------------------------------------------------------------------
+def _explained_consortium(**broker_kwargs) -> str:
+    """Three brokers in a full consortium with a one-strike circuit
+    breaker; broker3 is dead, so the first query trips its breaker and
+    the second is answered while skipping it outright — the hop graph
+    names the skipped peer."""
+    from repro.agents.faults import BreakerConfig
+    from repro.community import CommunityBuilder
+    from repro.ontology import demo_ontology
+    from repro.relational.generate import generate_table
+
+    onto = demo_ontology(1)
+    community = (
+        CommunityBuilder(ontologies=[onto])
+        .with_brokers(
+            3,
+            breaker=BreakerConfig(failure_threshold=1, cooldown=3600.0),
+            **broker_kwargs,
+        )
+        .with_resource("R1", {"C1": generate_table(onto, "C1", 6, seed=3)},
+                       "demo", brokers=["broker2"])
+        # One forwarding hop: the consortium is fully connected, so a
+        # deeper search would only re-probe the dead peer from broker2
+        # and stack a second peer-timeout inside the first.
+        .with_query_agent(brokers=["broker1"], broker_hop_count=1)
+        .with_user("alice", brokers=["broker1"])
+        .build()
+    )
+    community.bus.set_offline("broker3")
+    first = community.query("alice", "select * from C1")
+    second = community.query("alice", "select * from C1 where c1_s1 >= 0")
+    return (f"consortium: 3 brokers, broker3 dead; first query -> "
+            f"{first.row_count} rows (breaker trips), second -> "
+            f"{second.row_count} rows (broker3 skipped)")
+
+
+EXPLAIN_SCENARIOS: Dict[str, Callable[..., str]] = {
+    "quickstart": _traced_quickstart,
+    "multibroker": _traced_multibroker,
+    "consortium": _explained_consortium,
+}
+
+
+def _run_explain(scenario: Optional[str], metrics_path: Optional[str],
+                 explain_out: Optional[str]) -> int:
+    """Run one scenario with the flight recorder installed and render
+    the matchmaking/forensics report; nonzero when any recommend yields
+    an empty explanation."""
+    import json
+
+    from repro import obs
+    from repro.experiments.report import format_explain_report
+
+    name = scenario or "quickstart"
+    builder = EXPLAIN_SCENARIOS.get(name)
+    if builder is None:
+        print(f"unknown explain scenario {name!r}; choose from: "
+              f"{', '.join(EXPLAIN_SCENARIOS)}", file=sys.stderr)
+        return 2
+    recorder = obs.FlightRecorder(capacity=16)
+    tracer = obs.ConversationTracer()
+    metrics_observer = obs.MetricsObserver()
+    with obs.installed(obs.compose(metrics_observer, tracer)):
+        summary = builder(flight_recorder=recorder)
+    print(summary)
+    print()
+    report = obs.explain_report(recorder, tracer.spans)
+    print(format_explain_report(report))
+    if explain_out:
+        with open(explain_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"[explain report written to {explain_out}]")
+    if metrics_path:
+        obs.registry_to_json(metrics_observer.registry, metrics_path)
+        print(f"[metrics registry written to {metrics_path}]")
+    # The explain invariant: one verdict per advertisement considered.
+    # A broker with an empty repository legitimately yields an empty
+    # verdict list, so compare against ads_considered rather than
+    # demanding non-emptiness.
+    empty = [
+        entry["trace_id"] for entry in report["recommends"]
+        if len((entry.get("explanation") or {}).get("verdicts", ()))
+        != entry.get("ads_considered", 0)
+    ]
+    if empty:
+        print(f"error: {len(empty)} recommend(s) missing explanations "
+              f"(expected one verdict per advertisement): "
+              f"{', '.join(empty)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -352,12 +447,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=[*TARGETS, "all", "list", "trace", "chaos", "recover"],
+        choices=[*TARGETS, "all", "list", "trace", "chaos", "recover",
+                 "explain"],
         help="which table/figure to regenerate ('all' for everything, "
              "'list' to enumerate targets, 'trace' to run an instrumented "
              "example community and print its conversation span tree, "
              "'chaos' to run a fault-injected robustness scenario, "
-             "'recover' to crash and heal a broker via a recovery path)",
+             "'recover' to crash and heal a broker via a recovery path, "
+             "'explain' to run a flight-recorded scenario and print its "
+             "matchmaking verdicts and cross-broker hop graphs)",
     )
     parser.add_argument(
         "example", nargs="?", default=None,
@@ -366,7 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
              "for 'chaos': the fault scenario "
              f"({', '.join(CHAOS_SCENARIOS)}; default baseline); "
              "for 'recover': the healing path "
-             f"({', '.join(RECOVERY_SCENARIOS)}; default replay)",
+             f"({', '.join(RECOVERY_SCENARIOS)}; default replay); "
+             "for 'explain': the forensics scenario "
+             f"({', '.join(EXPLAIN_SCENARIOS)}; default quickstart)",
     )
     parser.add_argument(
         "--full-scale", action="store_true",
@@ -383,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="for 'trace': also write the span/message event stream to "
              "PATH as JSONL",
     )
+    parser.add_argument(
+        "--explain-out", metavar="PATH", default=None,
+        help="for 'explain': also write the forensics report to PATH as "
+             "JSON",
+    )
     return parser
 
 
@@ -397,9 +502,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"chaos {name}")
         for name in RECOVERY_SCENARIOS:
             print(f"recover {name}")
+        for name in EXPLAIN_SCENARIOS:
+            print(f"explain {name}")
         return 0
     if args.target == "trace":
         return _run_trace(args.example, args.metrics, args.trace_jsonl)
+    if args.target == "explain":
+        return _run_explain(args.example, args.metrics, args.explain_out)
     if args.target == "chaos":
         return _run_chaos(args.example, args.metrics, args.full_scale)
     if args.target == "recover":

@@ -103,6 +103,16 @@ class Constraint:
                 return False
         return True
 
+    def disjoint_slots(self, other: "Constraint") -> List[str]:
+        """Shared restricted slots whose domains cannot intersect, sorted
+        — the witnesses for a failed :meth:`overlaps` between two
+        satisfiable constraints."""
+        return sorted(
+            slot
+            for slot in set(self._domains) & set(other._domains)
+            if not overlaps_domains(self._domains[slot], other._domains[slot])
+        )
+
     def subsumes(self, other: "Constraint") -> bool:
         """True when every record satisfying *other* satisfies *self*."""
         if not other.is_satisfiable():

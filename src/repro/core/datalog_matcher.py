@@ -35,9 +35,24 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.constraints.domains import Complement, DiscreteSet
 from repro.constraints.intervals import Interval, IntervalSet
 from repro.core.advertisement import Advertisement
-from repro.core.matcher import MatchContext
+from repro.core.matcher import MatchContext, MatchStats, missing_slot_detail
 from repro.core.query import BrokerQuery
 from repro.datalog import Engine, Var
+from repro.obs.explain import (
+    REASON_AGENT_TYPE,
+    REASON_CAPABILITY,
+    REASON_CLASS,
+    REASON_CONVERSATION,
+    REASON_DISJOINT,
+    REASON_LANGUAGE,
+    REASON_MOBILITY,
+    REASON_ONTOLOGY,
+    REASON_RESPONSE_TIME,
+    REASON_SLOT,
+    REASON_UNSATISFIABLE,
+    QueryExplanation,
+    Verdict,
+)
 
 #: Stand-ins for unbounded endpoints, per value type.  Strings order
 #: lexicographically, so the empty string and a plane-16 run bound any
@@ -65,6 +80,24 @@ class DatalogMatcher:
         self._assert_hierarchies(engine, advertisements, query)
         _compile_query(engine, query, self.context)
         return {args[0] for args in engine.query("match", A)}
+
+    def explain_rejects(
+        self,
+        query: BrokerQuery,
+        advertisements: Sequence[Advertisement],
+        rejected: Sequence[Advertisement],
+        trail: QueryExplanation,
+        stats: Optional[MatchStats] = None,
+    ) -> None:
+        """Record a reject :class:`Verdict` for each advertisement in
+        *rejected* by probing the compiled condition predicates."""
+        engine = Engine()
+        for ad in advertisements:
+            for fact in _advertisement_facts(ad, query.constraints.slots):
+                engine.fact(*fact)
+        self._assert_hierarchies(engine, advertisements, query)
+        _compile_query(engine, query, self.context)
+        _probe_rejects(engine, "", query, rejected, trail, stats)
 
     def _assert_hierarchies(
         self,
@@ -196,6 +229,25 @@ class IncrementalDatalogMatcher:
             self._compiled[fingerprint] = prefix
             _compile_query(self.engine, query, self.context, prefix=prefix)
         return {args[0] for args in self.engine.query(f"{prefix}match", A)}
+
+    def explain_rejects(
+        self,
+        query: BrokerQuery,
+        rejected: Sequence[Advertisement],
+        trail: QueryExplanation,
+        stats: Optional[MatchStats] = None,
+    ) -> None:
+        """Record a reject :class:`Verdict` for each advertisement in
+        *rejected* — probing the persistent engine's compiled conditions
+        when the query shape is cached, else through a one-shot engine
+        (the same fallback :meth:`match_names` takes)."""
+        prefix = self._compiled.get(query.fingerprint())
+        if prefix is None:
+            DatalogMatcher(self.context).explain_rejects(
+                query, list(self._ads.values()), rejected, trail, stats
+            )
+            return
+        _probe_rejects(self.engine, prefix, query, rejected, trail, stats)
 
     def _register_vocabulary(self, query: BrokerQuery) -> None:
         for slot in query.constraints.slots:
@@ -375,6 +427,92 @@ def _compile_query(
 
     body = [("agent", A)] + [(pred, A) for pred in conditions]
     engine.rule((prefix + "match", A), body, negative=[("unsat", A)])
+
+
+# ----------------------------------------------------------------------
+# explain probing (shared by both front-ends)
+# ----------------------------------------------------------------------
+#: Pseudo-predicate marking the advertisement-unsatisfiability check,
+#: which is a ``unsat`` *fact* (negated on the match rule) rather than a
+#: compiled condition.
+_UNSAT_CHECK = "__unsat__"
+
+
+def _explain_checks(query: BrokerQuery) -> List[Tuple[str, str, Optional[str]]]:
+    """``(condition predicate suffix, reject reason, static detail)`` in
+    the direct matcher's canonical filter order — exactly mirroring the
+    conditions :func:`_compile_query` emits for *query*, so probing them
+    in sequence reproduces the direct matcher's first-failing reason."""
+    checks: List[Tuple[str, str, Optional[str]]] = []
+    if query.agent_type is not None:
+        checks.append(("ok_type", REASON_AGENT_TYPE, query.agent_type))
+    if query.content_language is not None:
+        checks.append(("ok_speak", REASON_LANGUAGE, query.content_language))
+    if query.communication_language is not None:
+        checks.append(("ok_comm", REASON_LANGUAGE, query.communication_language))
+    for index, conversation in enumerate(query.conversations):
+        checks.append((f"ok_conv_{index}", REASON_CONVERSATION, conversation))
+    for index, capability in enumerate(query.capabilities):
+        checks.append((f"ok_cap_{index}", REASON_CAPABILITY, capability))
+    if query.ontology_name is not None:
+        checks.append(("ok_onto", REASON_ONTOLOGY, None))  # detail from the ad
+    for index, cls in enumerate(query.classes):
+        checks.append((f"ok_class_{index}", REASON_CLASS, cls))
+    if query.slots:
+        checks.append(("ok_slots", REASON_SLOT, None))  # detail from the ad
+    # The direct matcher's overlaps() fails on an unsatisfiable
+    # advertisement regardless of shared slots, right after slot
+    # coverage — probe the unsat fact at the same point.
+    checks.append((_UNSAT_CHECK, REASON_UNSATISFIABLE, None))
+    for index, slot in enumerate(query.constraints.slots):
+        checks.append((f"ok_cons_{index}", REASON_DISJOINT, slot))
+    if query.require_mobile is not None:
+        checks.append(("ok_mobile", REASON_MOBILITY, None))
+    if query.max_response_time is not None:
+        checks.append(("ok_time", REASON_RESPONSE_TIME, None))
+    return checks
+
+
+def _probe_rejects(
+    engine: Engine,
+    prefix: str,
+    query: BrokerQuery,
+    rejected: Sequence[Advertisement],
+    trail: QueryExplanation,
+    stats: Optional[MatchStats] = None,
+) -> None:
+    """Assign each rejected advertisement its first failing condition.
+
+    One engine query per condition predicate yields that condition's
+    full pass-set; each rejected agent then reports the first check it
+    is absent from (or present in, for the ``unsat`` fact)."""
+    checks = _explain_checks(query)
+    unsat = {args[0] for args in engine.query("unsat", A)}
+    pass_sets: Dict[str, Set[str]] = {
+        pred: {args[0] for args in engine.query(prefix + pred, A)}
+        for pred, _, _ in checks
+        if pred != _UNSAT_CHECK
+    }
+    for ad in rejected:
+        name = ad.agent_name
+        reason, detail = "unknown", None
+        for pred, check_reason, static_detail in checks:
+            failed = name in unsat if pred == _UNSAT_CHECK \
+                else name not in pass_sets[pred]
+            if failed:
+                reason = check_reason
+                if check_reason == REASON_ONTOLOGY:
+                    detail = ad.description.content.ontology_name
+                elif check_reason == REASON_SLOT:
+                    detail = missing_slot_detail(query, ad)
+                else:
+                    detail = static_detail
+                break
+        if stats is not None:
+            stats.rejects[reason] = stats.rejects.get(reason, 0) + 1
+        trail.record(
+            Verdict(agent=name, accepted=False, reason=reason, detail=detail)
+        )
 
 
 def _compile_slots(

@@ -31,7 +31,23 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.advertisement import Advertisement
 from repro.core.query import BrokerQuery
-from repro.core.scoring import score_match
+from repro.core.scoring import score_breakdown, score_match
+from repro.obs.explain import (
+    REASON_AGENT_TYPE,
+    REASON_CAPABILITY,
+    REASON_CLASS,
+    REASON_CONVERSATION,
+    REASON_DISJOINT,
+    REASON_LANGUAGE,
+    REASON_MOBILITY,
+    REASON_ONTOLOGY,
+    REASON_RESPONSE_TIME,
+    REASON_SLOT,
+    REASON_UNSATISFIABLE,
+    ExplainSink,
+    QueryExplanation,
+    Verdict,
+)
 from repro.ontology.capability import CapabilityHierarchy, default_capability_hierarchy
 from repro.ontology.model import Ontology
 
@@ -49,6 +65,11 @@ class MatchContext:
         default_factory=default_capability_hierarchy
     )
     ontologies: Dict[str, Ontology] = field(default_factory=dict)
+    #: Opt-in verdict recorder (see :mod:`repro.obs.explain`).  None —
+    #: the default — keeps the matching hot path verdict-free; when set,
+    #: the repository bypasses its match cache and candidate pruning so
+    #: every advertisement gets exactly one verdict per query.
+    explain_sink: Optional[ExplainSink] = None
 
     def classes_related(self, ontology_name: str, requested: str, advertised: str) -> bool:
         """True when an agent holding *advertised* is potentially relevant
@@ -99,6 +120,17 @@ class MatchStats:
     matched: int = 0
     constraint_checks: int = 0
     constraint_hits: int = 0
+    #: Reject reason -> count (the explainer's vocabulary; see
+    #: :data:`repro.obs.explain.REJECT_REASONS`).  Surfaces as the
+    #: ``broker.match.reject{reason}`` counters.
+    rejects: Dict[str, int] = field(default_factory=dict)
+
+
+#: Sentinel: "resolve the explain sink from the context" (the default).
+#: Pass ``explain=None`` to force explanation off even when the context
+#: carries a sink — the repository's datalog re-ranking pass does this
+#: so accepted advertisements aren't double-recorded.
+_EXPLAIN_FROM_CONTEXT = object()
 
 
 def match_advertisements(
@@ -106,6 +138,7 @@ def match_advertisements(
     advertisements: Iterable[Advertisement],
     context: Optional[MatchContext] = None,
     stats: Optional[MatchStats] = None,
+    explain=_EXPLAIN_FROM_CONTEXT,
 ) -> List[Match]:
     """All advertisements matching *query*, best semantic score first.
 
@@ -113,49 +146,107 @@ def match_advertisements(
     the full ranking is returned either way so brokers can merge
     rankings from collaborating brokers.  Pass a :class:`MatchStats` to
     collect attempt/hit counts (None, the default, records nothing).
+
+    When the context carries an ``explain_sink`` (or *explain* is a sink
+    passed explicitly) a verdict trail is recorded: one
+    :class:`~repro.obs.explain.Verdict` per advertisement.
     """
     context = context or MatchContext()
+    if explain is _EXPLAIN_FROM_CONTEXT:
+        explain = context.explain_sink
+    trail = explain.begin(query, backend="direct") if explain is not None else None
     matches = []
     for ad in advertisements:
         if stats is not None:
             stats.candidates += 1
-        matched_slots = _matches(query, ad, context, stats)
+        matched_slots = _matches(query, ad, context, stats, trail)
         if matched_slots is None:
             continue
-        matches.append(
-            Match(
-                advertisement=ad,
-                score=score_match(query, ad, context),
-                matched_slots=tuple(matched_slots),
-            )
+        match = Match(
+            advertisement=ad,
+            score=score_match(query, ad, context),
+            matched_slots=tuple(matched_slots),
         )
+        matches.append(match)
+        if trail is not None:
+            trail.record(accept_verdict(query, match, context))
     if stats is not None:
         stats.matched += len(matches)
     matches.sort(key=lambda m: (-m.score, m.agent_name))
     return matches
 
 
+def accept_verdict(query: BrokerQuery, match: Match, context: MatchContext) -> Verdict:
+    """The accepted-side verdict for a ranked match: authoritative score
+    plus its specificity breakdown."""
+    return Verdict(
+        agent=match.agent_name,
+        accepted=True,
+        score=match.score,
+        breakdown=score_breakdown(query, match.advertisement, context),
+    )
+
+
+def missing_slot_detail(query: BrokerQuery, ad: Advertisement) -> Optional[str]:
+    """The first requested slot the advertisement fails to cover, in
+    query order — shared by both backends so details compare equal."""
+    advertised = set(ad.description.content.slots)
+    for slot in query.slots:
+        if slot not in advertised:
+            return slot
+    return None
+
+
+def _reject(
+    reason: str,
+    detail: Optional[str],
+    ad: Advertisement,
+    stats: Optional[MatchStats],
+    trail: Optional[QueryExplanation],
+) -> None:
+    if stats is not None:
+        stats.rejects[reason] = stats.rejects.get(reason, 0) + 1
+    if trail is not None:
+        trail.record(
+            Verdict(agent=ad.agent_name, accepted=False, reason=reason, detail=detail)
+        )
+    return None
+
+
 def _matches(
     query: BrokerQuery, ad: Advertisement, context: MatchContext,
     stats: Optional[MatchStats] = None,
+    trail: Optional[QueryExplanation] = None,
 ) -> Optional[List[str]]:
-    """None when *ad* fails *query*; otherwise the covered slot list."""
+    """None when *ad* fails *query*; otherwise the covered slot list.
+
+    Reject sites fire in a canonical order — the reason recorded for a
+    multiply-failing advertisement is the *first* failing filter, and
+    the Datalog backend probes its compiled conditions in this same
+    order.  ``observed`` keeps the disabled path at one extra local
+    truth test per reject.
+    """
     desc = ad.description
+    observed = stats is not None or trail is not None
 
     # --- syntactic ----------------------------------------------------
     if query.agent_type is not None and desc.agent_type != query.agent_type:
-        return None
+        return _reject(REASON_AGENT_TYPE, query.agent_type, ad, stats, trail) \
+            if observed else None
     if query.content_language is not None and not desc.syntax.speaks(
         query.content_language
     ):
-        return None
+        return _reject(REASON_LANGUAGE, query.content_language, ad, stats, trail) \
+            if observed else None
     if query.communication_language is not None and not desc.syntax.communicates_via(
         query.communication_language
     ):
-        return None
+        return _reject(REASON_LANGUAGE, query.communication_language, ad, stats,
+                       trail) if observed else None
     for conversation in query.conversations:
         if conversation not in desc.capabilities.conversations:
-            return None
+            return _reject(REASON_CONVERSATION, conversation, ad, stats, trail) \
+                if observed else None
 
     # --- semantic: capabilities ----------------------------------------
     # cover_set(requested) is the memoized set of advertised names that
@@ -165,7 +256,8 @@ def _matches(
         if not hierarchy.cover_set(requested).intersection(
             desc.capabilities.functions
         ):
-            return None
+            return _reject(REASON_CAPABILITY, requested, ad, stats, trail) \
+                if observed else None
 
     # --- semantic: content ---------------------------------------------
     # An advertisement that names no ontology / no classes is content-
@@ -175,32 +267,43 @@ def _matches(
     # the specialized "MRQ2 agent" merely outranks it.
     if query.ontology_name is not None and desc.content.ontology_name:
         if desc.content.ontology_name != query.ontology_name:
-            return None
+            return _reject(REASON_ONTOLOGY, desc.content.ontology_name, ad, stats,
+                           trail) if observed else None
     if desc.content.classes:
         for requested_class in query.classes:
             if not context.related_classes(
                 query.ontology_name, requested_class
             ).intersection(desc.content.classes):
-                return None
+                return _reject(REASON_CLASS, requested_class, ad, stats, trail) \
+                    if observed else None
 
     matched_slots = _match_slots(query, ad)
     if matched_slots is None:
-        return None
+        return _reject(REASON_SLOT, missing_slot_detail(query, ad), ad, stats,
+                       trail) if observed else None
 
     if stats is not None:
         stats.constraint_checks += 1
     if not desc.content.constraints.overlaps(query.constraints):
-        return None
+        if not observed:
+            return None
+        if not desc.content.constraints.is_satisfiable():
+            return _reject(REASON_UNSATISFIABLE, None, ad, stats, trail)
+        disjoint = desc.content.constraints.disjoint_slots(query.constraints)
+        return _reject(REASON_DISJOINT, disjoint[0] if disjoint else None, ad,
+                       stats, trail)
     if stats is not None:
         stats.constraint_hits += 1
 
     # --- pragmatic -------------------------------------------------------
     if query.require_mobile is not None and desc.properties.mobile != query.require_mobile:
-        return None
+        return _reject(REASON_MOBILITY, None, ad, stats, trail) \
+            if observed else None
     if query.max_response_time is not None:
         advertised_time = desc.properties.estimated_response_time
         if advertised_time is not None and advertised_time > query.max_response_time:
-            return None
+            return _reject(REASON_RESPONSE_TIME, None, ad, stats, trail) \
+                if observed else None
 
     return matched_slots
 

@@ -42,7 +42,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.advertisement import Advertisement
 from repro.core.errors import BrokeringError
-from repro.core.matcher import Match, MatchContext, MatchStats, match_advertisements
+from repro.core.matcher import (
+    Match,
+    MatchContext,
+    MatchStats,
+    accept_verdict,
+    match_advertisements,
+)
 from repro.core.query import BrokerQuery
 
 #: Accepted ``index_mode`` values: no index (the original linear scan),
@@ -272,6 +278,11 @@ class BrokerRepository:
         self.stats.queries_answered += 1
         observing = observer is not None and observer.enabled
 
+        sink = self.context.explain_sink
+        if sink is not None:
+            return self._query_explained(query, sink,
+                                         observer if observing else None)
+
         key = query.fingerprint() if self.match_cache_size else None
         if key is not None:
             entry = self._match_cache.get(key)
@@ -302,16 +313,58 @@ class BrokerRepository:
             matches = match_advertisements(query, candidates, self.context, stats)
         if observing:
             observer.inc("repo.index.pruned", pruned)
-            observer.inc("matcher.candidates", stats.candidates)
-            observer.inc("matcher.matched", stats.matched)
-            observer.inc("matcher.constraint.attempts", stats.constraint_checks)
-            observer.inc("matcher.constraint.hits", stats.constraint_hits)
+            self._observe_match_stats(observer, stats)
 
         if key is not None:
             self._match_cache[key] = (self.generation, tuple(matches))
             self._match_cache.move_to_end(key)
             while len(self._match_cache) > self.match_cache_size:
                 self._match_cache.popitem(last=False)
+        return matches
+
+    @staticmethod
+    def _observe_match_stats(observer, stats: MatchStats) -> None:
+        observer.inc("matcher.candidates", stats.candidates)
+        observer.inc("matcher.matched", stats.matched)
+        observer.inc("matcher.constraint.attempts", stats.constraint_checks)
+        observer.inc("matcher.constraint.hits", stats.constraint_hits)
+        for reason, count in stats.rejects.items():
+            observer.inc("broker.match.reject", count, reason=reason)
+
+    def _query_explained(self, query: BrokerQuery, sink, observer) -> List[Match]:
+        """EXPLAIN-ANALYZE mode: answer *query* while recording exactly
+        one verdict per stored advertisement.
+
+        Bypasses both the match cache and the candidate indexes — a
+        cache hit would record nothing and a pruned advertisement would
+        get no verdict — so this path costs a full scan by design; it is
+        only reachable when the caller opted into explanation.
+        """
+        candidates = list(self._agents.values())
+        self.stats.advertisements_reasoned_over += len(candidates)
+        stats = MatchStats()
+        if self._datalog is not None:
+            trail = sink.begin(query, backend="datalog")
+            names = self._datalog.match_names(query)
+            rejected = [ad for ad in candidates if ad.agent_name not in names]
+            self._datalog.explain_rejects(query, rejected, trail, stats)
+            stats.candidates += len(candidates)
+            matches = match_advertisements(
+                query, [ad for ad in candidates if ad.agent_name in names],
+                self.context, explain=None,
+            )
+            stats.matched += len(matches)
+            for match in matches:
+                trail.record(accept_verdict(query, match, self.context))
+        else:
+            matches = match_advertisements(
+                query, candidates, self.context, stats, explain=sink,
+            )
+            sink.queries[-1].backend = (
+                "scan" if self.index_mode == "none" else "indexed"
+            )
+        if observer is not None:
+            self._observe_match_stats(observer, stats)
         return matches
 
     def _candidates(self, query: BrokerQuery) -> List[Advertisement]:
@@ -372,12 +425,14 @@ class BrokerRepository:
         names = self._datalog.match_names(query)
         ranked = match_advertisements(
             query, [ad for ad in candidates if ad.agent_name in names],
-            self.context, stats,
+            self.context, stats, explain=None,
         )
         return ranked
 
     def query_brokers(self, query: BrokerQuery) -> List[Match]:
         """Match *query* against stored *broker* advertisements (used to
-        prune the inter-broker search)."""
+        prune the inter-broker search).  Broker-directory reasoning is
+        never part of an agent-matchmaking explain trail."""
         self.stats.advertisements_reasoned_over += len(self._brokers)
-        return match_advertisements(query, self._brokers.values(), self.context)
+        return match_advertisements(query, self._brokers.values(), self.context,
+                                    explain=None)

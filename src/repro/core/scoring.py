@@ -20,7 +20,7 @@ Scores are comparable only between matches for the same query.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 from repro.core.advertisement import Advertisement
 
@@ -61,3 +61,43 @@ def score_match(query: "BrokerQuery", ad: Advertisement, context: "MatchContext"
         score += _RESPONSE_TIME_WEIGHT / (1.0 + advertised_time)
 
     return score
+
+
+def score_breakdown(
+    query: "BrokerQuery", ad: Advertisement, context: "MatchContext"
+) -> Dict[str, float]:
+    """Per-component decomposition of :func:`score_match`.
+
+    The components sum to the score (same arithmetic, same order), so an
+    explain trail can show *why* one specialist outranked another.  Kept
+    separate from the single-pass ``score_match`` so the hot path never
+    builds a dict.
+    """
+    desc = ad.description
+    advertised_classes = set(desc.content.classes)
+    exact_classes = sum(
+        _EXACT_CLASS_WEIGHT for requested in query.classes
+        if requested in advertised_classes
+    )
+    subsumption = 0.0
+    if not query.constraints.is_unconstrained():
+        if desc.content.constraints.subsumes(query.constraints):
+            subsumption = _SUBSUMES_WEIGHT
+    advertised_functions = set(desc.capabilities.functions)
+    exact_capabilities = sum(
+        _EXACT_CAPABILITY_WEIGHT for requested in query.capabilities
+        if requested in advertised_functions
+    )
+    specificity = _SPECIFICITY_WEIGHT * desc.content.constraints.restriction_count()
+    advertised_time = desc.properties.estimated_response_time
+    response_time = (
+        _RESPONSE_TIME_WEIGHT / (1.0 + advertised_time)
+        if advertised_time is not None else 0.0
+    )
+    return {
+        "exact-class": exact_classes,
+        "constraint-subsumption": subsumption,
+        "exact-capability": exact_capabilities,
+        "constraint-specificity": specificity,
+        "response-time": response_time,
+    }

@@ -113,6 +113,70 @@ def format_ascii_chart(
     return "\n".join(lines)
 
 
+def format_explain_report(report: Mapping, width: int = 40) -> str:
+    """Render an :func:`repro.obs.explain.explain_report` dict as text:
+    per-recommend summaries, a hop waterfall per traced query, and the
+    aggregate reject-reason histogram (``python -m repro explain``)."""
+    lines: List[str] = [
+        f"explain report: {report.get('recorded', 0)} recommends recorded, "
+        f"{report.get('retained', 0)} retained"
+    ]
+    for entry in report.get("recommends", ()):
+        lines.append("")
+        lines.append(
+            f"recommend {entry['trace_id']} at {entry['broker']}: "
+            f"status={entry['status']} latency={entry['latency']:.3f}s "
+            f"matches={entry['matches']} (local {entry['local_matches']}, "
+            f"peers {entry['peer_matches']}, deduped {entry['deduped']})"
+        )
+        if entry.get("unreachable"):
+            lines.append(f"  unreachable: {', '.join(entry['unreachable'])}")
+        explanation = entry.get("explanation")
+        if explanation:
+            verdicts = explanation.get("verdicts", ())
+            accepted = sum(1 for v in verdicts if v.get("accepted"))
+            lines.append(
+                f"  verdicts ({explanation.get('backend', '?')}): "
+                f"{accepted} accepted, {len(verdicts) - accepted} rejected"
+            )
+            for key, count in sorted(explanation.get("reject_histogram", {}).items()):
+                lines.append(f"    {key}: {count}")
+        graph = entry.get("hop_graph")
+        if graph:
+            lines.append(
+                f"  hops (total {graph['total_latency']:.3f}s, "
+                f"hop sum {graph['hop_latency_sum']:.3f}s"
+                + (f", skipped: {', '.join(graph['skipped_peers'])})"
+                   if graph.get("skipped_peers") else ")")
+            )
+            hops = graph.get("hops", ())
+            origin = min((h["start"] for h in hops), default=0.0)
+            horizon = max(
+                (h["end"] for h in hops if h.get("end") is not None),
+                default=origin,
+            )
+            span = (horizon - origin) or 1.0
+            for hop in hops:
+                end = hop["end"] if hop.get("end") is not None else horizon
+                left = int((hop["start"] - origin) / span * width)
+                right = max(left + 1, int((end - origin) / span * width))
+                bar = " " * left + "=" * (right - left)
+                label = "  " * hop["depth"] + hop["broker"]
+                lines.append(
+                    f"    {label:<20} |{bar:<{width}}| "
+                    f"{hop['latency']:.3f}s ({hop['exclusive_latency']:.3f}s own)"
+                )
+    histogram = report.get("reject_histogram", {})
+    if histogram:
+        lines.append("")
+        lines.append("reject histogram (all retained recommends):")
+        peak = max(histogram.values())
+        for key, count in sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0])):
+            bar = "#" * max(1, int(count / peak * 30))
+            lines.append(f"  {key:<40} {bar} {count}")
+    return "\n".join(lines)
+
+
 def format_percentage_grid(title: str, grid: Mapping, row_label: str = "MTTF (s)") -> str:
     """Render a Table 5/6-style grid of fractions as percentages."""
     rows = {

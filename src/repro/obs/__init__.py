@@ -44,6 +44,18 @@ from repro.obs.events import (
     compose,
     summarize_content,
 )
+from repro.obs.explain import (
+    REJECT_REASONS,
+    ExplainSink,
+    FlightEntry,
+    FlightRecorder,
+    HopGraph,
+    QueryExplanation,
+    Verdict,
+    build_hop_graph,
+    explain_report,
+    trace_ids,
+)
 from repro.obs.export import (
     read_jsonl,
     registry_to_json,
@@ -63,20 +75,29 @@ from repro.obs.tracing import ConversationTracer, Span
 
 __all__ = [
     "NULL_OBSERVER",
+    "REJECT_REASONS",
     "CompositeObserver",
     "ConversationTracer",
     "Counter",
     "DEFAULT_BUCKETS",
     "Event",
+    "ExplainSink",
+    "FlightEntry",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "HopGraph",
     "MessageRecord",
     "MetricsObserver",
     "MetricsRegistry",
     "Observer",
+    "QueryExplanation",
     "Span",
+    "Verdict",
+    "build_hop_graph",
     "compose",
     "current",
+    "explain_report",
     "install",
     "installed",
     "read_jsonl",
@@ -84,6 +105,7 @@ __all__ = [
     "render_span_tree",
     "spans_to_jsonl",
     "summarize_content",
+    "trace_ids",
     "uninstall",
     "write_jsonl",
 ]

@@ -52,6 +52,10 @@ class MessageRecord:
     receiver: str
     performative: str
     summary: str
+    #: True when the receiver's idempotent-receive cache suppressed this
+    #: delivery (a retry or fault-injected duplicate).  Annotated so
+    #: chaos traces distinguish real traffic from echoes.
+    dedup: bool = False
 
 
 class Observer:
@@ -75,9 +79,13 @@ class Observer:
 
     def message_delivered(self, time: float, message,
                           queue_time: float = 0.0,
-                          size_bytes: float = 0.0) -> None:
+                          size_bytes: float = 0.0,
+                          dedup: bool = False) -> None:
         """*message* arrives at *time*; it waited *queue_time* virtual
-        seconds for the receiver's single-server queue."""
+        seconds for the receiver's single-server queue.  *dedup* is True
+        when the receiver's idempotent-receive cache will suppress it (a
+        duplicated delivery) — observers should exclude such deliveries
+        from latency histograms."""
 
     def message_dropped(self, time: float, message,
                         reason: str = "offline") -> None:
@@ -131,9 +139,10 @@ class CompositeObserver(Observer):
         for child in self.children:
             child.message_sent(time, message, size_bytes, cause)
 
-    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0):
+    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0,
+                          dedup=False):
         for child in self.children:
-            child.message_delivered(time, message, queue_time, size_bytes)
+            child.message_delivered(time, message, queue_time, size_bytes, dedup)
 
     def message_dropped(self, time, message, reason="offline"):
         for child in self.children:

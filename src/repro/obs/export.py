@@ -50,6 +50,7 @@ def _message_to_dict(record: MessageRecord) -> dict:
         "receiver": record.receiver,
         "performative": record.performative,
         "summary": record.summary,
+        "dedup": record.dedup,
     }
 
 
@@ -107,6 +108,7 @@ def read_jsonl(
                 receiver=data["receiver"],
                 performative=data["performative"],
                 summary=data["summary"],
+                dedup=data.get("dedup", False),
             ))
     by_id = {s.span_id: s for s in spans}
     for span in spans:

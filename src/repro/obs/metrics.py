@@ -106,6 +106,34 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else float("nan")
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated *q*-quantile from the cumulative buckets.
+
+        Prometheus-style: linear interpolation within the bucket holding
+        the target rank, clamped by the observed min/max (which also
+        makes the overflow bucket answerable).  None when empty.
+        """
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        target = max(1, -(-int(q * self.count * 1_000_000) // 1_000_000))
+        cumulative = 0
+        previous_bound: Optional[float] = None
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                lo = previous_bound if previous_bound is not None else self.min
+                if self.min is not None:
+                    lo = max(lo, self.min) if lo is not None else self.min
+                hi = min(bound, self.max) if self.max is not None else bound
+                if lo is None or bucket_count == 0:
+                    return hi
+                inner = target - (cumulative - bucket_count)
+                return lo + (hi - lo) * (inner / bucket_count)
+            previous_bound = bound
+        return self.max  # target rank lives in the overflow bucket
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "bounds": list(self.bounds),
@@ -114,6 +142,9 @@ class Histogram:
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -122,6 +153,34 @@ def _key(name: str, labels: Dict[str, object]) -> str:
         return name
     rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{rendered}}}"
+
+
+def _split_key(key: str) -> Tuple[str, str]:
+    """A stored registry key back into (name, label-body or '')."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, ""
+    return key[:brace], key[brace + 1 : -1]
+
+
+def _prom_name(name: str) -> str:
+    """Dotted metric names into the Prometheus charset ([a-zA-Z0-9_:])."""
+    return "".join(
+        c if c.isalnum() or c in "_:" else "_" for c in name
+    )
+
+
+def _prom_labels(body: str, extra: str = "") -> str:
+    """``k=v,k2=v2`` label bodies into ``{k="v",k2="v2"}`` (quoted)."""
+    parts = []
+    if body:
+        for pair in body.split(","):
+            k, _, v = pair.partition("=")
+            escaped = v.replace("\\", "\\\\").replace('"', '\\"')
+            parts.append(f'{_prom_name(k)}="{escaped}"')
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
 
 
 class MetricsRegistry:
@@ -180,6 +239,46 @@ class MetricsRegistry:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Dotted names become underscore names; histograms are rendered as
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+        A ``# TYPE`` header is emitted once per metric family.
+        """
+        lines: list = []
+        typed: set = set()
+
+        def header(family: str, kind: str) -> None:
+            if family not in typed:
+                typed.add(family)
+                lines.append(f"# TYPE {family} {kind}")
+
+        for key, counter in sorted(self._counters.items()):
+            name, body = _split_key(key)
+            family = _prom_name(name)
+            header(family, "counter")
+            lines.append(f"{family}{_prom_labels(body)} {counter.value}")
+        for key, gauge in sorted(self._gauges.items()):
+            name, body = _split_key(key)
+            family = _prom_name(name)
+            header(family, "gauge")
+            lines.append(f"{family}{_prom_labels(body)} {gauge.value}")
+        for key, hist in sorted(self._histograms.items()):
+            name, body = _split_key(key)
+            family = _prom_name(name)
+            header(family, "histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(hist.bounds, hist.counts):
+                cumulative += bucket_count
+                labels = _prom_labels(body, extra=f'le="{bound}"')
+                lines.append(f"{family}_bucket{labels} {cumulative}")
+            labels = _prom_labels(body, extra='le="+Inf"')
+            lines.append(f"{family}_bucket{labels} {hist.count}")
+            lines.append(f"{family}_sum{_prom_labels(body)} {hist.sum}")
+            lines.append(f"{family}_count{_prom_labels(body)} {hist.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
 
 class MetricsObserver(Observer):
     """Maps observer hooks onto a :class:`MetricsRegistry`.
@@ -199,13 +298,20 @@ class MetricsObserver(Observer):
     def message_sent(self, time, message, size_bytes, cause=None):
         self.registry.counter("bus.sent.count").inc()
 
-    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0):
+    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0,
+                          dedup=False):
         performative = message.performative.value
         self.registry.counter("bus.delivered.count").inc()
         self.registry.counter("bus.delivered.count",
                               performative=performative).inc()
         self.registry.counter("bus.delivered.bytes",
                               performative=performative).inc(size_bytes)
+        if dedup:
+            # A duplicated delivery the receiver will suppress: count it,
+            # but keep it out of the latency histogram — a retry echo
+            # says nothing about real queueing behaviour.
+            self.registry.counter("bus.delivered.dedup").inc()
+            return
         self.registry.histogram("bus.queue.seconds").observe(queue_time)
 
     def message_dropped(self, time, message, reason="offline"):

@@ -85,20 +85,29 @@ class ConversationTracer(Observer):
             start=time,
             parent_id=parent.span_id if parent is not None else None,
         )
+        if message.extras:
+            # Forwarded recommends carry :x-trace-id; stamping it here
+            # lets the hop-graph builder collect the re-keyed hops of
+            # one cross-broker search (see repro.obs.explain).
+            trace_id = message.extra("x-trace-id")
+            if trace_id is not None:
+                span.attrs["trace_id"] = trace_id
         self.spans.append(span)
         self._by_id[span.span_id] = span
         self._by_reply[message.reply_with] = span
         self._open[message.reply_with] = span
 
-    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0):
+    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0,
+                          dedup=False):
         self.messages.append(MessageRecord(
             time=time,
             sender=message.sender,
             receiver=message.receiver,
             performative=message.performative.value,
             summary=summarize_content(message.content),
+            dedup=dedup,
         ))
-        if not message.in_reply_to:
+        if dedup or not message.in_reply_to:
             return
         span = self._open.pop(message.in_reply_to, None)
         if span is None:

@@ -129,6 +129,12 @@ class SimConfig:
     #: this interval (seconds).
     broker_sync_interval: Optional[float] = None
 
+    # --- forensics ----------------------------------------------------------
+    #: When set, every broker shares one slow-query flight recorder with
+    #: this many slots: the N slowest/failed recommends keep their full
+    #: explain trail for ``python -m repro explain`` style forensics.
+    flight_recorder_slots: Optional[int] = None
+
     # --- run control ---------------------------------------------------------
     duration: float = 43_200.0  # 12 hours (substituted)
     warmup: float = 600.0  # ignore queries issued before this time
@@ -167,6 +173,8 @@ class SimConfig:
             raise ValueError("crash_mode must be 'lenient' or 'strict'")
         if self.broker_sync_interval is not None and self.broker_sync_interval <= 0:
             raise ValueError("broker sync interval must be positive")
+        if self.flight_recorder_slots is not None and self.flight_recorder_slots < 1:
+            raise ValueError("flight recorder slots must be >= 1")
 
     @property
     def n_domains(self) -> int:

@@ -17,6 +17,7 @@ from repro.agents.bus import MessageBus
 from repro.agents.costs import CostModel
 from repro.agents.faults import BackoffPolicy, BreakerConfig, FaultPlan
 from repro.agents.recovery import AdvertisementJournal
+from repro.obs.explain import FlightRecorder
 from repro.sim.agents import SimQueryAgent, SimResourceAgent
 from repro.sim.config import BrokerStrategy, SimConfig
 from repro.sim.metrics import SimMetrics
@@ -95,6 +96,13 @@ class Simulation:
         )
         self.broker_names: List[str] = []
         self.expected_matches: Dict[str, Set[str]] = {}
+        #: One community-wide slow-query recorder, shared by all brokers
+        #: (None unless ``config.flight_recorder_slots`` is set).
+        self.flight_recorder: Optional[FlightRecorder] = (
+            FlightRecorder(config.flight_recorder_slots)
+            if config.flight_recorder_slots is not None
+            else None
+        )
         self._build()
 
     # ------------------------------------------------------------------
@@ -129,6 +137,7 @@ class Simulation:
                     ),
                     sync_on_start=config.broker_sync,
                     sync_interval=config.broker_sync_interval,
+                    flight_recorder=self.flight_recorder,
                     config=AgentConfig(
                         preferred_brokers=tuple(peers),
                         redundancy=len(peers),

@@ -282,6 +282,70 @@ class TestIdempotentDelivery:
         assert "dup-cached" in broker._reply_cache
 
 
+class TestTracerDedup:
+    """Satellite regression: deliveries the receiver's idempotent cache
+    suppresses must be annotated ``dedup=True`` by the observers and
+    excluded from the queue-latency histogram — previously they showed
+    up as distinct, indistinguishable ``message_delivered`` events."""
+
+    def test_duplicate_delivery_annotated_and_excluded(self):
+        from repro.obs import ConversationTracer, compose
+
+        onto = demo_ontology(1)
+        context = MatchContext(ontologies={"demo": onto})
+        tracer = ConversationTracer()
+        metrics = MetricsObserver()
+        bus = MessageBus(fast_costs(), observer=compose(metrics, tracer))
+        bus.register(BrokerAgent("b1", context=context))
+        bus.register(ResourceAgent(
+            "R1", {"C1": generate_table(onto, "C1", 3, seed=1)}, "demo",
+            config=AgentConfig(preferred_brokers=("b1",), redundancy=1,
+                               advertisement_size_mb=0.01),
+        ))
+        bus.run_until(1.0)
+        message = KqmlMessage(
+            Performative.RECOMMEND_ALL, sender="R1", receiver="b1",
+            content=RecommendRequest(
+                query=BrokerQuery(agent_type="resource", ontology_name="demo"),
+                policy=SearchPolicy(hop_count=0),
+            ),
+            reply_with="dup-traced",
+        )
+        bus.send(message, at=bus.now + 0.5)
+        bus.send(message, at=bus.now + 5.0)
+        bus.run()
+
+        requests = [m for m in tracer.messages
+                    if m.performative == "recommend-all"]
+        assert [m.dedup for m in requests] == [False, True]
+        flagged = sum(1 for m in tracer.messages if m.dedup)
+        assert flagged == 1
+        # Every delivery is counted, but only first deliveries feed the
+        # queue-wait histogram.
+        registry = metrics.registry
+        assert registry.counter("bus.delivered.count").value == len(tracer.messages)
+        assert registry.counter("bus.delivered.dedup").value == flagged
+        assert registry.histogram("bus.queue.seconds").count == (
+            len(tracer.messages) - flagged
+        )
+
+    def test_chaos_duplicates_never_pollute_latency_histogram(self):
+        from repro.obs import ConversationTracer, compose
+
+        tracer = ConversationTracer()
+        metrics = MetricsObserver()
+        bus, user = chaos_community(table_seed=0,
+                                    observer=compose(metrics, tracer))
+        bus.install_faults(hostile_plan(0))
+        done = run_queries(bus, user)
+        assert all(c.succeeded for c in done)
+        flagged = sum(1 for m in tracer.messages if m.dedup)
+        assert flagged > 0, "a 20% duplication rate must flag something"
+        assert metrics.registry.histogram("bus.queue.seconds").count == (
+            len(tracer.messages) - flagged
+        )
+
+
 class TestRetryBackoff:
     def test_backoff_delays_grow_and_cap(self):
         import random

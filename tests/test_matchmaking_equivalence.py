@@ -144,3 +144,61 @@ def test_backends_agree_on_random_communities(seed):
         expected = ranked(scan.query(query))
         assert ranked(indexed.query(query)) == expected
         assert ranked(datalog.query(query)) == expected
+
+
+def verdict_map(trail):
+    return {
+        verdict.agent: (verdict.accepted, verdict.reason, verdict.detail)
+        for verdict in trail.verdicts
+    }
+
+
+@pytest.mark.parametrize("seed", [11, 401, 7321])
+def test_backends_agree_on_explanations(seed):
+    """With explain enabled, every backend issues exactly one verdict
+    per advertisement per query, and all three agree on accept/reject,
+    the reject reason, and its detail."""
+    from repro.obs.explain import ExplainSink
+
+    rng = random.Random(seed)
+    ontologies = {name: random_ontology(rng, name) for name in ONTOLOGY_NAMES}
+    context = MatchContext(
+        ontologies={name: pair[0] for name, pair in ontologies.items()}
+    )
+    backends = {
+        "scan": BrokerRepository(context, index_mode="none", match_cache_size=0),
+        "indexed": BrokerRepository(context, index_mode="full"),
+        "datalog": BrokerRepository(context, engine="datalog"),
+    }
+
+    ads = [random_ad(rng, f"agent-{i}", ontologies) for i in range(15)]
+    for ad in ads:
+        for repo in backends.values():
+            repo.advertise(ad)
+    expected_agents = sorted(ad.agent_name for ad in ads)
+
+    queries = [random_query(rng, ontologies) for _ in range(8)]
+    # The repeats hit the datalog backend's already-compiled rules and
+    # force the indexed backend to bypass a warm match cache.
+    for query in queries + queries[: len(queries) // 2]:
+        trails = {}
+        for label, repo in backends.items():
+            sink = ExplainSink()
+            context.explain_sink = sink
+            try:
+                matches = repo.query(query)
+            finally:
+                context.explain_sink = None
+            assert len(sink.queries) == 1
+            trail = sink.queries[0]
+            assert trail.backend == label
+            # exactly one verdict per stored advertisement
+            assert sorted(v.agent for v in trail.verdicts) == expected_agents
+            # the trail's accepts are the query's matches
+            assert sorted(v.agent for v in trail.accepted()) == sorted(
+                m.agent_name for m in matches
+            )
+            trails[label] = trail
+        reference = verdict_map(trails["scan"])
+        assert verdict_map(trails["indexed"]) == reference
+        assert verdict_map(trails["datalog"]) == reference
