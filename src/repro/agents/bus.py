@@ -29,6 +29,7 @@ from repro.agents.costs import CostModel
 from repro.agents.errors import AgentError
 from repro.kqml import KqmlMessage
 from repro.obs.events import NULL_OBSERVER, Observer, compose, summarize_content
+from repro.obs.profiler import PROFILER
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.agents.base import Agent
@@ -50,6 +51,9 @@ class BusStats:
     dropped_injected: int = 0
     timers_fired: int = 0
     bytes_transferred: float = 0.0
+    #: Deepest any single agent's undelivered-message backlog ever got
+    #: (overload shows here long before queries start timing out).
+    queue_depth_high_water: int = 0
 
     @property
     def messages_dropped(self) -> int:
@@ -139,6 +143,11 @@ class MessageBus:
         #: The message whose handling is currently running; sends emitted
         #: during that handling are causally attributed to it.
         self._cause: Optional[KqmlMessage] = None
+        #: Undelivered ("deliver" scheduled, not yet dispatched) message
+        #: counts: per receiver and in total, behind the ``bus.inflight``
+        #: and ``bus.queue.depth`` gauges.
+        self._inflight: Dict[str, int] = {}
+        self._inflight_total = 0
         self._trace_list: Optional[List[TraceEntry]] = None
         self._trace_observer: Optional[MessageLogObserver] = None
         self._base_observer = (
@@ -253,8 +262,10 @@ class MessageBus:
                 return
             for when in arrivals:
                 self._push(when, ("deliver", message, size))
+                self._track_enqueue(message.receiver)
             return
         self._push(arrival, ("deliver", message, size))
+        self._track_enqueue(message.receiver)
 
     def schedule_callback(self, fire_at: float, callback: Callable[[], None]) -> None:
         """Run *callback* at virtual time *fire_at* (failure injection,
@@ -352,7 +363,29 @@ class MessageBus:
         else:  # pragma: no cover - defensive
             raise AgentError(f"unknown bus event {kind!r}")
 
+    def _track_enqueue(self, receiver: str) -> None:
+        self._inflight_total += 1
+        depth = self._inflight.get(receiver, 0) + 1
+        self._inflight[receiver] = depth
+        if depth > self.stats.queue_depth_high_water:
+            self.stats.queue_depth_high_water = depth
+            if self.observer.wants_metrics:
+                self.observer.gauge("bus.queue.depth", float(depth))
+        if self.observer.wants_metrics:
+            self.observer.gauge("bus.inflight", float(self._inflight_total))
+
+    def _track_dequeue(self, receiver: str) -> None:
+        self._inflight_total -= 1
+        depth = self._inflight.get(receiver, 0) - 1
+        if depth <= 0:
+            self._inflight.pop(receiver, None)
+        else:
+            self._inflight[receiver] = depth
+        if self.observer.wants_metrics:
+            self.observer.gauge("bus.inflight", float(self._inflight_total))
+
     def _deliver(self, message: KqmlMessage, time: float, size: float) -> None:
+        self._track_dequeue(message.receiver)
         receiver = self._agents.get(message.receiver)
         if receiver is None or message.receiver in self._offline:
             self.stats.dropped_offline += 1
@@ -363,15 +396,25 @@ class MessageBus:
         # Flag deliveries the receiver's idempotent-receive cache will
         # suppress, so tracers/metrics never double-count retry echoes.
         # Checked before dispatch: handle_message mutates the cache.
-        dedup = self.observer.enabled and receiver.is_duplicate(message)
+        # Only fresh requests can be duplicates, and only observers that
+        # declare wants_dedup use the flag — skipping the cache probe
+        # otherwise keeps the observed hot path cheap.
+        dedup = False
+        if (self.observer.wants_dedup and not message.in_reply_to
+                and message.reply_with):
+            dedup = receiver.is_duplicate(message)
         self.observer.message_delivered(time, message, start - time, size, dedup)
         self._cause = message
+        if PROFILER.enabled:
+            PROFILER.begin("bus.deliver")
         try:
             result = receiver.handle_message(message, start)
             completion = start + max(result.cost_seconds, 0.0)
             receiver.busy_until = completion
             self._emit(receiver, result, completion)
         finally:
+            if PROFILER.enabled:
+                PROFILER.end("bus.deliver")
             self._cause = None
 
     def _fire_timer(

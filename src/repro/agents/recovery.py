@@ -34,6 +34,7 @@ from repro.core.advertisement import (
 )
 from repro.core.errors import BrokeringError
 from repro.kqml.sexpr import parse_sexpr, render_sexpr
+from repro.obs.profiler import PROFILER
 
 OP_ADVERTISE = "advertise"
 OP_UNADVERTISE = "unadvertise"
@@ -123,12 +124,18 @@ class AdvertisementJournal:
         return len(self._lines)
 
     def append(self, record: JournalRecord) -> None:
-        line = render_sexpr(record_to_sexpr(record))
-        self._lines.append(line)
-        self.stats.appended += 1
-        if self.path is not None:
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+        if PROFILER.enabled:
+            PROFILER.begin("journal.append")
+        try:
+            line = render_sexpr(record_to_sexpr(record))
+            self._lines.append(line)
+            self.stats.appended += 1
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+        finally:
+            if PROFILER.enabled:
+                PROFILER.end("journal.append")
 
     def record_advertise(self, ad: Advertisement) -> None:
         self.append(

@@ -410,6 +410,131 @@ def _run_recover(scenario: Optional[str], metrics_path: Optional[str],
     return 0
 
 
+# ----------------------------------------------------------------------
+# telemetry commands (``python -m repro profile | health | bench``)
+# ----------------------------------------------------------------------
+def _profiled_sim(full: bool) -> str:
+    """A journaled community under load: exercises every instrumented
+    phase (bus.deliver, cache.lookup, match probes, journal.append)."""
+    from repro.sim.config import SimConfig
+    from repro.sim.simulator import run_simulation
+
+    config = SimConfig(duration=7_200.0 if full else 1_800.0,
+                       broker_journal=True)
+    report = run_simulation(config)
+    return (f"sim: {config.n_brokers} brokers / {config.n_resources} "
+            f"resources for {config.duration:.0f}s -> "
+            f"{report.queries_issued} queries, "
+            f"reply fraction {report.reply_fraction:.1%}")
+
+
+def _run_profile(scenario: Optional[str], profile_out: Optional[str],
+                 full: bool) -> int:
+    """Run one scenario under the phase profiler and print the self-time
+    report; optionally export collapsed stacks for flamegraph tooling."""
+    from repro.obs.profiler import PROFILER, profiling
+
+    name = scenario or "sim"
+    if name == "sim":
+        runner = lambda: _profiled_sim(full)  # noqa: E731
+    elif name in TRACE_SCENARIOS:
+        runner = TRACE_SCENARIOS[name]
+    else:
+        print(f"unknown profile scenario {name!r}; choose from: "
+              f"sim, {', '.join(TRACE_SCENARIOS)}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    with profiling(PROFILER):
+        summary = runner()
+        collapsed = PROFILER.collapsed()
+        report = PROFILER.self_report()
+    elapsed = time.perf_counter() - started
+    print(summary)
+    print()
+    print(report)
+    print(f"\n[profiled {elapsed:.2f}s wall]")
+    if profile_out:
+        with open(profile_out, "w", encoding="utf-8") as handle:
+            handle.write(collapsed)
+        print(f"[collapsed stacks written to {profile_out}]")
+    return 0
+
+
+def _run_health(metrics_in: Optional[str], slo_spec: Optional[str],
+                metrics_path: Optional[str], full: bool) -> int:
+    """Evaluate the SLOs against a metrics snapshot — from a file, or
+    from a fresh simulation run — and exit non-zero on violation."""
+    import json
+
+    from repro import obs
+
+    specs = obs.load_slo_specs(slo_spec) if slo_spec else obs.DEFAULT_SLOS
+    if metrics_in:
+        with open(metrics_in, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        print(f"evaluating {len(specs)} SLOs against {metrics_in}")
+    else:
+        from repro.sim.config import SimConfig
+        from repro.sim.simulator import run_simulation
+
+        config = SimConfig(duration=43_200.0 if full else 3_600.0)
+        metrics_observer = obs.MetricsObserver()
+        with obs.installed(metrics_observer):
+            run_simulation(config)
+        snapshot = metrics_observer.registry.snapshot()
+        print(f"evaluating {len(specs)} SLOs against a "
+              f"{config.duration:.0f}s simulation run")
+        if metrics_path:
+            obs.registry_to_json(metrics_observer.registry, metrics_path)
+            print(f"[metrics registry written to {metrics_path}]")
+    print()
+    results = obs.evaluate_slos(snapshot, specs)
+    print(obs.format_health(results))
+    if not obs.health_ok(results):
+        violated = [r.spec.name for r in results if r.ok is False]
+        print(f"\nhealth check FAILED: {', '.join(violated)}",
+              file=sys.stderr)
+        return 1
+    print("\nhealth check OK")
+    return 0
+
+
+def _run_bench(bench_dir: str, out: Optional[str], check: bool,
+               baseline_path: str, threshold: float,
+               write_baseline: bool) -> int:
+    """Aggregate every BENCH_*.json into the unified scoreboard; with
+    ``--check``, gate against the committed baseline."""
+    import json
+    import os
+
+    from repro import obs
+
+    if not os.path.isdir(bench_dir):
+        print(f"benchmark directory not found: {bench_dir}", file=sys.stderr)
+        return 2
+    report = obs.build_report(bench_dir)
+    print(obs.format_report(report))
+    out_path = out or os.path.join(bench_dir, "BENCH_report.json")
+    obs.write_report(report, out_path)
+    print(f"\n[report written to {out_path}]")
+    if write_baseline:
+        obs.write_report(report, baseline_path)
+        print(f"[baseline written to {baseline_path}]")
+    if check:
+        if not os.path.exists(baseline_path):
+            print(f"no baseline at {baseline_path} "
+                  f"(generate one with --write-baseline)", file=sys.stderr)
+            return 2
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        regressions = obs.check_report(report, baseline, threshold=threshold)
+        print()
+        print(obs.format_check(regressions, threshold))
+        if regressions:
+            return 1
+    return 0
+
+
 def _run_trace(example: Optional[str], metrics_path: Optional[str],
                jsonl_path: Optional[str]) -> int:
     from repro import obs
@@ -448,14 +573,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=[*TARGETS, "all", "list", "trace", "chaos", "recover",
-                 "explain"],
+                 "explain", "profile", "health", "bench"],
         help="which table/figure to regenerate ('all' for everything, "
              "'list' to enumerate targets, 'trace' to run an instrumented "
              "example community and print its conversation span tree, "
              "'chaos' to run a fault-injected robustness scenario, "
              "'recover' to crash and heal a broker via a recovery path, "
              "'explain' to run a flight-recorded scenario and print its "
-             "matchmaking verdicts and cross-broker hop graphs)",
+             "matchmaking verdicts and cross-broker hop graphs, "
+             "'profile' to run a scenario under the phase profiler, "
+             "'health' to evaluate SLOs (non-zero exit on violation), "
+             "'bench' to aggregate BENCH_*.json into the scoreboard)",
     )
     parser.add_argument(
         "example", nargs="?", default=None,
@@ -466,7 +594,9 @@ def build_parser() -> argparse.ArgumentParser:
              "for 'recover': the healing path "
              f"({', '.join(RECOVERY_SCENARIOS)}; default replay); "
              "for 'explain': the forensics scenario "
-             f"({', '.join(EXPLAIN_SCENARIOS)}; default quickstart)",
+             f"({', '.join(EXPLAIN_SCENARIOS)}; default quickstart); "
+             "for 'profile': the profiled scenario "
+             f"(sim, {', '.join(TRACE_SCENARIOS)}; default sim)",
     )
     parser.add_argument(
         "--full-scale", action="store_true",
@@ -488,6 +618,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="for 'explain': also write the forensics report to PATH as "
              "JSON",
     )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="for 'profile': also write collapsed stacks (flamegraph "
+             "format) to PATH",
+    )
+    parser.add_argument(
+        "--metrics-in", metavar="PATH", default=None,
+        help="for 'health': evaluate an existing metrics-registry JSON "
+             "snapshot instead of running a fresh simulation",
+    )
+    parser.add_argument(
+        "--slo-spec", metavar="PATH", default=None,
+        help="for 'health': load declarative SLO specs from this JSON "
+             "file instead of the built-in defaults",
+    )
+    parser.add_argument(
+        "--bench-dir", metavar="DIR", default="benchmarks",
+        help="for 'bench': directory holding the BENCH_*.json artifacts "
+             "(default: benchmarks)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="for 'bench': where to write the unified report "
+             "(default: <bench-dir>/BENCH_report.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="for 'bench': compare against the committed baseline and "
+             "exit non-zero on regressions",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="for 'bench': the baseline report to gate against "
+             "(default: <bench-dir>/BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="for 'bench --check': relative worsening tolerated before "
+             "an indicator counts as regressed (default: 0.10)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="for 'bench': also write the current report as the new "
+             "baseline",
+    )
     return parser
 
 
@@ -504,6 +679,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"recover {name}")
         for name in EXPLAIN_SCENARIOS:
             print(f"explain {name}")
+        for name in ("sim", *TRACE_SCENARIOS):
+            print(f"profile {name}")
+        print("health")
+        print("bench")
         return 0
     if args.target == "trace":
         return _run_trace(args.example, args.metrics, args.trace_jsonl)
@@ -513,6 +692,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_chaos(args.example, args.metrics, args.full_scale)
     if args.target == "recover":
         return _run_recover(args.example, args.metrics, args.full_scale)
+    if args.target == "profile":
+        return _run_profile(args.example, args.profile_out, args.full_scale)
+    if args.target == "health":
+        return _run_health(args.metrics_in, args.slo_spec, args.metrics,
+                           args.full_scale)
+    if args.target == "bench":
+        import os as _os
+
+        return _run_bench(
+            args.bench_dir,
+            args.out,
+            args.check,
+            args.baseline or _os.path.join(args.bench_dir,
+                                           "BENCH_baseline.json"),
+            args.threshold,
+            args.write_baseline,
+        )
 
     scale = Scale(full=args.full_scale)
     targets = list(TARGETS) if args.target == "all" else [args.target]

@@ -50,6 +50,7 @@ from repro.core.matcher import (
     match_advertisements,
 )
 from repro.core.query import BrokerQuery
+from repro.obs.profiler import PROFILER
 
 #: Accepted ``index_mode`` values: no index (the original linear scan),
 #: the ontology dimension only (the paper's "narrower domain"
@@ -285,32 +286,50 @@ class BrokerRepository:
 
         key = query.fingerprint() if self.match_cache_size else None
         if key is not None:
-            entry = self._match_cache.get(key)
-            if entry is not None and entry[0] == self.generation:
-                self._match_cache.move_to_end(key)
-                self.stats.cache_hits += 1
+            if PROFILER.enabled:
+                PROFILER.begin("cache.lookup")
+            try:
+                entry = self._match_cache.get(key)
+                if entry is not None and entry[0] == self.generation:
+                    self._match_cache.move_to_end(key)
+                    self.stats.cache_hits += 1
+                    if observing:
+                        observer.inc("repo.cache.count", outcome="hit")
+                    return list(entry[1])
+                self.stats.cache_misses += 1
                 if observing:
-                    observer.inc("repo.cache.count", outcome="hit")
-                return list(entry[1])
-            self.stats.cache_misses += 1
-            if observing:
-                observer.inc("repo.cache.count", outcome="miss")
+                    observer.inc("repo.cache.count", outcome="miss")
+            finally:
+                if PROFILER.enabled:
+                    PROFILER.end("cache.lookup")
 
-        candidates = self._candidates(query)
+        if PROFILER.enabled:
+            PROFILER.begin("match.index_probe")
+        try:
+            candidates = self._candidates(query)
+        finally:
+            if PROFILER.enabled:
+                PROFILER.end("match.index_probe")
         pruned = len(self._agents) - len(candidates)
         self.stats.advertisements_reasoned_over += len(candidates)
         self.stats.candidates_pruned += pruned
         stats = MatchStats() if observing else None
-        if self._datalog is not None:
-            recomputes_before = self._datalog.engine.stats.full_recomputes
-            matches = self._datalog_query(query, candidates, stats)
-            if observing:
-                observer.inc(
-                    "datalog.recompute",
-                    self._datalog.engine.stats.full_recomputes - recomputes_before,
-                )
-        else:
-            matches = match_advertisements(query, candidates, self.context, stats)
+        if PROFILER.enabled:
+            PROFILER.begin("match.filter")
+        try:
+            if self._datalog is not None:
+                recomputes_before = self._datalog.engine.stats.full_recomputes
+                matches = self._datalog_query(query, candidates, stats)
+                if observing:
+                    observer.inc(
+                        "datalog.recompute",
+                        self._datalog.engine.stats.full_recomputes - recomputes_before,
+                    )
+            else:
+                matches = match_advertisements(query, candidates, self.context, stats)
+        finally:
+            if PROFILER.enabled:
+                PROFILER.end("match.filter")
         if observing:
             observer.inc("repo.index.pruned", pruned)
             self._observe_match_stats(observer, stats)

@@ -20,6 +20,18 @@ for every future optimisation PR.  Three cooperating pieces:
 * :mod:`repro.obs.export` — JSONL round-tripping and the ASCII span
   tree renderer behind ``python -m repro trace``.
 
+The PR-6 telemetry pipeline adds four production-shaped layers on top:
+
+* :mod:`repro.obs.sampling` — the :class:`SamplingTracer`, bounded-
+  memory tracing under a :class:`TraceBudget` (head sampling + tail
+  keep-worst promotion);
+* :mod:`repro.obs.profiler` — the always-on :data:`PROFILER` phase
+  profiler behind ``python -m repro profile``;
+* :mod:`repro.obs.slo` — declarative SLOs with error-budget burn rates
+  behind ``python -m repro health``;
+* :mod:`repro.obs.bench` — the unified benchmark scoreboard behind
+  ``python -m repro bench``.
+
 A process-wide default observer can be installed (the CLI's
 ``--metrics`` does this) so that buses and simulations constructed
 deep inside the experiment harness pick it up without plumbing::
@@ -63,6 +75,16 @@ from repro.obs.export import (
     spans_to_jsonl,
     write_jsonl,
 )
+from repro.obs.bench import (
+    REPORT_SCHEMA_VERSION,
+    Indicator,
+    Regression,
+    build_report,
+    check_report,
+    format_check,
+    format_report,
+    write_report,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -71,12 +93,32 @@ from repro.obs.metrics import (
     MetricsObserver,
     MetricsRegistry,
 )
+from repro.obs.profiler import PROFILER, PhaseProfiler, PhaseStat, profiling
+from repro.obs.sampling import (
+    ConversationOutcome,
+    SamplingStats,
+    SamplingTracer,
+    TraceBudget,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLOResult,
+    SLOSpec,
+    evaluate_slos,
+    format_health,
+    health_ok,
+    load_slo_specs,
+)
 from repro.obs.tracing import ConversationTracer, Span
 
 __all__ = [
+    "DEFAULT_SLOS",
     "NULL_OBSERVER",
+    "PROFILER",
     "REJECT_REASONS",
+    "REPORT_SCHEMA_VERSION",
     "CompositeObserver",
+    "ConversationOutcome",
     "ConversationTracer",
     "Counter",
     "DEFAULT_BUCKETS",
@@ -87,19 +129,37 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HopGraph",
+    "Indicator",
     "MessageRecord",
     "MetricsObserver",
     "MetricsRegistry",
     "Observer",
+    "PhaseProfiler",
+    "PhaseStat",
     "QueryExplanation",
+    "Regression",
+    "SLOResult",
+    "SLOSpec",
+    "SamplingStats",
+    "SamplingTracer",
     "Span",
+    "TraceBudget",
     "Verdict",
     "build_hop_graph",
+    "build_report",
+    "check_report",
     "compose",
     "current",
+    "evaluate_slos",
     "explain_report",
+    "format_check",
+    "format_health",
+    "format_report",
+    "health_ok",
     "install",
     "installed",
+    "load_slo_specs",
+    "profiling",
     "read_jsonl",
     "registry_to_json",
     "render_span_tree",
@@ -108,6 +168,7 @@ __all__ = [
     "trace_ids",
     "uninstall",
     "write_jsonl",
+    "write_report",
 ]
 
 #: Stack of process-wide default observers; empty means "not observing".

@@ -70,6 +70,19 @@ class Observer:
 
     enabled = False
 
+    #: True when this observer consumes the generic metric hooks
+    #: (``inc``/``observe``/``gauge``).  Hot paths that would otherwise
+    #: emit *per-message* gauges consult it so a pure tracer never pays
+    #: for metric calls it would discard.
+    wants_metrics = False
+
+    #: True when this observer uses the ``dedup`` flag on
+    #: ``message_delivered``.  Computing it means probing the receiver's
+    #: idempotent-receive cache per request, so the bus skips the probe
+    #: for observers that ignore the flag (e.g. the sampling tracer,
+    #: whose close path only ever sees replies, which cannot be dedups).
+    wants_dedup = False
+
     # -- transport hooks (called by the message bus) -------------------
     def message_sent(self, time: float, message, size_bytes: float,
                      cause=None) -> None:
@@ -127,13 +140,43 @@ class Observer:
 NULL_OBSERVER = Observer()
 
 
+#: Every hook a CompositeObserver fans out.
+_HOOKS = ("message_sent", "message_delivered", "message_dropped",
+          "timer_fired", "conversation_timeout", "annotate", "region",
+          "inc", "observe", "gauge")
+
+
+def _ignore(*args, **kwargs) -> None:
+    """Shared no-op bound to composite hooks nobody implements."""
+
+
 class CompositeObserver(Observer):
-    """Fans every hook out to each child observer."""
+    """Fans every hook out to each child observer.
+
+    Fan-out is *specialized at construction*: a hook that exactly one
+    child overrides is bound straight to that child's method (no loop,
+    no extra frame), and a hook nobody overrides becomes a shared no-op.
+    Only hooks with two or more implementors pay for the dispatch loop.
+    This matters because composites sit on the bus hot path — a
+    metrics+tracing pair would otherwise pay a fan-out frame plus a
+    no-op child call on every ``inc``/``observe`` the agents emit.
+    """
 
     enabled = True
 
     def __init__(self, children: Sequence[Observer]):
         self.children = [c for c in children if c is not None and c is not NULL_OBSERVER]
+        self.wants_metrics = any(c.wants_metrics for c in self.children)
+        self.wants_dedup = any(c.wants_dedup for c in self.children)
+        for hook in _HOOKS:
+            base = getattr(Observer, hook)
+            impls = [getattr(child, hook) for child in self.children
+                     if getattr(type(child), hook, None) is not base]
+            if len(impls) == 1:
+                setattr(self, hook, impls[0])
+            elif not impls:
+                setattr(self, hook, _ignore)
+            # else: fall through to the looped class methods below.
 
     def message_sent(self, time, message, size_bytes, cause=None):
         for child in self.children:

@@ -10,6 +10,10 @@ JSONL layout — one JSON object per line, discriminated by ``type``:
 :func:`read_jsonl` reconstructs :class:`~repro.obs.tracing.Span` and
 :class:`~repro.obs.events.MessageRecord` objects, so a trace written by
 one process can be rendered or analysed by another.
+
+Every record carries ``"schema"`` (see :data:`EXPORT_SCHEMA_VERSION`)
+and is serialized with sorted keys, so exports from different PRs diff
+cleanly line-by-line.
 """
 
 from __future__ import annotations
@@ -21,10 +25,14 @@ from repro.obs.events import Event, MessageRecord
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import ConversationTracer, Span
 
+#: Bump when the JSONL record layout changes shape.
+EXPORT_SCHEMA_VERSION = 1
+
 
 def _span_to_dict(span: Span) -> dict:
     return {
         "type": "span",
+        "schema": EXPORT_SCHEMA_VERSION,
         "span_id": span.span_id,
         "parent_id": span.parent_id,
         "name": span.name,
@@ -45,6 +53,7 @@ def _span_to_dict(span: Span) -> dict:
 def _message_to_dict(record: MessageRecord) -> dict:
     return {
         "type": "message",
+        "schema": EXPORT_SCHEMA_VERSION,
         "time": record.time,
         "sender": record.sender,
         "receiver": record.receiver,
@@ -56,8 +65,10 @@ def _message_to_dict(record: MessageRecord) -> dict:
 
 def spans_to_jsonl(tracer: ConversationTracer) -> str:
     """The tracer's spans and message log as JSONL text."""
-    lines = [json.dumps(_span_to_dict(s), default=str) for s in tracer.spans]
-    lines.extend(json.dumps(_message_to_dict(m)) for m in tracer.messages)
+    lines = [json.dumps(_span_to_dict(s), default=str, sort_keys=True)
+             for s in tracer.spans]
+    lines.extend(json.dumps(_message_to_dict(m), sort_keys=True)
+                 for m in tracer.messages)
     return "\n".join(lines)
 
 

@@ -171,12 +171,19 @@ def _prom_name(name: str) -> str:
 
 
 def _prom_labels(body: str, extra: str = "") -> str:
-    """``k=v,k2=v2`` label bodies into ``{k="v",k2="v2"}`` (quoted)."""
+    """``k=v,k2=v2`` label bodies into ``{k="v",k2="v2"}`` (quoted).
+
+    Label values follow the exposition-format escaping rules: backslash,
+    double-quote, and newline must all be escaped or a hostile label
+    value (an agent named ``a"}\\n``) corrupts every line after it.
+    """
     parts = []
     if body:
         for pair in body.split(","):
             k, _, v = pair.partition("=")
-            escaped = v.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = (v.replace("\\", "\\\\")
+                        .replace('"', '\\"')
+                        .replace("\n", "\\n"))
             parts.append(f'{_prom_name(k)}="{escaped}"')
     if extra:
         parts.append(extra)
@@ -226,9 +233,13 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
+    #: Bump when the snapshot layout changes shape.
+    SNAPSHOT_SCHEMA_VERSION = 1
+
+    def snapshot(self) -> Dict[str, object]:
         """Everything recorded, as plain JSON-serializable data."""
         return {
+            "schema": self.SNAPSHOT_SCHEMA_VERSION,
             "counters": {k: c.snapshot() for k, c in sorted(self._counters.items())},
             "gauges": {k: g.snapshot() for k, g in sorted(self._gauges.items())},
             "histograms": {
@@ -290,6 +301,9 @@ class MetricsObserver(Observer):
     """
 
     enabled = True
+    wants_metrics = True
+    # Duplicate deliveries must stay out of the latency histograms.
+    wants_dedup = True
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
         self.registry = registry if registry is not None else MetricsRegistry()

@@ -1,0 +1,466 @@
+"""Budgeted tracing: head-based sampling + tail-based keep-worst.
+
+The PR-1 :class:`~repro.obs.tracing.ConversationTracer` records every
+conversation forever — perfect fidelity, unbounded memory, and a
+:class:`~repro.obs.tracing.Span` allocation on every request.  The
+:class:`SamplingTracer` keeps the same span model but holds both memory
+and hot-path cost bounded with three cooperating rules:
+
+* **Head sampling.**  Each *conversation* (a root request plus every
+  span caused by handling it — forwards, probes, subqueries) gets one
+  deterministic keep/drop decision when it opens, from a seeded hash of
+  its identity at probability ``sample_rate``.  The identity is the
+  conversation's ``:x-trace-id`` when one exists, so every re-keyed
+  cross-broker hop of a sampled search lands on the same decision and
+  sampled hop graphs stay complete.
+* **Tail promotion (errors).**  Conversations that end badly — any span
+  closing ``sorry``/``timeout``/``error`` — are *always* retained, even
+  when head-sampled out.  Failures are the spans you grep for.
+* **Tail promotion (latency).**  A bounded keep-worst heap retains the
+  ``keep_slowest`` slowest healthy conversations seen so far, so the
+  p99 tail survives the sampler without keeping the p50 bulk.
+
+The retention decision is tail-based (a conversation's fate is unknown
+until it closes), so every message must be remembered *somehow* until
+then — but remembering must be near-free, because it happens on the
+bus's hot path for 100% of traffic.  The tracer therefore records each
+request as a 7-slot list (no ``Span``, no f-string name, no attrs/events
+dicts) and only *materializes* real ``Span`` objects — byte-identical to
+what the full tracer would have built, same span ids — for retained
+conversations when :meth:`SamplingTracer.flush` runs.  Dropped
+conversations release their buffers the moment they finalize, so a
+10k-conversation run holds roughly ``sample_rate``-worth of state plus
+the failure/tail set.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import Event, MessageRecord, summarize_content
+from repro.obs.tracing import _OK_PERFORMATIVES, ConversationTracer, Span
+
+#: Statuses that always promote a conversation past the sampler.
+DEFAULT_PROMOTE_STATUSES: Tuple[str, ...] = ("sorry", "timeout", "error")
+
+#: Slots of one buffered request record (a plain list, mutated in place
+#: when the reply closes it: cheaper than any object with methods).
+_SEQ, _TIME, _MSG, _PARENT, _END, _STATUS, _ITEMS = range(7)
+
+
+@dataclass(frozen=True)
+class TraceBudget:
+    """The retention contract of a :class:`SamplingTracer`."""
+
+    #: Head-sampling probability per conversation, in [0, 1].
+    sample_rate: float = 0.01
+    #: Slots in the keep-worst latency heap (0 disables tail-latency
+    #: promotion; error promotion is never disabled).
+    keep_slowest: int = 64
+    #: Span statuses that force retention of the whole conversation.
+    promote_statuses: Tuple[str, ...] = DEFAULT_PROMOTE_STATUSES
+    #: Decision-hash seed: different seeds sample different subsets.
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        if self.keep_slowest < 0:
+            raise ValueError("keep_slowest must be >= 0")
+
+
+@dataclass
+class SamplingStats:
+    """Retention accounting (all conversations ever finalized)."""
+
+    conversations: int = 0
+    retained_head: int = 0
+    promoted_error: int = 0
+    promoted_slow: int = 0
+    promoted_open: int = 0
+    dropped: int = 0
+    #: Span totals are settled by :meth:`SamplingTracer.flush` (keeping
+    #: per-send counter updates off the hot path); zero until then.
+    spans_recorded: int = 0
+    spans_dropped: int = 0
+
+    @property
+    def retained(self) -> int:
+        return (self.retained_head + self.promoted_error
+                + self.promoted_slow + self.promoted_open)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "conversations": self.conversations,
+            "retained": self.retained,
+            "retained_head": self.retained_head,
+            "promoted_error": self.promoted_error,
+            "promoted_slow": self.promoted_slow,
+            "promoted_open": self.promoted_open,
+            "dropped": self.dropped,
+            "spans_recorded": self.spans_recorded,
+            "spans_dropped": self.spans_dropped,
+        }
+
+
+@dataclass
+class ConversationOutcome:
+    """One finalized conversation, for retention audits (opt-in)."""
+
+    key: str
+    status: str  # "ok" | the promoting status | "open"
+    duration: float
+    spans: int
+    retained: bool
+    reason: str  # "head" | "error" | "slow" | "open" | "dropped" | "evicted"
+
+
+class _Conversation:
+    """Book-keeping for one in-flight conversation tree."""
+
+    __slots__ = ("key", "sampled", "entries", "open", "bad", "finalized",
+                 "notes", "trace_keys", "outcome")
+
+    def __init__(self, key: str, sampled: bool):
+        self.key = key
+        self.sampled = sampled
+        self.entries: List[list] = []
+        self.open = 0
+        self.bad: Optional[str] = None
+        self.finalized = False
+        #: Buffered ``annotate`` events: (entry index, time, name, attrs).
+        self.notes: List[tuple] = []
+        #: Trace ids this conversation owns in the by-trace index.
+        self.trace_keys: List[str] = []
+        self.outcome: Optional[ConversationOutcome] = None
+
+
+class SamplingTracer(ConversationTracer):
+    """A :class:`ConversationTracer` that enforces a :class:`TraceBudget`.
+
+    Drop-in for the full tracer everywhere spans are consumed
+    (``roots()``, JSONL export, hop graphs) — **after** :meth:`flush`,
+    which materializes the retained conversations into ``spans``.
+    Retained conversations come out byte-identical to what the full
+    tracer would have recorded for them, including their span ids (both
+    tracers burn one id per qualifying send).
+
+    The flat message log is *disabled* by default (it grows per message,
+    not per conversation); pass ``record_messages=True`` to keep it.
+    ``record_outcomes=True`` additionally appends one
+    :class:`ConversationOutcome` per finalized conversation — small, but
+    unbounded, so it is for retention audits and benches, not production.
+    """
+
+    def __init__(self, budget: Optional[TraceBudget] = None,
+                 record_messages: bool = False,
+                 record_outcomes: bool = False):
+        super().__init__()
+        self.budget = budget if budget is not None else TraceBudget()
+        self.record_messages = record_messages
+        # The sampling close path only ever matches replies, which the
+        # bus never flags as duplicates — so unless the flat message log
+        # is on, the bus may skip the dedup-cache probe entirely.
+        self.wants_dedup = record_messages
+        self.sampling_stats = SamplingStats()
+        self.outcomes: Optional[List[ConversationOutcome]] = (
+            [] if record_outcomes else None
+        )
+        self._promote = self.budget.promote_statuses
+        self._active: Dict[int, _Conversation] = {}  # id(conv) -> conv
+        self._conv_by_trace: Dict[str, _Conversation] = {}
+        #: reply-with id -> (conv, entry index), for every buffered
+        #: request of a live or retained conversation (the buffered
+        #: analogue of the parent's ``_by_reply``).  Openness is carried
+        #: by the entry itself (``entry[_END] is None``), so one dict
+        #: serves both parent resolution and reply matching.
+        self._ref_by_reply: Dict[str, Tuple[_Conversation, int]] = {}
+        #: Retained conversations awaiting materialization (head/error/
+        #: open promotions; slow promotions live in the heap).
+        self._keep: List[_Conversation] = []
+        #: keep-worst min-heap of (duration, tiebreak, conv): the root
+        #: is the *fastest* retained conversation, evicted first.
+        self._slow: List[Tuple[float, int, _Conversation]] = []
+        self._slow_ties = itertools.count()
+        #: Spans materialized by prior flushes (flush is idempotent).
+        self._materialized_spans = 0
+
+    # ------------------------------------------------------------------
+    # head decision
+    # ------------------------------------------------------------------
+    def _head_sampled(self, key: str) -> bool:
+        rate = self.budget.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        digest = zlib.crc32(f"{self.budget.seed}:{key}".encode("utf-8"))
+        return digest / 2**32 < rate
+
+    # ------------------------------------------------------------------
+    # observer hooks (the hot path: lists and dicts only, no Spans)
+    # ------------------------------------------------------------------
+    def message_sent(self, time, message, size_bytes, cause=None):
+        reply_with = message.reply_with
+        if not reply_with:
+            return
+        refs = self._ref_by_reply
+        # Causality, mirroring ConversationTracer._parent_for: handling a
+        # request -> child of it; handling a reply -> sibling of the span
+        # the reply closed; timer-/externally-driven -> root.
+        parent: Optional[Tuple[_Conversation, int]] = None
+        closed = None
+        if cause is not None:
+            in_reply_to = cause.in_reply_to
+            if in_reply_to:
+                closed = refs.get(in_reply_to)
+            if closed is not None:
+                parent_idx = closed[0].entries[closed[1]][_PARENT]
+                if parent_idx is not None:
+                    parent = (closed[0], parent_idx)
+            elif cause.reply_with:
+                parent = refs.get(cause.reply_with)
+        trace_key = None
+        if message.extras:
+            trace_id = message.extra("x-trace-id")
+            if trace_id is not None:
+                trace_key = str(trace_id)
+        if parent is not None:
+            conv = parent[0]
+        elif closed is not None:
+            # Sibling of a root: a sequential-probe continuation.  The
+            # span is a new root, but it is the *same* conversation.
+            conv = closed[0]
+        else:
+            conv = (self._conv_by_trace.get(trace_key)
+                    if trace_key is not None else None)
+            if conv is None:
+                key = trace_key if trace_key is not None else reply_with
+                conv = _Conversation(key, self._head_sampled(key))
+                self._active[id(conv)] = conv
+                self.sampling_stats.conversations += 1
+        superseded = refs.get(reply_with)
+        if (superseded is not None
+                and superseded[0].entries[superseded[1]][_END] is None):
+            # A retry re-sent a still-open request: no reply will ever
+            # close the old record, so stop counting it as open.
+            superseded[0].open -= 1
+        entries = conv.entries
+        ref = (conv, len(entries))
+        entries.append([next(self._ids), time, message,
+                        parent[1] if parent is not None else None,
+                        None, "open", None])
+        conv.open += 1
+        refs[reply_with] = ref
+        if trace_key is not None and trace_key not in self._conv_by_trace:
+            self._conv_by_trace[trace_key] = conv
+            conv.trace_keys.append(trace_key)
+
+    def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0,
+                          dedup=False):
+        if self.record_messages:
+            self.messages.append(MessageRecord(
+                time=time,
+                sender=message.sender,
+                receiver=message.receiver,
+                performative=message.performative.value,
+                summary=summarize_content(message.content),
+                dedup=dedup,
+            ))
+        in_reply_to = message.in_reply_to
+        if dedup or not in_reply_to:
+            return
+        ref = self._ref_by_reply.get(in_reply_to)
+        if ref is None:
+            return
+        entry = ref[0].entries[ref[1]]
+        if entry[_END] is not None:
+            return  # a duplicated reply to an already-closed request
+        performative = message.performative.value
+        status = "ok" if performative in _OK_PERFORMATIVES else performative
+        content = message.content
+        items = len(content) if isinstance(content, (list, tuple)) else None
+        self._close(ref[0], entry, time, status, items)
+
+    def conversation_timeout(self, time, agent_name, reply_id):
+        ref = self._ref_by_reply.get(reply_id)
+        if ref is None:
+            return
+        entry = ref[0].entries[ref[1]]
+        if entry[_END] is None:
+            self._close(ref[0], entry, time, "timeout", None)
+
+    def _close(self, conv: _Conversation, entry: list, time: float,
+               status: str, items: Optional[int]) -> None:
+        entry[_END] = time
+        entry[_STATUS] = status
+        entry[_ITEMS] = items
+        if conv.bad is None and status in self._promote:
+            conv.bad = status
+        conv.open -= 1
+        if (conv.open <= 0 and not conv.finalized
+                and conv.entries[0][_END] is not None):
+            self._finalize(conv)
+
+    def annotate(self, time, message, name, **attrs):
+        reply_with = message.reply_with
+        if not reply_with:
+            return
+        ref = self._ref_by_reply.get(reply_with)
+        if ref is not None:
+            ref[0].notes.append((ref[1], time, name, attrs))
+
+    # ------------------------------------------------------------------
+    # conversation finalization
+    # ------------------------------------------------------------------
+    def _finalize(self, conv: _Conversation, at_flush: bool = False) -> None:
+        conv.finalized = True
+        self._active.pop(id(conv), None)
+        stats = self.sampling_stats
+        root = conv.entries[0]
+        root_closed = root[_END] is not None
+        duration = (root[_END] - root[_TIME]) if root_closed else 0.0
+        status = conv.bad or ("ok" if root_closed else "open")
+        if conv.bad is not None:
+            stats.promoted_error += 1
+            self._retain(conv, status, duration, "error")
+        elif at_flush and not root_closed:
+            # Still open at shutdown: a reply that never came and never
+            # timed out.  Suspicious by definition — keep it.
+            stats.promoted_open += 1
+            self._retain(conv, status, duration, "open")
+        elif conv.sampled:
+            stats.retained_head += 1
+            self._retain(conv, status, duration, "head")
+        elif self.budget.keep_slowest > 0:
+            slow = self._slow
+            if len(slow) < self.budget.keep_slowest:
+                heapq.heappush(slow, (duration, next(self._slow_ties), conv))
+                stats.promoted_slow += 1
+                self._outcome(conv, status, duration, "slow", True)
+            elif duration > slow[0][0]:
+                _d, _t, evicted = heapq.heappushpop(
+                    slow, (duration, next(self._slow_ties), conv)
+                )
+                stats.promoted_slow += 1
+                self._outcome(conv, status, duration, "slow", True)
+                self._evict(evicted)
+            else:
+                self._drop(conv, status, duration)
+        else:
+            self._drop(conv, status, duration)
+
+    def _retain(self, conv: _Conversation, status: str, duration: float,
+                reason: str) -> None:
+        self._keep.append(conv)
+        self._outcome(conv, status, duration, reason, True)
+
+    def _outcome(self, conv: _Conversation, status: str, duration: float,
+                 reason: str, retained: bool) -> None:
+        if self.outcomes is not None:
+            conv.outcome = ConversationOutcome(
+                key=conv.key, status=status, duration=duration,
+                spans=len(conv.entries), retained=retained, reason=reason,
+            )
+            self.outcomes.append(conv.outcome)
+
+    def _evict(self, conv: _Conversation) -> None:
+        """A previously slow-retained conversation lost its slot."""
+        self.sampling_stats.promoted_slow -= 1
+        self.sampling_stats.dropped += 1
+        if conv.outcome is not None:
+            conv.outcome.retained = False
+            conv.outcome.reason = "evicted"
+        self._discard(conv)
+
+    def _drop(self, conv: _Conversation, status: str, duration: float) -> None:
+        self.sampling_stats.dropped += 1
+        self._outcome(conv, status, duration, "dropped", False)
+        self._discard(conv)
+
+    def _discard(self, conv: _Conversation) -> None:
+        """Release a dropped conversation's buffers and index entries
+        (its spans were never materialized, so there is nothing to
+        purge from the span list)."""
+        refs = self._ref_by_reply
+        for entry in conv.entries:
+            reply_with = entry[_MSG].reply_with
+            ref = refs.get(reply_with)
+            if ref is not None and ref[0] is conv:
+                del refs[reply_with]
+        trace = self._conv_by_trace
+        for key in conv.trace_keys:
+            if trace.get(key) is conv:
+                del trace[key]
+        self.sampling_stats.spans_dropped += len(conv.entries)
+        conv.entries = []
+        conv.notes = []
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def flush(self) -> "SamplingTracer":
+        """Finalize every conversation still pending (applying the same
+        retention rules; never-closed roots are kept as suspects), then
+        materialize the retained conversations into real spans.  Call
+        once after the run, before consuming ``spans``/``roots()``."""
+        for conv in list(self._active.values()):
+            if not conv.finalized:
+                self._finalize(conv, at_flush=True)
+        self._active.clear()
+        retained = self._keep + [item[2] for item in self._slow]
+        self._keep = []
+        self._slow = []
+        for conv in retained:
+            self._materialize(conv)
+        # The hot path never touches the stats object; the span totals
+        # are settled here instead, from the retention outcome.
+        self._materialized_spans += sum(len(conv.entries) for conv in retained)
+        stats = self.sampling_stats
+        stats.spans_recorded = stats.spans_dropped + self._materialized_spans
+        # Region spans were recorded eagerly between conversations;
+        # id order restores the exact order the full tracer would have.
+        self.spans.sort(key=lambda span: span.span_id)
+        return self
+
+    def _materialize(self, conv: _Conversation) -> None:
+        """Build the ``Span`` objects the full tracer would have built
+        for *conv* (same ids, names, attrs, events)."""
+        entries = conv.entries
+        spans: List[Span] = []
+        for entry in entries:
+            message = entry[_MSG]
+            performative = message.performative.value
+            parent_idx = entry[_PARENT]
+            span = Span(
+                span_id=entry[_SEQ],
+                name=f"{performative} {message.sender}->{message.receiver}",
+                performative=performative,
+                sender=message.sender,
+                receiver=message.receiver,
+                start=entry[_TIME],
+                parent_id=(entries[parent_idx][_SEQ]
+                           if parent_idx is not None else None),
+                end=entry[_END],
+                status=entry[_STATUS],
+            )
+            if message.extras:
+                trace_id = message.extra("x-trace-id")
+                if trace_id is not None:
+                    span.attrs["trace_id"] = trace_id
+            if entry[_ITEMS] is not None:
+                span.attrs["reply_items"] = entry[_ITEMS]
+            spans.append(span)
+            self.spans.append(span)
+            self._by_id[span.span_id] = span
+            self._by_reply[message.reply_with] = span
+        for idx, when, name, attrs in conv.notes:
+            spans[idx].events.append(Event(name=name, time=when, attrs=attrs))
+
+    def retained_trace_ids(self) -> List[str]:
+        """Trace ids whose conversations survived retention."""
+        return sorted(self._conv_by_trace)

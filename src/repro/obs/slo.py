@@ -1,0 +1,260 @@
+"""Declarative SLOs evaluated from a metrics snapshot.
+
+An :class:`SLOSpec` names a metric in the registry and an objective; two
+kinds cover the registry's vocabulary:
+
+* ``latency`` — a histogram key plus a quantile: *the p95 of
+  ``sim.broker.response`` stays under 30 s*.  The error budget is the
+  request fraction allowed past the objective (``1 - quantile``); the
+  burn rate is the observed violating fraction divided by that budget,
+  so burn 1.0 = the budget is exactly spent, > 1.0 = violating.
+* ``ratio`` — two counter keys (good / total) and a minimum rate: *95%
+  of issued queries get a reply*.  Burn is the observed failure rate
+  over the budgeted failure rate (``1 - objective``).
+
+Specs evaluate against the plain-dict snapshot produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (or loaded back from
+its JSON export), so ``python -m repro health`` can judge either a live
+run or a metrics file from another process.  A spec whose metric has no
+samples yields ``ok=None`` ("no data"): visible, but not a violation —
+an SLO for the anti-entropy path must not fail a run that never crashed
+a broker.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Bump when the spec JSON format changes shape.
+SLO_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective over the metrics registry."""
+
+    name: str
+    kind: str  # "latency" | "ratio"
+    #: Registry key of the histogram (latency) or the *good* counter
+    #: (ratio) — exact snapshot key, labels included:
+    #: ``broker.recovery.time{path=sync}``.
+    metric: str
+    #: Max seconds at the quantile (latency) or min good/total (ratio).
+    objective: float
+    quantile: float = 0.95
+    #: Ratio only: registry key of the *total* counter.
+    total_metric: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "ratio"):
+            raise ValueError(f"unknown SLO kind: {self.kind!r}")
+        if self.kind == "latency" and not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if self.kind == "ratio":
+            if self.total_metric is None:
+                raise ValueError("ratio SLOs need total_metric")
+            if not 0.0 < self.objective <= 1.0:
+                raise ValueError("ratio objective must be in (0, 1]")
+        if self.kind == "latency" and self.objective <= 0:
+            raise ValueError("latency objective must be positive")
+
+
+@dataclass
+class SLOResult:
+    """One evaluated SLO."""
+
+    spec: SLOSpec
+    #: True = met, False = violated, None = no data to judge.
+    ok: Optional[bool]
+    #: The observed quantile (latency) or the observed rate (ratio).
+    value: Optional[float]
+    #: Error-budget burn: 1.0 = budget exactly spent; > 1.0 violating.
+    burn_rate: Optional[float]
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "metric": self.spec.metric,
+            "objective": self.spec.objective,
+            "ok": self.ok,
+            "value": self.value,
+            "burn_rate": self.burn_rate,
+            "detail": self.detail,
+        }
+
+
+def _violating_fraction(hist: Mapping[str, object], threshold: float) -> float:
+    """The estimated fraction of histogram samples above *threshold*,
+    from the snapshot's bucket counts.  The bucket containing the
+    threshold contributes linearly-interpolated mass (Prometheus-style);
+    the overflow bucket interpolates against the observed max."""
+    count = hist.get("count") or 0
+    if not count:
+        return 0.0
+    bounds: Sequence[float] = hist.get("bounds") or ()
+    counts: Sequence[int] = hist.get("counts") or ()
+    within = 0.0
+    previous: Optional[float] = None
+    crossed = False
+    for bound, bucket_count in zip(bounds, counts):
+        if bound <= threshold:
+            within += bucket_count
+        else:
+            lo = previous if previous is not None else (hist.get("min") or 0.0)
+            if bucket_count and bound > lo:
+                within += bucket_count * max(
+                    0.0, min(1.0, (threshold - lo) / (bound - lo))
+                )
+            crossed = True
+            break
+        previous = bound
+    if not crossed:
+        # Threshold is past every bound: interpolate the overflow bucket
+        # between the last bound and the observed max.
+        overflow = counts[len(bounds)] if len(counts) > len(bounds) else 0
+        if overflow:
+            lo = bounds[-1] if bounds else 0.0
+            hi = hist.get("max")
+            if hi is None or hi <= threshold:
+                within += overflow
+            elif hi > lo:
+                within += overflow * max(
+                    0.0, min(1.0, (threshold - lo) / (hi - lo))
+                )
+    return max(0.0, count - within) / count
+
+
+def _eval_latency(spec: SLOSpec, snapshot: Mapping[str, Mapping]) -> SLOResult:
+    hist = snapshot.get("histograms", {}).get(spec.metric)
+    if hist is None or not hist.get("count"):
+        return SLOResult(spec, ok=None, value=None, burn_rate=None,
+                         detail="no data")
+    quantile_key = f"p{int(round(spec.quantile * 100))}"
+    value = hist.get(quantile_key)
+    if value is None:
+        # Snapshot lacks the precomputed quantile: fall back to the
+        # bucket bound covering the target rank.
+        value = hist.get("max")
+    budget = 1.0 - spec.quantile
+    violating = _violating_fraction(hist, spec.objective)
+    burn = violating / budget if budget > 0 else float("inf")
+    ok = value is not None and value <= spec.objective
+    return SLOResult(
+        spec, ok=ok, value=value, burn_rate=burn,
+        detail=f"p{int(round(spec.quantile * 100))}={value:.3f}s "
+               f"objective<={spec.objective:g}s "
+               f"({violating:.1%} of {hist['count']} samples over)",
+    )
+
+
+def _eval_ratio(spec: SLOSpec, snapshot: Mapping[str, Mapping]) -> SLOResult:
+    counters = snapshot.get("counters", {})
+    good = counters.get(spec.metric)
+    total = counters.get(spec.total_metric)
+    if total is None or not total:
+        return SLOResult(spec, ok=None, value=None, burn_rate=None,
+                         detail="no data")
+    rate = (good or 0.0) / total
+    budget = 1.0 - spec.objective
+    burn = (1.0 - rate) / budget if budget > 0 else (
+        0.0 if rate >= 1.0 else float("inf")
+    )
+    return SLOResult(
+        spec, ok=rate >= spec.objective, value=rate, burn_rate=burn,
+        detail=f"rate={rate:.4f} objective>={spec.objective:g} "
+               f"({good or 0:.0f}/{total:.0f})",
+    )
+
+
+def evaluate_slos(snapshot: Mapping[str, Mapping],
+                  specs: Sequence[SLOSpec]) -> List[SLOResult]:
+    """Judge every spec against a registry snapshot dict."""
+    results = []
+    for spec in specs:
+        if spec.kind == "latency":
+            results.append(_eval_latency(spec, snapshot))
+        else:
+            results.append(_eval_ratio(spec, snapshot))
+    return results
+
+
+def health_ok(results: Sequence[SLOResult]) -> bool:
+    """True unless some SLO with data is violated."""
+    return all(r.ok is not False for r in results)
+
+
+def format_health(results: Sequence[SLOResult]) -> str:
+    """The health table ``python -m repro health`` prints."""
+    if not results:
+        return "(no SLOs evaluated)"
+    width = max(len(r.spec.name) for r in results) + 2
+    lines = [f"{'slo':<{width}}{'status':>9}{'burn':>8}  detail"]
+    for r in results:
+        status = "no-data" if r.ok is None else ("ok" if r.ok else "VIOLATED")
+        burn = "-" if r.burn_rate is None else f"{r.burn_rate:.2f}"
+        lines.append(f"{r.spec.name:<{width}}{status:>9}{burn:>8}  {r.detail}")
+    return "\n".join(lines)
+
+
+#: The stock objectives for the default simulated community: broker
+#: response tail, end-to-end reply rate, and (when a run exercised it)
+#: anti-entropy reconvergence time.
+DEFAULT_SLOS: Tuple[SLOSpec, ...] = (
+    SLOSpec(
+        name="broker-response-p95",
+        kind="latency",
+        metric="sim.broker.response",
+        quantile=0.95,
+        objective=30.0,
+        description="95% of broker recommends answer within 30 virtual "
+                    "seconds",
+    ),
+    SLOSpec(
+        name="query-reply-rate",
+        kind="ratio",
+        metric="sim.queries.replied",
+        total_metric="sim.queries.issued",
+        objective=0.95,
+        description="at least 95% of issued queries get some reply",
+    ),
+    SLOSpec(
+        name="anti-entropy-convergence-p95",
+        kind="latency",
+        metric="broker.recovery.time{path=sync}",
+        quantile=0.95,
+        objective=60.0,
+        description="95% of sync-path recoveries reconverge within 60 "
+                    "virtual seconds",
+    ),
+)
+
+
+def load_slo_specs(path: str) -> List[SLOSpec]:
+    """Load declarative SLO specs from a JSON file::
+
+        {"schema": 1,
+         "slos": [{"name": ..., "kind": "latency", "metric": ...,
+                   "objective": 30.0, "quantile": 0.95}, ...]}
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    schema = data.get("schema", SLO_SCHEMA_VERSION)
+    if schema != SLO_SCHEMA_VERSION:
+        raise ValueError(f"unsupported SLO spec schema: {schema}")
+    specs = []
+    for entry in data.get("slos", ()):
+        specs.append(SLOSpec(
+            name=entry["name"],
+            kind=entry["kind"],
+            metric=entry["metric"],
+            objective=entry["objective"],
+            quantile=entry.get("quantile", 0.95),
+            total_metric=entry.get("total_metric"),
+            description=entry.get("description", ""),
+        ))
+    return specs

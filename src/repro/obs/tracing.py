@@ -54,6 +54,8 @@ class ConversationTracer(Observer):
     """Builds the span forest and a flat message log from bus hooks."""
 
     enabled = True
+    # The flat message log annotates suppressed duplicate deliveries.
+    wants_dedup = True
 
     def __init__(self):
         self.spans: List[Span] = []
@@ -95,6 +97,8 @@ class ConversationTracer(Observer):
         self.spans.append(span)
         self._by_id[span.span_id] = span
         self._by_reply[message.reply_with] = span
+        # A retry re-sends with the same :reply-with: the new span
+        # supersedes the still-open old one (which no reply will close).
         self._open[message.reply_with] = span
 
     def message_delivered(self, time, message, queue_time=0.0, size_bytes=0.0,

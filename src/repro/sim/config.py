@@ -135,6 +135,15 @@ class SimConfig:
     #: explain trail for ``python -m repro explain`` style forensics.
     flight_recorder_slots: Optional[int] = None
 
+    # --- telemetry -----------------------------------------------------------
+    #: When set, the simulation runs a budgeted
+    #: :class:`~repro.obs.sampling.SamplingTracer` (exposed as
+    #: ``Simulation.tracer``) with this head-sampling rate; failed and
+    #: slowest conversations are promoted past the sampler regardless.
+    trace_sample_rate: Optional[float] = None
+    #: Slots in the sampling tracer's keep-worst latency heap.
+    trace_keep_slowest: int = 64
+
     # --- run control ---------------------------------------------------------
     duration: float = 43_200.0  # 12 hours (substituted)
     warmup: float = 600.0  # ignore queries issued before this time
@@ -175,6 +184,12 @@ class SimConfig:
             raise ValueError("broker sync interval must be positive")
         if self.flight_recorder_slots is not None and self.flight_recorder_slots < 1:
             raise ValueError("flight recorder slots must be >= 1")
+        if self.trace_sample_rate is not None and not (
+            0.0 <= self.trace_sample_rate <= 1.0
+        ):
+            raise ValueError("trace sample rate must be in [0, 1]")
+        if self.trace_keep_slowest < 0:
+            raise ValueError("trace keep-slowest must be >= 0")
 
     @property
     def n_domains(self) -> int:

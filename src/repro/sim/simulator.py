@@ -18,6 +18,7 @@ from repro.agents.costs import CostModel
 from repro.agents.faults import BackoffPolicy, BreakerConfig, FaultPlan
 from repro.agents.recovery import AdvertisementJournal
 from repro.obs.explain import FlightRecorder
+from repro.obs.sampling import SamplingTracer, TraceBudget
 from repro.sim.agents import SimQueryAgent, SimResourceAgent
 from repro.sim.config import BrokerStrategy, SimConfig
 from repro.sim.metrics import SimMetrics
@@ -83,6 +84,16 @@ class Simulation:
         self.rng = SimRng(config.seed, "sim")
         self.metrics = SimMetrics()
         self.observer = observer if observer is not None else _obs.current()
+        #: Budgeted tracer (None unless ``config.trace_sample_rate`` is
+        #: set): composed into the bus observer, flushed by :meth:`run`.
+        self.tracer: Optional[SamplingTracer] = None
+        if config.trace_sample_rate is not None:
+            self.tracer = SamplingTracer(TraceBudget(
+                sample_rate=config.trace_sample_rate,
+                keep_slowest=config.trace_keep_slowest,
+                seed=config.seed,
+            ))
+            self.observer = _obs.compose(self.observer, self.tracer)
         self.bus = MessageBus(
             CostModel(
                 broker_seconds_per_mb=config.broker_seconds_per_mb / config.processor_speed,
@@ -259,6 +270,8 @@ class Simulation:
                 controller.apply(schedule)
 
         self.bus.run_until(config.duration)
+        if self.tracer is not None:
+            self.tracer.flush()
         self.metrics.publish(self.observer)
         return SimReport(
             config=config,
