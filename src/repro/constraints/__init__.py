@@ -37,6 +37,11 @@ from repro.constraints.domains import (
 from repro.constraints.atoms import Atom, Op
 from repro.constraints.conjunction import Constraint, ConstraintError
 from repro.constraints.parser import ConstraintParseError, parse_constraint
+from repro.constraints.compile import (
+    compile_constraint_checker,
+    compile_overlap_checker,
+    simple_numeric_interval,
+)
 
 __all__ = [
     "Atom",
@@ -49,8 +54,11 @@ __all__ = [
     "Interval",
     "IntervalSet",
     "Op",
+    "compile_constraint_checker",
+    "compile_overlap_checker",
     "domain_for_value",
     "intersect_domains",
     "parse_constraint",
+    "simple_numeric_interval",
     "subsumes_domain",
 ]

@@ -326,3 +326,9 @@ def _match_slots(query: BrokerQuery, ad: Advertisement) -> Optional[List[str]]:
     if query.allow_partial_slots:
         return covered if covered else None
     return covered if len(covered) == len(query.slots) else None
+
+
+#: Public alias: the columnar plane (:mod:`repro.core.columnar`) folds
+#: slot coverage into its posting bitsets and recomputes the covered
+#: list only for survivors, with this exact function.
+match_slots = _match_slots

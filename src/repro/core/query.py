@@ -83,7 +83,22 @@ class BrokerQuery:
         query order.  ``mode`` is deliberately excluded — the repository
         returns the full ranking either way and the caller truncates.
         This is the broker match cache's key.
+
+        Field order is posting dimensions first, then the value-
+        constraint tail, so :meth:`posting_prefix` is a literal prefix
+        of the fingerprint.
         """
+        return self.posting_prefix() + (
+            self.constraints.cache_key(),
+            self.max_response_time,
+        )
+
+    def posting_prefix(self) -> tuple:
+        """The fingerprint fields the columnar plane's posting-bitset
+        intersection depends on — everything except the constraint
+        conjunction and the response-time cap.  Concurrent recommends
+        sharing this prefix coalesce into one posting pass (see
+        :meth:`repro.core.columnar.ColumnarPlane.match_batch`)."""
         return (
             self.agent_type,
             self.content_language,
@@ -93,10 +108,8 @@ class BrokerQuery:
             self.ontology_name,
             tuple(sorted(self.classes)),
             self.slots,
-            self.constraints.cache_key(),
-            self.max_response_time,
-            self.require_mobile,
             self.allow_partial_slots,
+            self.require_mobile,
         )
 
     def wants_single(self) -> bool:

@@ -11,7 +11,7 @@ experiments), and counts the work it performs.
 Matchmaking hot path
 --------------------
 ``query_matches`` used to be a linear scan over every stored
-advertisement.  It is now served by three cooperating layers (all
+advertisement.  It is now served by four cooperating layers (all
 result-invisible — only the work changes):
 
 1. **Candidate indexes.**  Inverted indexes over ontology name, class
@@ -24,21 +24,35 @@ result-invisible — only the work changes):
    candidate set always contains every true match.
 2. **Match cache.**  Results are cached per canonical query fingerprint
    (:meth:`BrokerQuery.fingerprint`) and stamped with the repository's
-   monotonically increasing advertisement *generation*; any advertise /
-   unadvertise bumps the generation, so dynamic communities never see a
-   stale recommendation.
+   monotonically increasing *generation*; any advertise / unadvertise —
+   or a mutation of the shared ontologies / capability hierarchy —
+   bumps the generation, so dynamic communities never see a stale
+   recommendation.
 3. **Incremental Datalog backend.**  With ``engine="datalog"`` the
    repository keeps one persistent
    :class:`~repro.core.datalog_matcher.IncrementalDatalogMatcher`, so an
    advertise → query loop applies EDB deltas instead of recompiling and
    re-evaluating the whole LDL program per advertisement.
+4. **Columnar plane.**  With ``engine="columnar"`` the repository
+   lazily compiles each generation into a
+   :class:`~repro.core.columnar.ColumnarPlane` (bitset posting lists,
+   interval arrays, compiled constraint checkers) and answers queries
+   in vectorized passes instead of per-advertisement walks.  Explain
+   mode still routes through the scan so every advertisement gets its
+   canonical verdict.
+
+Storage is pluggable: the default :class:`MemoryAdStore` keeps
+advertisements resident in dicts; :class:`repro.core.store.SQLiteAdStore`
+keeps them in a SQLite database via the lossless s-expression codec and
+only materializes the advertisements a query returns.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.advertisement import Advertisement
 from repro.core.errors import BrokeringError
@@ -51,6 +65,9 @@ from repro.core.matcher import (
 )
 from repro.core.query import BrokerQuery
 from repro.obs.profiler import PROFILER
+
+#: Accepted ``engine`` values (see the class docstring).
+ENGINES = ("direct", "datalog", "columnar")
 
 #: Accepted ``index_mode`` values: no index (the original linear scan),
 #: the ontology dimension only (the paper's "narrower domain"
@@ -76,18 +93,91 @@ class RepositoryStats:
     cache_misses: int = 0
 
 
+class MemoryAdStore:
+    """Resident advertisement storage: plain dicts, the default.
+
+    The storage interface the repository programs against: ``get`` /
+    ``pop`` / ``put`` per agent-vs-broker store, deterministic
+    iteration, counters, and a :meth:`bulk` context manager that
+    persistent backends turn into one transaction.
+    """
+
+    kind = "memory"
+
+    def __init__(self):
+        self._agents: Dict[str, Advertisement] = {}
+        self._brokers: Dict[str, Advertisement] = {}
+
+    def clone_empty(self) -> "MemoryAdStore":
+        return MemoryAdStore()
+
+    # -- agents ---------------------------------------------------------
+    def get_agent(self, name: str) -> Optional[Advertisement]:
+        return self._agents.get(name)
+
+    def pop_agent(self, name: str) -> Optional[Advertisement]:
+        return self._agents.pop(name, None)
+
+    def put_agent(self, ad: Advertisement) -> None:
+        self._agents[ad.agent_name] = ad
+
+    def agent_names(self) -> List[str]:
+        return sorted(self._agents)
+
+    def iter_agents(self) -> Iterator[Advertisement]:
+        """Stored agent advertisements, oldest insertion first."""
+        return iter(list(self._agents.values()))
+
+    @property
+    def agent_count(self) -> int:
+        return len(self._agents)
+
+    # -- brokers --------------------------------------------------------
+    def get_broker(self, name: str) -> Optional[Advertisement]:
+        return self._brokers.get(name)
+
+    def pop_broker(self, name: str) -> Optional[Advertisement]:
+        return self._brokers.pop(name, None)
+
+    def put_broker(self, ad: Advertisement) -> None:
+        self._brokers[ad.agent_name] = ad
+
+    def broker_names(self) -> List[str]:
+        return sorted(self._brokers)
+
+    def iter_brokers(self) -> Iterator[Advertisement]:
+        return iter(list(self._brokers.values()))
+
+    @property
+    def broker_count(self) -> int:
+        return len(self._brokers)
+
+    # -- bookkeeping ----------------------------------------------------
+    def size_mb(self) -> float:
+        return sum(ad.size_mb for ad in self._agents.values()) + sum(
+            ad.size_mb for ad in self._brokers.values()
+        )
+
+    def bulk(self):
+        """Batch many mutations; a no-op for resident storage."""
+        return nullcontext()
+
+
 class BrokerRepository:
     """Advertisement storage and local matchmaking for one broker.
 
     ``engine`` selects the reasoning backend: ``"direct"`` (the fast
-    Python matcher) or ``"datalog"`` (advertisements compiled to facts,
-    queries to rules — the original broker's LDL architecture).  Both
-    produce identical match sets; the Datalog backend ranks them with
-    the same scoring function.
+    Python matcher), ``"datalog"`` (advertisements compiled to facts,
+    queries to rules — the original broker's LDL architecture), or
+    ``"columnar"`` (generations compiled to bitset posting lists and
+    interval columns — see :mod:`repro.core.columnar`).  All produce
+    identical ranked match sets.
 
-    ``index_mode`` selects candidate pruning (``"full"`` by default; see
-    the module docstring), and ``match_cache_size`` bounds the
-    fingerprint-keyed match cache (0 disables it).  ``index_by_ontology``
+    ``index_mode`` selects candidate pruning for the direct engine
+    (``"full"`` by default; see the module docstring), and
+    ``match_cache_size`` bounds the fingerprint-keyed match cache (0
+    disables it).  ``store`` plugs in the advertisement storage backend
+    (default resident :class:`MemoryAdStore`).  ``index_by_ontology``
     is a deprecated alias kept for older callers: ``True`` maps to
     ``index_mode="ontology"``, ``False`` to ``"none"``.
     """
@@ -99,8 +189,9 @@ class BrokerRepository:
         index_mode: str = "full",
         match_cache_size: int = DEFAULT_MATCH_CACHE_SIZE,
         index_by_ontology: Optional[bool] = None,
+        store=None,
     ):
-        if engine not in ("direct", "datalog"):
+        if engine not in ENGINES:
             raise BrokeringError(f"unknown matching engine {engine!r}")
         if index_by_ontology is not None:  # deprecated alias
             index_mode = "ontology" if index_by_ontology else "none"
@@ -108,8 +199,7 @@ class BrokerRepository:
             raise BrokeringError(f"unknown index mode {index_mode!r}")
         if match_cache_size < 0:
             raise BrokeringError("match_cache_size must be >= 0")
-        self._agents: Dict[str, Advertisement] = {}
-        self._brokers: Dict[str, Advertisement] = {}
+        self._store = store if store is not None else MemoryAdStore()
         self.context = context or MatchContext()
         self.engine = engine
         self.index_mode = index_mode
@@ -123,10 +213,13 @@ class BrokerRepository:
         self._no_class_agents: Set[str] = set()
         self._capability_index: Dict[str, Set[str]] = {}
         self._conversation_index: Dict[str, Set[str]] = {}
-        #: Bumped on every repository mutation; cached match lists carry
-        #: the generation they were computed at and are ignored (and
-        #: eventually evicted) once it moves on.
-        self.generation = 0
+        #: Bumped on every repository mutation *and* whenever the shared
+        #: semantic knowledge (ontologies, capability hierarchy) moves;
+        #: cached match lists and the columnar plane carry the
+        #: generation they were computed at and are ignored (and
+        #: eventually evicted) once it changes.
+        self._generation = 0
+        self._knowledge_stamp = self._context_stamp()
         self._match_cache: "OrderedDict[tuple, Tuple[int, Tuple[Match, ...]]]" = (
             OrderedDict()
         )
@@ -135,12 +228,20 @@ class BrokerRepository:
             from repro.core.datalog_matcher import IncrementalDatalogMatcher
 
             self._datalog = IncrementalDatalogMatcher(self.context)
+        #: Lazily compiled columnar plane + the generation it reflects.
+        self._columnar = None
+        self._columnar_generation = -1
         self.stats = RepositoryStats()
 
     @property
     def index_by_ontology(self) -> bool:
         """Deprecated: True when any candidate indexing is active."""
         return self.index_mode != "none"
+
+    @property
+    def store(self):
+        """The advertisement storage backend (read-mostly access)."""
+        return self._store
 
     def clone_empty(self) -> "BrokerRepository":
         """A fresh, empty repository with the same configuration — what a
@@ -151,7 +252,43 @@ class BrokerRepository:
             engine=self.engine,
             index_mode=self.index_mode,
             match_cache_size=self.match_cache_size,
+            store=self._store.clone_empty(),
         )
+
+    # ------------------------------------------------------------------
+    # generation stamping
+    # ------------------------------------------------------------------
+    def _context_stamp(self) -> tuple:
+        """A snapshot of the shared semantic knowledge: which ontology /
+        hierarchy objects the context holds and their mutation counters.
+        Ontology *reloads* (a new object under the same name) change the
+        identity component; in-place mutation changes the version."""
+        context = self.context
+        hierarchy = context.capability_hierarchy
+        stamp = [(id(hierarchy), getattr(hierarchy, "version", 0))]
+        for name in sorted(context.ontologies):
+            ontology = context.ontologies[name]
+            stamp.append((name, id(ontology), getattr(ontology, "version", 0)))
+        return tuple(stamp)
+
+    @property
+    def generation(self) -> int:
+        """The monotonic staleness stamp for cached match state.
+
+        Reading it revalidates the semantic-knowledge snapshot, so an
+        ontology mutation (a class added after an ontology reload, a
+        hierarchy extension) invalidates cached match lists and the
+        columnar plane exactly like an advertise would — closure memos
+        computed under the old ontology can never leak into answers.
+        """
+        stamp = self._context_stamp()
+        if stamp != self._knowledge_stamp:
+            self._knowledge_stamp = stamp
+            self._generation += 1
+        return self._generation
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # advertisement lifecycle
@@ -164,37 +301,43 @@ class BrokerRepository:
         advertising broker capabilities (or vice versa) never leaves a
         stale entry in the other store or the candidate indexes.
         """
-        previous = self._agents.pop(ad.agent_name, None)
+        previous = self._store.pop_agent(ad.agent_name)
         if previous is not None:
             self._unindex(previous)
-        self._brokers.pop(ad.agent_name, None)
-        store = self._brokers if ad.is_broker() else self._agents
-        store[ad.agent_name] = ad
-        if not ad.is_broker():
+        self._store.pop_broker(ad.agent_name)
+        if ad.is_broker():
+            self._store.put_broker(ad)
+            if previous is not None and self._datalog is not None:
+                self._datalog.unadvertise(ad.agent_name)
+        else:
+            self._store.put_agent(ad)
             self._index(ad)
             if self._datalog is not None:
                 self._datalog.advertise(ad)
-        elif previous is not None and self._datalog is not None:
-            self._datalog.unadvertise(ad.agent_name)
         self._bump_generation()
         self.stats.advertisements_accepted += 1
 
     def unadvertise(self, agent_name: str) -> bool:
         """Remove an agent's advertisement; True when one was present."""
-        for store in (self._agents, self._brokers):
-            if agent_name in store:
-                if store is self._agents:
-                    self._unindex(store[agent_name])
-                    if self._datalog is not None:
-                        self._datalog.unadvertise(agent_name)
-                del store[agent_name]
-                self._bump_generation()
-                self.stats.advertisements_removed += 1
-                return True
-        return False
+        previous = self._store.pop_agent(agent_name)
+        if previous is not None:
+            self._unindex(previous)
+            if self._datalog is not None:
+                self._datalog.unadvertise(agent_name)
+        elif self._store.pop_broker(agent_name) is None:
+            return False
+        self._bump_generation()
+        self.stats.advertisements_removed += 1
+        return True
 
-    def _bump_generation(self) -> None:
-        self.generation += 1
+    @contextmanager
+    def bulk(self):
+        """Group many advertise/unadvertise calls into one storage
+        transaction.  Journal replay uses this so a persistent backend
+        turns a thousand journal lines into one bulk ``INSERT`` instead
+        of a thousand commits; resident storage treats it as a no-op."""
+        with self._store.bulk():
+            yield self
 
     def _index(self, ad: Advertisement) -> None:
         name = ad.agent_name
@@ -233,38 +376,41 @@ class BrokerRepository:
                 del index[key]
 
     def knows(self, agent_name: str) -> bool:
-        return agent_name in self._agents or agent_name in self._brokers
+        return (
+            self._store.get_agent(agent_name) is not None
+            or self._store.get_broker(agent_name) is not None
+        )
 
     def get(self, agent_name: str) -> Advertisement:
-        for store in (self._agents, self._brokers):
-            if agent_name in store:
-                return store[agent_name]
-        raise BrokeringError(f"no advertisement for agent {agent_name!r}")
+        ad = self._store.get_agent(agent_name)
+        if ad is None:
+            ad = self._store.get_broker(agent_name)
+        if ad is None:
+            raise BrokeringError(f"no advertisement for agent {agent_name!r}")
+        return ad
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def agent_names(self) -> List[str]:
-        return sorted(self._agents)
+        return self._store.agent_names()
 
     def broker_names(self) -> List[str]:
-        return sorted(self._brokers)
+        return self._store.broker_names()
 
     def agent_ads(self) -> List[Advertisement]:
-        return list(self._agents.values())
+        return list(self._store.iter_agents())
 
     def broker_ads(self) -> List[Advertisement]:
-        return list(self._brokers.values())
+        return list(self._store.iter_brokers())
 
     @property
     def agent_count(self) -> int:
-        return len(self._agents)
+        return self._store.agent_count
 
     def size_mb(self) -> float:
         """Total stored advertisement volume (agents + brokers)."""
-        return sum(ad.size_mb for ad in self._agents.values()) + sum(
-            ad.size_mb for ad in self._brokers.values()
-        )
+        return self._store.size_mb()
 
     # ------------------------------------------------------------------
     # matchmaking
@@ -286,23 +432,99 @@ class BrokerRepository:
 
         key = query.fingerprint() if self.match_cache_size else None
         if key is not None:
+            cached = self._cache_lookup(key, observing, observer)
+            if cached is not None:
+                return cached
+
+        stats = MatchStats() if observing else None
+        if self.engine == "columnar":
+            matches = self._columnar_query(query, stats)
+        else:
+            matches = self._scan_query(query, stats, observing, observer)
+        if observing:
+            self._observe_match_stats(observer, stats)
+
+        if key is not None:
+            self._cache_store(key, matches)
+        return matches
+
+    def query_batch(self, queries: List[BrokerQuery], observer=None) -> List[List[Match]]:
+        """Answer many queries in one pass (micro-batched recommends).
+
+        With the columnar engine, cache misses share one compiled plane
+        and queries with equal posting prefixes share one bitset
+        intersection (:meth:`ColumnarPlane.match_batch`); other engines
+        degrade to sequential :meth:`query` calls.  Results are
+        positionally aligned with *queries*.
+        """
+        if self.engine != "columnar" or self.context.explain_sink is not None:
+            return [self.query(query, observer=observer) for query in queries]
+        observing = observer is not None and observer.enabled
+        results: List[Optional[List[Match]]] = [None] * len(queries)
+        misses: List[Tuple[int, Optional[tuple], BrokerQuery]] = []
+        for position, query in enumerate(queries):
+            self.stats.queries_answered += 1
+            key = query.fingerprint() if self.match_cache_size else None
+            if key is not None:
+                cached = self._cache_lookup(key, observing, observer)
+                if cached is not None:
+                    results[position] = cached
+                    continue
+            misses.append((position, key, query))
+        if misses:
+            plane = self._plane()
+            stats = MatchStats() if observing else None
             if PROFILER.enabled:
-                PROFILER.begin("cache.lookup")
+                PROFILER.begin("match.columnar.sweep")
             try:
-                entry = self._match_cache.get(key)
-                if entry is not None and entry[0] == self.generation:
-                    self._match_cache.move_to_end(key)
-                    self.stats.cache_hits += 1
-                    if observing:
-                        observer.inc("repo.cache.count", outcome="hit")
-                    return list(entry[1])
-                self.stats.cache_misses += 1
-                if observing:
-                    observer.inc("repo.cache.count", outcome="miss")
+                answered = plane.match_batch(
+                    [query for _, _, query in misses], self.context, stats
+                )
             finally:
                 if PROFILER.enabled:
-                    PROFILER.end("cache.lookup")
+                    PROFILER.end("match.columnar.sweep")
+            stored = self._store.agent_count
+            for (position, key, _query), (matches, candidates) in zip(
+                misses, answered
+            ):
+                self.stats.advertisements_reasoned_over += candidates
+                self.stats.candidates_pruned += stored - candidates
+                if observing:
+                    observer.inc("repo.index.pruned", stored - candidates)
+                results[position] = matches
+                if key is not None:
+                    self._cache_store(key, matches)
+            if observing:
+                self._observe_match_stats(observer, stats)
+        return results
 
+    def _cache_lookup(self, key, observing, observer) -> Optional[List[Match]]:
+        if PROFILER.enabled:
+            PROFILER.begin("cache.lookup")
+        try:
+            entry = self._match_cache.get(key)
+            if entry is not None and entry[0] == self.generation:
+                self._match_cache.move_to_end(key)
+                self.stats.cache_hits += 1
+                if observing:
+                    observer.inc("repo.cache.count", outcome="hit")
+                return list(entry[1])
+            self.stats.cache_misses += 1
+            if observing:
+                observer.inc("repo.cache.count", outcome="miss")
+            return None
+        finally:
+            if PROFILER.enabled:
+                PROFILER.end("cache.lookup")
+
+    def _cache_store(self, key, matches: List[Match]) -> None:
+        self._match_cache[key] = (self.generation, tuple(matches))
+        self._match_cache.move_to_end(key)
+        while len(self._match_cache) > self.match_cache_size:
+            self._match_cache.popitem(last=False)
+
+    def _scan_query(self, query, stats, observing, observer) -> List[Match]:
+        """The direct/datalog path: candidate indexes + per-ad matcher."""
         if PROFILER.enabled:
             PROFILER.begin("match.index_probe")
         try:
@@ -310,10 +532,9 @@ class BrokerRepository:
         finally:
             if PROFILER.enabled:
                 PROFILER.end("match.index_probe")
-        pruned = len(self._agents) - len(candidates)
+        pruned = self._store.agent_count - len(candidates)
         self.stats.advertisements_reasoned_over += len(candidates)
         self.stats.candidates_pruned += pruned
-        stats = MatchStats() if observing else None
         if PROFILER.enabled:
             PROFILER.begin("match.filter")
         try:
@@ -332,14 +553,47 @@ class BrokerRepository:
                 PROFILER.end("match.filter")
         if observing:
             observer.inc("repo.index.pruned", pruned)
-            self._observe_match_stats(observer, stats)
-
-        if key is not None:
-            self._match_cache[key] = (self.generation, tuple(matches))
-            self._match_cache.move_to_end(key)
-            while len(self._match_cache) > self.match_cache_size:
-                self._match_cache.popitem(last=False)
         return matches
+
+    def _columnar_query(self, query: BrokerQuery, stats) -> List[Match]:
+        """The columnar path: AND posting bitsets, sweep interval
+        columns, run residual checkers on survivors."""
+        plane = self._plane()
+        if PROFILER.enabled:
+            PROFILER.begin("match.columnar.sweep")
+        try:
+            matches, candidates = plane.match(query, self.context, stats)
+        finally:
+            if PROFILER.enabled:
+                PROFILER.end("match.columnar.sweep")
+        self.stats.advertisements_reasoned_over += candidates
+        self.stats.candidates_pruned += self._store.agent_count - candidates
+        return matches
+
+    def _plane(self):
+        """The columnar plane for the current generation, compiling it
+        lazily (one streaming pass over storage) when stale."""
+        from repro.core.columnar import ColumnarPlane
+
+        generation = self.generation
+        if self._columnar is None or self._columnar_generation != generation:
+            if PROFILER.enabled:
+                PROFILER.begin("match.columnar.build")
+            try:
+                self._columnar = ColumnarPlane.compile(
+                    self._store.iter_agents(), self._fetch_agent
+                )
+            finally:
+                if PROFILER.enabled:
+                    PROFILER.end("match.columnar.build")
+            self._columnar_generation = generation
+        return self._columnar
+
+    def _fetch_agent(self, name: str) -> Advertisement:
+        ad = self._store.get_agent(name)
+        if ad is None:  # unreachable while the plane's generation holds
+            raise BrokeringError(f"no advertisement for agent {name!r}")
+        return ad
 
     @staticmethod
     def _observe_match_stats(observer, stats: MatchStats) -> None:
@@ -354,12 +608,14 @@ class BrokerRepository:
         """EXPLAIN-ANALYZE mode: answer *query* while recording exactly
         one verdict per stored advertisement.
 
-        Bypasses both the match cache and the candidate indexes — a
-        cache hit would record nothing and a pruned advertisement would
-        get no verdict — so this path costs a full scan by design; it is
-        only reachable when the caller opted into explanation.
+        Bypasses the match cache, the candidate indexes and the columnar
+        plane — a cache hit would record nothing, a pruned advertisement
+        would get no verdict, and the vectorized passes cannot attribute
+        a canonical reject reason — so this path costs a full scan by
+        design; it is only reachable when the caller opted into
+        explanation.
         """
-        candidates = list(self._agents.values())
+        candidates = list(self._store.iter_agents())
         self.stats.advertisements_reasoned_over += len(candidates)
         stats = MatchStats()
         if self._datalog is not None:
@@ -379,9 +635,13 @@ class BrokerRepository:
             matches = match_advertisements(
                 query, candidates, self.context, stats, explain=sink,
             )
-            sink.queries[-1].backend = (
-                "scan" if self.index_mode == "none" else "indexed"
-            )
+            if self.engine == "columnar":
+                backend = "columnar"
+            elif self.index_mode == "none":
+                backend = "scan"
+            else:
+                backend = "indexed"
+            sink.queries[-1].backend = backend
         if observer is not None:
             self._observe_match_stats(observer, stats)
         return matches
@@ -391,7 +651,7 @@ class BrokerRepository:
         intersection of the posting lists of every indexed dimension the
         query constrains (sound — a superset of the true match set)."""
         if self.index_mode == "none":
-            return list(self._agents.values())
+            return list(self._store.iter_agents())
 
         names: Optional[Set[str]] = None
         if query.ontology_name is not None:
@@ -422,8 +682,8 @@ class BrokerRepository:
                     return []
 
         if names is None:  # no indexed dimension constrained
-            return list(self._agents.values())
-        return [self._agents[name] for name in sorted(names)]
+            return list(self._store.iter_agents())
+        return [self._store.get_agent(name) for name in sorted(names)]
 
     def _class_expansion(self, ontology_name: str, requested: str):
         """Advertised class names relatable to *requested* (the memoized
@@ -452,6 +712,6 @@ class BrokerRepository:
         """Match *query* against stored *broker* advertisements (used to
         prune the inter-broker search).  Broker-directory reasoning is
         never part of an agent-matchmaking explain trail."""
-        self.stats.advertisements_reasoned_over += len(self._brokers)
-        return match_advertisements(query, self._brokers.values(), self.context,
-                                    explain=None)
+        self.stats.advertisements_reasoned_over += self._store.broker_count
+        return match_advertisements(query, self._store.iter_brokers(),
+                                    self.context, explain=None)

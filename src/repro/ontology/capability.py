@@ -33,6 +33,8 @@ class CapabilityHierarchy:
     """
 
     def __init__(self, edges: Iterable[Tuple[str, str]] = ()):
+        #: Monotonic mutation counter (see :attr:`Ontology.version`).
+        self.version = 0
         self._parent: Dict[str, Optional[str]] = {}
         # requested-capability -> frozenset of advertised names covering
         # it; invalidated on every hierarchy mutation.
@@ -49,6 +51,7 @@ class CapabilityHierarchy:
         if parent is not None and parent not in self._parent:
             raise CapabilityError(f"unknown parent capability {parent!r}")
         self._parent[capability] = parent
+        self.version += 1
         self._cover_cache.clear()
 
     def __contains__(self, capability: str) -> bool:

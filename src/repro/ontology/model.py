@@ -74,6 +74,10 @@ class Ontology:
         if not name:
             raise OntologyError("ontology name must be non-empty")
         self.name = name
+        #: Monotonic mutation counter.  The broker repository folds it
+        #: into its generation stamp so match caches and the columnar
+        #: plane notice an ontology reload, not just advertise traffic.
+        self.version = 0
         self._classes: Dict[str, OntClass] = {}
         # Hierarchy-walk memos, invalidated whenever a class is added.
         # The broker's candidate index asks for the same closures on
@@ -104,6 +108,7 @@ class Ontology:
                     f"key {cls.key!r} of class {cls.name!r} is not a slot"
                 )
         self._classes[cls.name] = cls
+        self.version += 1
         self._ancestor_cache.clear()
         self._descendant_cache.clear()
         self._related_cache.clear()

@@ -129,6 +129,20 @@ class SimConfig:
     #: this interval (seconds).
     broker_sync_interval: Optional[float] = None
 
+    # --- matchmaking engine -------------------------------------------------
+    #: Repository matching backend for every broker: ``"direct"``,
+    #: ``"datalog"`` or ``"columnar"`` (see repro.core.repository).
+    broker_engine: str = "direct"
+    #: When set, brokers buffer concurrent recommend-* requests for
+    #: this many (virtual) seconds and answer them in one repository
+    #: pass (micro-batching; see BrokerAgent.recommend_batch_window).
+    broker_batch_window: Optional[float] = None
+    #: When set, broker repositories store advertisements in SQLite at
+    #: this path (``":memory:"`` for per-broker in-memory databases)
+    #: instead of resident dicts.  Brokers suffix the path with their
+    #: name so they do not share one database file.
+    broker_store: Optional[str] = None
+
     # --- forensics ----------------------------------------------------------
     #: When set, every broker shares one slow-query flight recorder with
     #: this many slots: the N slowest/failed recommends keep their full
@@ -182,6 +196,12 @@ class SimConfig:
             raise ValueError("crash_mode must be 'lenient' or 'strict'")
         if self.broker_sync_interval is not None and self.broker_sync_interval <= 0:
             raise ValueError("broker sync interval must be positive")
+        if self.broker_engine not in ("direct", "datalog", "columnar"):
+            raise ValueError(
+                "broker_engine must be 'direct', 'datalog' or 'columnar'"
+            )
+        if self.broker_batch_window is not None and self.broker_batch_window <= 0:
+            raise ValueError("broker batch window must be positive")
         if self.flight_recorder_slots is not None and self.flight_recorder_slots < 1:
             raise ValueError("flight recorder slots must be >= 1")
         if self.trace_sample_rate is not None and not (

@@ -1,0 +1,376 @@
+"""Property tests for the columnar matchmaking plane and SQLite store.
+
+The columnar engine answers queries with bitset posting-list
+intersections, vectorized interval sweeps and compiled residual
+checkers; the SQLite store keeps advertisements out of Python memory
+behind the same repository interface.  Both must be *invisible* in the
+results:
+
+* compiled per-domain overlap checkers agree with ``overlaps_domains``
+  and compiled constraint checkers with ``Constraint.overlaps``
+  (hypothesis, including open and infinite endpoints);
+* randomized communities rank identically under scan, indexed, Datalog
+  and columnar — with constraint pools exercising open/unbounded
+  intervals, point queries that empty the posting sets, and both the
+  simple-interval-array and grouped-checker regimes;
+* ``query_batch`` equals per-query answers, cached and uncached;
+* a SQLite-backed repository answers byte-identically to the in-memory
+  one on seeds 0-2, survives a codec round-trip, and a journal replay
+  into a SQLite store reproduces the original repository.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constraints import (
+    Complement,
+    Constraint,
+    DiscreteSet,
+    Interval,
+    IntervalSet,
+    compile_constraint_checker,
+    compile_overlap_checker,
+    parse_constraint,
+    simple_numeric_interval,
+)
+from repro.constraints.domains import overlaps_domains
+from repro.core import BrokerQuery, BrokerRepository, MatchContext
+from repro.core.columnar import ColumnarPlane
+from repro.core.store import SQLiteAdStore, SQLiteBrokerRepository
+from tests.test_matchmaking_equivalence import (
+    ONTOLOGY_NAMES,
+    random_ad,
+    random_ontology,
+    random_query,
+    ranked,
+)
+
+# ----------------------------------------------------------------------
+# compiled checkers vs. the reference algebra (hypothesis)
+# ----------------------------------------------------------------------
+
+values = st.integers(min_value=-20, max_value=20)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(st.one_of(st.none(), values))
+    hi = draw(st.one_of(st.none(), values))
+    if lo is not None and hi is not None and lo > hi:
+        lo, hi = hi, lo
+    lo_open = draw(st.booleans()) if lo is not None else False
+    hi_open = draw(st.booleans()) if hi is not None else False
+    if lo is not None and lo == hi:
+        lo_open = hi_open = False
+    return Interval(lo, hi, lo_open, hi_open)
+
+
+@st.composite
+def domains(draw):
+    kind = draw(st.sampled_from(["interval", "discrete", "complement"]))
+    if kind == "interval":
+        return IntervalSet(draw(st.lists(intervals(), max_size=3)))
+    members = frozenset(draw(st.lists(values, max_size=4)))
+    return DiscreteSet(members) if kind == "discrete" else Complement(members)
+
+
+@given(domains(), domains())
+def test_compiled_overlap_checker_agrees(ad_domain, query_domain):
+    checker = compile_overlap_checker(ad_domain)
+    assert checker(query_domain) == overlaps_domains(ad_domain, query_domain)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["age", "cost", "days"]), domains()),
+                max_size=3),
+       st.lists(st.tuples(st.sampled_from(["age", "cost", "days"]), domains()),
+                max_size=3))
+def test_compiled_constraint_checker_agrees(ad_slots, query_slots):
+    ad = Constraint(dict(ad_slots))
+    query = Constraint(dict(query_slots))
+    assert compile_constraint_checker(ad)(query) == ad.overlaps(query)
+
+
+@given(domains())
+def test_simple_numeric_interval_is_faithful(domain):
+    """Whenever a domain compiles to a (lo, hi, open, open) quadruple,
+    membership of the quadruple must equal membership of the domain."""
+    simple = simple_numeric_interval(domain)
+    if simple is None:
+        return
+    lo, hi, lo_open, hi_open = simple
+    for probe in range(-25, 26):
+        inside = not (
+            probe < lo or probe > hi
+            or (lo_open and probe == lo)
+            or (hi_open and probe == hi)
+        )
+        assert inside == domain.contains(probe)
+
+
+# ----------------------------------------------------------------------
+# ranked equivalence on randomized communities
+# ----------------------------------------------------------------------
+
+# Endpoint-heavy constraints: open, half-open and unbounded intervals,
+# exact points, and string domains that force the grouped-checker path.
+EDGE_CONSTRAINTS = [
+    "",
+    "age > 40",
+    "age >= 40",
+    "age < 40",
+    "age <= 40",
+    "age = 40",
+    "age between 40 and 40",
+    "cost > 100 and cost < 200",
+    "cost >= 100 and cost <= 100",
+    "days != 7",
+    "code in ('40W', '41X', '42Y')",
+    "city != 'Dallas'",
+    "city = 'Austin'",
+]
+
+
+def edge_ad(rng, name, ontologies):
+    from tests.test_core_matcher import make_ad
+
+    ad = random_ad(rng, name, ontologies)
+    constraint = rng.choice(EDGE_CONSTRAINTS)
+    return make_ad(
+        name,
+        agent_type=ad.description.location.agent_type,
+        content_languages=ad.description.syntax.content_languages,
+        conversations=ad.description.capabilities.conversations,
+        functions=ad.description.capabilities.functions,
+        ontology=ad.description.content.ontology_name,
+        classes=ad.description.content.classes,
+        slots=ad.description.content.slots,
+        constraints=constraint,
+        mobile=ad.description.properties.mobile,
+        response_time=ad.description.properties.estimated_response_time,
+    )
+
+
+def edge_query(rng, ontologies):
+    query = random_query(rng, ontologies)
+    return BrokerQuery(
+        agent_type=query.agent_type,
+        content_language=query.content_language,
+        conversations=query.conversations,
+        capabilities=query.capabilities,
+        ontology_name=query.ontology_name,
+        classes=query.classes,
+        slots=query.slots,
+        constraints=parse_constraint(rng.choice(EDGE_CONSTRAINTS)),
+        max_response_time=query.max_response_time,
+        require_mobile=query.require_mobile,
+        allow_partial_slots=query.allow_partial_slots,
+    )
+
+
+@pytest.mark.parametrize("seed", [1, 5, 91, 404])
+def test_columnar_ranked_identical_on_edge_communities(seed):
+    rng = random.Random(seed)
+    ontologies = {name: random_ontology(rng, name) for name in ONTOLOGY_NAMES}
+    context = MatchContext(
+        ontologies={name: pair[0] for name, pair in ontologies.items()}
+    )
+    scan = BrokerRepository(context, index_mode="none", match_cache_size=0)
+    indexed = BrokerRepository(context, index_mode="full")
+    datalog = BrokerRepository(context, engine="datalog")
+    columnar = BrokerRepository(context, engine="columnar")
+    repos = (scan, indexed, datalog, columnar)
+
+    ads = [edge_ad(rng, f"agent-{i}", ontologies) for i in range(24)]
+    for ad in ads:
+        for repo in repos:
+            repo.advertise(ad)
+
+    queries = [edge_query(rng, ontologies) for _ in range(14)]
+    for query in queries + queries[:7]:
+        expected = ranked(scan.query(query))
+        assert ranked(indexed.query(query)) == expected
+        assert ranked(datalog.query(query)) == expected
+        assert ranked(columnar.query(query)) == expected
+
+    for ad in ads[::2]:
+        for repo in repos:
+            assert repo.unadvertise(ad.agent_name)
+    for query in queries:
+        expected = ranked(scan.query(query))
+        assert ranked(columnar.query(query)) == expected
+
+
+def test_columnar_empty_posting_dimensions():
+    """Queries over values nothing advertises must empty out cleanly at
+    the posting stage — unknown ontology, capability, conversation,
+    language, class — and an empty repository answers everything with
+    nothing."""
+    from tests.test_core_matcher import make_ad
+
+    context = MatchContext()
+    repo = BrokerRepository(context, engine="columnar")
+    assert repo.query(BrokerQuery()) == []
+
+    repo.advertise(make_ad("a1"))  # healthcare, classes=("patient",)
+    for query in (
+        BrokerQuery(ontology_name="no-such-ontology"),
+        BrokerQuery(capabilities=("no-such-capability",)),
+        BrokerQuery(conversations=("no-such-conversation",)),
+        BrokerQuery(content_language="no-such-language"),
+        BrokerQuery(agent_type="no-such-type"),
+        BrokerQuery(ontology_name="healthcare", classes=("no-such-class",)),
+    ):
+        assert repo.query(query) == []
+    assert [m.agent_name for m in repo.query(BrokerQuery())] == ["a1"]
+
+    # An ad advertising *no* classes passes class requirements
+    # vacuously — it must survive the posting intersection.
+    repo.advertise(make_ad("a2", classes=()))
+    matches = repo.query(
+        BrokerQuery(ontology_name="healthcare", classes=("no-such-class",))
+    )
+    assert [m.agent_name for m in matches] == ["a2"]
+
+
+@pytest.mark.parametrize("cache", [0, 64])
+def test_match_batch_equals_per_query(cache):
+    rng = random.Random(77)
+    ontologies = {name: random_ontology(rng, name) for name in ONTOLOGY_NAMES}
+    context = MatchContext(
+        ontologies={name: pair[0] for name, pair in ontologies.items()}
+    )
+    reference = BrokerRepository(context, index_mode="none", match_cache_size=0)
+    batched = BrokerRepository(context, engine="columnar", match_cache_size=cache)
+    ads = [edge_ad(rng, f"agent-{i}", ontologies) for i in range(20)]
+    for ad in ads:
+        reference.advertise(ad)
+        batched.advertise(ad)
+    queries = [edge_query(rng, ontologies) for _ in range(9)]
+    # Duplicates inside one batch share a posting prefix (and, with the
+    # cache on, a cached answer).
+    batch = queries + queries[:4]
+    answers = batched.query_batch(batch)
+    assert len(answers) == len(batch)
+    for query, matches in zip(batch, answers):
+        assert ranked(matches) == ranked(reference.query(query))
+
+
+def test_plane_posting_prefix_sharing():
+    """Two queries differing only in their constraint tail share one
+    posting intersection inside match_batch."""
+    rng = random.Random(5)
+    ontologies = {name: random_ontology(rng, name) for name in ONTOLOGY_NAMES}
+    context = MatchContext(
+        ontologies={name: pair[0] for name, pair in ontologies.items()}
+    )
+    ads = [edge_ad(rng, f"agent-{i}", ontologies) for i in range(12)]
+    plane = ColumnarPlane.compile(ads, {ad.agent_name: ad for ad in ads}.get)
+    q1 = BrokerQuery(ontology_name="healthcare",
+                     constraints=parse_constraint("age > 10"))
+    q2 = BrokerQuery(ontology_name="healthcare",
+                     constraints=parse_constraint("age < 5"))
+    assert q1.posting_prefix() == q2.posting_prefix()
+    assert q1.fingerprint() != q2.fingerprint()
+    batched = plane.match_batch([q1, q2], context)
+    for query, (matches, _candidates) in zip((q1, q2), batched):
+        solo, _ = plane.match(query, context)
+        assert ranked(matches) == ranked(solo)
+
+
+# ----------------------------------------------------------------------
+# SQLite store
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_sqlite_repository_matches_memory_byte_identically(seed):
+    rng = random.Random(seed)
+    ontologies = {name: random_ontology(rng, name) for name in ONTOLOGY_NAMES}
+    context = MatchContext(
+        ontologies={name: pair[0] for name, pair in ontologies.items()}
+    )
+    memory = BrokerRepository(context, engine="columnar")
+    sqlite = SQLiteBrokerRepository(context, engine="columnar")
+    ads = [edge_ad(rng, f"agent-{i}", ontologies) for i in range(22)]
+    for ad in ads:
+        memory.advertise(ad)
+        sqlite.advertise(ad)
+    assert sqlite.agent_names() == memory.agent_names()
+    assert sqlite.size_mb() == pytest.approx(memory.size_mb())
+    for query in [edge_query(rng, ontologies) for _ in range(12)]:
+        expected = memory.query(query)
+        got = sqlite.query(query)
+        # Byte-identical: same agents, same exact float scores, same
+        # covered slots, and the decoded advertisements round-trip the
+        # codec losslessly.
+        assert ranked(got) == ranked(expected)
+        assert [m.score for m in got] == [m.score for m in expected]
+        assert [m.advertisement for m in got] == [m.advertisement for m in expected]
+
+
+def test_sqlite_store_roundtrip_and_churn():
+    from tests.test_core_matcher import make_ad
+
+    store = SQLiteAdStore(decode_cache_size=2)  # force re-decodes
+    repo = BrokerRepository(engine="columnar", store=store)
+    ads = [
+        make_ad(f"a{i}", ontology="healthcare",
+                constraints=f"age between {i} and {i + 10}")
+        for i in range(6)
+    ]
+    for ad in ads:
+        repo.advertise(ad)
+    assert store.agent_count == 6
+    assert repo.get("a3") == ads[3]
+    assert repo.unadvertise("a3")
+    assert not repo.knows("a3")
+    assert store.agent_count == 5
+    # Re-advertising across the agent/broker boundary keeps one row.
+    repo.advertise(ads[0])
+    assert store.agent_count == 5
+    assert [ad.agent_name for ad in store.iter_agents()] == [
+        "a1", "a2", "a4", "a5", "a0"
+    ]
+
+
+def test_sqlite_journal_replay_is_one_transaction(tmp_path):
+    """Replaying an advertisement journal into a SQLite-backed broker
+    reproduces the original repository, inside a single bulk
+    transaction."""
+    from repro.agents.recovery import AdvertisementJournal
+    from tests.test_core_matcher import make_ad
+
+    journal = AdvertisementJournal()
+    source = BrokerRepository()
+    records = [
+        make_ad(f"a{i}", ontology="healthcare",
+                constraints=f"cost between {100 * i} and {100 * i + 50}")
+        for i in range(8)
+    ]
+    for ad in records:
+        source.advertise(ad)
+        journal.record_advertise(ad)
+
+    target = SQLiteBrokerRepository(engine="columnar",
+                                    path=str(tmp_path / "ads.db"))
+    with target.bulk():
+        for record in journal.replay():
+            target.advertise(record.ad)
+    assert target.agent_names() == source.agent_names()
+    query = BrokerQuery(ontology_name="healthcare",
+                        constraints=parse_constraint("cost < 160"))
+    assert ranked(target.query(query)) == ranked(source.query(query))
+
+
+def test_sqlite_clone_empty_forgets():
+    repo = SQLiteBrokerRepository(engine="columnar")
+    from tests.test_core_matcher import make_ad
+
+    repo.advertise(make_ad("a0", ontology="healthcare"))
+    clone = repo.clone_empty()
+    assert clone.agent_count == 0
+    assert clone.engine == "columnar"
+    assert clone.query(BrokerQuery()) == []
+    # the original is untouched
+    assert repo.agent_count == 1

@@ -1,17 +1,18 @@
 """Property test: every matchmaking backend agrees on every community.
 
 Seeded-random agent communities — subclass hierarchies, capability
-trees, data constraints, slot fragments — are matched three ways:
+trees, data constraints, slot fragments — are matched four ways:
 
 * the direct matcher with no candidate index and no cache (the
   reference linear scan),
 * the direct matcher with the full candidate index and match cache,
-* the persistent incremental Datalog backend.
+* the persistent incremental Datalog backend,
+* the columnar plane (bitset posting lists + interval columns).
 
-All three must return the *same agents in the same ranked order* for
+All four must return the *same agents in the same ranked order* for
 every query.  This pins down the tentpole's soundness claim: the
-indexes, the cache and the incremental LDL program are pure
-work-savers, invisible in the results.
+indexes, the cache, the incremental LDL program and the vectorized
+columnar passes are pure work-savers, invisible in the results.
 """
 
 import random
@@ -121,7 +122,8 @@ def test_backends_agree_on_random_communities(seed):
     scan = BrokerRepository(context, index_mode="none", match_cache_size=0)
     indexed = BrokerRepository(context, index_mode="full")
     datalog = BrokerRepository(context, engine="datalog")
-    repos = (scan, indexed, datalog)
+    columnar = BrokerRepository(context, engine="columnar")
+    repos = (scan, indexed, datalog, columnar)
 
     ads = [random_ad(rng, f"agent-{i}", ontologies) for i in range(18)]
     for ad in ads:
@@ -135,6 +137,7 @@ def test_backends_agree_on_random_communities(seed):
         expected = ranked(scan.query(query))
         assert ranked(indexed.query(query)) == expected
         assert ranked(datalog.query(query)) == expected
+        assert ranked(columnar.query(query)) == expected
 
     # Churn: drop a third of the community, backends must stay aligned.
     for ad in ads[::3]:
@@ -144,6 +147,7 @@ def test_backends_agree_on_random_communities(seed):
         expected = ranked(scan.query(query))
         assert ranked(indexed.query(query)) == expected
         assert ranked(datalog.query(query)) == expected
+        assert ranked(columnar.query(query)) == expected
 
 
 def verdict_map(trail):
@@ -156,8 +160,10 @@ def verdict_map(trail):
 @pytest.mark.parametrize("seed", [11, 401, 7321])
 def test_backends_agree_on_explanations(seed):
     """With explain enabled, every backend issues exactly one verdict
-    per advertisement per query, and all three agree on accept/reject,
-    the reject reason, and its detail."""
+    per advertisement per query, and all four agree on accept/reject,
+    the reject reason, and its detail.  The columnar backend routes
+    explain-mode queries through the canonical scan (labelled
+    ``columnar``) so its verdicts carry the same reasons."""
     from repro.obs.explain import ExplainSink
 
     rng = random.Random(seed)
@@ -169,6 +175,7 @@ def test_backends_agree_on_explanations(seed):
         "scan": BrokerRepository(context, index_mode="none", match_cache_size=0),
         "indexed": BrokerRepository(context, index_mode="full"),
         "datalog": BrokerRepository(context, engine="datalog"),
+        "columnar": BrokerRepository(context, engine="columnar"),
     }
 
     ads = [random_ad(rng, f"agent-{i}", ontologies) for i in range(15)]
@@ -202,3 +209,4 @@ def test_backends_agree_on_explanations(seed):
         reference = verdict_map(trails["scan"])
         assert verdict_map(trails["indexed"]) == reference
         assert verdict_map(trails["datalog"]) == reference
+        assert verdict_map(trails["columnar"]) == reference

@@ -232,6 +232,48 @@ class TestMatchCache:
         repo.advertise(broker_ad("b-late"))
         assert repo.generation > generation
 
+    @pytest.mark.parametrize("engine", ["direct", "columnar"])
+    def test_ontology_mutation_bumps_generation_and_invalidates(self, engine):
+        """Regression: the generation stamp must also move when the
+        shared ontology mutates, not only on advertise traffic — a
+        cached match list (or compiled columnar plane) built under the
+        old class hierarchy would otherwise survive an ontology update
+        and serve stale answers."""
+        from repro.ontology import OntClass
+
+        ontology = healthcare_ontology()
+        context = MatchContext(ontologies={"healthcare": ontology})
+        repo = BrokerRepository(context, engine=engine)
+        # The advertised class is unknown to the ontology, so it is
+        # unrelated to "patient" — the query caches an empty answer.
+        repo.advertise(make_ad("late-vocab", classes=("telemetry-record",)))
+        query = BrokerQuery(ontology_name="healthcare", classes=("patient",))
+        assert names(repo.query(query)) == []
+        generation = repo.generation
+        # An ontology update makes the advertised class a subclass of
+        # "patient"; the cached empty answer is now wrong.
+        ontology.add_class(OntClass("telemetry-record", (), parent="patient"))
+        assert repo.generation > generation
+        assert names(repo.query(query)) == ["late-vocab"]
+
+    @pytest.mark.parametrize("engine", ["direct", "columnar"])
+    def test_ontology_reload_bumps_generation(self, engine):
+        """Swapping in a *new* ontology object under the same name (an
+        ontology-server reload) must invalidate too, even though no
+        repository mutation happened."""
+        context = MatchContext(ontologies={"healthcare": healthcare_ontology()})
+        repo = BrokerRepository(context, engine=engine)
+        repo.advertise(make_ad("steady", classes=("patient",)))
+        query = BrokerQuery(ontology_name="healthcare", classes=("patient",))
+        assert names(repo.query(query)) == ["steady"]
+        generation = repo.generation
+        context.ontologies["healthcare"] = healthcare_ontology()
+        assert repo.generation > generation
+        # Same semantics, fresh closures: the answer is recomputed, not
+        # served from a cache keyed to the dead ontology object.
+        assert names(repo.query(query)) == ["steady"]
+        assert repo.stats.cache_hits == 0
+
     def test_cache_disabled(self):
         _, repo = build_repos(sample_ads(), match_cache_size=0)
         query = BrokerQuery(ontology_name="healthcare")

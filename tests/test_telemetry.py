@@ -439,6 +439,41 @@ class TestPhaseProfiler:
             assert PROFILER is before
         assert not PROFILER.enabled
 
+    def test_columnar_query_emits_build_and_sweep_phases(self):
+        """A columnar-engine query run emits ``match.columnar.build``
+        (lazy plane compilation) and ``match.columnar.sweep`` (the
+        vectorized match), and the recorded stacks reconcile: every
+        stack's total covers its self time plus its children's totals."""
+        from repro.core import BrokerQuery, BrokerRepository
+        from tests.test_core_matcher import make_ad
+
+        repo = BrokerRepository(engine="columnar")
+        for i in range(12):
+            repo.advertise(make_ad(f"a{i}", ontology="healthcare"))
+        with profiling():
+            repo.query(BrokerQuery(ontology_name="healthcare"))
+            repo.query(BrokerQuery(agent_type="resource"))
+            # Cache hit: lookup phase only, no sweep.
+            repo.query(BrokerQuery(agent_type="resource"))
+        stats = PROFILER.stacks()
+        names = {stack[-1] for stack in stats}
+        assert "match.columnar.build" in names
+        assert "match.columnar.sweep" in names
+        assert "cache.lookup" in names
+        for stack, stat in stats.items():
+            children = sum(
+                child.total
+                for child_stack, child in stats.items()
+                if len(child_stack) == len(stack) + 1
+                and child_stack[: len(stack)] == stack
+            )
+            assert stat.self_time >= 0.0
+            assert stat.total + 1e-9 >= stat.self_time + children
+        # The build phase nests inside the sweep-triggering query, not
+        # the other way round: a sweep never appears under a build.
+        assert all("match.columnar.build" != stack[0] or len(stack) == 1
+                   for stack in stats if "match.columnar.sweep" in stack)
+
 
 class TestSLO:
     @staticmethod
