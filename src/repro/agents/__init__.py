@@ -21,8 +21,9 @@ Agents provided (paper Figure 1):
 
 from repro.agents.errors import AgentError
 from repro.agents.costs import CostModel
-from repro.agents.bus import MessageBus
+from repro.agents.bus import MAILBOX_POLICIES, MessageBus, is_maintenance
 from repro.agents.faults import (
+    AdmissionConfig,
     BackoffPolicy,
     BreakerConfig,
     BreakerState,
@@ -50,6 +51,7 @@ from repro.agents.monitor import MonitorAgent
 
 __all__ = [
     "AdaptiveUserAgent",
+    "AdmissionConfig",
     "AdvertisementJournal",
     "Agent",
     "AgentConfig",
@@ -66,6 +68,7 @@ __all__ = [
     "JournalRecord",
     "LinkFaults",
     "HandlerResult",
+    "MAILBOX_POLICIES",
     "MessageBus",
     "MonitorAgent",
     "MultiResourceQueryAgent",
@@ -75,4 +78,5 @@ __all__ = [
     "SyncDelta",
     "SyncDigest",
     "UserAgent",
+    "is_maintenance",
 ]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.agents.costs import CostModel
@@ -85,9 +85,22 @@ class AgentConfig:
     #: agent must rebuild (re-advertise; brokers additionally replay
     #: their journal and/or sync from peers).
     crash_mode: str = "lenient"
+    #: Stamp outgoing :meth:`Agent.ask` requests with an ``:x-deadline``
+    #: extras param (absolute virtual time = now + reply timeout) so
+    #: downstream hops can propagate the remaining budget and shed
+    #: already-dead work.  Off by default: the stamp changes message
+    #: extras, so it is strictly opt-in.
+    deadline_propagation: bool = False
+    #: Sorry ``:reason`` values :meth:`Agent.ask` treats as *transient*:
+    #: with attempt budget remaining the conversation stays open and the
+    #: request is resent after backoff (never earlier than the sorry's
+    #: ``:retry-after`` hint).  Sorries with any other reason — semantic
+    #: refusals — remain final, ending the conversation as before.
+    retry_on_sorry: Tuple[str, ...] = ()
 
     def __post_init__(self):
         object.__setattr__(self, "preferred_brokers", tuple(self.preferred_brokers))
+        object.__setattr__(self, "retry_on_sorry", tuple(self.retry_on_sorry))
         if self.redundancy < 0:
             raise AgentError("redundancy must be >= 0")
         if self.ping_interval <= 0 or self.reply_timeout <= 0:
@@ -111,6 +124,10 @@ class _Conversation:
     timeout: float = 0.0
     attempts_left: int = 0
     attempt: int = 1
+    #: True when :meth:`Agent.ask` minted the request's ``:x-deadline``
+    #: itself — retries then restamp it from the fresh send time (an
+    #: upstream-imposed deadline is never extended).
+    restamp_deadline: bool = False
 
 
 _PING_TIMER = "ping-cycle"
@@ -275,7 +292,11 @@ class Agent:
     def handle_message(self, message: KqmlMessage, now: float) -> HandlerResult:
         result = HandlerResult(cost_seconds=self.cost_model.base_handling_seconds)
         if message.in_reply_to and message.in_reply_to in self._conversations:
-            conversation = self._conversations.pop(message.in_reply_to)
+            conversation = self._conversations[message.in_reply_to]
+            if self._retry_transient_sorry(message, conversation, result):
+                self._record_replies(result)
+                return result
+            self._conversations.pop(message.in_reply_to)
             self.bus.cancel_timer(self.name, conversation.deadline_token)
             conversation.callback(message, result)
             self._record_replies(result)
@@ -380,6 +401,22 @@ class Agent:
         """
         if not message.reply_with:
             raise AgentError("ask() requires a message with :reply-with")
+        from repro.agents.bus import is_maintenance
+
+        stamped = False
+        if (self.config.deadline_propagation
+                and message.extra("x-deadline") is None
+                and not is_maintenance(message)):
+            # Maintenance asks (pings, anti-entropy) never carry
+            # deadlines: the bus clock an agent stamps from is the event
+            # arrival time, so a backlogged agent would mint its ping
+            # cycle already expired — and liveness probes are governed
+            # by their reply timeout, not by load shedding.
+            message = self._stamp_deadline(
+                message,
+                timeout if timeout is not None else self.config.reply_timeout,
+            )
+            stamped = True
         result.send(message, size_bytes=size_bytes)
         self._await_reply(message.reply_with, callback, result, timeout)
         budget = attempts if attempts is not None else self.config.max_attempts
@@ -393,6 +430,60 @@ class Agent:
                 timeout if timeout is not None else self.config.reply_timeout
             )
             conversation.attempts_left = budget - 1
+            conversation.restamp_deadline = stamped
+
+    def _stamp_deadline(self, message: KqmlMessage, timeout: float) -> KqmlMessage:
+        """A copy of *message* whose ``:x-deadline`` is ``now + timeout``
+        (an inbound deadline is never overwritten — smaller budgets win
+        by :meth:`ask` only stamping when the param is absent)."""
+        now = self.bus.now if self.bus is not None else 0.0
+        extras = tuple(
+            (key, value) for key, value in message.extras if key != "x-deadline"
+        )
+        return _replace(
+            message, extras=extras + (("x-deadline", now + timeout),)
+        )
+
+    def _retry_transient_sorry(
+        self, message: KqmlMessage, conversation: _Conversation,
+        result: HandlerResult,
+    ) -> bool:
+        """True when *message* is a transient (load-shedding) sorry and
+        budget remains: the conversation stays open and the request is
+        resent after backoff, floored at the sorry's ``:retry-after``."""
+        if message.performative is not Performative.SORRY:
+            return False
+        if not self.config.retry_on_sorry or conversation.attempts_left <= 0:
+            return False
+        reason = message.extra("reason")
+        if reason is None and isinstance(message.content, str):
+            reason = message.content
+        if reason not in self.config.retry_on_sorry:
+            return False
+        self.bus.cancel_timer(self.name, conversation.deadline_token)
+        conversation.attempts_left -= 1
+        conversation.attempt += 1
+        policy = self.config.backoff or DEFAULT_BACKOFF
+        delay = policy.delay(conversation.attempt - 1, self._retry_rng)
+        retry_after = message.extra("retry-after")
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        self._timeout_counter += 1
+        retry_token = ("retry", message.in_reply_to, self._timeout_counter)
+        conversation.deadline_token = retry_token
+        result.arm(delay, retry_token)
+        self.observer.inc("agent.retry.count", agent=self.name, cause="sorry")
+        return True
+
+    def _forget_request(self, message: KqmlMessage) -> None:
+        """Erase the idempotent-receive record of *message* so a retry
+        re-executes the handler instead of replaying a cached reply.
+        Called by handlers that load-shed a request: the shed sorry is a
+        refusal to do the work, not the work's result."""
+        key = (message.sender, message.performative.value, message.reply_with)
+        self._seen_requests.pop(key, None)
+        if message.reply_with:
+            self._reply_cache.pop(message.reply_with, None)
 
     # ------------------------------------------------------------------
     # timers
@@ -445,6 +536,12 @@ class Agent:
         conversation = self._conversations.get(reply_id)
         if conversation is None or conversation.deadline_token != token:
             return
+        if conversation.restamp_deadline:
+            # A self-minted deadline moves with the resend; a stale one
+            # would have the retry shed as already-expired on arrival.
+            conversation.message = self._stamp_deadline(
+                conversation.message, conversation.timeout
+            )
         result.send(conversation.message, size_bytes=conversation.size_bytes)
         self._timeout_counter += 1
         deadline = ("timeout", reply_id, self._timeout_counter)

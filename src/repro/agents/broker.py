@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.agents.base import Agent, AgentConfig, HandlerResult
 from repro.agents.errors import AgentError
-from repro.agents.faults import BreakerConfig, BreakerState, CircuitBreaker
+from repro.agents.faults import (AdmissionConfig, BreakerConfig, BreakerState,
+                                 CircuitBreaker)
 from repro.agents.recovery import (
     AdvertisementJournal,
     JournalRecord,
@@ -157,6 +158,12 @@ class BrokerAgent(Agent):
         # bypasses the match cache — diagnostic equipment, not a
         # production default.
         flight_recorder: Optional[FlightRecorder] = None,
+        # Overload admission control + brownout (None = disabled, the
+        # legacy behaviour): refuse new recommends with a transient
+        # `sorry (:reason overload :retry-after T)` past hard limits,
+        # and skip the consortium fan-out (answering local-only with
+        # `:partial "shed:consortium"`) past brownout thresholds.
+        admission: Optional[AdmissionConfig] = None,
     ):
         super().__init__(
             name,
@@ -205,6 +212,7 @@ class BrokerAgent(Agent):
         self.sequential_until_match = sequential_until_match
         self.breaker_config = breaker
         self.flight_recorder = flight_recorder
+        self.admission = admission
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._aggregations: Dict[str, _Aggregation] = {}
         self._inflight: Dict[str, _RecommendForensics] = {}
@@ -683,10 +691,65 @@ class BrokerAgent(Agent):
         for message in buffered:
             self._recommend(message, result)
 
+    def _shed_recommend(
+        self, message: KqmlMessage, deadline: Optional[float],
+        result: HandlerResult,
+    ) -> bool:
+        """Deadline and admission checks, run before any matcher work.
+        True when the request was shed: expired work silently (the
+        requester's timer already fired — nobody is listening), refused
+        work with a transient ``sorry (:reason overload)``."""
+        obs = self.observer
+        if deadline is not None and self.bus.now > float(deadline):
+            obs.inc("broker.admission.expired", broker=self.name)
+            self._forget_request(message)
+            return True
+        adm = self.admission
+        if adm is None:
+            return False
+        inflight = len(self._aggregations) + len(self._recommend_buffer)
+        depth = self.bus.queue_depth(self.name)
+        if obs.wants_metrics:
+            obs.gauge("broker.admission.inflight", float(inflight),
+                      broker=self.name)
+        if ((adm.max_inflight is not None and inflight >= adm.max_inflight)
+                or (adm.max_queue_depth is not None
+                    and depth >= adm.max_queue_depth)):
+            obs.inc("broker.admission.shed", broker=self.name)
+            if message.expects_reply():
+                result.send(message.reply(
+                    Performative.SORRY, content="overload", reason="overload",
+                    **{"retry-after": adm.retry_after},
+                ))
+            # A shed is a refusal, not a result: erase the idempotent-
+            # receive record so a retry re-executes instead of replaying
+            # the cached sorry forever.
+            self._forget_request(message)
+            return True
+        return False
+
+    def _brownout_consortium(self) -> bool:
+        """True when load sits above the brownout thresholds: recommends
+        are still answered, but from the local repository only."""
+        adm = self.admission
+        if adm is None or (adm.brownout_inflight is None
+                           and adm.brownout_queue_depth is None):
+            return False
+        inflight = len(self._aggregations) + len(self._recommend_buffer)
+        if adm.brownout_inflight is not None and inflight >= adm.brownout_inflight:
+            return True
+        return (adm.brownout_queue_depth is not None
+                and self.bus.queue_depth(self.name) >= adm.brownout_queue_depth)
+
     def _recommend(self, message: KqmlMessage, result: HandlerResult) -> None:
         request = message.content
         if not isinstance(request, RecommendRequest):
             result.send(message.reply(Performative.SORRY, content="malformed broker query"))
+            return
+
+        directory = bool(message.extra("directory"))
+        deadline = message.extra("x-deadline")
+        if not directory and self._shed_recommend(message, deadline, result):
             return
 
         ontology = request.query.ontology_name or "(none)"
@@ -696,7 +759,6 @@ class BrokerAgent(Agent):
 
         obs = self.observer
         wall_start = _time.perf_counter() if obs.enabled else 0.0
-        directory = bool(message.extra("directory"))
         # Hop-graph identity: reuse the inbound :x-trace-id (we are an
         # inner hop of someone else's search) or mint one (we are the
         # originating broker).  Every forward/probe re-keys :reply-with,
@@ -742,6 +804,14 @@ class BrokerAgent(Agent):
             policy.follow is FollowOption.UNTIL_MATCH and local
         ) or not policy.may_forward()
         targets = [] if done_early else self._forward_targets(request)
+        # Brownout: under sustained pressure the consortium fan-out —
+        # the bulk of the per-query work — is shed; the local answer
+        # still goes out, annotated so requesters know it is partial.
+        shed_consortium = False
+        if targets and not directory and self._brownout_consortium():
+            shed_consortium = True
+            targets = []
+            obs.inc("broker.admission.brownout", broker=self.name)
         # Degraded mode: skip peers behind an open circuit breaker and
         # annotate the eventual reply instead of silently thinning it.
         skipped: List[str] = []
@@ -775,7 +845,8 @@ class BrokerAgent(Agent):
 
         if not targets:
             self._reply_matches(message, {m.agent_name: m for m in local}, result,
-                                partial=skipped)
+                                partial=skipped,
+                                shed=("consortium",) if shed_consortium else ())
             return
 
         if (
@@ -793,10 +864,20 @@ class BrokerAgent(Agent):
             outstanding=len(targets),
             unreachable=list(skipped),
         )
+        # Registered for the admission controller's in-flight count (and
+        # forensics); popped by _collect when the last peer settles.
+        self._aggregations[message.reply_with or str(id(aggregation))] = (
+            aggregation
+        )
         visited = request.visited | {self.name} | set(targets)
         forwarded_request = RecommendRequest(
             query=request.query, policy=policy.next_hop(), visited=visited
         )
+        forward_extras = {"x-trace-id": trace_id}
+        if deadline is not None:
+            # Propagate the requester's remaining budget: downstream
+            # hops shed the forward once it can no longer be answered.
+            forward_extras["x-deadline"] = deadline
         for target in targets:
             forward = KqmlMessage(
                 message.performative,
@@ -805,7 +886,7 @@ class BrokerAgent(Agent):
                 content=forwarded_request,
                 ontology="service",
                 reply_with=f"{self.name}-fwd-{target}-{message.reply_with}",
-                extras={"x-trace-id": trace_id},
+                extras=forward_extras,
             )
             self.ask(
                 forward,
@@ -840,6 +921,12 @@ class BrokerAgent(Agent):
             visited=request.visited | {self.name, target},
         )
         info = self._inflight.get(message.reply_with) if message.reply_with else None
+        probe_extras: Dict[str, object] = {}
+        if info is not None:
+            probe_extras["x-trace-id"] = info.trace_id
+        deadline = message.extra("x-deadline")
+        if deadline is not None:
+            probe_extras["x-deadline"] = deadline
         probe = KqmlMessage(
             message.performative,
             sender=self.name,
@@ -847,7 +934,7 @@ class BrokerAgent(Agent):
             content=forwarded,
             ontology="service",
             reply_with=f"{self.name}-probe-{target}-{message.reply_with}",
-            extras={"x-trace-id": info.trace_id} if info is not None else (),
+            extras=probe_extras,
         )
         self.ask(
             probe,
@@ -933,6 +1020,9 @@ class BrokerAgent(Agent):
             self._record_peer_failure(peer, result)
         aggregation.outstanding -= 1
         if aggregation.outstanding == 0:
+            self._aggregations.pop(
+                aggregation.original.reply_with or str(id(aggregation)), None
+            )
             self._reply_matches(aggregation.original, aggregation.matches, result,
                                 partial=aggregation.unreachable)
 
@@ -1032,6 +1122,7 @@ class BrokerAgent(Agent):
         matches: Dict[str, Match],
         result: HandlerResult,
         partial: Sequence[str] = (),
+        shed: Sequence[str] = (),
     ) -> None:
         union = len(matches)
         ranked = sorted(matches.values(), key=lambda m: (-m.score, m.agent_name))
@@ -1039,10 +1130,16 @@ class BrokerAgent(Agent):
             ranked = ranked[:1]
         extras: Dict[str, str] = {}
         unreachable = tuple(sorted(set(partial)))
+        parts: List[str] = []
         if partial:
             # Degraded mode: name the consortium peers that could not
             # contribute instead of silently returning fewer matches.
-            extras["partial"] = "unreachable:" + ",".join(unreachable)
+            parts.append("unreachable:" + ",".join(unreachable))
+        # Brownout: name what was deliberately skipped (same :partial
+        # vocabulary, "shed:" prefix).
+        parts.extend(f"shed:{item}" for item in shed)
+        if parts:
+            extras["partial"] = ";".join(parts)
         result.send(
             message.reply(Performative.TELL, content=ranked, **extras),
             size_bytes=max(
@@ -1054,7 +1151,8 @@ class BrokerAgent(Agent):
             if message.reply_with else None
         if info is None:
             return
-        status = "partial" if unreachable else ("ok" if ranked else "empty")
+        status = ("partial" if (unreachable or shed)
+                  else ("ok" if ranked else "empty"))
         obs = self.observer
         if obs.enabled:
             obs.annotate(

@@ -22,18 +22,35 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.agents.costs import CostModel
 from repro.agents.errors import AgentError
-from repro.kqml import KqmlMessage
+from repro.kqml import KqmlMessage, Performative
 from repro.obs.events import NULL_OBSERVER, Observer, compose, summarize_content
 from repro.obs.profiler import PROFILER
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.agents.base import Agent
     from repro.agents.faults import FaultInjector, FaultPlan
+
+#: Shed policies a bounded mailbox supports (see :meth:`MessageBus.set_mailbox`).
+MAILBOX_POLICIES = ("reject", "drop-oldest", "drop-new")
+
+#: Performatives that constitute liveness machinery on their own.
+_MAINTENANCE_PERFORMATIVES = frozenset((Performative.PING, Performative.PONG))
+
+
+def is_maintenance(message: KqmlMessage) -> bool:
+    """True for health-machinery traffic: pings/pongs (including circuit
+    breaker probes) and any payload that declares ``maintenance_lane``
+    (anti-entropy digests/deltas).  Bounded mailboxes never shed these —
+    an overloaded community must still detect failures and converge."""
+    if message.performative in _MAINTENANCE_PERFORMATIVES:
+        return True
+    return bool(getattr(message.content, "maintenance_lane", False))
 
 
 @dataclass
@@ -54,11 +71,29 @@ class BusStats:
     #: Deepest any single agent's undelivered-message backlog ever got
     #: (overload shows here long before queries start timing out).
     queue_depth_high_water: int = 0
+    #: Load shedding by bounded mailboxes (zero unless a mailbox bound
+    #: is configured), split by policy plus deadline expiry at dequeue.
+    shed_reject: int = 0
+    shed_oldest: int = 0
+    shed_new: int = 0
+    shed_expired: int = 0
+    #: Regular messages offered to / accepted by bounded mailboxes.
+    mailbox_offered: int = 0
+    mailbox_accepted: int = 0
+    #: Maintenance/reply deliveries that sailed past a *full* mailbox on
+    #: the priority lane — evidence the lane actually mattered.
+    maintenance_bypass: int = 0
 
     @property
     def messages_dropped(self) -> int:
         """Total drops from any cause (the legacy counter)."""
         return self.dropped_offline + self.dropped_injected
+
+    @property
+    def messages_shed(self) -> int:
+        """Total overload sheds: mailbox policy drops + expired work."""
+        return (self.shed_reject + self.shed_oldest + self.shed_new
+                + self.shed_expired)
 
 
 @dataclass(frozen=True)
@@ -148,6 +183,26 @@ class MessageBus:
         #: and ``bus.queue.depth`` gauges.
         self._inflight: Dict[str, int] = {}
         self._inflight_total = 0
+        #: Bounded-mailbox state (all inert until :meth:`set_mailbox`).
+        #: The "mailbox" models the receiving endpoint's inbox: regular
+        #: messages occupy a slot from acceptance until their *service*
+        #: completes in virtual time; maintenance traffic and replies
+        #: ride a priority lane and never occupy (or get shed from) it.
+        self._mailbox_capacity: Optional[int] = None
+        self._mailbox_policy: str = "reject"
+        self._mailbox_retry_after: float = 30.0
+        #: Accepted-but-undelivered messages per receiver, in enqueue
+        #: order — the evictable portion of the backlog (drop-oldest).
+        self._mailboxes: Dict[str, "OrderedDict[int, KqmlMessage]"] = {}
+        #: Accepted-but-unfinished count per receiver (queued + in
+        #: service), purged lazily from ``_mailbox_done``.
+        self._mailbox_depth: Dict[str, int] = {}
+        #: Virtual service-completion times of delivered mailbox
+        #: messages (monotonic per receiver: single-server FIFO).
+        self._mailbox_done: Dict[str, deque] = {}
+        #: Heap entries evicted after scheduling (lazy deletion).
+        self._shed_ids: set = set()
+        self._delivery_ids = itertools.count(1)
         self._trace_list: Optional[List[TraceEntry]] = None
         self._trace_observer: Optional[MessageLogObserver] = None
         self._base_observer = (
@@ -244,6 +299,108 @@ class MessageBus:
         return self.faults
 
     # ------------------------------------------------------------------
+    # bounded mailboxes (strictly opt-in; ISSUE 8)
+    # ------------------------------------------------------------------
+    def set_mailbox(self, capacity: Optional[int], policy: str = "reject",
+                    retry_after: float = 30.0) -> None:
+        """Bound every agent's regular-traffic mailbox to *capacity*
+        outstanding messages (queued + in service).  Overflow is handled
+        per *policy*: ``"reject"`` answers reply-expecting overflow with
+        a synthetic ``sorry (:reason overload :retry-after T)``,
+        ``"drop-oldest"`` evicts the oldest undelivered message, and
+        ``"drop-new"`` silently drops the newcomer.  Maintenance traffic
+        (:func:`is_maintenance`) and replies always bypass the bound.
+        ``capacity=None`` removes the bound (the default)."""
+        if capacity is None:
+            self._mailbox_capacity = None
+            return
+        if capacity < 1:
+            raise AgentError(f"mailbox capacity must be >= 1, got {capacity}")
+        if policy not in MAILBOX_POLICIES:
+            raise AgentError(
+                f"unknown mailbox policy {policy!r}; "
+                f"expected one of {MAILBOX_POLICIES}"
+            )
+        if retry_after <= 0:
+            raise AgentError("mailbox retry_after must be positive")
+        self._mailbox_capacity = int(capacity)
+        self._mailbox_policy = policy
+        self._mailbox_retry_after = float(retry_after)
+
+    def queue_depth(self, name: str) -> int:
+        """Current backlog for *name*: accepted-but-unfinished mailbox
+        work when a bound is configured, else undelivered messages."""
+        if self._mailbox_capacity is not None:
+            self._mailbox_purge(name, self.now)
+            return self._mailbox_depth.get(name, 0)
+        return self._inflight.get(name, 0)
+
+    def _sheddable(self, message: KqmlMessage) -> bool:
+        # Replies resolve work the receiver already accepted — shedding
+        # them would strand conversations (and the synthetic overload
+        # sorry itself must always get through).
+        if message.in_reply_to:
+            return False
+        return not is_maintenance(message)
+
+    def _mailbox_purge(self, receiver: str, now: float) -> None:
+        done = self._mailbox_done.get(receiver)
+        if not done:
+            return
+        depth = self._mailbox_depth.get(receiver, 0)
+        while done and done[0] <= now:
+            done.popleft()
+            depth -= 1
+        self._mailbox_depth[receiver] = depth
+
+    def _record_shed(self, message: KqmlMessage, reason: str) -> None:
+        if reason == "shed-reject":
+            self.stats.shed_reject += 1
+        elif reason == "shed-oldest":
+            self.stats.shed_oldest += 1
+        else:
+            self.stats.shed_new += 1
+        self.observer.message_dropped(self.now, message, reason=reason)
+        if self.observer.wants_metrics:
+            self.observer.inc("bus.shed.count", policy=self._mailbox_policy)
+
+    def _admit(self, message: KqmlMessage, when: float) -> bool:
+        """Apply the mailbox policy; True when *message* may occupy a
+        slot.  Admission is evaluated at enqueue (send) time."""
+        receiver = message.receiver
+        self._mailbox_purge(receiver, self.now)
+        if self._mailbox_depth.get(receiver, 0) < self._mailbox_capacity:
+            return True
+        policy = self._mailbox_policy
+        if policy == "drop-oldest":
+            box = self._mailboxes.get(receiver)
+            if box:
+                victim_id, victim = box.popitem(last=False)
+                self._shed_ids.add(victim_id)
+                self._mailbox_depth[receiver] -= 1
+                self._record_shed(victim, "shed-oldest")
+                self._track_dequeue(receiver)
+                return True
+            # Every occupied slot is already in service: nothing is
+            # evictable, so the newcomer is shed instead.
+            self._record_shed(message, "shed-new")
+            return False
+        self._record_shed(
+            message, "shed-reject" if policy == "reject" else "shed-new"
+        )
+        if (policy == "reject" and message.expects_reply()
+                and not message.in_reply_to):
+            # The receiving endpoint refuses at the door: a synthetic
+            # transient sorry tells the sender to back off now instead
+            # of burning its full reply timeout.  It is a reply, so it
+            # rides the priority lane and cannot itself be shed.
+            self.send(message.reply(
+                Performative.SORRY, content="overload", reason="overload",
+                **{"retry-after": self._mailbox_retry_after},
+            ), at=when)
+        return False
+
+    # ------------------------------------------------------------------
     # sending and timers (called by agents from inside handlers)
     # ------------------------------------------------------------------
     def send(self, message: KqmlMessage, at: float, size_bytes: Optional[float] = None) -> None:
@@ -261,10 +418,36 @@ class MessageBus:
                 self.observer.message_dropped(at, message, reason="injected")
                 return
             for when in arrivals:
-                self._push(when, ("deliver", message, size))
-                self._track_enqueue(message.receiver)
+                self._enqueue(message, when, size)
             return
-        self._push(arrival, ("deliver", message, size))
+        self._enqueue(message, arrival, size)
+
+    def _enqueue(self, message: KqmlMessage, when: float, size: float) -> None:
+        if self._mailbox_capacity is not None and self._sheddable(message):
+            self.stats.mailbox_offered += 1
+            if self.observer.wants_metrics:
+                self.observer.inc("bus.mailbox.offered")
+            if not self._admit(message, when):
+                return
+            self.stats.mailbox_accepted += 1
+            if self.observer.wants_metrics:
+                self.observer.inc("bus.mailbox.accepted")
+            delivery_id = next(self._delivery_ids)
+            box = self._mailboxes.setdefault(message.receiver, OrderedDict())
+            box[delivery_id] = message
+            depth = self._mailbox_depth.get(message.receiver, 0) + 1
+            self._mailbox_depth[message.receiver] = depth
+            self._push(when, ("deliver", message, size, delivery_id))
+            self._track_enqueue(message.receiver)
+            return
+        if self._mailbox_capacity is not None:
+            # Priority lane: count the times it carried traffic past a
+            # full mailbox (the lane's reason to exist).
+            self._mailbox_purge(message.receiver, self.now)
+            if (self._mailbox_depth.get(message.receiver, 0)
+                    >= self._mailbox_capacity):
+                self.stats.maintenance_bypass += 1
+        self._push(when, ("deliver", message, size))
         self._track_enqueue(message.receiver)
 
     def schedule_callback(self, fire_at: float, callback: Callable[[], None]) -> None:
@@ -351,7 +534,10 @@ class MessageBus:
         self.now = max(self.now, time)
         kind = event[0]
         if kind == "deliver":
-            self._deliver(event[1], time, event[2])
+            self._deliver(
+                event[1], time, event[2],
+                event[3] if len(event) > 3 else None,
+            )
         elif kind == "timer":
             self._fire_timer(
                 event[1], event[2], time, event[3] if len(event) > 3 else 0
@@ -369,9 +555,10 @@ class MessageBus:
         self._inflight[receiver] = depth
         if depth > self.stats.queue_depth_high_water:
             self.stats.queue_depth_high_water = depth
-            if self.observer.wants_metrics:
-                self.observer.gauge("bus.queue.depth", float(depth))
+        # Emit the *current* depth on every transition (dequeue too), so
+        # the gauge decays instead of sticking at the high-water mark.
         if self.observer.wants_metrics:
+            self.observer.gauge("bus.queue.depth", float(depth))
             self.observer.gauge("bus.inflight", float(self._inflight_total))
 
     def _track_dequeue(self, receiver: str) -> None:
@@ -382,14 +569,39 @@ class MessageBus:
         else:
             self._inflight[receiver] = depth
         if self.observer.wants_metrics:
+            self.observer.gauge("bus.queue.depth", float(max(depth, 0)))
             self.observer.gauge("bus.inflight", float(self._inflight_total))
 
-    def _deliver(self, message: KqmlMessage, time: float, size: float) -> None:
+    def _deliver(self, message: KqmlMessage, time: float, size: float,
+                 delivery_id: Optional[int] = None) -> None:
+        if delivery_id is not None:
+            if delivery_id in self._shed_ids:
+                # Evicted by drop-oldest after scheduling; every counter
+                # was settled at eviction time (lazy heap deletion).
+                self._shed_ids.discard(delivery_id)
+                return
+            box = self._mailboxes.get(message.receiver)
+            if box is not None:
+                box.pop(delivery_id, None)
         self._track_dequeue(message.receiver)
         receiver = self._agents.get(message.receiver)
         if receiver is None or message.receiver in self._offline:
             self.stats.dropped_offline += 1
             self.observer.message_dropped(time, message, reason="offline")
+            if delivery_id is not None:
+                self._mailbox_depth[message.receiver] -= 1
+            return
+        deadline = message.extra("x-deadline") if message.extras else None
+        if (deadline is not None and time > float(deadline)
+                and not is_maintenance(message)):
+            # The requester's reply timer has already fired: running the
+            # handler would burn matcher time on a dead request.
+            self.stats.shed_expired += 1
+            self.observer.message_dropped(time, message, reason="expired")
+            if self.observer.wants_metrics:
+                self.observer.inc("bus.shed.expired")
+            if delivery_id is not None:
+                self._mailbox_depth[message.receiver] -= 1
             return
         self.stats.messages_delivered += 1
         start = max(receiver.busy_until, time)
@@ -411,6 +623,11 @@ class MessageBus:
             result = receiver.handle_message(message, start)
             completion = start + max(result.cost_seconds, 0.0)
             receiver.busy_until = completion
+            if delivery_id is not None:
+                # The slot frees when service finishes in virtual time.
+                self._mailbox_done.setdefault(
+                    message.receiver, deque()
+                ).append(completion)
             self._emit(receiver, result, completion)
         finally:
             if PROFILER.enabled:

@@ -254,6 +254,46 @@ class BreakerConfig:
             raise AgentError("cooldown and probe timeout must be positive")
 
 
+# ----------------------------------------------------------------------
+# broker admission control (ISSUE 8; strictly opt-in)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Broker-side overload policy: when to refuse new recommends with a
+    transient ``sorry (:reason overload :retry-after T)`` and when to
+    brown out (answer from the local repository only, skipping the
+    consortium fan-out, annotated ``:partial "shed:consortium"``).
+
+    Limits are compared against the broker's in-flight recommend count
+    (open consortium aggregations + batched-but-unflushed requests) and
+    its bus mailbox backlog.  ``None`` disables the corresponding check;
+    the all-``None`` default refuses nothing.
+    """
+
+    #: Hard admission limits: at or above either, new recommends are
+    #: refused outright with a transient overload sorry.
+    max_inflight: Optional[int] = None
+    max_queue_depth: Optional[int] = None
+    #: The ``:retry-after`` hint stamped on overload sorries — honoured
+    #: by :meth:`repro.agents.base.Agent.ask` as a backoff floor.
+    retry_after: float = 30.0
+    #: Brownout thresholds (should sit below the hard limits): at or
+    #: above either, recommends are still answered but from the local
+    #: repository only — shedding the consortium fan-out sheds the
+    #: majority of the per-query work while staying useful.
+    brownout_inflight: Optional[int] = None
+    brownout_queue_depth: Optional[int] = None
+
+    def __post_init__(self):
+        for name in ("max_inflight", "max_queue_depth",
+                     "brownout_inflight", "brownout_queue_depth"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise AgentError(f"{name} must be >= 1, got {value}")
+        if self.retry_after <= 0:
+            raise AgentError("retry_after must be positive")
+
+
 class CircuitBreaker:
     """The classic closed → open → half-open state machine.
 

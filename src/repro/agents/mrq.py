@@ -216,13 +216,19 @@ class MultiResourceQueryAgent(Agent):
             query=broker_query,
             policy=SearchPolicy(hop_count=self.broker_hop_count),
         )
+        recommend_extras = {"complexity": message.extra("complexity", 1.0)}
+        deadline = message.extra("x-deadline")
+        if deadline is not None:
+            # Thread the requester's remaining budget through the
+            # decomposition: the broker (and the bus) shed dead work.
+            recommend_extras["x-deadline"] = deadline
         recommend = KqmlMessage(
             Performative.RECOMMEND_ALL,
             sender=self.name,
             receiver=broker,
             content=request,
             ontology="service",
-            extras={"complexity": message.extra("complexity", 1.0)},
+            extras=recommend_extras,
         )
         plan = _Plan(original=message, select=select, ontology=ontology)
         self.ask(
@@ -261,15 +267,19 @@ class MultiResourceQueryAgent(Agent):
             if sub_select is None:
                 continue
             plan.pushed_down[match.agent_name] = sub_select.where is not None
+            ask_extras = {
+                "complexity": plan.original.extra("complexity", 1.0),
+            }
+            deadline = plan.original.extra("x-deadline")
+            if deadline is not None:
+                ask_extras["x-deadline"] = deadline
             ask = KqmlMessage(
                 Performative.ASK_ALL,
                 sender=self.name,
                 receiver=match.agent_name,
                 content=render_select(sub_select),
                 language="SQL 2.0",
-                extras={
-                    "complexity": plan.original.extra("complexity", 1.0),
-                },
+                extras=ask_extras,
             )
             self.ask(
                 ask,

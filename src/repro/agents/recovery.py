@@ -194,6 +194,10 @@ class SyncDigest:
 
     entries: Tuple[Tuple[str, float, int, bool], ...] = ()
 
+    #: Anti-entropy rides the bus's maintenance priority lane: bounded
+    #: mailboxes never shed it, so convergence survives overload.
+    maintenance_lane = True
+
     def as_map(self) -> Dict[str, Tuple[float, int]]:
         return {agent: (at, seq) for agent, at, seq, _deleted in self.entries}
 
@@ -203,6 +207,9 @@ class SyncDelta:
     """A peer's answer: the records the requester was missing."""
 
     records: Tuple[JournalRecord, ...] = ()
+
+    #: See :attr:`SyncDigest.maintenance_lane`.
+    maintenance_lane = True
 
     @property
     def size_mb(self) -> float:

@@ -368,6 +368,78 @@ def _run_chaos(scenario: Optional[str], metrics_path: Optional[str],
 
 
 # ----------------------------------------------------------------------
+# overload scenarios (``python -m repro overload <scenario>``)
+# ----------------------------------------------------------------------
+#: (capacity, policy, burst, brownout) per named overload scenario.
+#: ``calm`` is the protected stack with no flash crowd (it should change
+#: nothing); ``burst`` is the headline comparison cell; ``brownout``
+#: additionally sheds consortium fan-out under backlog.
+OVERLOAD_SCENARIOS: Dict[str, tuple] = {
+    "calm": (8, "reject", False, False),
+    "burst": (8, "reject", True, False),
+    "brownout": (8, "reject", True, True),
+    "unbounded": (None, "reject", True, False),
+}
+
+
+def _run_overload(scenario: Optional[str], metrics_path: Optional[str],
+                  full: bool) -> int:
+    """Run one overload scenario against the robustness community and
+    report goodput, sheds, and what the protection stack did."""
+    from repro import obs
+    from repro.experiments.robustness import overload_config
+    from repro.sim.simulator import Simulation
+
+    name = scenario or "burst"
+    if name not in OVERLOAD_SCENARIOS:
+        print(f"unknown overload scenario {name!r}; choose from: "
+              f"{', '.join(OVERLOAD_SCENARIOS)}", file=sys.stderr)
+        return 2
+    capacity, policy, burst, brownout = OVERLOAD_SCENARIOS[name]
+    duration = 43_200.0 if full else 3_600.0
+    config = overload_config(capacity, policy, burst=burst,
+                             brownout=brownout, duration=duration)
+
+    metrics_observer = obs.MetricsObserver()
+    with obs.installed(metrics_observer):
+        simulation = Simulation(config)
+        report = simulation.run()
+
+    stats = simulation.bus.stats
+    registry = metrics_observer.registry
+
+    def counter_total(prefix: str) -> float:
+        return sum(c.value for key, c in registry._counters.items()
+                   if key == prefix or key.startswith(prefix + "{"))
+
+    tail = report._tail_cutoff
+    answered = report.metrics.completed(after=config.warmup, before=tail)
+    window_min = (tail - config.warmup) / 60.0
+    print(f"overload scenario {name!r}: capacity={capacity}, "
+          f"policy={policy!r}, burst={'10x' if burst else 'off'}, "
+          f"brownout={brownout}, duration={duration:.0f}s")
+    print(f"  queries issued     {report.queries_issued}")
+    print(f"  reply fraction     {report.reply_fraction:.1%}")
+    print(f"  goodput            {len(answered) / window_min:.1f} replies/min")
+    print(f"  shed (reject)      {stats.shed_reject}")
+    print(f"  shed (drop-oldest) {stats.shed_oldest}")
+    print(f"  shed (drop-new)    {stats.shed_new}")
+    print(f"  shed (expired)     {stats.shed_expired}")
+    print(f"  mailbox offered    {stats.mailbox_offered}")
+    print(f"  mailbox accepted   {stats.mailbox_accepted}")
+    print(f"  maintenance bypass {stats.maintenance_bypass}")
+    print(f"  admission sheds    {counter_total('broker.admission.shed'):.0f}")
+    print(f"  brownout replies   "
+          f"{counter_total('broker.admission.brownout'):.0f}")
+    print(f"  expired at broker  "
+          f"{counter_total('broker.admission.expired'):.0f}")
+    if metrics_path:
+        obs.registry_to_json(registry, metrics_path)
+        print(f"[metrics registry written to {metrics_path}]")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # recovery scenarios (``python -m repro recover <path>``)
 # ----------------------------------------------------------------------
 #: The three crash-healing paths (see experiments.robustness).
@@ -572,12 +644,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=[*TARGETS, "all", "list", "trace", "chaos", "recover",
-                 "explain", "profile", "health", "bench"],
+        choices=[*TARGETS, "all", "list", "trace", "chaos", "overload",
+                 "recover", "explain", "profile", "health", "bench"],
         help="which table/figure to regenerate ('all' for everything, "
              "'list' to enumerate targets, 'trace' to run an instrumented "
              "example community and print its conversation span tree, "
              "'chaos' to run a fault-injected robustness scenario, "
+             "'overload' to run a flash-crowd scenario with or without "
+             "the overload-protection stack, "
              "'recover' to crash and heal a broker via a recovery path, "
              "'explain' to run a flight-recorded scenario and print its "
              "matchmaking verdicts and cross-broker hop graphs, "
@@ -591,6 +665,8 @@ def build_parser() -> argparse.ArgumentParser:
              f"({', '.join(TRACE_SCENARIOS)}; default quickstart); "
              "for 'chaos': the fault scenario "
              f"({', '.join(CHAOS_SCENARIOS)}; default baseline); "
+             "for 'overload': the load scenario "
+             f"({', '.join(OVERLOAD_SCENARIOS)}; default burst); "
              "for 'recover': the healing path "
              f"({', '.join(RECOVERY_SCENARIOS)}; default replay); "
              "for 'explain': the forensics scenario "
@@ -675,6 +751,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"trace {name}")
         for name in CHAOS_SCENARIOS:
             print(f"chaos {name}")
+        for name in OVERLOAD_SCENARIOS:
+            print(f"overload {name}")
         for name in RECOVERY_SCENARIOS:
             print(f"recover {name}")
         for name in EXPLAIN_SCENARIOS:
@@ -690,6 +768,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_explain(args.example, args.metrics, args.explain_out)
     if args.target == "chaos":
         return _run_chaos(args.example, args.metrics, args.full_scale)
+    if args.target == "overload":
+        return _run_overload(args.example, args.metrics, args.full_scale)
     if args.target == "recover":
         return _run_recover(args.example, args.metrics, args.full_scale)
     if args.target == "profile":

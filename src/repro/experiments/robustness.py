@@ -377,3 +377,198 @@ def recovery_grid(
                 ),
             })
     return rows
+
+
+# ----------------------------------------------------------------------
+# overload extension: flash crowds instead of crashes or lossy links
+# ----------------------------------------------------------------------
+#: Calm-period mean query inter-arrival (seconds).  With the robustness
+#: community's ~3s recommend service time this is rho ~ 0.26 per broker;
+#: the 10x flash crowd pushes rho past 2.5, far beyond saturation.
+OVERLOAD_QUERY_INTERVAL = 12.0
+OVERLOAD_BURST_FACTOR = 10.0
+OVERLOAD_CAPACITIES = (8, 32)
+OVERLOAD_ADMISSION_INFLIGHT = 16
+#: Brownout keys off the *service backlog* (the bounded mailbox depth):
+#: with capacity 8 the backlog pins at 8 through the burst, so a
+#: threshold of 6 flips the broker into local-only mode exactly there.
+OVERLOAD_BROWNOUT_QUEUE_DEPTH = 6
+OVERLOAD_DURATION = 7_200.0
+
+
+def overload_config(
+    capacity: Optional[int] = None,
+    policy: str = "reject",
+    burst: bool = True,
+    brownout: bool = False,
+    duration: float = OVERLOAD_DURATION,
+    seed: int = 0,
+) -> SimConfig:
+    """The robustness community under a flash crowd.
+
+    ``capacity=None`` is the unprotected baseline: unbounded mailboxes,
+    no deadlines, no admission control — queries pile up behind the
+    brokers and most of the burst times out unanswered.  A protected
+    cell bounds every mailbox at *capacity* with *policy*, stamps
+    deadlines end to end, and caps broker admission; *brownout*
+    additionally sheds consortium fan-out under pressure."""
+    warmup = min(600.0, duration / 4)
+    window = duration - warmup
+    protect: Dict[str, object] = {}
+    if capacity is not None:
+        protect = dict(
+            mailbox_capacity=capacity,
+            mailbox_policy=policy,
+            mailbox_retry_after_s=30.0,
+            deadline_propagation=True,
+            admission_max_inflight=OVERLOAD_ADMISSION_INFLIGHT,
+        )
+        if brownout:
+            protect["brownout_queue_depth"] = OVERLOAD_BROWNOUT_QUEUE_DEPTH
+    return SimConfig(
+        n_brokers=ROBUSTNESS_BROKERS,
+        n_resources=ROBUSTNESS_RESOURCES,
+        unique_domains=True,
+        strategy=BrokerStrategy.SPECIALIZED,
+        advertisement_redundancy=2,
+        advertisement_size_mb=0.1,
+        mean_query_interval=OVERLOAD_QUERY_INTERVAL,
+        query_resources_after_reply=False,
+        duration=duration,
+        warmup=warmup,
+        query_reply_timeout=60.0,
+        burst_start=(warmup + window / 4) if burst else None,
+        burst_duration=(window / 4) if burst else 0.0,
+        burst_factor=OVERLOAD_BURST_FACTOR,
+        seed=seed,
+        **protect,
+    )
+
+
+class _ShedWatcher:
+    """Counts bus sheds by class, separating maintenance traffic.
+
+    The acceptance bar for the priority lane is *measured*, not assumed:
+    a maintenance message (ping/pong, anti-entropy) being shed anywhere
+    shows up here as ``maintenance_shed > 0``."""
+
+    enabled = True
+    wants_metrics = False
+
+    _SHED_REASONS = ("shed-reject", "shed-oldest", "shed-new", "expired")
+
+    def __init__(self):
+        self.shed = 0
+        self.expired = 0
+        self.maintenance_shed = 0
+
+    def message_dropped(self, time, message, reason="offline"):
+        if reason not in self._SHED_REASONS:
+            return
+        from repro.agents.bus import is_maintenance
+
+        if reason == "expired":
+            self.expired += 1
+        else:
+            self.shed += 1
+        if is_maintenance(message):
+            self.maintenance_shed += 1
+
+    def __getattr__(self, name):  # every other Observer hook is a no-op
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return lambda *args, **kwargs: None
+
+
+#: (tag, capacity, policy, brownout) — the full grid's protected cells.
+OVERLOAD_CELLS: Tuple[Tuple[str, Optional[int], str, bool], ...] = (
+    ("unbounded", None, "reject", False),
+    ("cap8-reject", 8, "reject", False),
+    ("cap8-drop-oldest", 8, "drop-oldest", False),
+    ("cap8-drop-new", 8, "drop-new", False),
+    ("cap32-reject", 32, "reject", False),
+    ("cap32-drop-oldest", 32, "drop-oldest", False),
+    ("cap32-drop-new", 32, "drop-new", False),
+    ("cap8-reject-brownout", 8, "reject", True),
+)
+
+#: The CI-speed subset: baseline, the two headline policies, brownout.
+OVERLOAD_QUICK_CELLS = (
+    "unbounded", "cap8-reject", "cap8-drop-oldest", "cap8-reject-brownout",
+)
+
+
+def overload_grid(
+    duration: float = OVERLOAD_DURATION,
+    runs: int = 3,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Goodput / shed-rate / latency per overload-protection cell.
+
+    Every cell sees the identical 10x flash crowd; only the protection
+    knobs differ.  Returns the per-cell rows plus the headline ratio
+    (protected best-cell goodput over the unbounded baseline's)."""
+    from dataclasses import replace
+
+    from repro.sim.metrics import SimMetrics  # noqa: F401  (doc pointer)
+
+    cells = [c for c in OVERLOAD_CELLS
+             if not quick or c[0] in OVERLOAD_QUICK_CELLS]
+    rows: List[Dict[str, float]] = []
+    for tag, capacity, policy, brownout in cells:
+        base = overload_config(capacity, policy, brownout=brownout,
+                               duration=duration)
+        goodputs: List[float] = []
+        reply_fracs: List[float] = []
+        times: List[float] = []
+        shed = expired = maintenance_shed = bypass = 0
+        offered = accepted = 0
+        issued = 0
+        for run in range(runs):
+            watcher = _ShedWatcher()
+            sim = Simulation(replace(base, seed=base.seed + run),
+                             observer=watcher)
+            report = sim.run()
+            warmup, tail = base.warmup, report._tail_cutoff
+            window_min = (tail - warmup) / 60.0
+            answered = report.metrics.completed(after=warmup, before=tail)
+            goodputs.append(len(answered) / window_min)
+            reply_fracs.append(report.reply_fraction)
+            times.extend(r.response_time for r in answered)
+            issued += len(report.metrics.issued(after=warmup, before=tail))
+            stats = sim.bus.stats
+            shed += stats.messages_shed
+            expired += stats.shed_expired
+            maintenance_shed += watcher.maintenance_shed
+            bypass += stats.maintenance_bypass
+            offered += stats.mailbox_offered
+            accepted += stats.mailbox_accepted
+        rows.append({
+            "cell": tag,
+            "capacity": capacity,
+            "policy": policy if capacity is not None else None,
+            "brownout": brownout,
+            "goodput_per_min": sum(goodputs) / len(goodputs),
+            "reply_fraction": sum(reply_fracs) / len(reply_fracs),
+            "p95_response_s": _percentile(times, 0.95),
+            "shed_rate": (1.0 - accepted / offered) if offered else 0.0,
+            "shed": float(shed),
+            "expired": float(expired),
+            "maintenance_shed": float(maintenance_shed),
+            "maintenance_bypass": float(bypass),
+            "queries": float(issued),
+        })
+    by_tag = {row["cell"]: row for row in rows}
+    baseline = by_tag.get("unbounded")
+    protected = [r for r in rows if r["capacity"] is not None]
+    best = max(protected, key=lambda r: r["goodput_per_min"]) if protected else None
+    ratio = (
+        best["goodput_per_min"] / baseline["goodput_per_min"]
+        if baseline and best and baseline["goodput_per_min"] > 0
+        else float("nan")
+    )
+    return {
+        "cells": rows,
+        "goodput_ratio_protected_vs_unbounded": ratio,
+        "best_protected_cell": best["cell"] if best else None,
+    }

@@ -4,7 +4,8 @@ Each PR leaves machine-readable artifacts in ``benchmarks/`` —
 ``BENCH_match.json`` (matchmaking microbenchmark), ``BENCH_chaos.json``
 (chaos grid), ``BENCH_recovery.json`` (crash-recovery paths),
 ``BENCH_obs.json`` (per-test wall times), ``BENCH_telemetry.json``
-(tracing overhead/retention).  This module folds them into one
+(tracing overhead/retention), ``BENCH_overload.json`` (flash-crowd
+overload grid).  This module folds them into one
 schema-versioned report (``BENCH_report.json``) whose unit is the
 **indicator**: a named scalar with a direction (higher or lower is
 better) and a ``checked`` flag.
@@ -179,6 +180,34 @@ def _extract_telemetry(data: Mapping, source: str) -> List[Indicator]:
     return out
 
 
+def _extract_overload(data: Mapping, source: str) -> List[Indicator]:
+    out = []
+    for cell in data.get("cells", ()):
+        tag = cell.get("cell", "?")
+        if "goodput_per_min" in cell:
+            out.append(Indicator(f"overload.goodput_per_min.{tag}",
+                                 float(cell["goodput_per_min"]), "higher",
+                                 source))
+        if "shed_rate" in cell:
+            out.append(Indicator(f"overload.shed_rate.{tag}",
+                                 float(cell["shed_rate"]), "lower", source))
+        if "p95_response_s" in cell:
+            out.append(Indicator(f"overload.p95_response_s.{tag}",
+                                 float(cell["p95_response_s"]), "lower",
+                                 source))
+        if "maintenance_shed" in cell:
+            # The priority-lane guarantee, measured: must stay at zero.
+            out.append(Indicator(f"overload.maintenance_shed.{tag}",
+                                 float(cell["maintenance_shed"]), "lower",
+                                 source))
+    if "goodput_ratio_protected_vs_unbounded" in data:
+        out.append(Indicator(
+            "overload.goodput_ratio",
+            float(data["goodput_ratio_protected_vs_unbounded"]), "higher",
+            source))
+    return out
+
+
 #: filename -> extractor; unknown BENCH_* files are listed but skipped.
 _EXTRACTORS = {
     "BENCH_match.json": _extract_match,
@@ -186,6 +215,7 @@ _EXTRACTORS = {
     "BENCH_recovery.json": _extract_recovery,
     "BENCH_obs.json": _extract_obs,
     "BENCH_telemetry.json": _extract_telemetry,
+    "BENCH_overload.json": _extract_overload,
 }
 
 #: Artifact names the scoreboard itself writes (never re-ingested).

@@ -231,6 +231,24 @@ DEFAULT_SLOS: Tuple[SLOSpec, ...] = (
         description="95% of sync-path recoveries reconverge within 60 "
                     "virtual seconds",
     ),
+    SLOSpec(
+        name="overload-admit-rate",
+        kind="ratio",
+        metric="bus.mailbox.accepted",
+        total_metric="bus.mailbox.offered",
+        objective=0.50,
+        description="bounded mailboxes admit at least half of offered "
+                    "traffic (no data unless mailboxes are bounded)",
+    ),
+    SLOSpec(
+        name="overload-recommend-p95",
+        kind="latency",
+        metric="sim.broker.response",
+        quantile=0.95,
+        objective=60.0,
+        description="even under overload protection, 95% of answered "
+                    "recommends finish within the 60s query deadline",
+    ),
 )
 
 

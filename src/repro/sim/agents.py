@@ -106,9 +106,21 @@ class SimQueryAgent(Agent):
     # ------------------------------------------------------------------
     # arrival process
     # ------------------------------------------------------------------
+    def _mean_interval(self, now: float) -> float:
+        """The current mean inter-arrival time: the configured rate,
+        accelerated by ``burst_factor`` inside the flash-crowd window.
+        With no burst configured this is a constant, and the rng call
+        sequence is identical to the legacy open-loop generator."""
+        cfg = self.sim_config
+        mean = cfg.mean_query_interval
+        if (cfg.burst_start is not None
+                and cfg.burst_start <= now < cfg.burst_start + cfg.burst_duration):
+            mean /= cfg.burst_factor
+        return mean
+
     def on_start(self, now: float) -> HandlerResult:
         result = super().on_start(now)
-        result.arm(self.rng.exponential(self.sim_config.mean_query_interval),
+        result.arm(self.rng.exponential(self._mean_interval(now)),
                    _GENERATE, maintenance=True)
         return result
 
@@ -116,7 +128,7 @@ class SimQueryAgent(Agent):
         if token != _GENERATE:
             return
         self._issue_query(result, now)
-        result.arm(self.rng.exponential(self.sim_config.mean_query_interval),
+        result.arm(self.rng.exponential(self._mean_interval(now)),
                    _GENERATE, maintenance=True)
 
     # ------------------------------------------------------------------

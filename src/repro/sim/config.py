@@ -143,6 +143,40 @@ class SimConfig:
     #: name so they do not share one database file.
     broker_store: Optional[str] = None
 
+    # --- overload protection (all off by default: unbounded, no
+    # --- deadlines, no limits — byte-identical to the legacy behaviour)
+    #: Bound every agent's regular-traffic mailbox to this many
+    #: outstanding messages (queued + in service); None = unbounded.
+    mailbox_capacity: Optional[int] = None
+    #: Overflow policy: "reject" (synthetic `sorry :overload` to the
+    #: sender), "drop-oldest" or "drop-new".
+    mailbox_policy: str = "reject"
+    #: The :retry-after hint stamped on bus-level overload sorries.
+    mailbox_retry_after_s: float = 30.0
+    #: Stamp `:x-deadline` on every `ask` and propagate the remaining
+    #: budget through broker forwards/probes and MRQ sub-queries; the
+    #: bus and brokers shed work whose deadline already expired.
+    deadline_propagation: bool = False
+    #: Sorry `:reason` values every agent treats as transient (retried
+    #: with backoff when `retry_attempts > 1`); () = all sorries final.
+    retry_on_sorry: tuple = ()
+    #: Broker admission control: refuse recommends past these limits
+    #: with `sorry (:reason overload :retry-after T)`.  None = no limit.
+    admission_max_inflight: Optional[int] = None
+    admission_max_queue: Optional[int] = None
+    admission_retry_after_s: float = 30.0
+    #: Brownout thresholds: past these, brokers answer recommends from
+    #: the local repository only (`:partial "shed:consortium"`).
+    brownout_inflight: Optional[int] = None
+    brownout_queue_depth: Optional[int] = None
+
+    # --- burst workload (open-loop flash crowd) -----------------------------
+    #: When set, the mean query interval is divided by ``burst_factor``
+    #: for ``burst_duration`` seconds starting at ``burst_start``.
+    burst_start: Optional[float] = None
+    burst_duration: float = 0.0
+    burst_factor: float = 10.0
+
     # --- forensics ----------------------------------------------------------
     #: When set, every broker shares one slow-query flight recorder with
     #: this many slots: the N slowest/failed recommends keep their full
@@ -210,6 +244,25 @@ class SimConfig:
             raise ValueError("trace sample rate must be in [0, 1]")
         if self.trace_keep_slowest < 0:
             raise ValueError("trace keep-slowest must be >= 0")
+        object.__setattr__(self, "retry_on_sorry", tuple(self.retry_on_sorry))
+        if self.mailbox_capacity is not None and self.mailbox_capacity < 1:
+            raise ValueError("mailbox capacity must be >= 1")
+        if self.mailbox_policy not in ("reject", "drop-oldest", "drop-new"):
+            raise ValueError(
+                "mailbox_policy must be 'reject', 'drop-oldest' or 'drop-new'"
+            )
+        if self.mailbox_retry_after_s <= 0 or self.admission_retry_after_s <= 0:
+            raise ValueError("retry-after hints must be positive")
+        for name in ("admission_max_inflight", "admission_max_queue",
+                     "brownout_inflight", "brownout_queue_depth"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.burst_start is not None and self.burst_duration <= 0:
+            raise ValueError("burst_duration must be positive when "
+                             "burst_start is set")
+        if self.burst_factor <= 0:
+            raise ValueError("burst_factor must be positive")
 
     @property
     def n_domains(self) -> int:

@@ -15,7 +15,8 @@ from repro.agents.base import AgentConfig
 from repro.agents.broker import BrokerAgent
 from repro.agents.bus import MessageBus
 from repro.agents.costs import CostModel
-from repro.agents.faults import BackoffPolicy, BreakerConfig, FaultPlan
+from repro.agents.faults import (AdmissionConfig, BackoffPolicy, BreakerConfig,
+                                 FaultPlan)
 from repro.agents.recovery import AdvertisementJournal
 from repro.obs.explain import FlightRecorder
 from repro.obs.sampling import SamplingTracer, TraceBudget
@@ -127,6 +128,32 @@ class Simulation:
                 max_attempts=config.retry_attempts,
                 backoff=BackoffPolicy(base=config.retry_backoff_s),
             )
+        # Overload protection (ISSUE 8), strictly opt-in: kwargs are only
+        # passed when a knob is actually set, so default configs build
+        # byte-identical AgentConfigs (and message traces) to the legacy
+        # path — property-tested in tests/test_overload.py.
+        if config.mailbox_capacity is not None:
+            self.bus.set_mailbox(
+                config.mailbox_capacity,
+                config.mailbox_policy,
+                retry_after=config.mailbox_retry_after_s,
+            )
+        if config.deadline_propagation:
+            retry["deadline_propagation"] = True
+        if config.retry_on_sorry:
+            retry["retry_on_sorry"] = tuple(config.retry_on_sorry)
+        admission = None
+        if (config.admission_max_inflight is not None
+                or config.admission_max_queue is not None
+                or config.brownout_inflight is not None
+                or config.brownout_queue_depth is not None):
+            admission = AdmissionConfig(
+                max_inflight=config.admission_max_inflight,
+                max_queue_depth=config.admission_max_queue,
+                retry_after=config.admission_retry_after_s,
+                brownout_inflight=config.brownout_inflight,
+                brownout_queue_depth=config.brownout_queue_depth,
+            )
         breaker = None
         if config.breaker_failure_threshold is not None:
             breaker = BreakerConfig(
@@ -157,6 +184,7 @@ class Simulation:
                     sync_on_start=config.broker_sync,
                     sync_interval=config.broker_sync_interval,
                     flight_recorder=self.flight_recorder,
+                    admission=admission,
                     config=AgentConfig(
                         preferred_brokers=tuple(peers),
                         redundancy=len(peers),

@@ -1,0 +1,616 @@
+"""End-to-end overload protection (ISSUE 8).
+
+Covers the bounded-mailbox policies, the maintenance priority lane,
+deadline stamping/propagation/expiry, broker admission control and
+brownout, transient-sorry retries, the queue-depth gauge fix, and the
+property that every knob left at its default is byte-identical to the
+legacy (unprotected) bus.
+"""
+
+import re
+from dataclasses import replace
+
+import pytest
+
+from repro.agents import (Agent, AgentConfig, AgentError, BrokerAgent,
+                          CostModel, MessageBus, is_maintenance)
+from repro.agents.base import HandlerResult
+from repro.agents.broker import RecommendRequest
+from repro.agents.faults import AdmissionConfig, BackoffPolicy
+from repro.agents.recovery import SyncDelta, SyncDigest
+from repro.core.policy import FollowOption, SearchPolicy
+from repro.core.query import BrokerQuery
+from repro.kqml import KqmlMessage, Performative
+from repro.obs.events import Observer
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulation
+
+
+class Slow(Agent):
+    """A server whose every request costs real virtual time."""
+
+    agent_type = "slow"
+
+    def __init__(self, name, service_seconds=50.0, **kw):
+        super().__init__(name, **kw)
+        self.service_seconds = service_seconds
+        self.handled = 0
+
+    def on_ask_one(self, message, result, now):
+        self.handled += 1
+        result.cost_seconds += self.service_seconds
+        result.send(message.reply(Performative.TELL, content=self.name))
+
+
+class Flood(Agent):
+    """Issues asks outside any handler and records what comes back."""
+
+    agent_type = "flood"
+
+    def __init__(self, name, **kw):
+        super().__init__(name, **kw)
+        self.replies = []
+
+    def ask_now(self, target, count=1, timeout=500.0,
+                performative=Performative.ASK_ONE, content="?", extras=None):
+        for _ in range(count):
+            message = KqmlMessage(
+                performative, sender=self.name, receiver=target,
+                content=content, extras=extras or {},
+            )
+            result = HandlerResult()
+            self.ask(
+                message,
+                lambda r, res: self.replies.append((r, self.bus.now)),
+                result,
+                timeout=timeout,
+            )
+            self._flush(result)
+
+    def _flush(self, result):
+        for msg, size in result.outbox:
+            self.bus.send(msg, at=self.bus.now, size_bytes=size)
+        for delay, token, maintenance in result.timers:
+            self.bus.schedule_timer(
+                self.name, self.bus.now + delay, token, maintenance
+            )
+
+
+def make_bus(observer=None):
+    kwargs = {} if observer is None else {"observer": observer}
+    return MessageBus(
+        CostModel(latency_seconds=0.05, base_handling_seconds=0.0), **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# mailbox policies
+# ----------------------------------------------------------------------
+class TestMailboxPolicies:
+    def test_set_mailbox_validation(self):
+        bus = make_bus()
+        with pytest.raises(AgentError):
+            bus.set_mailbox(0)
+        with pytest.raises(AgentError):
+            bus.set_mailbox(4, "evict-random")
+        with pytest.raises(AgentError):
+            bus.set_mailbox(4, retry_after=0.0)
+        bus.set_mailbox(4)
+        bus.set_mailbox(None)  # removes the bound again
+
+    def test_reject_sends_synthetic_sorry(self):
+        bus = make_bus()
+        bus.set_mailbox(2, "reject", retry_after=9.0)
+        slow, flood = Slow("slow"), Flood("flood")
+        bus.register(slow)
+        bus.register(flood)
+        flood.ask_now("slow", count=5)
+        bus.run_until(300.0)
+        sorries = [r for r, _ in flood.replies
+                   if r is not None and r.performative is Performative.SORRY]
+        tells = [r for r, _ in flood.replies
+                 if r is not None and r.performative is Performative.TELL]
+        assert len(sorries) == 3 and len(tells) == 2
+        for sorry in sorries:
+            assert sorry.extra("reason") == "overload"
+            assert sorry.extra("retry-after") == 9.0
+        assert slow.handled == 2
+        stats = bus.stats
+        assert stats.shed_reject == 3 and stats.messages_shed == 3
+        assert stats.mailbox_offered == 5 and stats.mailbox_accepted == 2
+
+    def test_drop_oldest_evicts_waiting_messages(self):
+        bus = make_bus()
+        bus.set_mailbox(2, "drop-oldest")
+        slow, flood = Slow("slow"), Flood("flood")
+        bus.register(slow)
+        bus.register(flood)
+        flood.ask_now("slow", count=5, timeout=250.0)
+        bus.run_until(400.0)
+        # The newest two requests survive (answered at ~50s and ~100s);
+        # the first three were evicted silently, so their conversations
+        # time out with None.
+        assert slow.handled == 2
+        assert bus.stats.shed_oldest == 3
+        nones = [r for r, _ in flood.replies if r is None]
+        tells = [r for r, _ in flood.replies
+                 if r is not None and r.performative is Performative.TELL]
+        assert len(nones) == 3 and len(tells) == 2
+
+    def test_drop_new_sheds_the_newcomer(self):
+        bus = make_bus()
+        bus.set_mailbox(2, "drop-new")
+        slow, flood = Slow("slow"), Flood("flood")
+        bus.register(slow)
+        bus.register(flood)
+        flood.ask_now("slow", count=5, timeout=40.0)
+        bus.run_until(200.0)
+        assert slow.handled == 2
+        assert bus.stats.shed_new == 3
+        # drop-new is silent: no sorries, only timeouts for the shed.
+        assert not any(
+            r is not None and r.performative is Performative.SORRY
+            for r, _ in flood.replies
+        )
+
+    def test_slot_frees_when_service_finishes(self):
+        """The mailbox models the *service backlog*: once the server
+        works off a request in virtual time, the slot is reusable."""
+        bus = make_bus()
+        bus.set_mailbox(1, "reject")
+        slow, flood = Slow("slow", service_seconds=10.0), Flood("flood")
+        bus.register(slow)
+        bus.register(flood)
+        flood.ask_now("slow", count=1)
+        bus.run_until(50.0)  # request served; slot free again
+        flood.ask_now("slow", count=1)
+        bus.run_until(100.0)
+        assert slow.handled == 2
+        assert bus.stats.messages_shed == 0
+
+    def test_determinism_across_identical_runs(self):
+        """Same seed, same knobs -> identical shed counts, goodput, and
+        clock, for every policy (seeds 0..2)."""
+        from repro.experiments.robustness import overload_config
+
+        for seed, policy in ((0, "reject"), (1, "drop-oldest"),
+                             (2, "drop-new")):
+            outcomes = []
+            for _ in range(2):
+                config = overload_config(8, policy, duration=1800.0,
+                                         seed=seed)
+                sim = Simulation(config)
+                report = sim.run()
+                stats = sim.bus.stats
+                outcomes.append((
+                    sim.bus.now,
+                    stats.shed_reject, stats.shed_oldest, stats.shed_new,
+                    stats.shed_expired, stats.mailbox_offered,
+                    stats.mailbox_accepted, stats.maintenance_bypass,
+                    tuple((r.issued_at, r.replied_at)
+                          for r in report.metrics.broker_queries),
+                ))
+            assert outcomes[0] == outcomes[1], (seed, policy)
+
+
+# ----------------------------------------------------------------------
+# the maintenance priority lane
+# ----------------------------------------------------------------------
+class TestMaintenanceLane:
+    def test_is_maintenance_classification(self):
+        ping = KqmlMessage(Performative.PING, sender="a", receiver="b",
+                           content="ping")
+        pong = KqmlMessage(Performative.PONG, sender="b", receiver="a",
+                           content="pong")
+        digest = KqmlMessage(Performative.ASK_ONE, sender="a", receiver="b",
+                             content=SyncDigest())
+        delta = KqmlMessage(Performative.TELL, sender="b", receiver="a",
+                            content=SyncDelta())
+        plain = KqmlMessage(Performative.ASK_ONE, sender="a", receiver="b",
+                            content="?")
+        assert is_maintenance(ping) and is_maintenance(pong)
+        assert is_maintenance(digest) and is_maintenance(delta)
+        assert not is_maintenance(plain)
+
+    def test_ping_bypasses_a_full_mailbox(self):
+        bus = make_bus()
+        bus.set_mailbox(1, "reject")
+        slow, flood = Slow("slow"), Flood("flood")
+        bus.register(slow)
+        bus.register(flood)
+        flood.ask_now("slow", count=3)  # 1 accepted, 2 rejected
+        ping = KqmlMessage(Performative.PING, sender="flood",
+                           receiver="slow", content="ping")
+        bus.send(ping, at=0.0)
+        bus.run_until(200.0)
+        stats = bus.stats
+        assert stats.shed_reject == 2
+        assert stats.maintenance_bypass >= 1
+        # The ping was delivered despite the full box (handled by the
+        # base agent's ping handler, not shed).
+        assert stats.messages_shed == 2
+
+    def test_replies_are_never_shed(self):
+        """TELL replies stream back through a full mailbox — otherwise
+        the overload sorry itself could be shed (recursion)."""
+        bus = make_bus()
+        bus.set_mailbox(2, "reject")
+        slow, flood = Slow("slow"), Flood("flood")
+        bus.register(slow)
+        bus.register(flood)
+        flood.ask_now("slow", count=5)
+        bus.run_until(300.0)
+        tells = [r for r, _ in flood.replies
+                 if r is not None and r.performative is Performative.TELL]
+        assert len(tells) == 2  # both accepted requests answered
+
+
+# ----------------------------------------------------------------------
+# deadline propagation
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_ask_stamps_deadline_from_timeout(self):
+        bus = make_bus()
+        agent = Flood("flood",
+                      config=AgentConfig(deadline_propagation=True))
+        bus.register(agent)
+        bus.register(Slow("slow"))
+        message = KqmlMessage(Performative.ASK_ONE, sender="flood",
+                              receiver="slow", content="?")
+        result = HandlerResult()
+        agent.ask(message, lambda r, res: None, result, timeout=30.0)
+        sent = result.outbox[0][0]
+        assert sent.extra("x-deadline") == pytest.approx(30.0)
+
+    def test_upstream_deadline_is_never_extended(self):
+        bus = make_bus()
+        agent = Flood("flood",
+                      config=AgentConfig(deadline_propagation=True))
+        bus.register(agent)
+        bus.register(Slow("slow"))
+        message = KqmlMessage(Performative.ASK_ONE, sender="flood",
+                              receiver="slow", content="?",
+                              extras={"x-deadline": 5.0})
+        result = HandlerResult()
+        agent.ask(message, lambda r, res: None, result, timeout=30.0)
+        assert result.outbox[0][0].extra("x-deadline") == 5.0
+
+    def test_bus_sheds_expired_work_at_dequeue(self):
+        bus = make_bus()
+        slow, flood = Slow("slow"), Flood("flood")
+        bus.register(slow)
+        bus.register(flood)
+        # Arrival (latency ~0.05s) lands after the deadline.
+        flood.ask_now("slow", count=1, timeout=10.0,
+                      extras={"x-deadline": 0.01})
+        bus.run_until(50.0)
+        assert slow.handled == 0
+        assert bus.stats.shed_expired == 1
+
+    def test_broker_propagates_deadline_to_consortium(self):
+        sent = []
+
+        class Capture(Observer):
+            enabled = True
+
+            def message_sent(self, time, message, size_bytes, cause=None):
+                sent.append(message)
+
+        bus = MessageBus(
+            CostModel(latency_seconds=0.05, base_handling_seconds=0.0),
+            observer=Capture(),
+        )
+        bus.register(BrokerAgent("b1", peer_brokers=["b2"]))
+        bus.register(BrokerAgent("b2", peer_brokers=["b1"]))
+        flood = Flood("flood")
+        bus.register(flood)
+        request = RecommendRequest(
+            query=BrokerQuery(agent_type="resource", ontology_name="demo"),
+            policy=SearchPolicy(hop_count=1, follow=FollowOption.ALL),
+        )
+        flood.ask_now("b1", performative=Performative.RECOMMEND_ALL,
+                      content=request, extras={"x-deadline": 777.0})
+        bus.run_until(120.0)
+        forwarded = [m for m in sent
+                     if m.sender == "b1" and m.receiver == "b2"
+                     and m.performative is Performative.RECOMMEND_ALL]
+        assert forwarded
+        assert all(m.extra("x-deadline") == 777.0 for m in forwarded)
+
+
+# ----------------------------------------------------------------------
+# broker admission control and brownout
+# ----------------------------------------------------------------------
+def _recommend(sender, receiver, hops=1):
+    return KqmlMessage(
+        Performative.RECOMMEND_ALL, sender=sender, receiver=receiver,
+        content=RecommendRequest(
+            query=BrokerQuery(agent_type="resource", ontology_name="demo"),
+            policy=SearchPolicy(hop_count=hops, follow=FollowOption.ALL),
+        ),
+    )
+
+
+class TestAdmissionControl:
+    def test_admission_config_validation(self):
+        with pytest.raises(Exception):
+            AdmissionConfig(max_inflight=0)
+        with pytest.raises(Exception):
+            AdmissionConfig(retry_after=0.0)
+
+    def test_overloaded_broker_refuses_with_retry_after(self):
+        bus = make_bus()
+        bus.register(BrokerAgent(
+            "b1", peer_brokers=["b2"],
+            admission=AdmissionConfig(max_inflight=1, retry_after=7.0),
+        ))
+        bus.register(BrokerAgent("b2", peer_brokers=["b1"]))
+        bus.set_offline("b2")  # holds b1's aggregation open
+        flood = Flood("flood")
+        bus.register(flood)
+        flood.ask_now("b1", performative=Performative.RECOMMEND_ALL,
+                      content=_recommend("flood", "b1").content)
+        bus.schedule_callback(5.0, lambda: flood.ask_now(
+            "b1", performative=Performative.RECOMMEND_ALL,
+            content=_recommend("flood", "b1").content,
+        ))
+        bus.run_until(20.0)
+        sorries = [r for r, _ in flood.replies
+                   if r is not None and r.performative is Performative.SORRY]
+        assert sorries
+        assert sorries[0].extra("reason") == "overload"
+        assert sorries[0].extra("retry-after") == 7.0
+
+    def test_brownout_answers_locally_and_marks_partial(self):
+        bus = make_bus()
+        bus.register(BrokerAgent(
+            "b1", peer_brokers=["b2"],
+            admission=AdmissionConfig(max_inflight=100, retry_after=7.0,
+                                      brownout_inflight=1),
+        ))
+        bus.register(BrokerAgent("b2", peer_brokers=["b1"]))
+        bus.set_offline("b2")
+        flood = Flood("flood")
+        bus.register(flood)
+        flood.ask_now("b1", performative=Performative.RECOMMEND_ALL,
+                      content=_recommend("flood", "b1").content)
+        bus.schedule_callback(5.0, lambda: flood.ask_now(
+            "b1", performative=Performative.RECOMMEND_ALL,
+            content=_recommend("flood", "b1").content,
+        ))
+        bus.run_until(20.0)
+        # The second query is answered immediately from the local
+        # repository, annotated as a consortium-shedding brownout.
+        brownouts = [
+            r for r, _ in flood.replies
+            if r is not None and r.extra("partial") == "shed:consortium"
+        ]
+        assert len(brownouts) == 1
+        assert brownouts[0].performative is Performative.TELL
+
+
+# ----------------------------------------------------------------------
+# transient-sorry retries (satellite b)
+# ----------------------------------------------------------------------
+class Shedder(Agent):
+    """Refuses the first request with a transient sorry, then serves."""
+
+    agent_type = "shedder"
+
+    def __init__(self, name, reason="overload", always=False, **kw):
+        super().__init__(name, **kw)
+        self.reason = reason
+        self.always = always
+        self.seen = 0
+
+    def on_ask_one(self, message, result, now):
+        self.seen += 1
+        if self.always or self.seen == 1:
+            result.send(message.reply(
+                Performative.SORRY, content=self.reason,
+                reason=self.reason, **{"retry-after": 7.0},
+            ))
+            # A refusal, not a result: let a retry re-execute.
+            self._forget_request(message)
+            return
+        result.send(message.reply(Performative.TELL, content="served"))
+
+
+class TestRetryOnSorry:
+    RETRY_CONFIG = AgentConfig(
+        retry_on_sorry=("overload",), max_attempts=3,
+        backoff=BackoffPolicy(base=0.5, jitter=0.0),
+    )
+
+    def test_transient_sorry_is_retried_after_retry_after_floor(self):
+        bus = make_bus()
+        shedder = Shedder("shedder")
+        flood = Flood("flood", config=self.RETRY_CONFIG)
+        bus.register(shedder)
+        bus.register(flood)
+        flood.ask_now("shedder", count=1, timeout=60.0)
+        bus.run_until(120.0)
+        assert shedder.seen == 2
+        tells = [(r, at) for r, at in flood.replies
+                 if r is not None and r.performative is Performative.TELL]
+        assert len(tells) == 1
+        reply, arrived = tells[0]
+        assert reply.content == "served"
+        # The sorry's :retry-after (7s) floors the 0.5s backoff base.
+        assert arrived >= 7.0
+
+    def test_semantic_sorry_stays_final(self):
+        bus = make_bus()
+        shedder = Shedder("shedder", reason="no-match", always=True)
+        flood = Flood("flood", config=self.RETRY_CONFIG)
+        bus.register(shedder)
+        bus.register(flood)
+        flood.ask_now("shedder", count=1, timeout=60.0)
+        bus.run_until(120.0)
+        assert shedder.seen == 1  # no retry
+        assert flood.replies
+        reply, _ = flood.replies[0]
+        assert reply is not None
+        assert reply.performative is Performative.SORRY
+
+    def test_retries_exhaust_against_persistent_overload(self):
+        bus = make_bus()
+        shedder = Shedder("shedder", always=True)
+        flood = Flood("flood", config=self.RETRY_CONFIG)
+        bus.register(shedder)
+        bus.register(flood)
+        flood.ask_now("shedder", count=1, timeout=60.0)
+        bus.run_until(300.0)
+        assert shedder.seen == 3  # max_attempts transmissions
+        # The final sorry is delivered to the callback as the answer.
+        final = flood.replies[-1][0]
+        assert final is not None
+        assert final.performative is Performative.SORRY
+
+
+# ----------------------------------------------------------------------
+# queue-depth gauge (satellite a)
+# ----------------------------------------------------------------------
+class TestQueueDepthGauge:
+    def test_gauge_emits_on_both_transitions_and_decays_to_zero(self):
+        events = []
+
+        class GaugeLog(Observer):
+            enabled = True
+            wants_metrics = True
+
+            def gauge(self, name, value, **labels):
+                if name == "bus.queue.depth":
+                    events.append(value)
+
+        bus = MessageBus(
+            CostModel(latency_seconds=0.05, base_handling_seconds=0.0),
+            observer=GaugeLog(),
+        )
+        slow, flood = Slow("slow", service_seconds=1.0), Flood("flood")
+        bus.register(slow)
+        bus.register(flood)
+        flood.ask_now("slow", count=3, timeout=60.0)
+        bus.run_until(100.0)
+        high_water = bus.stats.queue_depth_high_water
+        assert high_water >= 3
+        # Rising edge reaches the high-water mark...
+        assert max(events) == float(high_water)
+        # ...and the falling edge is emitted too (the pre-fix gauge only
+        # moved on new high-water marks, so it could never decay).
+        assert events[-1] == 0.0
+        assert events.count(0.0) >= 1
+
+
+# ----------------------------------------------------------------------
+# byte-identity of defaults (the opt-in property)
+# ----------------------------------------------------------------------
+_GLOBAL_ID = re.compile(r"\bid\d+\b")
+
+
+class _TraceObserver(Observer):
+    """Records every sent/delivered message as a comparable tuple.
+
+    KQML reply ids come from a process-global counter, so two runs in
+    one process mint different ``idN`` strings even when the flows are
+    identical.  Ids are interned in order of first appearance, which
+    still detects any reordering, addition, or loss of messages."""
+
+    enabled = True
+
+    def __init__(self, strip=()):
+        self.strip = frozenset(strip)
+        self.events = []
+        self._ids = {}
+
+    def _canon(self, value):
+        if not isinstance(value, str):
+            return value
+        return _GLOBAL_ID.sub(
+            lambda m: self._ids.setdefault(m.group(0),
+                                           f"id#{len(self._ids)}"),
+            value,
+        )
+
+    def _key(self, kind, time, message):
+        extras = tuple(
+            (k, self._canon(v)) for k, v in message.extras
+            if k not in self.strip
+        )
+        return (kind, time, message.sender, message.receiver,
+                message.performative.value, self._canon(message.reply_with),
+                self._canon(message.in_reply_to), extras)
+
+    def message_sent(self, time, message, size_bytes, cause=None):
+        self.events.append(self._key("sent", time, message))
+
+    def message_delivered(self, time, message, waited, size_bytes,
+                          duplicate=False):
+        self.events.append(self._key("delivered", time, message))
+
+
+def _trace(config, strip=()):
+    observer = _TraceObserver(strip=strip)
+    sim = Simulation(config, observer=observer)
+    sim.run()
+    return observer.events, sim.bus.now, sim.bus.stats.messages_delivered
+
+
+class TestOptInByteIdentity:
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_never_binding_knobs_change_nothing(self, seed):
+        """A bounded mailbox that never fills, and admission limits that
+        never bind, must leave the message trace byte-identical to the
+        all-defaults run — the protection stack is strictly opt-in and
+        pay-for-use."""
+        base = SimConfig(duration=1800.0, seed=seed)
+        reference = _trace(base)
+        for knobs in (
+            {"mailbox_capacity": 10**6, "mailbox_policy": "reject"},
+            {"mailbox_capacity": 10**6, "mailbox_policy": "drop-oldest"},
+            {"mailbox_capacity": 10**6, "mailbox_policy": "drop-new"},
+            {"admission_max_inflight": 10**9,
+             "admission_max_queue": 10**9},
+        ):
+            assert _trace(replace(base, **knobs)) == reference, knobs
+
+    def test_deadline_stamping_only_adds_the_extra(self):
+        """With generous deadlines the flow is identical modulo the
+        ``:x-deadline`` extra itself (sheds never fire)."""
+        base = SimConfig(duration=1800.0, seed=0)
+        reference = _trace(base, strip=("x-deadline",))
+        stamped = _trace(replace(base, deadline_propagation=True),
+                         strip=("x-deadline",))
+        assert stamped == reference
+
+
+# ----------------------------------------------------------------------
+# the headline: bounded beats unbounded under a flash crowd
+# ----------------------------------------------------------------------
+class TestOverloadGoodput:
+    def test_protected_goodput_beats_unbounded_under_burst(self):
+        from repro.experiments.robustness import (_ShedWatcher,
+                                                  overload_config)
+
+        results = {}
+        for tag, capacity in (("unbounded", None), ("bounded", 8)):
+            watcher = _ShedWatcher()
+            config = overload_config(capacity, "reject", duration=2400.0)
+            sim = Simulation(config, observer=watcher)
+            report = sim.run()
+            tail = report._tail_cutoff
+            answered = report.metrics.completed(
+                after=config.warmup, before=tail)
+            results[tag] = (len(answered), watcher.maintenance_shed)
+        assert results["bounded"][0] > results["unbounded"][0]
+        # The priority lane held: maintenance traffic was never shed.
+        assert results["bounded"][1] == 0
+
+    def test_quick_grid_shape_and_ratio(self):
+        from repro.experiments.robustness import overload_grid
+
+        grid = overload_grid(duration=1800.0, runs=1, quick=True)
+        cells = {row["cell"] for row in grid["cells"]}
+        assert "unbounded" in cells and len(cells) == 4
+        assert grid["goodput_ratio_protected_vs_unbounded"] > 1.0
+        assert all(row["maintenance_shed"] == 0.0 for row in grid["cells"])
