@@ -1,0 +1,96 @@
+"""MRQ resilience grid — completeness under provider chaos, per cell.
+
+Not a paper table: this runs a multi-source query community (one class
+split into two vertical fragments, each replicated on three resource
+agents across two brokers) under loss x partition x resource churn, with
+and without the resilient execution core (equivalence-set planning,
+provider failover, hedged fragments).  Recorded per cell: how many
+queries were answered *completely*, how many shipped as honest
+``:partial`` answers, p95 time-to-answer, and the honesty invariant —
+zero answers may be incomplete without a ``:partial`` annotation.  The
+artifact lands in ``benchmarks/BENCH_mrq_resilience.json``.
+
+Set ``REPRO_BENCH_QUICK=1`` for a CI-smoke-sized grid (2 cells, one
+seed, 12 queries per run).
+"""
+
+import json
+import math
+import os
+
+from repro.experiments.robustness import mrq_resilience_grid
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+SEEDS = (0,) if QUICK else (0, 1, 2)
+
+
+def _cell(grid, tag, variant):
+    for row in grid["cells"]:
+        if row["cell"] == tag and row["variant"] == variant:
+            return row
+    raise AssertionError(f"missing cell {tag!r}/{variant!r}")
+
+
+def test_mrq_resilience_grid(once):
+    grid = once(mrq_resilience_grid, seeds=SEEDS, quick=QUICK)
+    rows = grid["cells"]
+
+    print()
+    header = (f"{'cell':>10} {'variant':>10} {'complete':>9} {'partial':>8} "
+              f"{'failed':>7} {'dishonest':>10} {'p95 (s)':>8} "
+              f"{'failover':>9} {'hedges':>7}")
+    print(header)
+    for row in rows:
+        print(f"{row['cell']:>10} {row['variant']:>10} "
+              f"{row['complete_fraction']:>9.1%} "
+              f"{row['partial_fraction']:>8.1%} {row['failed']:>7.0f} "
+              f"{row['dishonest']:>10.0f} {row['p95_response_s']:>8.1f} "
+              f"{row['failover']:>9.0f} {row['hedges']:>7.0f}")
+    print(f"complete ratio (protected / baseline, "
+          f"{grid['headline_cell']} cell): "
+          f"{grid['complete_ratio_protected_vs_baseline']:.2f}")
+    print(f"partial annotation coverage: "
+          f"{grid['partial_annotation_coverage']:.1%}")
+
+    for row in rows:
+        assert row["queries"] > 0
+        # The honesty invariant: no answer is ever silently incomplete.
+        assert row["dishonest"] == 0, row
+
+    calm = _cell(grid, "calm", "baseline")
+    assert calm["complete_fraction"] == 1.0, calm
+    assert calm["partial"] == 0, calm
+
+    harsh_base = _cell(grid, "harsh", "baseline")
+    harsh_prot = _cell(grid, "harsh", "protected")
+    assert not math.isnan(harsh_prot["complete_fraction"])
+    # Failover and hedging actually fired under the harsh cell.
+    assert harsh_prot["failover"] > 0, harsh_prot
+    assert harsh_prot["hedges"] > 0, harsh_prot
+    # The acceptance bar: >=2x more queries answered completely than the
+    # unprotected baseline, and every incomplete answer flagged.
+    assert grid["complete_ratio_protected_vs_baseline"] >= 2.0, grid
+    assert grid["partial_annotation_coverage"] == 1.0, grid
+    assert harsh_prot["complete_fraction"] > harsh_base["complete_fraction"]
+
+    path = os.path.join(os.path.dirname(__file__),
+                        "BENCH_mrq_resilience.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "quick": QUICK,
+                "seeds": list(SEEDS),
+                "cells": rows,
+                "headline_cell": grid["headline_cell"],
+                "complete_ratio_protected_vs_baseline":
+                    grid["complete_ratio_protected_vs_baseline"],
+                "partial_annotation_coverage":
+                    grid["partial_annotation_coverage"],
+                "dishonest_answers": grid["dishonest_answers"],
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")

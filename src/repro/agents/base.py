@@ -432,6 +432,20 @@ class Agent:
             conversation.attempts_left = budget - 1
             conversation.restamp_deadline = stamped
 
+    def cancel_ask(self, reply_id: str) -> bool:
+        """Abandon an in-flight :meth:`ask`: drop its continuation and
+        disarm its timeout, so neither a late reply nor the timer fires
+        the callback.  Hedged requests use this for first-reply-wins
+        deduplication — the losing copy's eventual answer is discarded
+        at the reply-routing layer.  Returns False when the conversation
+        already completed."""
+        conversation = self._conversations.pop(reply_id, None)
+        if conversation is None:
+            return False
+        if self.bus is not None:
+            self.bus.cancel_timer(self.name, conversation.deadline_token)
+        return True
+
     def _stamp_deadline(self, message: KqmlMessage, timeout: float) -> KqmlMessage:
         """A copy of *message* whose ``:x-deadline`` is ``now + timeout``
         (an inbound deadline is never overwritten — smaller budgets win

@@ -1140,6 +1140,26 @@ class BrokerAgent(Agent):
         parts.extend(f"shed:{item}" for item in shed)
         if parts:
             extras["partial"] = ";".join(parts)
+        if matches and message.extra("x-equivalence") is not None:
+            # Opt-in equivalence hint for resilient MRQ execution: matches
+            # whose advertised content (ontology, classes, slots,
+            # constraints) coincides are interchangeable providers, so the
+            # requester can treat them as failover/hedge targets rather
+            # than distinct fragments.  Computed over the full match union
+            # even for recommend-one, and deterministic (sorted groups).
+            groups: Dict[tuple, List[str]] = {}
+            for m in matches.values():
+                content = m.advertisement.description.content
+                group_key = (
+                    content.ontology_name,
+                    tuple(sorted(content.classes)),
+                    tuple(sorted(content.slots)),
+                    content.constraints.cache_key(),
+                )
+                groups.setdefault(group_key, []).append(m.agent_name)
+            extras["equivalence"] = "|".join(
+                sorted(",".join(sorted(names)) for names in groups.values())
+            )
         result.send(
             message.reply(Performative.TELL, content=ranked, **extras),
             size_bytes=max(

@@ -16,12 +16,27 @@ WHERE clauses are pushed down to a resource only when that resource
 holds every predicate column; otherwise the MRQ fetches the needed
 columns and filters after assembly, so fragmented predicates still
 evaluate correctly.
+
+Resilient execution (opt-in via :class:`MrqResilienceConfig`) splits the
+fan-out into a *planner* that groups recommended resources into
+equivalence sets per query fragment — same rewritten sub-query, same
+advertised constraints, optionally confirmed by the broker's
+``equivalence`` hint — and an *executor* that sends each fragment to the
+best-scored provider, fails over to the next-ranked one on timeout /
+``sorry`` / overload shed, and optionally hedges stragglers with a
+duplicate sub-query to the runner-up (first reply wins).  Per-provider
+health (latency EWMA, failure streaks, breaker state) persists across
+queries.  Whatever the mode, answers assembled with fragments missing
+carry a ``:partial`` annotation with machine-readable detail instead of
+masquerading as complete.
 """
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.agents.base import Agent, AgentConfig, HandlerResult
 from repro.agents.broker import RecommendRequest
@@ -53,9 +68,122 @@ from repro.sql.executor import (
 from repro.sql.render import render_select
 
 
+@dataclass(frozen=True)
+class MrqResilienceConfig:
+    """Opt-in resilient execution knobs (ZBroker-style server selection).
+
+    The default-constructed config enables failover only; a ``None``
+    resilience config on the agent (the default) keeps the legacy
+    query-every-match fan-out byte-identical to previous behaviour.
+    """
+
+    #: Send each fragment to the best provider and retry the next-ranked
+    #: one on timeout / sorry / overload shed.
+    failover: bool = True
+    #: Duplicate straggler fragments to the runner-up provider after a
+    #: latency-quantile trigger; first reply wins.
+    hedge: bool = False
+    #: Per-provider sub-query timeout (seconds, virtual time).
+    provider_timeout: float = 15.0
+    #: Total providers tried per fragment (including hedges).
+    max_providers_per_fragment: int = 3
+    #: EWMA smoothing for observed provider latency.
+    ewma_alpha: float = 0.3
+    #: Assumed latency for providers never observed (seconds).
+    initial_latency_s: float = 10.0
+    #: Score multiplier per consecutive failure (capped at 6 failures).
+    failure_penalty: float = 4.0
+    #: Consecutive failures before a provider's breaker opens.
+    breaker_threshold: int = 3
+    #: Seconds an opened provider is deprioritized before retry.
+    breaker_cooldown_s: float = 120.0
+    #: Hedge trigger before enough latency samples exist (seconds).
+    hedge_delay_s: float = 8.0
+    #: Latency quantile that arms the hedge trigger once warmed up.
+    hedge_quantile: float = 0.95
+    #: Samples required before the quantile replaces ``hedge_delay_s``.
+    hedge_min_samples: int = 8
+
+    def __post_init__(self):
+        if self.provider_timeout <= 0:
+            raise AgentError("provider_timeout must be positive")
+        if self.max_providers_per_fragment < 1:
+            raise AgentError("max_providers_per_fragment must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise AgentError("ewma_alpha must be in (0, 1]")
+        if self.failure_penalty < 1.0:
+            raise AgentError("failure_penalty must be >= 1")
+        if self.breaker_threshold < 1:
+            raise AgentError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_s < 0 or self.hedge_delay_s <= 0:
+            raise AgentError("breaker/hedge delays must be positive")
+        if not 0.0 < self.hedge_quantile <= 1.0:
+            raise AgentError("hedge_quantile must be in (0, 1]")
+
+    @property
+    def active(self) -> bool:
+        return self.failover or self.hedge
+
+
+@dataclass
+class ProviderHealth:
+    """Observed health of one resource agent, persisted across queries."""
+
+    ewma_latency_s: Optional[float] = None
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    #: Simple circuit breaker: until this instant the provider ranks
+    #: behind every closed provider (it is still eligible as a last
+    #: resort, which doubles as the half-open probe).
+    open_until: float = 0.0
+    last_failure_reason: Optional[str] = None
+
+    def record_success(self, latency_s: float, cfg: MrqResilienceConfig) -> None:
+        self.successes += 1
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+        if self.ewma_latency_s is None:
+            self.ewma_latency_s = latency_s
+        else:
+            alpha = cfg.ewma_alpha
+            self.ewma_latency_s = alpha * latency_s + (1 - alpha) * self.ewma_latency_s
+
+    def record_failure(
+        self,
+        reason: str,
+        now: float,
+        cfg: MrqResilienceConfig,
+        retry_after: object = None,
+    ) -> None:
+        self.failures += 1
+        self.consecutive_failures += 1
+        self.last_failure_reason = reason
+        if self.consecutive_failures >= cfg.breaker_threshold:
+            self.open_until = max(self.open_until, now + cfg.breaker_cooldown_s)
+        if retry_after is not None:
+            # PR 8 pairing: an overload shed names its own cooldown.
+            try:
+                delay = float(retry_after)
+            except (TypeError, ValueError):
+                delay = 0.0
+            self.open_until = max(self.open_until, now + delay)
+
+    def available(self, now: float) -> bool:
+        return now >= self.open_until
+
+    def score(self, cfg: MrqResilienceConfig, now: float) -> float:
+        base = (
+            self.ewma_latency_s
+            if self.ewma_latency_s is not None
+            else cfg.initial_latency_s
+        )
+        return base * (cfg.failure_penalty ** min(self.consecutive_failures, 6))
+
+
 @dataclass
 class _Plan:
-    """In-flight state of one decomposed user query."""
+    """In-flight state of one decomposed user query (legacy fan-out)."""
 
     original: KqmlMessage
     select: Select
@@ -63,6 +191,52 @@ class _Plan:
     pushed_down: Dict[str, bool] = field(default_factory=dict)
     results: List[Tuple[str, QueryResult]] = field(default_factory=list)
     outstanding: int = 0
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+    fragment_ids: Dict[str, str] = field(default_factory=dict)
+    brokers_tried: Tuple[str, ...] = ()
+
+
+@dataclass
+class _Fragment:
+    """One equivalence set: a rewritten sub-query plus the interchangeable
+    providers that can answer it (broker-rank order preserved)."""
+
+    fragment_id: str
+    sub_select: Select
+    rendered: str
+    providers: List[str]
+    pushed_down: bool
+
+
+@dataclass
+class _FragmentRun:
+    """Executor state for one fragment of one query."""
+
+    fragment: _Fragment
+    started: float = 0.0
+    tried: List[str] = field(default_factory=list)
+    #: provider -> (reply id, send time) for copies still in flight.
+    outstanding: Dict[str, Tuple[str, float]] = field(default_factory=dict)
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+    winner: Optional[str] = None
+    answer: Optional[QueryResult] = None
+    hedged: bool = False
+    exhausted: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.winner is not None or self.exhausted
+
+
+@dataclass
+class _Execution:
+    """One resilient query execution across its fragments."""
+
+    exec_id: int
+    original: KqmlMessage
+    select: Select
+    ontology: Optional[Ontology]
+    runs: List[_FragmentRun]
 
 
 class MultiResourceQueryAgent(Agent):
@@ -80,6 +254,8 @@ class MultiResourceQueryAgent(Agent):
         broker_hop_count: int = 8,
         extra_ontologies: Sequence[Ontology] = (),
         ontology_agent: Optional[str] = None,
+        resilience: Optional[MrqResilienceConfig] = None,
+        ontology_retry_interval: float = 300.0,
     ):
         super().__init__(name, config)
         self.ontology_name = ontology_name
@@ -91,9 +267,19 @@ class MultiResourceQueryAgent(Agent):
         #: (ontology-for-class <name>)`` to this agent, and the fetched
         #: ontology is cached for subsequent queries.
         self.ontology_agent = ontology_agent
-        self._ontology_fetch_failed: set = set()
+        #: Negative cache of failed ontology fetches: class name -> the
+        #: instant the entry expires and a fetch may be retried.
+        self._ontology_fetch_failed: Dict[str, float] = {}
+        self.ontology_retry_interval = ontology_retry_interval
         self.ontologies_fetched = 0
         self.queries_processed = 0
+        #: None = legacy query-every-match fan-out (byte-identical).
+        self.resilience = resilience
+        #: Resource name -> observed health, persisted across queries.
+        self.provider_health: Dict[str, ProviderHealth] = {}
+        self._latency_samples: Deque[float] = deque(maxlen=128)
+        self._executions: Dict[int, _Execution] = {}
+        self._exec_counter = 0
 
     def _resolve_ontology(self, class_name: str):
         """The (name, Ontology) pair whose vocabulary covers *class_name*,
@@ -149,11 +335,23 @@ class MultiResourceQueryAgent(Agent):
         if (
             not self._knows_class(select.table)
             and self.ontology_agent is not None
-            and select.table not in self._ontology_fetch_failed
+            and not self._fetch_blocked(select.table, now)
         ):
             self._fetch_ontology_then_continue(message, select, broker, result)
             return
         self._dispatch_query(message, select, broker, result)
+
+    def _fetch_blocked(self, class_name: str, now: float) -> bool:
+        """True while the class sits in the negative fetch cache.  Entries
+        expire after ``ontology_retry_interval`` so a transiently dead
+        ontology agent no longer poisons the class forever."""
+        expires = self._ontology_fetch_failed.get(class_name)
+        if expires is None:
+            return False
+        if now >= expires:
+            del self._ontology_fetch_failed[class_name]
+            return False
+        return True
 
     def _fetch_ontology_then_continue(
         self, message: KqmlMessage, select: Select, broker: str, result: HandlerResult
@@ -192,11 +390,18 @@ class MultiResourceQueryAgent(Agent):
             self.extra_ontologies = (*self.extra_ontologies, fetched)
             self.ontologies_fetched += 1
         else:
-            self._ontology_fetch_failed.add(select.table)
+            self._ontology_fetch_failed[select.table] = (
+                self.bus.now + self.ontology_retry_interval
+            )
         self._dispatch_query(message, select, broker, result)
 
     def _dispatch_query(
-        self, message: KqmlMessage, select: Select, broker: str, result: HandlerResult
+        self,
+        message: KqmlMessage,
+        select: Select,
+        broker: str,
+        result: HandlerResult,
+        brokers_tried: Tuple[str, ...] = (),
     ) -> None:
         resolved = self._resolve_ontology(select.table)
         if resolved is None:
@@ -222,6 +427,9 @@ class MultiResourceQueryAgent(Agent):
             # Thread the requester's remaining budget through the
             # decomposition: the broker (and the bus) shed dead work.
             recommend_extras["x-deadline"] = deadline
+        if self.resilience is not None and self.resilience.active:
+            # Ask the broker to annotate which matches are interchangeable.
+            recommend_extras["x-equivalence"] = "1"
         recommend = KqmlMessage(
             Performative.RECOMMEND_ALL,
             sender=self.name,
@@ -230,7 +438,8 @@ class MultiResourceQueryAgent(Agent):
             ontology="service",
             extras=recommend_extras,
         )
-        plan = _Plan(original=message, select=select, ontology=ontology)
+        plan = _Plan(original=message, select=select, ontology=ontology,
+                     brokers_tried=(*brokers_tried, broker))
         self.ask(
             recommend,
             lambda reply, res, plan=plan: self._resources_found(plan, reply, res),
@@ -244,21 +453,44 @@ class MultiResourceQueryAgent(Agent):
             return self.known_broker_list[0]
         return None
 
+    def _next_broker(self, tried: Tuple[str, ...]) -> Optional[str]:
+        for name in (*self.connected_broker_list, *self.known_broker_list):
+            if name not in tried:
+                return name
+        return None
+
     # ------------------------------------------------------------------
     # fan-out
     # ------------------------------------------------------------------
     def _resources_found(
         self, plan: _Plan, reply: Optional[KqmlMessage], result: HandlerResult
     ) -> None:
-        matches: List[Match] = (
-            list(reply.content)
-            if reply is not None and reply.performative is Performative.TELL
-            else []
-        )
+        if reply is None or reply.performative is not Performative.TELL:
+            # The broker died or refused: fail over to the next known
+            # broker instead of treating one broker as a single point of
+            # failure.  An empty *match list* from a live broker is a
+            # semantic answer and is not retried.
+            next_broker = self._next_broker(plan.brokers_tried)
+            if next_broker is not None:
+                obs = self.observer
+                if obs.enabled:
+                    obs.inc("mrq.broker_failover.count")
+                    obs.annotate(self.bus.now, plan.original, "mrq-broker-failover",
+                                 failed=plan.brokers_tried[-1], next=next_broker)
+                self._dispatch_query(plan.original, plan.select, next_broker,
+                                     result, brokers_tried=plan.brokers_tried)
+                return
+            matches: List[Match] = []
+        else:
+            matches = list(reply.content)
         if not matches:
             result.send(
                 plan.original.reply(Performative.SORRY, content="no matching resources")
             )
+            return
+
+        if self.resilience is not None and self.resilience.active:
+            self._execute_resilient(plan, matches, reply, result)
             return
 
         sent = 0
@@ -267,6 +499,7 @@ class MultiResourceQueryAgent(Agent):
             if sub_select is None:
                 continue
             plan.pushed_down[match.agent_name] = sub_select.where is not None
+            plan.fragment_ids[match.agent_name] = _fragment_label(sub_select)
             ask_extras = {
                 "complexity": plan.original.extra("complexity", 1.0),
             }
@@ -359,6 +592,311 @@ class MultiResourceQueryAgent(Agent):
         return needed
 
     # ------------------------------------------------------------------
+    # resilient execution: planner
+    # ------------------------------------------------------------------
+    def _plan_fragments(
+        self,
+        matches: List[Match],
+        select: Select,
+        ontology: Optional[Ontology],
+        hints: Dict[str, int],
+    ) -> List[_Fragment]:
+        """Group matches into equivalence sets: providers whose rewritten
+        sub-query AND advertised constraints agree are interchangeable,
+        confirmed by the broker's ``equivalence`` hint when present."""
+        fragments: Dict[tuple, _Fragment] = {}
+        for match in matches:
+            sub_select = self._rewrite_for(match, select, ontology)
+            if sub_select is None:
+                continue
+            rendered = render_select(sub_select)
+            content = match.advertisement.description.content
+            key = (hints.get(match.agent_name), rendered,
+                   content.constraints.cache_key())
+            fragment = fragments.get(key)
+            if fragment is None:
+                fragment = _Fragment(
+                    fragment_id=_fragment_label(sub_select),
+                    sub_select=sub_select,
+                    rendered=rendered,
+                    providers=[],
+                    pushed_down=sub_select.where is not None,
+                )
+                fragments[key] = fragment
+            fragment.providers.append(match.agent_name)
+        ordered = list(fragments.values())
+        seen_ids: Dict[str, int] = {}
+        for fragment in ordered:
+            count = seen_ids.get(fragment.fragment_id, 0)
+            seen_ids[fragment.fragment_id] = count + 1
+            if count:
+                fragment.fragment_id = f"{fragment.fragment_id}#{count + 1}"
+        return ordered
+
+    # ------------------------------------------------------------------
+    # resilient execution: executor
+    # ------------------------------------------------------------------
+    def _execute_resilient(
+        self,
+        plan: _Plan,
+        matches: List[Match],
+        reply: Optional[KqmlMessage],
+        result: HandlerResult,
+    ) -> None:
+        cfg = self.resilience
+        hints = _parse_equivalence(
+            reply.extra("equivalence") if reply is not None else None
+        )
+        fragments = self._plan_fragments(matches, plan.select, plan.ontology, hints)
+        if not fragments:
+            result.send(
+                plan.original.reply(Performative.SORRY, content="no usable resources")
+            )
+            return
+        self._exec_counter += 1
+        execution = _Execution(
+            exec_id=self._exec_counter,
+            original=plan.original,
+            select=plan.select,
+            ontology=plan.ontology,
+            runs=[_FragmentRun(fragment=f, started=self.bus.now) for f in fragments],
+        )
+        self._executions[execution.exec_id] = execution
+        obs = self.observer
+        if obs.enabled:
+            obs.observe("mrq.fanout", float(len(fragments)))
+            obs.annotate(self.bus.now, plan.original, "mrq-fanout",
+                         resources=len(fragments), recommended=len(matches),
+                         resilient=True)
+        for index, run in enumerate(execution.runs):
+            self._send_fragment(execution, index, result)
+            if (
+                cfg.hedge
+                and not run.done
+                and len(run.fragment.providers) > 1
+            ):
+                result.arm(self._hedge_delay(),
+                           ("mrq-hedge", execution.exec_id, index))
+
+    def _ranked_candidates(self, run: _FragmentRun) -> List[str]:
+        """Untried providers for *run*, best first: closed breakers before
+        open ones, then by health score, then broker rank."""
+        cfg = self.resilience
+        budget = cfg.max_providers_per_fragment - len(run.tried)
+        if budget <= 0:
+            return []
+        now = self.bus.now
+        pool = [
+            (provider, rank)
+            for rank, provider in enumerate(run.fragment.providers)
+            if provider not in run.tried and provider not in run.outstanding
+        ]
+
+        def sort_key(item):
+            provider, rank = item
+            health = self.provider_health.get(provider)
+            if health is None:
+                return (0, cfg.initial_latency_s, rank, provider)
+            opened = 0 if health.available(now) else 1
+            return (opened, health.score(cfg, now), rank, provider)
+
+        return [provider for provider, _ in sorted(pool, key=sort_key)]
+
+    def _send_fragment(
+        self,
+        execution: _Execution,
+        index: int,
+        result: HandlerResult,
+        hedge: bool = False,
+    ) -> bool:
+        cfg = self.resilience
+        run = execution.runs[index]
+        candidates = self._ranked_candidates(run)
+        if not candidates:
+            return False
+        provider = candidates[0]
+        run.tried.append(provider)
+        ask_extras = {"complexity": execution.original.extra("complexity", 1.0)}
+        deadline = execution.original.extra("x-deadline")
+        if deadline is not None:
+            ask_extras["x-deadline"] = deadline
+        ask = KqmlMessage(
+            Performative.ASK_ALL,
+            sender=self.name,
+            receiver=provider,
+            content=run.fragment.rendered,
+            language="SQL 2.0",
+            extras=ask_extras,
+        )
+        run.outstanding[provider] = (ask.reply_with, self.bus.now)
+        self.ask(
+            ask,
+            lambda r, res, e=execution, i=index, p=provider: self._fragment_reply(
+                e, i, p, r, res
+            ),
+            result,
+            timeout=cfg.provider_timeout,
+            attempts=1,
+        )
+        if hedge:
+            run.hedged = True
+            obs = self.observer
+            if obs.enabled:
+                obs.inc("mrq.hedge.count")
+                obs.annotate(self.bus.now, execution.original, "mrq-hedge",
+                             fragment=run.fragment.fragment_id, provider=provider)
+        return True
+
+    def _fragment_reply(
+        self,
+        execution: _Execution,
+        index: int,
+        provider: str,
+        reply: Optional[KqmlMessage],
+        result: HandlerResult,
+    ) -> None:
+        if self._executions.get(execution.exec_id) is not execution:
+            return  # execution already assembled or wiped by a crash
+        run = execution.runs[index]
+        entry = run.outstanding.pop(provider, None)
+        if entry is None or run.winner is not None:
+            return
+        _reply_id, sent_at = entry
+        now = self.bus.now
+        cfg = self.resilience
+        obs = self.observer
+        health = self.provider_health.setdefault(provider, ProviderHealth())
+
+        if reply is not None and reply.performative is Performative.TELL:
+            latency = now - sent_at
+            health.record_success(latency, cfg)
+            self._latency_samples.append(latency)
+            run.winner = provider
+            run.answer = reply.content
+            # First reply wins: abandon the losing duplicate(s).
+            for other, (other_id, _sent) in list(run.outstanding.items()):
+                self.cancel_ask(other_id)
+                if obs.enabled:
+                    obs.inc("mrq.hedge.cancelled")
+            run.outstanding.clear()
+            if run.hedged and run.tried and provider != run.tried[0] and obs.enabled:
+                obs.inc("mrq.hedge.win")
+            self._finish_run(run, now, "ok")
+            self._maybe_assemble(execution, result)
+            return
+
+        reason = _failure_reason(reply)
+        retry_after = reply.extra("retry-after") if reply is not None else None
+        health.record_failure(reason, now, cfg, retry_after)
+        run.failures.append((provider, reason))
+        if obs.enabled:
+            obs.inc("mrq.provider.failure")
+        if run.outstanding:
+            return  # a hedge copy is still racing
+        if cfg.failover and self._send_fragment(execution, index, result):
+            if obs.enabled:
+                obs.inc("mrq.failover.count")
+                obs.annotate(now, execution.original, "mrq-failover",
+                             fragment=run.fragment.fragment_id,
+                             failed=provider, reason=reason,
+                             next=run.tried[-1])
+            return
+        run.exhausted = True
+        if obs.enabled:
+            obs.inc("mrq.fragment.exhausted")
+        self._finish_run(run, now, "exhausted")
+        self._maybe_assemble(execution, result)
+
+    def _finish_run(self, run: _FragmentRun, now: float, status: str) -> None:
+        obs = self.observer
+        if obs.enabled:
+            obs.region(self.name, "mrq-fragment", run.started, now,
+                       fragment=run.fragment.fragment_id, status=status,
+                       provider=run.winner or "", attempts=len(run.tried))
+
+    def _hedge_delay(self) -> float:
+        cfg = self.resilience
+        if len(self._latency_samples) >= cfg.hedge_min_samples:
+            ordered = sorted(self._latency_samples)
+            rank = max(1, math.ceil(cfg.hedge_quantile * len(ordered)))
+            return max(ordered[rank - 1], 1e-3)
+        return cfg.hedge_delay_s
+
+    def on_custom_timer(self, token: object, result: HandlerResult, now: float) -> None:
+        if (
+            isinstance(token, tuple)
+            and len(token) == 3
+            and token[0] == "mrq-hedge"
+        ):
+            execution = self._executions.get(token[1])
+            if execution is None:
+                return
+            run = execution.runs[token[2]]
+            if run.done or not run.outstanding:
+                return
+            self._send_fragment(execution, token[2], result, hedge=True)
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        # In-flight executions die with the process; learned provider
+        # health is a soft cache and survives (it only biases ranking).
+        self._executions.clear()
+
+    def _maybe_assemble(self, execution: _Execution, result: HandlerResult) -> None:
+        if any(not run.done for run in execution.runs):
+            return
+        if self._executions.pop(execution.exec_id, None) is None:
+            return
+        results = [
+            (run.winner, run.answer)
+            for run in execution.runs
+            if run.winner is not None
+        ]
+        pushed_down = {
+            run.winner: run.fragment.pushed_down
+            for run in execution.runs
+            if run.winner is not None
+        }
+        missing = [run for run in execution.runs if run.winner is None]
+        failures = [
+            (provider, run.fragment.fragment_id, reason)
+            for run in missing
+            for provider, reason in run.failures
+        ]
+        if not results:
+            detail = _partial_detail(
+                execution.select.table,
+                [run.fragment.fragment_id for run in missing],
+                failures,
+            )
+            result.send(
+                execution.original.reply(
+                    Performative.SORRY,
+                    content="all resources failed",
+                    **{"partial-detail": detail},
+                )
+            )
+            return
+        partial_extras = {}
+        if missing:
+            missing_ids = [run.fragment.fragment_id for run in missing]
+            partial_extras = {
+                "partial": "missing:" + ",".join(sorted(missing_ids)),
+                "partial-detail": _partial_detail(
+                    execution.select.table, missing_ids, failures
+                ),
+            }
+        self._assemble_answer(
+            execution.original,
+            execution.select,
+            execution.ontology,
+            results,
+            pushed_down,
+            partial_extras,
+            result,
+        )
+
+    # ------------------------------------------------------------------
     # assembly
     # ------------------------------------------------------------------
     def _collect(
@@ -366,21 +904,79 @@ class MultiResourceQueryAgent(Agent):
     ) -> None:
         if reply is not None and reply.performative is Performative.TELL:
             plan.results.append((resource, reply.content))
+        else:
+            plan.failures.append((resource, _failure_reason(reply)))
         plan.outstanding -= 1
         if plan.outstanding == 0:
             self._assemble(plan, result)
 
     def _assemble(self, plan: _Plan, result: HandlerResult) -> None:
         if not plan.results:
+            extras = {}
+            if plan.failures:
+                failures = [
+                    (name, plan.fragment_ids.get(name, "?"), reason)
+                    for name, reason in sorted(plan.failures)
+                ]
+                missing_ids = sorted({fid for _, fid, _ in failures})
+                extras["partial-detail"] = _partial_detail(
+                    plan.select.table, missing_ids, failures
+                )
             result.send(
-                plan.original.reply(Performative.SORRY, content="all resources failed")
+                plan.original.reply(
+                    Performative.SORRY, content="all resources failed", **extras
+                )
             )
             return
 
-        key = self._query_key(plan.select, plan.ontology)
+        partial_extras = {}
+        if plan.failures:
+            # Honest partial answers: a resource that never replied may
+            # hold rows nobody else returned, so the answer is flagged
+            # even when a same-shaped sibling succeeded.  The detail
+            # distinguishes fragment shapes with no surviving provider.
+            succeeded_ids = {
+                plan.fragment_ids.get(name) for name, _ in plan.results
+            }
+            failures = [
+                (name, plan.fragment_ids.get(name, "?"), reason)
+                for name, reason in sorted(plan.failures)
+            ]
+            missing_ids = sorted(
+                {fid for _, fid, _ in failures} - succeeded_ids
+            )
+            partial_extras = {
+                "partial": "missing:" + ",".join(
+                    sorted(name for name, _ in plan.failures)
+                ),
+                "partial-detail": _partial_detail(
+                    plan.select.table, missing_ids, failures
+                ),
+            }
+        self._assemble_answer(
+            plan.original,
+            plan.select,
+            plan.ontology,
+            plan.results,
+            plan.pushed_down,
+            partial_extras,
+            result,
+        )
+
+    def _assemble_answer(
+        self,
+        original: KqmlMessage,
+        select: Select,
+        ontology: Optional[Ontology],
+        results: List[Tuple[str, QueryResult]],
+        pushed_down: Dict[str, bool],
+        partial_extras: Dict[str, object],
+        result: HandlerResult,
+    ) -> None:
+        key = self._query_key(select, ontology)
         groups: Dict[frozenset, List[Table]] = {}
         total_bytes = 0
-        for index, (resource, query_result) in enumerate(plan.results):
+        for index, (resource, query_result) in enumerate(results):
             total_bytes += query_result.bytes_returned
             table = _table_from_result(f"r{index}", query_result)
             groups.setdefault(frozenset(query_result.columns), []).append(table)
@@ -395,22 +991,22 @@ class MultiResourceQueryAgent(Agent):
             assembled = union_all(shapes, name="assembled")
 
         rows = list(assembled.rows())
-        where = plan.select.where
-        if where is not None and not all(plan.pushed_down.values()):
+        where = select.where
+        if where is not None and not all(pushed_down.values()):
             rows = [row for row in rows if evaluate_predicate(where, row)]
 
-        columns = self._final_columns(plan.select, assembled)
-        if plan.select.order_by is not None and plan.select.order_by.column in assembled.schema:
-            order = plan.select.order_by
+        columns = self._final_columns(select, assembled)
+        if select.order_by is not None and select.order_by.column in assembled.schema:
+            order = select.order_by
             rows.sort(key=lambda r: (r[order.column] is None, r[order.column]),
                       reverse=order.descending)
-        if plan.select.limit is not None:
-            rows = rows[: plan.select.limit]
+        if select.limit is not None:
+            rows = rows[: select.limit]
         projected = tuple(
             {name: row.get(name) for name in columns} for row in rows
         )
         final = QueryResult(columns=tuple(columns), rows=projected,
-                            rows_scanned=sum(qr.rows_scanned for _, qr in plan.results))
+                            rows_scanned=sum(qr.rows_scanned for _, qr in results))
 
         result.cost_seconds += self.cost_model.resource_query_seconds(
             total_bytes / 1_000_000.0
@@ -419,8 +1015,12 @@ class MultiResourceQueryAgent(Agent):
         if obs.enabled:
             obs.inc("mrq.assembled.count")
             obs.observe("mrq.assemble.bytes", float(total_bytes))
+            if partial_extras:
+                obs.inc("mrq.partial.count")
+                obs.annotate(self.bus.now, original, "mrq-partial",
+                             missing=partial_extras.get("partial", ""))
         result.send(
-            plan.original.reply(Performative.TELL, content=final),
+            original.reply(Performative.TELL, content=final, **partial_extras),
             size_bytes=max(final.bytes_returned, self.cost_model.control_message_bytes),
         )
 
@@ -433,6 +1033,52 @@ class MultiResourceQueryAgent(Agent):
         if select.columns:
             return list(select.columns)
         return assembled.schema.column_names()
+
+
+def _fragment_label(sub_select: Select) -> str:
+    """A stable human/machine-readable fragment identity: the target
+    class plus the column shape the sub-query covers."""
+    columns = ",".join(sub_select.columns) if sub_select.columns else "*"
+    return f"{sub_select.table}[{columns}]"
+
+
+def _failure_reason(reply: Optional[KqmlMessage]) -> str:
+    """The machine-readable reason a sub-query yielded no answer."""
+    if reply is None:
+        return "timeout"
+    detail = reply.extra("reason")
+    if detail is None and isinstance(reply.content, str):
+        detail = reply.content
+    return f"sorry:{detail}" if detail else "sorry"
+
+
+def _parse_equivalence(value: object) -> Dict[str, int]:
+    """Decode the broker's ``equivalence`` hint (groups joined by ``|``,
+    members by ``,``) into provider -> group index."""
+    groups: Dict[str, int] = {}
+    if not isinstance(value, str) or not value:
+        return groups
+    for index, part in enumerate(value.split("|")):
+        for name in part.split(","):
+            if name:
+                groups[name] = index
+    return groups
+
+
+def _partial_detail(
+    class_name: str,
+    missing_fragments: Sequence[str],
+    failures: Sequence[Tuple[str, str, str]],
+) -> Dict[str, object]:
+    """The machine-readable payload behind a ``:partial`` annotation."""
+    return {
+        "class": class_name,
+        "missing-fragments": tuple(sorted(missing_fragments)),
+        "failed": tuple(
+            {"provider": provider, "fragment": fragment, "reason": reason}
+            for provider, fragment, reason in failures
+        ),
+    }
 
 
 def _table_from_result(name: str, query_result: QueryResult) -> Table:

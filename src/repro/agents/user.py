@@ -30,6 +30,13 @@ class CompletedQuery:
     completed_at: float
     result: Optional[QueryResult]
     error: Optional[str] = None
+    #: The MRQ's ``:partial`` annotation when the answer is incomplete
+    #: (e.g. ``"missing:C1[c1_s3,c1_s4,c1_id]"``); None for full answers.
+    partial: Optional[str] = None
+    #: Machine-readable companion to :attr:`partial` (missing fragments,
+    #: per-provider failure reasons); also populated on failed queries
+    #: when the MRQ could name what it lost.
+    partial_detail: Optional[object] = None
 
     @property
     def response_time(self) -> float:
@@ -38,6 +45,11 @@ class CompletedQuery:
     @property
     def succeeded(self) -> bool:
         return self.error is None
+
+    @property
+    def complete(self) -> bool:
+        """Succeeded *and* not flagged as a degraded partial answer."""
+        return self.error is None and self.partial is None
 
 
 class UserAgent(Agent):
@@ -158,12 +170,21 @@ class UserAgent(Agent):
     ) -> None:
         if reply is not None and reply.performative is Performative.TELL:
             self.completed.append(
-                CompletedQuery(sql, submitted_at, self.bus.now, reply.content)
+                CompletedQuery(
+                    sql, submitted_at, self.bus.now, reply.content,
+                    partial=reply.extra("partial"),
+                    partial_detail=reply.extra("partial-detail"),
+                )
             )
         else:
             error = "timeout" if reply is None else str(reply.content)
             self.completed.append(
-                CompletedQuery(sql, submitted_at, self.bus.now, None, error=error)
+                CompletedQuery(
+                    sql, submitted_at, self.bus.now, None, error=error,
+                    partial_detail=(
+                        reply.extra("partial-detail") if reply is not None else None
+                    ),
+                )
             )
 
     # ------------------------------------------------------------------

@@ -440,6 +440,64 @@ def _run_overload(scenario: Optional[str], metrics_path: Optional[str],
 
 
 # ----------------------------------------------------------------------
+# MRQ resilience scenarios (``python -m repro mrq-chaos <scenario>``)
+# ----------------------------------------------------------------------
+#: (loss, partition seconds, churn, protected) per named scenario.
+#: ``unprotected`` is the same chaos as ``harsh`` with the legacy
+#: query-every-match fan-out, for an A/B comparison.
+MRQ_CHAOS_SCENARIOS: Dict[str, tuple] = {
+    "calm": (0.0, 0.0, False, True),
+    "lossy": (0.2, 0.0, False, True),
+    "harsh": (0.2, 300.0, True, True),
+    "unprotected": (0.2, 300.0, True, False),
+}
+
+
+def _run_mrq_chaos(scenario: Optional[str], metrics_path: Optional[str],
+                   full: bool) -> int:
+    """Run one multi-source query community under provider chaos and
+    report completeness, honesty, and what failover/hedging did.
+    Exits non-zero if any answer was silently incomplete."""
+    from repro import obs
+    from repro.experiments.robustness import mrq_resilience_run
+
+    name = scenario or "harsh"
+    if name not in MRQ_CHAOS_SCENARIOS:
+        print(f"unknown mrq-chaos scenario {name!r}; choose from: "
+              f"{', '.join(MRQ_CHAOS_SCENARIOS)}", file=sys.stderr)
+        return 2
+    loss, partition_s, churn, protected = MRQ_CHAOS_SCENARIOS[name]
+    queries = 30 if full else 15
+    metrics_observer = obs.MetricsObserver()
+    row = mrq_resilience_run(loss=loss, partition_s=partition_s, churn=churn,
+                             protected=protected, queries=queries,
+                             observer=metrics_observer)
+
+    print(f"mrq-chaos scenario {name!r}: loss={loss:.0%}, "
+          f"partition={partition_s:.0f}s, churn={churn}, "
+          f"{'failover+hedge' if protected else 'legacy fan-out'}, "
+          f"queries={queries}")
+    print(f"  answered            {row['answered']}/{row['queries']}")
+    print(f"  complete            {row['complete']}")
+    print(f"  honest partial      {row['partial']}")
+    print(f"  failed              {row['failed']}")
+    print(f"  silently incomplete {row['dishonest']}")
+    print(f"  p95 response        {row['p95_response_s']:.1f}s")
+    print(f"  provider failovers  {row['failover']:.0f}")
+    print(f"  hedges sent/won     {row['hedges']:.0f}/{row['hedge_wins']:.0f}")
+    print(f"  broker failovers    {row['broker_failover']:.0f}")
+    print(f"  fragments exhausted {row['fragments_exhausted']:.0f}")
+    if metrics_path:
+        obs.registry_to_json(metrics_observer.registry, metrics_path)
+        print(f"[metrics registry written to {metrics_path}]")
+    if row["dishonest"]:
+        print("error: incomplete answers shipped without a :partial "
+              "annotation", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 # recovery scenarios (``python -m repro recover <path>``)
 # ----------------------------------------------------------------------
 #: The three crash-healing paths (see experiments.robustness).
@@ -645,13 +703,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=[*TARGETS, "all", "list", "trace", "chaos", "overload",
-                 "recover", "explain", "profile", "health", "bench"],
+                 "mrq-chaos", "recover", "explain", "profile", "health",
+                 "bench"],
         help="which table/figure to regenerate ('all' for everything, "
              "'list' to enumerate targets, 'trace' to run an instrumented "
              "example community and print its conversation span tree, "
              "'chaos' to run a fault-injected robustness scenario, "
              "'overload' to run a flash-crowd scenario with or without "
              "the overload-protection stack, "
+             "'mrq-chaos' to run a multi-source query community under "
+             "provider chaos with or without failover/hedging "
+             "(non-zero exit on silently incomplete answers), "
              "'recover' to crash and heal a broker via a recovery path, "
              "'explain' to run a flight-recorded scenario and print its "
              "matchmaking verdicts and cross-broker hop graphs, "
@@ -667,6 +729,8 @@ def build_parser() -> argparse.ArgumentParser:
              f"({', '.join(CHAOS_SCENARIOS)}; default baseline); "
              "for 'overload': the load scenario "
              f"({', '.join(OVERLOAD_SCENARIOS)}; default burst); "
+             "for 'mrq-chaos': the provider-chaos scenario "
+             f"({', '.join(MRQ_CHAOS_SCENARIOS)}; default harsh); "
              "for 'recover': the healing path "
              f"({', '.join(RECOVERY_SCENARIOS)}; default replay); "
              "for 'explain': the forensics scenario "
@@ -753,6 +817,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"chaos {name}")
         for name in OVERLOAD_SCENARIOS:
             print(f"overload {name}")
+        for name in MRQ_CHAOS_SCENARIOS:
+            print(f"mrq-chaos {name}")
         for name in RECOVERY_SCENARIOS:
             print(f"recover {name}")
         for name in EXPLAIN_SCENARIOS:
@@ -770,6 +836,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_chaos(args.example, args.metrics, args.full_scale)
     if args.target == "overload":
         return _run_overload(args.example, args.metrics, args.full_scale)
+    if args.target == "mrq-chaos":
+        return _run_mrq_chaos(args.example, args.metrics, args.full_scale)
     if args.target == "recover":
         return _run_recover(args.example, args.metrics, args.full_scale)
     if args.target == "profile":

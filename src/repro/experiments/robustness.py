@@ -572,3 +572,291 @@ def overload_grid(
         "goodput_ratio_protected_vs_unbounded": ratio,
         "best_protected_cell": best["cell"] if best else None,
     }
+
+
+# ----------------------------------------------------------------------
+# MRQ resilience extension: multi-source queries over dying providers
+# ----------------------------------------------------------------------
+#: One class split into two vertical fragments, each held by this many
+#: interchangeable replicas — the equivalence sets failover works over.
+MRQ_REPLICAS = 3
+MRQ_ROWS = 12
+MRQ_LOSS = 0.2
+MRQ_PARTITION_S = 300.0
+MRQ_QUERIES = 30
+MRQ_QUERY_INTERVAL = 40.0
+
+#: (tag, loss, partition seconds, churn) — every cell runs both an
+#: unprotected baseline and a failover+hedge variant.
+MRQ_CELLS: Tuple[Tuple[str, float, float, bool], ...] = (
+    ("calm", 0.0, 0.0, False),
+    ("lossy", MRQ_LOSS, 0.0, False),
+    ("partition", 0.0, MRQ_PARTITION_S, False),
+    ("churn", 0.0, 0.0, True),
+    ("harsh", MRQ_LOSS, MRQ_PARTITION_S, True),
+)
+MRQ_QUICK_CELLS = ("calm", "harsh")
+MRQ_HEADLINE_CELL = "harsh"
+
+
+def mrq_resilience_run(
+    loss: float = MRQ_LOSS,
+    partition_s: float = MRQ_PARTITION_S,
+    churn: bool = True,
+    protected: bool = True,
+    hedge: bool = True,
+    queries: int = MRQ_QUERIES,
+    interval: float = MRQ_QUERY_INTERVAL,
+    seed: int = 0,
+    observer=None,
+) -> Dict[str, object]:
+    """One MRQ community run under loss x partition x churn.
+
+    The community holds class C1 as two vertical fragments, each
+    replicated on :data:`MRQ_REPLICAS` resource agents spread over two
+    brokers.  Chaos is confined to the MRQ<->resource links (plus a
+    partition window isolating the primary replicas and a mid-run
+    resource crash), so every query reaches the MRQ and differences
+    between variants are purely in sub-query execution.
+
+    The baseline queries every recommended resource once and — post
+    the honest-partial fix — flags the answer ``:partial`` whenever any
+    resource failed, because without equivalence knowledge it cannot
+    prove the lost resource held no unique rows.  The protected variant
+    learns interchangeability from the broker's equivalence hints, so a
+    failover that lands on a sibling replica still yields a *complete*
+    answer."""
+    from repro import obs as obs_mod
+    from repro.agents import (
+        AgentConfig,
+        BrokerAgent,
+        CostModel,
+        MessageBus,
+        MultiResourceQueryAgent,
+        ResourceAgent,
+        UserAgent,
+    )
+    from repro.agents.faults import FaultPlan, LinkFaults
+    from repro.agents.mrq import MrqResilienceConfig
+    from repro.core.matcher import MatchContext
+    from repro.obs.metrics import MetricsObserver
+    from repro.ontology import demo_ontology
+    from repro.relational import vertical_fragments
+    from repro.relational.generate import generate_table
+
+    onto = demo_ontology(1, slots_per_class=5)
+    base = generate_table(onto, "C1", MRQ_ROWS, seed=7)  # data fixed per run
+    fragments = vertical_fragments(
+        base, [["c1_s1", "c1_s2"], ["c1_s3", "c1_s4"]]
+    )
+    expected = sorted((dict(row) for row in base.rows()),
+                      key=lambda row: row["c1_id"])
+
+    metrics = observer if observer is not None else MetricsObserver()
+    with obs_mod.installed(metrics):
+        bus = MessageBus(CostModel(
+            broker_seconds_per_mb=0.01,
+            resource_seconds_per_mb=0.01,
+            base_handling_seconds=0.001,
+            latency_seconds=0.01,
+            bandwidth_bytes_per_second=1e9,
+        ))
+        brokers = ("broker1", "broker2")
+        context = MatchContext(ontologies={"demo": onto})
+        for name in brokers:
+            bus.register(BrokerAgent(
+                name, context=context,
+                peer_brokers=[b for b in brokers if b != name],
+            ))
+        resource_names: List[str] = []
+        for index, fragment in enumerate(fragments):
+            for replica in range(MRQ_REPLICAS):
+                name = f"vf{index}r{replica}"
+                resource_names.append(name)
+                bus.register(ResourceAgent(
+                    name, {"C1": fragment}, "demo",
+                    config=AgentConfig(
+                        preferred_brokers=(brokers[replica % 2],),
+                        redundancy=2,
+                    ),
+                    advertised_slots=tuple(fragment.schema.column_names()),
+                ))
+        resilience = (
+            MrqResilienceConfig(
+                failover=True,
+                hedge=hedge,
+                provider_timeout=12.0,
+                hedge_delay_s=6.0,
+            )
+            if protected
+            else None
+        )
+        bus.register(MultiResourceQueryAgent(
+            "mrq", "demo", ontology=onto,
+            config=AgentConfig(preferred_brokers=brokers, redundancy=1),
+            resilience=resilience,
+        ))
+        user = UserAgent(
+            "alice",
+            config=AgentConfig(preferred_brokers=(brokers[0],), redundancy=1),
+            query_timeout=240.0,
+        )
+        bus.register(user)
+        bus.run_until(5.0)  # let everyone advertise before the chaos
+
+        span = queries * interval
+        plan = FaultPlan(seed=seed)
+        if loss > 0.0:
+            links = {}
+            for name in resource_names:
+                links[("mrq", name)] = LinkFaults(loss=loss)
+                links[(name, "mrq")] = LinkFaults(loss=loss)
+            plan = FaultPlan(seed=seed, links=links)
+        if partition_s > 0.0:
+            start = 10.0 + span * 0.3
+            plan = plan.with_partition(
+                ("vf0r0", "vf1r0"), start, start + partition_s,
+                name="primaries",
+            )
+        if loss > 0.0 or partition_s > 0.0:
+            bus.install_faults(plan)
+        if churn:
+            crash_at = 10.0 + span * 0.7
+            bus.schedule_callback(
+                crash_at, lambda: bus.set_offline("vf0r1", True))
+            bus.schedule_callback(
+                crash_at + 150.0, lambda: bus.set_offline("vf0r1", False))
+
+        for q in range(queries):
+            user.submit("select * from C1", at=10.0 + q * interval)
+        bus.run()
+
+    registry = metrics.registry
+
+    def counter_total(prefix: str) -> float:
+        return sum(
+            counter.value
+            for key, counter in registry._counters.items()
+            if key == prefix or key.startswith(prefix + "{")
+        )
+
+    complete = partial = failed = dishonest = 0
+    incomplete = incomplete_flagged = 0
+    times: List[float] = []
+    for done in user.completed:
+        if not done.succeeded:
+            failed += 1
+            continue
+        times.append(done.response_time)
+        rows = sorted((dict(row) for row in done.result.rows),
+                      key=lambda row: row.get("c1_id") or 0)
+        full = (
+            done.result.row_count == MRQ_ROWS
+            and set(done.result.columns) == set(base.schema.column_names())
+            and rows == expected
+        )
+        if not full:
+            incomplete += 1
+            detail = done.partial_detail
+            if done.partial is not None and isinstance(detail, dict) \
+                    and detail.get("missing-fragments"):
+                incomplete_flagged += 1
+        if done.partial is not None:
+            partial += 1
+        elif full:
+            complete += 1
+        else:
+            dishonest += 1
+    answered = len(user.completed)
+    return {
+        "protected": protected,
+        "seed": seed,
+        "queries": queries,
+        "answered": answered,
+        "complete": complete,
+        "partial": partial,
+        "failed": failed,
+        "dishonest": dishonest,
+        "incomplete": incomplete,
+        "incomplete_flagged": incomplete_flagged,
+        "p95_response_s": _percentile(times, 0.95) if times else float("nan"),
+        "failover": counter_total("mrq.failover.count"),
+        "hedges": counter_total("mrq.hedge.count"),
+        "hedge_wins": counter_total("mrq.hedge.win"),
+        "broker_failover": counter_total("mrq.broker_failover.count"),
+        "fragments_exhausted": counter_total("mrq.fragment.exhausted"),
+    }
+
+
+def mrq_resilience_grid(
+    queries: int = MRQ_QUERIES,
+    seeds: Sequence[int] = (0, 1, 2),
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Completeness / honesty per chaos cell, baseline vs protected.
+
+    The headline is the ``harsh`` cell (>=20% loss + a partition window
+    + a mid-run resource crash): how many more queries the protected
+    variant answers *completely*, and whether every incomplete answer
+    across the whole grid carried machine-readable ``:partial`` detail."""
+    if quick:
+        seeds = tuple(seeds)[:1]
+        queries = min(queries, 12)
+    cells = [c for c in MRQ_CELLS if not quick or c[0] in MRQ_QUICK_CELLS]
+    rows: List[Dict[str, object]] = []
+    total_incomplete = total_flagged = 0
+    for tag, loss, partition_s, churn in cells:
+        for protected in (False, True):
+            agg: Dict[str, float] = {}
+            times: List[float] = []
+            for seed in seeds:
+                row = mrq_resilience_run(
+                    loss=loss, partition_s=partition_s, churn=churn,
+                    protected=protected, queries=queries, seed=seed,
+                )
+                for key in ("queries", "answered", "complete", "partial",
+                            "failed", "dishonest", "incomplete",
+                            "incomplete_flagged", "failover", "hedges",
+                            "hedge_wins", "broker_failover",
+                            "fragments_exhausted"):
+                    agg[key] = agg.get(key, 0.0) + float(row[key])
+                if row["p95_response_s"] == row["p95_response_s"]:
+                    times.append(float(row["p95_response_s"]))
+            total = agg.get("queries", 0.0)
+            total_incomplete += int(agg.get("incomplete", 0))
+            total_flagged += int(agg.get("incomplete_flagged", 0))
+            rows.append({
+                "cell": tag,
+                "variant": "protected" if protected else "baseline",
+                "loss": loss,
+                "partition_s": partition_s,
+                "churn": churn,
+                **{k: agg.get(k, 0.0) for k in (
+                    "queries", "answered", "complete", "partial", "failed",
+                    "dishonest", "incomplete", "incomplete_flagged",
+                    "failover", "hedges", "hedge_wins", "broker_failover",
+                    "fragments_exhausted")},
+                "complete_fraction": agg["complete"] / total if total else 0.0,
+                "partial_fraction": agg["partial"] / total if total else 0.0,
+                "p95_response_s": max(times) if times else float("nan"),
+            })
+    by_key = {(row["cell"], row["variant"]): row for row in rows}
+    headline_base = by_key.get((MRQ_HEADLINE_CELL, "baseline"))
+    headline_prot = by_key.get((MRQ_HEADLINE_CELL, "protected"))
+    ratio = float("nan")
+    if headline_base and headline_prot:
+        base_frac = headline_base["complete_fraction"]
+        ratio = (
+            headline_prot["complete_fraction"] / base_frac
+            if base_frac > 0 else float("inf")
+        )
+    coverage = (
+        total_flagged / total_incomplete if total_incomplete else 1.0
+    )
+    return {
+        "cells": rows,
+        "headline_cell": MRQ_HEADLINE_CELL,
+        "complete_ratio_protected_vs_baseline": ratio,
+        "partial_annotation_coverage": coverage,
+        "dishonest_answers": sum(int(r["dishonest"]) for r in rows),
+    }

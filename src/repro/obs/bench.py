@@ -208,6 +208,35 @@ def _extract_overload(data: Mapping, source: str) -> List[Indicator]:
     return out
 
 
+def _extract_mrq_resilience(data: Mapping, source: str) -> List[Indicator]:
+    out = []
+    for cell in data.get("cells", ()):
+        tag = f"{cell.get('cell', '?')}.{cell.get('variant', '?')}"
+        if "complete_fraction" in cell:
+            out.append(Indicator(f"mrq.complete_fraction.{tag}",
+                                 float(cell["complete_fraction"]), "higher",
+                                 source))
+        if "dishonest" in cell:
+            # The honesty guarantee, measured: must stay at zero.
+            out.append(Indicator(f"mrq.dishonest.{tag}",
+                                 float(cell["dishonest"]), "lower", source))
+        if "p95_response_s" in cell:
+            # Virtual-time latency: deterministic given the seeds, gate it.
+            out.append(Indicator(f"mrq.p95_response_s.{tag}",
+                                 float(cell["p95_response_s"]), "lower",
+                                 source))
+    if "complete_ratio_protected_vs_baseline" in data:
+        out.append(Indicator(
+            "mrq.complete_ratio",
+            float(data["complete_ratio_protected_vs_baseline"]), "higher",
+            source))
+    if "partial_annotation_coverage" in data:
+        out.append(Indicator(
+            "mrq.partial_annotation_coverage",
+            float(data["partial_annotation_coverage"]), "higher", source))
+    return out
+
+
 #: filename -> extractor; unknown BENCH_* files are listed but skipped.
 _EXTRACTORS = {
     "BENCH_match.json": _extract_match,
@@ -216,6 +245,7 @@ _EXTRACTORS = {
     "BENCH_obs.json": _extract_obs,
     "BENCH_telemetry.json": _extract_telemetry,
     "BENCH_overload.json": _extract_overload,
+    "BENCH_mrq_resilience.json": _extract_mrq_resilience,
 }
 
 #: Artifact names the scoreboard itself writes (never re-ingested).
