@@ -1,0 +1,123 @@
+"""Load harness grid — the four live-ops workload shapes, scored.
+
+Not a paper table: this drives each open-loop traffic shape (steady
+Poisson, bursty on/off, ramped flash crowd, resource churn) through the
+robustness-style community with the streaming RED/USE plane attached,
+and records goodput, p95 time-to-answer, shed rate and reply fraction
+per shape.  All four scores are virtual-time arithmetic under a fixed
+seed — deterministic — so the scoreboard gates every cell against the
+committed baseline.
+
+The same run measures what the plane itself costs: the steady shape is
+re-run with and without the :class:`TimeSeriesObserver` (interleaved,
+minimum wall kept) and the marginal wall cost per delivered message is
+reported as ``plane_us_per_message`` and asserted against the same
+25us/message budget the sampling tracer honours (full scale only —
+quick runs are timer noise).
+
+The artifact lands in ``benchmarks/BENCH_load.json``.  Set
+``REPRO_BENCH_QUICK=1`` for a CI-smoke-sized run.
+"""
+
+import json
+import math
+import os
+import time
+
+from repro.experiments.workload import (WORKLOAD_SHAPES, summarize_run,
+                                        workload_config)
+from repro.obs.timeseries import TimeSeriesObserver
+from repro.sim.simulator import Simulation
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+DURATION = 1_800.0 if QUICK else 7_200.0
+SEED = 0
+#: Wall-time repeats per overhead variant (interleaved; minimum kept).
+REPEATS = 1 if QUICK else 4
+#: Budget for the plane's marginal wall cost per delivered message —
+#: the same envelope the budgeted tracer is held to.
+PLANE_BUDGET_US = 25.0
+
+
+def _run_shape(shape, observer=None):
+    config = workload_config(shape, duration=DURATION, seed=SEED)
+    simulation = Simulation(config, observer=observer)
+    started = time.perf_counter()
+    report = simulation.run()
+    wall = time.perf_counter() - started
+    return summarize_run(shape, simulation, report), wall, simulation
+
+
+def test_load_harness_grid(once):
+    def run_all():
+        # Overhead first: the steady shape with and without the plane,
+        # interleaved so machine drift hits both variants equally.
+        plane_windows = 0
+        bare_wall = plane_wall = float("inf")
+        messages = 1
+        for _ in range(REPEATS):
+            plane = TimeSeriesObserver(window_s=60.0)
+            _, wall, sim = _run_shape("steady", observer=plane)
+            plane_wall = min(plane_wall, wall)
+            plane_windows = len(plane.series.windows)
+            messages = sim.bus.stats.messages_delivered
+            _, wall_bare, _ = _run_shape("steady")
+            bare_wall = min(bare_wall, wall_bare)
+        # Scores from one clean pass per shape (virtual-time arithmetic:
+        # identical on every pass under the fixed seed).
+        cells = [_run_shape(shape, observer=TimeSeriesObserver())[0]
+                 for shape in WORKLOAD_SHAPES]
+        return cells, plane_windows, bare_wall, plane_wall, messages
+
+    cells, windows, bare_wall, plane_wall, messages = once(run_all)
+    plane_us = (plane_wall - bare_wall) / max(1, messages) * 1e6
+
+    print()
+    header = (f"{'shape':>12} {'goodput/min':>12} {'reply%':>8} "
+              f"{'p95 (s)':>8} {'shed%':>7} {'queries':>8}")
+    print(header)
+    for cell in cells:
+        print(f"{cell['shape']:>12} {cell['goodput_per_min']:>12.2f} "
+              f"{cell['reply_fraction']:>8.1%} "
+              f"{cell['p95_response_s']:>8.2f} {cell['shed_rate']:>7.1%} "
+              f"{cell['queries_issued']:>8}")
+    print(f"plane cost: {plane_us:.1f} us/message over {messages} "
+          f"messages ({windows} windows retained)")
+
+    by_shape = {cell["shape"]: cell for cell in cells}
+    assert set(by_shape) == set(WORKLOAD_SHAPES)
+    for cell in cells:
+        assert cell["queries_issued"] > 0, cell
+        assert not math.isnan(cell["goodput_per_min"]), cell
+        assert 0.0 < cell["reply_fraction"] <= 1.0, cell
+    assert windows > 0, "the plane retained no windows"
+    # The flash crowd actually stresses the community: it sheds where
+    # steady traffic does not (the protection stack at work).
+    assert (by_shape["flashcrowd"]["shed_rate"]
+            > by_shape["steady"]["shed_rate"]), by_shape
+    # Churn costs replies; it must not zero them out.
+    assert by_shape["churn"]["reply_fraction"] > 0.25, by_shape["churn"]
+    if not QUICK:
+        assert plane_us <= PLANE_BUDGET_US, (
+            f"time-series plane costs {plane_us:.1f}us per message, "
+            f"budget is {PLANE_BUDGET_US:.0f}us")
+
+    path = os.path.join(os.path.dirname(__file__), "BENCH_load.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "quick": QUICK,
+                "duration": DURATION,
+                "seed": SEED,
+                "repeats": REPEATS,
+                "cells": cells,
+                "messages_delivered": messages,
+                "windows_retained": windows,
+                "plane_us_per_message": plane_us,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")

@@ -30,6 +30,7 @@ from repro.agents.costs import CostModel
 from repro.agents.errors import AgentError
 from repro.kqml import KqmlMessage, Performative
 from repro.obs.events import NULL_OBSERVER, Observer, compose, summarize_content
+from repro.obs.metrics import Gauge
 from repro.obs.profiler import PROFILER
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -68,9 +69,10 @@ class BusStats:
     dropped_injected: int = 0
     timers_fired: int = 0
     bytes_transferred: float = 0.0
-    #: Deepest any single agent's undelivered-message backlog ever got
-    #: (overload shows here long before queries start timing out).
-    queue_depth_high_water: int = 0
+    #: Per-agent undelivered-message backlog as a generic peak/min
+    #: gauge; its ``max`` is the old bespoke high-water mark (overload
+    #: shows here long before queries start timing out).
+    queue_depth: Gauge = field(default_factory=Gauge)
     #: Load shedding by bounded mailboxes (zero unless a mailbox bound
     #: is configured), split by policy plus deadline expiry at dequeue.
     shed_reject: int = 0
@@ -83,6 +85,12 @@ class BusStats:
     #: Maintenance/reply deliveries that sailed past a *full* mailbox on
     #: the priority lane — evidence the lane actually mattered.
     maintenance_bypass: int = 0
+
+    @property
+    def queue_depth_high_water(self) -> int:
+        """Deepest any single agent's backlog ever got (the legacy
+        counter, now read off the gauge's peak)."""
+        return int(self.queue_depth.max or 0)
 
     @property
     def messages_dropped(self) -> int:
@@ -553,8 +561,7 @@ class MessageBus:
         self._inflight_total += 1
         depth = self._inflight.get(receiver, 0) + 1
         self._inflight[receiver] = depth
-        if depth > self.stats.queue_depth_high_water:
-            self.stats.queue_depth_high_water = depth
+        self.stats.queue_depth.set(float(depth))
         # Emit the *current* depth on every transition (dequeue too), so
         # the gauge decays instead of sticking at the high-water mark.
         if self.observer.wants_metrics:
@@ -568,6 +575,7 @@ class MessageBus:
             self._inflight.pop(receiver, None)
         else:
             self._inflight[receiver] = depth
+        self.stats.queue_depth.set(float(max(depth, 0)))
         if self.observer.wants_metrics:
             self.observer.gauge("bus.queue.depth", float(max(depth, 0)))
             self.observer.gauge("bus.inflight", float(self._inflight_total))

@@ -285,7 +285,10 @@ def _run_explain(scenario: Optional[str], metrics_path: Optional[str],
             handle.write("\n")
         print(f"[explain report written to {explain_out}]")
     if metrics_path:
-        obs.registry_to_json(metrics_observer.registry, metrics_path)
+        from repro.obs.export import _latest_time
+
+        obs.registry_to_json(metrics_observer.registry, metrics_path,
+                             at=_latest_time(tracer))
         print(f"[metrics registry written to {metrics_path}]")
     # The explain invariant: one verdict per advertisement considered.
     # A broker with an empty repository legitimately yields an empty
@@ -362,7 +365,7 @@ def _run_chaos(scenario: Optional[str], metrics_path: Optional[str],
     print(f"  duplicates deduped {counter_total('agent.dedup.count'):.0f}")
     print(f"  breaker openings   {counter_total('broker.breaker.open'):.0f}")
     if metrics_path:
-        obs.registry_to_json(registry, metrics_path)
+        obs.registry_to_json(registry, metrics_path, at=simulation.bus.now)
         print(f"[metrics registry written to {metrics_path}]")
     return 0
 
@@ -434,8 +437,84 @@ def _run_overload(scenario: Optional[str], metrics_path: Optional[str],
     print(f"  expired at broker  "
           f"{counter_total('broker.admission.expired'):.0f}")
     if metrics_path:
-        obs.registry_to_json(registry, metrics_path)
+        obs.registry_to_json(registry, metrics_path, at=simulation.bus.now)
         print(f"[metrics registry written to {metrics_path}]")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# live-ops load harness (``python -m repro load <shape>``)
+# ----------------------------------------------------------------------
+def _run_load(shape: Optional[str], metrics_path: Optional[str], full: bool,
+              headless: bool, series_out: Optional[str]) -> int:
+    """Drive one open-loop workload shape with the streaming RED/USE
+    plane attached, repainting the live console each virtual-time step
+    (one static frame in ``--headless`` mode).  Exits non-zero if the
+    plane captured no RED or no USE signal — the acceptance check that
+    the observer-derived series actually flow."""
+    from repro import obs
+    from repro.experiments.console import CLEAR, render_frame
+    from repro.experiments.workload import (WORKLOAD_SHAPES, summarize_run,
+                                            workload_config)
+    from repro.sim.simulator import Simulation
+
+    name = shape or "steady"
+    if name not in WORKLOAD_SHAPES:
+        print(f"unknown workload shape {name!r}; choose from: "
+              f"{', '.join(WORKLOAD_SHAPES)}", file=sys.stderr)
+        return 2
+    duration = 43_200.0 if full else 3_600.0
+    plane = obs.TimeSeriesObserver(window_s=60.0, capacity=720)
+    observer = plane
+    metrics_observer = None
+    if metrics_path:
+        metrics_observer = obs.MetricsObserver()
+        observer = obs.compose(metrics_observer, plane)
+    simulation = Simulation(workload_config(name, duration=duration),
+                            observer=observer)
+    frames = 30
+    step = duration / frames
+    elapsed = 0.0
+    while elapsed < duration:
+        elapsed = min(duration, elapsed + step)
+        simulation.advance(elapsed)
+        if not headless:
+            print(CLEAR + render_frame(plane, simulation.bus.now, shape=name),
+                  end="", flush=True)
+    report = simulation.finalize()
+    if headless:
+        print(render_frame(plane, simulation.bus.now, shape=name), end="")
+    print()
+    cell = summarize_run(name, simulation, report)
+    print(f"load shape {name!r}: duration={duration:.0f}s, "
+          f"seed={report.config.seed}")
+    print(f"  queries issued     {cell['queries_issued']}")
+    print(f"  reply fraction     {cell['reply_fraction']:.1%}")
+    print(f"  goodput            {cell['goodput_per_min']:.1f} replies/min")
+    print(f"  p95 response       {cell['p95_response_s']:.1f}s")
+    print(f"  shed rate          {cell['shed_rate']:.1%}")
+    print(f"  queue high water   {cell['queue_depth_high_water']}")
+    if series_out:
+        count = obs.write_series_jsonl(series_out, plane)
+        print(f"[{count} window records written to {series_out}]")
+    if metrics_path:
+        obs.registry_to_json(metrics_observer.registry, metrics_path,
+                             at=simulation.bus.now)
+        print(f"[metrics registry written to {metrics_path}]")
+    has_red = any(
+        key[0].startswith("red.")
+        for window in plane.series.windows
+        for key in (*window.counters, *window.sketches)
+    )
+    has_use = any(
+        any(key[0].startswith("use.") for key in window.counters)
+        or window.gauges
+        for window in plane.series.windows
+    )
+    if not (has_red and has_use):
+        print("error: the time-series plane captured no "
+              f"{'RED' if not has_red else 'USE'} signal", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -690,7 +769,10 @@ def _run_trace(example: Optional[str], metrics_path: Optional[str],
         obs.write_jsonl(jsonl_path, tracer)
         print(f"[trace events written to {jsonl_path}]")
     if metrics_path:
-        obs.registry_to_json(metrics_observer.registry, metrics_path)
+        from repro.obs.export import _latest_time
+
+        obs.registry_to_json(metrics_observer.registry, metrics_path,
+                             at=_latest_time(tracer))
         print(f"[metrics registry written to {metrics_path}]")
     return 0
 
@@ -703,14 +785,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=[*TARGETS, "all", "list", "trace", "chaos", "overload",
-                 "mrq-chaos", "recover", "explain", "profile", "health",
-                 "bench"],
+                 "load", "mrq-chaos", "recover", "explain", "profile",
+                 "health", "bench"],
         help="which table/figure to regenerate ('all' for everything, "
              "'list' to enumerate targets, 'trace' to run an instrumented "
              "example community and print its conversation span tree, "
              "'chaos' to run a fault-injected robustness scenario, "
              "'overload' to run a flash-crowd scenario with or without "
              "the overload-protection stack, "
+             "'load' to drive an open-loop workload shape under the live "
+             "RED/USE ops console, "
              "'mrq-chaos' to run a multi-source query community under "
              "provider chaos with or without failover/hedging "
              "(non-zero exit on silently incomplete answers), "
@@ -729,6 +813,8 @@ def build_parser() -> argparse.ArgumentParser:
              f"({', '.join(CHAOS_SCENARIOS)}; default baseline); "
              "for 'overload': the load scenario "
              f"({', '.join(OVERLOAD_SCENARIOS)}; default burst); "
+             "for 'load': the traffic shape "
+             "(steady, bursty, flashcrowd, churn; default steady); "
              "for 'mrq-chaos': the provider-chaos scenario "
              f"({', '.join(MRQ_CHAOS_SCENARIOS)}; default harsh); "
              "for 'recover': the healing path "
@@ -762,6 +848,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-out", metavar="PATH", default=None,
         help="for 'profile': also write collapsed stacks (flamegraph "
              "format) to PATH",
+    )
+    parser.add_argument(
+        "--headless", action="store_true",
+        help="for 'load': no live repaints — print one final frame and "
+             "the summary (CI mode)",
+    )
+    parser.add_argument(
+        "--series-out", metavar="PATH", default=None,
+        help="for 'load': write the windowed RED/USE time-series to PATH "
+             "as JSONL (one window record per line)",
     )
     parser.add_argument(
         "--metrics-in", metavar="PATH", default=None,
@@ -817,6 +913,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"chaos {name}")
         for name in OVERLOAD_SCENARIOS:
             print(f"overload {name}")
+        from repro.experiments.workload import WORKLOAD_SHAPES
+
+        for name in WORKLOAD_SHAPES:
+            print(f"load {name}")
         for name in MRQ_CHAOS_SCENARIOS:
             print(f"mrq-chaos {name}")
         for name in RECOVERY_SCENARIOS:
@@ -836,6 +936,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_chaos(args.example, args.metrics, args.full_scale)
     if args.target == "overload":
         return _run_overload(args.example, args.metrics, args.full_scale)
+    if args.target == "load":
+        return _run_load(args.example, args.metrics, args.full_scale,
+                         args.headless, args.series_out)
     if args.target == "mrq-chaos":
         return _run_mrq_chaos(args.example, args.metrics, args.full_scale)
     if args.target == "recover":

@@ -10,7 +10,12 @@ Tables 1-6 and Figures 14-17.
 * :mod:`repro.experiments.robustness` — the failure experiments
   (Tables 5 and 6);
 * :mod:`repro.experiments.report` — plain-text rendering of the rows
-  and series, in the paper's shapes.
+  and series, in the paper's shapes;
+* :mod:`repro.experiments.workload` — the open-loop live-ops traffic
+  shapes (steady/bursty/flashcrowd/churn) behind ``python -m repro
+  load``;
+* :mod:`repro.experiments.console` — the live ANSI dashboard renderer
+  for those runs.
 """
 
 from repro.experiments.streams import (
@@ -40,8 +45,17 @@ from repro.experiments.robustness import (
     table6_grid,
 )
 from repro.experiments.report import format_series, format_table
+from repro.experiments.workload import (
+    WORKLOAD_SHAPES,
+    load_grid,
+    run_workload,
+    summarize_run,
+    workload_config,
+)
+from repro.experiments.console import render_frame
 
 __all__ = [
+    "WORKLOAD_SHAPES",
     "EXPERIMENT_STREAMS",
     "LiveRunResult",
     "QueryStream",
@@ -55,11 +69,16 @@ __all__ = [
     "figure17_series",
     "format_series",
     "format_table",
+    "load_grid",
+    "render_frame",
     "resources_required",
     "run_live_experiment",
+    "run_workload",
+    "summarize_run",
     "table2_configurations",
     "table3_ratios",
     "table4_ratios",
     "table5_grid",
     "table6_grid",
+    "workload_config",
 ]

@@ -1,0 +1,58 @@
+"""The live ops console: rendering RED/USE windows as an ANSI table.
+
+``python -m repro load`` steps a simulation through virtual time and
+repaints one :func:`render_frame` per step — a top-style dashboard over
+the :class:`~repro.obs.timeseries.TimeSeriesObserver` plane.  The
+renderer is a pure function of the plane (no I/O, no clock), so the
+snapshot tests can pin its output exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.timeseries import (TimeSeriesObserver, summarize_window,
+                                  summarize_windows)
+
+#: Clear screen + home cursor — prefixed to every live repaint.
+CLEAR = "\x1b[2J\x1b[H"
+
+_HEADER = (f"{'window':>10} {'arrivals':>8} {'goodput':>8} {'p50s':>7} "
+           f"{'p95s':>7} {'errors':>6} {'shed%':>6} {'part%':>6}  saturated")
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1f}"
+
+
+def _fmt_pct(value: float) -> str:
+    return f"{100.0 * value:.1f}"
+
+
+def _row(label: str, summary: dict, top: int) -> str:
+    saturated = " ".join(
+        f"{agent}={int(depth)}" for agent, depth in summary["saturated"][:top]
+    )
+    return (f"{label:>10} {int(summary['arrivals']):>8} {int(summary['goodput']):>8} "
+            f"{_fmt_s(summary['p50_s']):>7} {_fmt_s(summary['p95_s']):>7} "
+            f"{int(summary['errors']):>6} {_fmt_pct(summary['shed_rate']):>6} "
+            f"{_fmt_pct(summary['partial_rate']):>6}  {saturated}")
+
+
+def render_frame(plane: TimeSeriesObserver, now: float, shape: str = "",
+                 rows: int = 10, top: int = 3) -> str:
+    """The console frame at virtual time *now*: one line per retained
+    window (newest last, at most *rows*), a separator, and a run-to-date
+    roll-up built by merging every retained window's sketches."""
+    windows = list(plane.series.windows)[-rows:]
+    title = f"repro load{f' {shape}' if shape else ''} — t={now:.0f}s"
+    lines: List[str] = [title, _HEADER]
+    for window in windows:
+        summary = summarize_window(window)
+        lines.append(_row(f"t={summary['at']:.0f}s", summary, top))
+    if not windows:
+        lines.append("  (no traffic yet)")
+    lines.append("-" * len(_HEADER))
+    total = summarize_windows(list(plane.series.windows))
+    lines.append(_row("total", total, top))
+    return "\n".join(lines) + "\n"

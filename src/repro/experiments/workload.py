@@ -1,0 +1,139 @@
+"""Open-loop workload shapes for the live-ops harness.
+
+The traffic generators behind ``python -m repro load`` and the
+``BENCH_load.json`` scoreboard cells.  Four named shapes exercise the
+community the way an operational deployment would, instead of the
+figure experiments' fixed-interval closed loops:
+
+* ``steady`` — a plain Poisson arrival process with Zipf-popular
+  domains (rank 1 hottest), the baseline every other shape is read
+  against;
+* ``bursty`` — an interrupted-Poisson (on/off) process: exponential ON
+  phases of traffic separated by silent OFF phases;
+* ``flashcrowd`` — the PR-8 burst window with ramped edges, so arrival
+  rate climbs to and falls from the peak instead of stepping;
+* ``churn`` — resources fail and recover on an exponential schedule
+  under strict crash semantics, so the community heals by
+  re-advertising (join/leave/re-advertise dynamics).
+
+Every shape runs with the overload-protection stack on (bounded
+mailboxes, deadlines, admission control, breakers), so saturation
+sheds honestly and the USE series have real signal.  All randomness
+flows through :class:`~repro.sim.rng.SimRng` via ``SimConfig``, so
+every shape is deterministic under a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.robustness import _percentile
+from repro.sim.config import BrokerStrategy, SimConfig
+from repro.sim.simulator import Simulation, SimReport
+
+#: The named traffic shapes ``python -m repro load`` accepts.
+WORKLOAD_SHAPES = ("steady", "bursty", "flashcrowd", "churn")
+
+#: Community scale: 5 brokers over 10 domains keeps quick runs fast
+#: while leaving enough domains for the Zipf head/tail to differ.
+LOAD_BROKERS = 5
+LOAD_RESOURCES = 40
+LOAD_RESOURCES_PER_DOMAIN = 4
+LOAD_QUERY_INTERVAL = 12.0
+LOAD_ZIPF_S = 1.1
+
+
+def workload_config(shape: str, duration: float = 3_600.0, seed: int = 0,
+                    **overrides) -> SimConfig:
+    """The :class:`SimConfig` for one named workload *shape*."""
+    if shape not in WORKLOAD_SHAPES:
+        raise ValueError(f"unknown workload shape {shape!r}; choose from: "
+                         f"{', '.join(WORKLOAD_SHAPES)}")
+    warmup = min(300.0, duration / 4)
+    window = duration - warmup
+    base: Dict[str, object] = dict(
+        n_brokers=LOAD_BROKERS,
+        n_resources=LOAD_RESOURCES,
+        resources_per_domain=LOAD_RESOURCES_PER_DOMAIN,
+        strategy=BrokerStrategy.SPECIALIZED,
+        advertisement_redundancy=2,
+        mean_query_interval=LOAD_QUERY_INTERVAL,
+        query_resources_after_reply=False,
+        query_reply_timeout=60.0,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        load_zipf_s=LOAD_ZIPF_S,
+        # The PR-8 protection stack: saturation sheds instead of
+        # collapsing, which is what the USE series are for.
+        mailbox_capacity=8,
+        mailbox_policy="reject",
+        deadline_propagation=True,
+        admission_max_inflight=16,
+        breaker_failure_threshold=3,
+    )
+    if shape == "bursty":
+        base.update(load_on_s=window / 12, load_off_s=window / 24)
+    elif shape == "flashcrowd":
+        base.update(
+            burst_start=warmup + window / 4,
+            burst_duration=window / 4,
+            burst_factor=8.0,
+            load_ramp_s=window / 16,
+        )
+    elif shape == "churn":
+        base.update(
+            resource_mttf=duration / 4,
+            resource_mttr=duration / 15,
+            crash_mode="strict",
+        )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+def summarize_run(shape: str, simulation: Simulation,
+                  report: SimReport) -> Dict[str, float]:
+    """One scoreboard cell for a finished workload run.  Everything here
+    is virtual-time arithmetic — deterministic under the seed — so the
+    bench extractor can gate these values against a committed
+    baseline."""
+    config = report.config
+    tail = report._tail_cutoff
+    answered = report.metrics.completed(after=config.warmup, before=tail)
+    window_min = (tail - config.warmup) / 60.0
+    responses = [record.response_time for record in answered]
+    stats = simulation.bus.stats
+    offered = stats.mailbox_offered
+    return {
+        "shape": shape,
+        "queries_issued": report.queries_issued,
+        "reply_fraction": report.reply_fraction,
+        "goodput_per_min": (len(answered) / window_min
+                            if window_min > 0 else 0.0),
+        "p95_response_s": (_percentile(responses, 0.95)
+                           if responses else 0.0),
+        "shed": stats.messages_shed,
+        "shed_rate": stats.messages_shed / offered if offered else 0.0,
+        "queue_depth_high_water": stats.queue_depth_high_water,
+    }
+
+
+def run_workload(shape: str, duration: float = 3_600.0, seed: int = 0,
+                 observer=None, **overrides) -> Dict[str, float]:
+    """Run one workload shape to completion and summarize it (the
+    bench-grid path; the live console steps the same simulation
+    through :meth:`~repro.sim.simulator.Simulation.advance` instead)."""
+    config = workload_config(shape, duration=duration, seed=seed, **overrides)
+    simulation = Simulation(config, observer=observer)
+    report = simulation.run()
+    return summarize_run(shape, simulation, report)
+
+
+def load_grid(shapes: Sequence[str] = WORKLOAD_SHAPES,
+              duration: float = 1_800.0, seed: int = 0,
+              observer=None) -> List[Dict[str, float]]:
+    """One summary cell per workload shape (the ``BENCH_load.json``
+    ``cells`` array)."""
+    return [run_workload(shape, duration=duration, seed=seed,
+                         observer=observer)
+            for shape in shapes]

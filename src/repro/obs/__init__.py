@@ -30,7 +30,10 @@ The PR-6 telemetry pipeline adds four production-shaped layers on top:
 * :mod:`repro.obs.slo` — declarative SLOs with error-budget burn rates
   behind ``python -m repro health``;
 * :mod:`repro.obs.bench` — the unified benchmark scoreboard behind
-  ``python -m repro bench``.
+  ``python -m repro bench``;
+* :mod:`repro.obs.timeseries` — the streaming live-ops plane: windowed
+  RED/USE time-series with mergeable quantile sketches, derived from
+  the same observer hooks, behind ``python -m repro load``.
 
 A process-wide default observer can be installed (the CLI's
 ``--metrics`` does this) so that buses and simulations constructed
@@ -109,6 +112,16 @@ from repro.obs.slo import (
     health_ok,
     load_slo_specs,
 )
+from repro.obs.timeseries import (
+    SERIES_SCHEMA_VERSION,
+    QuantileSketch,
+    TimeSeries,
+    TimeSeriesObserver,
+    Window,
+    summarize_window,
+    summarize_windows,
+    write_series_jsonl,
+)
 from repro.obs.tracing import ConversationTracer, Span
 
 __all__ = [
@@ -117,6 +130,7 @@ __all__ = [
     "PROFILER",
     "REJECT_REASONS",
     "REPORT_SCHEMA_VERSION",
+    "SERIES_SCHEMA_VERSION",
     "CompositeObserver",
     "ConversationOutcome",
     "ConversationTracer",
@@ -136,6 +150,7 @@ __all__ = [
     "Observer",
     "PhaseProfiler",
     "PhaseStat",
+    "QuantileSketch",
     "QueryExplanation",
     "Regression",
     "SLOResult",
@@ -143,8 +158,11 @@ __all__ = [
     "SamplingStats",
     "SamplingTracer",
     "Span",
+    "TimeSeries",
+    "TimeSeriesObserver",
     "TraceBudget",
     "Verdict",
+    "Window",
     "build_hop_graph",
     "build_report",
     "check_report",
@@ -165,10 +183,13 @@ __all__ = [
     "render_span_tree",
     "spans_to_jsonl",
     "summarize_content",
+    "summarize_window",
+    "summarize_windows",
     "trace_ids",
     "uninstall",
     "write_jsonl",
     "write_report",
+    "write_series_jsonl",
 ]
 
 #: Stack of process-wide default observers; empty means "not observing".

@@ -237,6 +237,35 @@ def _extract_mrq_resilience(data: Mapping, source: str) -> List[Indicator]:
     return out
 
 
+def _extract_load(data: Mapping, source: str) -> List[Indicator]:
+    out = []
+    for cell in data.get("cells", ()):
+        tag = cell.get("shape", "?")
+        # All four are virtual-time arithmetic under a fixed seed —
+        # deterministic, so they gate against the committed baseline.
+        if "goodput_per_min" in cell:
+            out.append(Indicator(f"load.goodput_per_min.{tag}",
+                                 float(cell["goodput_per_min"]), "higher",
+                                 source))
+        if "p95_response_s" in cell:
+            out.append(Indicator(f"load.p95_response_s.{tag}",
+                                 float(cell["p95_response_s"]), "lower",
+                                 source))
+        if "shed_rate" in cell:
+            out.append(Indicator(f"load.shed_rate.{tag}",
+                                 float(cell["shed_rate"]), "lower", source))
+        if "reply_fraction" in cell:
+            out.append(Indicator(f"load.reply_fraction.{tag}",
+                                 float(cell["reply_fraction"]), "higher",
+                                 source))
+    if "plane_us_per_message" in data:
+        # Wall-clock plane overhead: informational only, never gated.
+        out.append(Indicator("load.plane_us_per_message",
+                             float(data["plane_us_per_message"]), "lower",
+                             source, checked=False))
+    return out
+
+
 #: filename -> extractor; unknown BENCH_* files are listed but skipped.
 _EXTRACTORS = {
     "BENCH_match.json": _extract_match,
@@ -246,6 +275,7 @@ _EXTRACTORS = {
     "BENCH_telemetry.json": _extract_telemetry,
     "BENCH_overload.json": _extract_overload,
     "BENCH_mrq_resilience.json": _extract_mrq_resilience,
+    "BENCH_load.json": _extract_load,
 }
 
 #: Artifact names the scoreboard itself writes (never re-ingested).

@@ -29,10 +29,11 @@ from repro.obs.tracing import ConversationTracer, Span
 EXPORT_SCHEMA_VERSION = 1
 
 
-def _span_to_dict(span: Span) -> dict:
+def _span_to_dict(span: Span, at: Optional[float] = None) -> dict:
     return {
         "type": "span",
         "schema": EXPORT_SCHEMA_VERSION,
+        "at": at,
         "span_id": span.span_id,
         "parent_id": span.parent_id,
         "name": span.name,
@@ -50,10 +51,11 @@ def _span_to_dict(span: Span) -> dict:
     }
 
 
-def _message_to_dict(record: MessageRecord) -> dict:
+def _message_to_dict(record: MessageRecord, at: Optional[float] = None) -> dict:
     return {
         "type": "message",
         "schema": EXPORT_SCHEMA_VERSION,
+        "at": at,
         "time": record.time,
         "sender": record.sender,
         "receiver": record.receiver,
@@ -63,18 +65,36 @@ def _message_to_dict(record: MessageRecord) -> dict:
     }
 
 
-def spans_to_jsonl(tracer: ConversationTracer) -> str:
-    """The tracer's spans and message log as JSONL text."""
-    lines = [json.dumps(_span_to_dict(s), default=str, sort_keys=True)
+def spans_to_jsonl(tracer: ConversationTracer,
+                   at: Optional[float] = None) -> str:
+    """The tracer's spans and message log as JSONL text.
+
+    *at* is the virtual time the export was taken (the bus clock);
+    every record carries it so exports from different runs can be
+    merged and replayed on a common timeline.  When the caller has no
+    virtual clock, the snapshot time defaults to the latest event the
+    tracer saw.
+    """
+    if at is None:
+        at = _latest_time(tracer)
+    lines = [json.dumps(_span_to_dict(s, at), default=str, sort_keys=True)
              for s in tracer.spans]
-    lines.extend(json.dumps(_message_to_dict(m), sort_keys=True)
+    lines.extend(json.dumps(_message_to_dict(m, at), sort_keys=True)
                  for m in tracer.messages)
     return "\n".join(lines)
 
 
-def write_jsonl(path: str, tracer: ConversationTracer) -> None:
+def _latest_time(tracer: ConversationTracer) -> Optional[float]:
+    times = [m.time for m in tracer.messages]
+    times.extend(s.end for s in tracer.spans if s.end is not None)
+    times.extend(s.start for s in tracer.spans)
+    return max(times) if times else None
+
+
+def write_jsonl(path: str, tracer: ConversationTracer,
+                at: Optional[float] = None) -> None:
     with open(path, "w", encoding="utf-8") as handle:
-        text = spans_to_jsonl(tracer)
+        text = spans_to_jsonl(tracer, at=at)
         if text:
             handle.write(text + "\n")
 
@@ -129,9 +149,12 @@ def read_jsonl(
     return spans, messages
 
 
-def registry_to_json(registry: MetricsRegistry, path: Optional[str] = None) -> str:
-    """The registry snapshot as JSON text, optionally written to *path*."""
-    text = registry.to_json()
+def registry_to_json(registry: MetricsRegistry, path: Optional[str] = None,
+                     at: Optional[float] = None) -> str:
+    """The registry snapshot as JSON text, optionally written to
+    *path*.  *at* stamps the snapshot with the virtual time it was
+    taken (see :meth:`MetricsRegistry.snapshot`)."""
+    text = registry.to_json(at=at)
     if path is not None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")

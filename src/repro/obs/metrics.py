@@ -61,18 +61,30 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins) with a peak/min envelope.
 
-    __slots__ = ("value",)
+    ``max``/``min`` track the highest and lowest values ever set — the
+    generic form of the bus's old bespoke queue-depth high-water mark,
+    so any gauge (queue depth, admission in-flight, breaker count) gets
+    a saturation envelope for free.  ``None`` until the first ``set``.
+    """
+
+    __slots__ = ("value", "max", "min")
 
     def __init__(self):
         self.value = 0.0
+        self.max: Optional[float] = None
+        self.min: Optional[float] = None
 
     def set(self, value: float) -> None:
         self.value = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
 
-    def snapshot(self) -> float:
-        return self.value
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        return {"value": self.value, "max": self.max, "min": self.min}
 
 
 class Histogram:
@@ -233,13 +245,21 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
-    #: Bump when the snapshot layout changes shape.
-    SNAPSHOT_SCHEMA_VERSION = 1
+    #: Bump when the snapshot layout changes shape.  v2: gauges became
+    #: ``{"value", "max", "min"}`` envelopes and the snapshot carries a
+    #: virtual-time ``at`` stamp (None when the caller has no clock).
+    SNAPSHOT_SCHEMA_VERSION = 2
 
-    def snapshot(self) -> Dict[str, object]:
-        """Everything recorded, as plain JSON-serializable data."""
+    def snapshot(self, at: Optional[float] = None) -> Dict[str, object]:
+        """Everything recorded, as plain JSON-serializable data.
+
+        *at* is the virtual time of the snapshot; exported snapshots
+        carry it so series from different runs are replayable and
+        mergeable on a common clock.
+        """
         return {
             "schema": self.SNAPSHOT_SCHEMA_VERSION,
+            "at": at,
             "counters": {k: c.snapshot() for k, c in sorted(self._counters.items())},
             "gauges": {k: g.snapshot() for k, g in sorted(self._gauges.items())},
             "histograms": {
@@ -247,8 +267,8 @@ class MetricsRegistry:
             },
         }
 
-    def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+    def to_json(self, indent: int = 2, at: Optional[float] = None) -> str:
+        return json.dumps(self.snapshot(at=at), indent=indent, sort_keys=True)
 
     def render_prometheus(self) -> str:
         """The registry in Prometheus text exposition format.
@@ -270,11 +290,23 @@ class MetricsRegistry:
             family = _prom_name(name)
             header(family, "counter")
             lines.append(f"{family}{_prom_labels(body)} {counter.value}")
-        for key, gauge in sorted(self._gauges.items()):
+        gauges = sorted(self._gauges.items())
+        for key, gauge in gauges:
             name, body = _split_key(key)
             family = _prom_name(name)
             header(family, "gauge")
             lines.append(f"{family}{_prom_labels(body)} {gauge.value}")
+        # Peak/min envelopes as their own families (grouped after the
+        # value series so each family stays contiguous under its TYPE).
+        for suffix, attr in (("_max", "max"), ("_min", "min")):
+            for key, gauge in gauges:
+                extreme = getattr(gauge, attr)
+                if extreme is None:
+                    continue
+                name, body = _split_key(key)
+                family = _prom_name(name) + suffix
+                header(family, "gauge")
+                lines.append(f"{family}{_prom_labels(body)} {extreme}")
         for key, hist in sorted(self._histograms.items()):
             name, body = _split_key(key)
             family = _prom_name(name)

@@ -33,6 +33,44 @@ from repro.sim.rng import SimRng
 _GENERATE = "generate-query"
 
 
+class _OnOffSchedule:
+    """Alternating exponential ON/OFF phases for bursty arrivals.
+
+    The arrival process is interrupted-Poisson: exponential gaps only
+    accumulate during ON phases, and :meth:`stretch` converts an
+    ON-time gap into virtual-clock delay by skipping the OFF time the
+    gap spans.  Phase lengths are drawn lazily in a fixed order (one
+    :meth:`~repro.sim.rng.SimRng.onoff` pair per cycle), so runs stay
+    deterministic under a given seed.
+    """
+
+    def __init__(self, rng: SimRng, on_mean: float, off_mean: float):
+        self._rng = rng
+        self._on_mean = on_mean
+        self._off_mean = off_mean
+        self._cycle_start = 0.0
+        self._on_len, self._off_len = rng.onoff(on_mean, off_mean)
+
+    def stretch(self, now: float, gap: float) -> float:
+        """The virtual delay from *now* after which *gap* seconds of ON
+        time have elapsed."""
+        at = now
+        while True:
+            cycle_end = self._cycle_start + self._on_len + self._off_len
+            while at >= cycle_end:
+                self._cycle_start = cycle_end
+                self._on_len, self._off_len = self._rng.onoff(
+                    self._on_mean, self._off_mean)
+                cycle_end = self._cycle_start + self._on_len + self._off_len
+            on_end = self._cycle_start + self._on_len
+            if at < on_end:
+                available = on_end - at
+                if gap <= available:
+                    return (at + gap) - now
+                gap -= available
+            at = cycle_end
+
+
 class SimResourceAgent(Agent):
     """A parametric resource: a domain, a data volume, a service rate."""
 
@@ -97,6 +135,13 @@ class SimQueryAgent(Agent):
         self.sim_config = sim_config
         self.metrics = metrics
         self.rng = rng
+        #: On/off burst schedule; None unless the bursty knobs are set,
+        #: so the legacy rng call sequence is untouched when they are
+        #: off (the construction itself draws the first phase pair).
+        self._onoff = (
+            _OnOffSchedule(rng, sim_config.load_on_s, sim_config.load_off_s)
+            if sim_config.load_on_s is not None else None
+        )
 
     def build_description(self) -> ServiceDescription:
         return ServiceDescription(
@@ -106,6 +151,21 @@ class SimQueryAgent(Agent):
     # ------------------------------------------------------------------
     # arrival process
     # ------------------------------------------------------------------
+    def _burst_factor(self, now: float) -> float:
+        """The flash-crowd acceleration at *now*: 1 outside the burst
+        window, ``burst_factor`` inside it — ramped linearly over
+        ``load_ramp_s`` at the window edges when that knob is set."""
+        cfg = self.sim_config
+        start = cfg.burst_start
+        end = start + cfg.burst_duration
+        if not start <= now < end:
+            return 1.0
+        ramp = cfg.load_ramp_s
+        if not ramp:
+            return cfg.burst_factor
+        edge = min((now - start) / ramp, (end - now) / ramp, 1.0)
+        return 1.0 + (cfg.burst_factor - 1.0) * edge
+
     def _mean_interval(self, now: float) -> float:
         """The current mean inter-arrival time: the configured rate,
         accelerated by ``burst_factor`` inside the flash-crowd window.
@@ -113,23 +173,28 @@ class SimQueryAgent(Agent):
         sequence is identical to the legacy open-loop generator."""
         cfg = self.sim_config
         mean = cfg.mean_query_interval
-        if (cfg.burst_start is not None
-                and cfg.burst_start <= now < cfg.burst_start + cfg.burst_duration):
-            mean /= cfg.burst_factor
+        if cfg.burst_start is not None:
+            mean /= self._burst_factor(now)
         return mean
+
+    def _next_arrival_delay(self, now: float) -> float:
+        """The delay before the next query: an exponential gap, with OFF
+        phases skipped when the on/off burst knobs are set."""
+        gap = self.rng.exponential(self._mean_interval(now))
+        if self._onoff is None:
+            return gap
+        return self._onoff.stretch(now, gap)
 
     def on_start(self, now: float) -> HandlerResult:
         result = super().on_start(now)
-        result.arm(self.rng.exponential(self._mean_interval(now)),
-                   _GENERATE, maintenance=True)
+        result.arm(self._next_arrival_delay(now), _GENERATE, maintenance=True)
         return result
 
     def on_custom_timer(self, token: object, result: HandlerResult, now: float) -> None:
         if token != _GENERATE:
             return
         self._issue_query(result, now)
-        result.arm(self.rng.exponential(self._mean_interval(now)),
-                   _GENERATE, maintenance=True)
+        result.arm(self._next_arrival_delay(now), _GENERATE, maintenance=True)
 
     # ------------------------------------------------------------------
     # one query
@@ -137,7 +202,14 @@ class SimQueryAgent(Agent):
     def _issue_query(self, result: HandlerResult, now: float) -> None:
         cfg = self.sim_config
         broker = self.rng.choice(self.brokers)
-        domain = self.rng.choice(self.domains)
+        if cfg.load_zipf_s is None:
+            domain = self.rng.choice(self.domains)
+        else:
+            # Zipf popularity over the sorted catalog: rank 1 is the
+            # hottest domain, so repeated queries genuinely exercise
+            # broker match caches instead of spreading uniformly.
+            domain = self.domains[
+                self.rng.zipf(cfg.load_zipf_s, len(self.domains)) - 1]
         complexity = self.rng.bounded_gaussian(
             cfg.complexity_mean, cfg.complexity_std, *cfg.complexity_bounds
         )

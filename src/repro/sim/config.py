@@ -193,6 +193,21 @@ class SimConfig:
     burst_duration: float = 0.0
     burst_factor: float = 10.0
 
+    # --- open-loop workload shaping (live-ops harness; all off by
+    # --- default: the legacy uniform/Poisson generator, byte-identical)
+    #: Zipf exponent for query-domain popularity over the sorted domain
+    #: catalog (rank 1 = hottest).  None = the legacy uniform choice.
+    load_zipf_s: Optional[float] = None
+    #: Mean ON / OFF phase lengths (seconds) for bursty on/off arrivals
+    #: (an interrupted Poisson process: queries only arrive during ON
+    #: phases).  Both must be set together; None = plain Poisson.
+    load_on_s: Optional[float] = None
+    load_off_s: Optional[float] = None
+    #: Flash-crowd edge ramp (seconds): the burst factor rises and
+    #: falls linearly over this long at the window edges instead of
+    #: stepping (0 = the legacy step).  Requires a burst window.
+    load_ramp_s: float = 0.0
+
     # --- forensics ----------------------------------------------------------
     #: When set, every broker shares one slow-query flight recorder with
     #: this many slots: the N slowest/failed recommends keep their full
@@ -283,6 +298,17 @@ class SimConfig:
                              "burst_start is set")
         if self.burst_factor <= 0:
             raise ValueError("burst_factor must be positive")
+        if self.load_zipf_s is not None and self.load_zipf_s < 0:
+            raise ValueError("load_zipf_s must be >= 0")
+        if (self.load_on_s is None) != (self.load_off_s is None):
+            raise ValueError("load_on_s and load_off_s must be set together")
+        if self.load_on_s is not None and (
+                self.load_on_s <= 0 or self.load_off_s <= 0):
+            raise ValueError("on/off phase means must be positive")
+        if self.load_ramp_s < 0:
+            raise ValueError("load_ramp_s must be >= 0")
+        if self.load_ramp_s and self.burst_start is None:
+            raise ValueError("load_ramp_s needs a burst window to ramp")
 
     @property
     def n_domains(self) -> int:

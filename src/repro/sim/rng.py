@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import bisect
+import math
 import random
-from typing import Sequence
+from typing import Dict, List, Sequence, Tuple
 
 
 class SimRng:
@@ -11,6 +13,7 @@ class SimRng:
 
     def __init__(self, seed: int = 0, stream: str = ""):
         self._rng = random.Random(f"{seed}:{stream}")
+        self._zipf_cdfs: Dict[Tuple[float, int], List[float]] = {}
 
     def exponential(self, mean: float) -> float:
         """Exponential inter-event / failure / repair times."""
@@ -31,6 +34,54 @@ class SimRng:
             if lo <= value <= hi:
                 return value
         return min(max(mean, lo), hi)  # pathological parameters: clamp
+
+    def poisson(self, mean: float) -> int:
+        """A Poisson-distributed event count with the given mean.
+
+        Knuth's product-of-uniforms for ordinary means; a rounded
+        Gaussian approximation keeps large-mean draws O(1) instead of
+        O(mean) (and dodges ``exp(-mean)`` underflow).
+        """
+        if mean <= 0:
+            raise ValueError("poisson mean must be positive")
+        if mean > 500.0:
+            return max(0, int(round(self._rng.gauss(mean, math.sqrt(mean)))))
+        threshold = math.exp(-mean)
+        count = 0
+        product = self._rng.random()
+        while product > threshold:
+            count += 1
+            product *= self._rng.random()
+        return count
+
+    def zipf(self, s: float, n: int) -> int:
+        """A Zipf-distributed rank in ``1..n``: P(k) proportional to
+        ``k ** -s`` (``s == 0`` degenerates to uniform).
+
+        The inverse CDF is cached per ``(s, n)``, so repeated draws —
+        the query generator's per-arrival popularity pick — cost one
+        uniform plus a bisect.
+        """
+        if n < 1:
+            raise ValueError("zipf needs at least one rank")
+        if s < 0:
+            raise ValueError("zipf exponent must be >= 0")
+        cdf = self._zipf_cdfs.get((s, n))
+        if cdf is None:
+            total = 0.0
+            cdf = []
+            for rank in range(1, n + 1):
+                total += rank ** -s
+                cdf.append(total)
+            self._zipf_cdfs[(s, n)] = cdf
+        target = self._rng.random() * cdf[-1]
+        return min(bisect.bisect_right(cdf, target), n - 1) + 1
+
+    def onoff(self, on_mean: float, off_mean: float) -> Tuple[float, float]:
+        """One cycle of an on/off (interrupted-Poisson) arrival process:
+        exponential ON and OFF phase lengths, drawn as a pair so the
+        burst schedule consumes the stream in a fixed order."""
+        return self.exponential(on_mean), self.exponential(off_mean)
 
     def choice(self, options: Sequence):
         if not options:

@@ -108,6 +108,8 @@ class Simulation:
         )
         self.broker_names: List[str] = []
         self.expected_matches: Dict[str, Set[str]] = {}
+        self._prepared = False
+        self._availability = 1.0
         #: One community-wide slow-query recorder, shared by all brokers
         #: (None unless ``config.flight_recorder_slots`` is set).
         self.flight_recorder: Optional[FlightRecorder] = (
@@ -272,7 +274,18 @@ class Simulation:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self) -> SimReport:
+    def prepare(self) -> None:
+        """Install the reliability failure schedules (idempotent).
+
+        Split out of :meth:`run` so callers can step virtual time
+        incrementally — ``prepare()`` then repeated :meth:`advance`
+        then :meth:`finalize` — which is what the live ops console
+        does to render frames mid-run.  :meth:`run` composes exactly
+        these three, so one-shot behaviour is unchanged.
+        """
+        if self._prepared:
+            return
+        self._prepared = True
         config = self.config
         availability = 1.0
         if config.broker_mttf is not None:
@@ -304,17 +317,29 @@ class Simulation:
                     start=config.warmup,
                 )
                 controller.apply(schedule)
+        self._availability = availability
 
-        self.bus.run_until(config.duration)
+    def advance(self, until: float) -> None:
+        """Run the community up to virtual time *until* (monotonic;
+        prepares the run on first call)."""
+        self.prepare()
+        self.bus.run_until(until)
+
+    def finalize(self) -> SimReport:
+        """Flush the tracer, publish the metrics, and build the report."""
         if self.tracer is not None:
             self.tracer.flush()
         self.metrics.publish(self.observer)
         return SimReport(
-            config=config,
+            config=self.config,
             metrics=self.metrics,
             expected_matches=self.expected_matches,
-            availability=availability,
+            availability=self._availability,
         )
+
+    def run(self) -> SimReport:
+        self.advance(self.config.duration)
+        return self.finalize()
 
 
 def run_simulation(config: SimConfig, observer=None) -> SimReport:

@@ -69,7 +69,8 @@ class TestMetrics:
         snap = registry.snapshot()
         assert snap["counters"]["bus.delivered.count{performative=tell}"] == 3
         assert snap["counters"]["bus.delivered.count"] == 1
-        assert snap["gauges"]["x{a=1,b=2}"] == 9.0
+        assert snap["gauges"]["x{a=1,b=2}"] == {
+            "value": 9.0, "max": 9.0, "min": 9.0}
 
     def test_registry_get_or_create_returns_same_metric(self):
         registry = obs.MetricsRegistry()

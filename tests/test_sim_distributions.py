@@ -100,6 +100,138 @@ class TestWorkloadDistributions:
         assert complex_ == pytest.approx(4 * simple, rel=0.01)
 
 
+class TestPoisson:
+    def test_deterministic_under_seed(self):
+        a = SimRng(11, "p")
+        b = SimRng(11, "p")
+        assert [a.poisson(4.0) for _ in range(50)] == \
+               [b.poisson(4.0) for _ in range(50)]
+
+    def test_mean_and_variance_small_lambda(self):
+        rng = SimRng(5, "p")
+        values = [rng.poisson(4.0) for _ in range(4000)]
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert mean == pytest.approx(4.0, rel=0.05)
+        # Poisson: variance == mean.
+        assert variance == pytest.approx(mean, rel=0.15)
+
+    def test_mean_large_lambda_gaussian_path(self):
+        rng = SimRng(5, "p")
+        values = [rng.poisson(1000.0) for _ in range(500)]
+        assert all(v >= 0 for v in values)
+        assert sum(values) / len(values) == pytest.approx(1000.0, rel=0.02)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            SimRng(1, "p").poisson(0.0)
+
+
+class TestZipf:
+    def test_deterministic_under_seed(self):
+        a = SimRng(11, "z")
+        b = SimRng(11, "z")
+        assert [a.zipf(1.1, 20) for _ in range(100)] == \
+               [b.zipf(1.1, 20) for _ in range(100)]
+
+    def test_support_is_one_to_n(self):
+        rng = SimRng(3, "z")
+        values = [rng.zipf(1.0, 5) for _ in range(2000)]
+        assert set(values) <= {1, 2, 3, 4, 5}
+        assert min(values) == 1 and max(values) == 5
+
+    def test_rank_frequencies_follow_power_law(self):
+        rng = SimRng(3, "z")
+        counts = {}
+        for _ in range(20_000):
+            rank = rng.zipf(1.0, 10)
+            counts[rank] = counts.get(rank, 0) + 1
+        # Rank 1 is the hottest; frequency ratio rank1/rank2 ~ 2^s = 2.
+        assert counts[1] > counts[2] > counts[5]
+        assert counts[1] / counts[2] == pytest.approx(2.0, rel=0.15)
+
+    def test_s_zero_is_uniform(self):
+        rng = SimRng(3, "z")
+        counts = {}
+        for _ in range(10_000):
+            rank = rng.zipf(0.0, 4)
+            counts[rank] = counts.get(rank, 0) + 1
+        for share in counts.values():
+            assert share / 10_000 == pytest.approx(0.25, abs=0.03)
+
+    def test_rejects_bad_parameters(self):
+        rng = SimRng(1, "z")
+        with pytest.raises(ValueError):
+            rng.zipf(1.0, 0)
+        with pytest.raises(ValueError):
+            rng.zipf(-0.5, 4)
+
+
+class TestOnOff:
+    def test_pair_draws_are_exponential_means(self):
+        rng = SimRng(9, "b")
+        ons, offs = zip(*(rng.onoff(100.0, 25.0) for _ in range(3000)))
+        assert sum(ons) / len(ons) == pytest.approx(100.0, rel=0.1)
+        assert sum(offs) / len(offs) == pytest.approx(25.0, rel=0.1)
+
+    def test_schedule_skips_off_phases(self):
+        from repro.sim.agents import _OnOffSchedule
+
+        class _FixedRng:
+            def onoff(self, on_mean, off_mean):
+                return (10.0, 5.0)  # ON [0,10), OFF [10,15), ON [15,25)...
+
+        schedule = _OnOffSchedule(_FixedRng(), 10.0, 5.0)
+        # A 4s gap from t=8 spans 2s of ON, the 5s OFF phase, then 2s
+        # more of ON: it lands at t=17, a 9s virtual delay.
+        assert schedule.stretch(8.0, 4.0) == pytest.approx(9.0)
+        # Entirely inside one ON phase: no stretching.
+        assert schedule.stretch(0.0, 3.0) == pytest.approx(3.0)
+
+    def test_bursty_arrivals_cluster(self):
+        """On/off shaping concentrates arrivals: the variance of the
+        inter-arrival gaps grows well past the exponential baseline."""
+        def gaps_for(**knobs):
+            config = SimConfig(
+                n_brokers=3, n_resources=12,
+                strategy=BrokerStrategy.SPECIALIZED,
+                mean_query_interval=20.0, duration=20_000.0,
+                warmup=400.0, seed=123,
+                query_resources_after_reply=False, **knobs,
+            )
+            report = Simulation(config).run()
+            times = sorted(r.issued_at for r in report.metrics.broker_queries)
+            return [b - a for a, b in zip(times, times[1:])]
+
+        plain = gaps_for()
+        bursty = gaps_for(load_on_s=400.0, load_off_s=400.0)
+
+        def cv2(gaps):
+            mean = sum(gaps) / len(gaps)
+            return (sum((g - mean) ** 2 for g in gaps) / len(gaps)) / mean ** 2
+
+        assert cv2(plain) == pytest.approx(1.0, abs=0.35)
+        assert cv2(bursty) > 2.0
+
+
+class TestZipfWorkload:
+    def test_zipf_knob_skews_domain_popularity(self):
+        config = SimConfig(
+            n_brokers=3, n_resources=24, strategy=BrokerStrategy.SPECIALIZED,
+            mean_query_interval=20.0, duration=20_000.0, warmup=400.0,
+            seed=123, query_resources_after_reply=False, load_zipf_s=1.2,
+        )
+        report = Simulation(config).run()
+        counts = {}
+        for record in report.metrics.broker_queries:
+            counts[record.domain] = counts.get(record.domain, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        total = sum(ranked)
+        # The hottest domain dominates (uniform would give 1/6 each).
+        assert ranked[0] / total > 0.30
+        assert ranked[0] > 2 * ranked[-1]
+
+
 class TestMatchCounts:
     def test_four_resources_per_domain_found(self):
         """"A query over a particular data domain would have four separate

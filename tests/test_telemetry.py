@@ -302,12 +302,16 @@ class TestBusGauges:
         gauges = registry.snapshot()["gauges"]
         assert "bus.queue.depth" in gauges
         assert "bus.inflight" in gauges
-        assert gauges["bus.queue.depth"] >= 1.0
+        depth = gauges["bus.queue.depth"]
+        assert depth["max"] >= 1.0
         # The duration cutoff may strand a few enqueued messages, but the
         # gauge can never exceed the per-agent high-water total.
         high_water = simulation.bus.stats.queue_depth_high_water
-        assert 0.0 <= gauges["bus.inflight"] <= float(high_water) * 10
-        assert high_water >= gauges["bus.queue.depth"]
+        assert 0.0 <= gauges["bus.inflight"]["value"] <= float(high_water) * 10
+        # The registry envelope and the bus-side stats track the same
+        # per-agent depth stream, so their peaks agree exactly.
+        assert depth["max"] == float(high_water)
+        assert depth["value"] <= float(high_water)
 
     def test_high_water_tracked_even_without_metrics_observer(self):
         simulation = Simulation(SimConfig(duration=900.0, seed=3))

@@ -1,0 +1,373 @@
+"""The streaming RED/USE plane: windows, sketches, derivation from
+observer hooks, the live console renderer, and the strict-opt-in
+byte-identity property."""
+
+import json
+import re
+
+import pytest
+
+from repro.experiments.console import render_frame
+from repro.kqml import KqmlMessage, Performative
+from repro.obs import compose
+from repro.obs.events import Observer
+from repro.obs.timeseries import (QuantileSketch, TimeSeries,
+                                  TimeSeriesObserver, render_key,
+                                  saturated_agents, summarize_window,
+                                  summarize_windows, write_series_jsonl)
+from repro.sim import SimConfig
+from repro.sim.simulator import Simulation
+
+
+# ----------------------------------------------------------------------
+# the window ring
+# ----------------------------------------------------------------------
+class TestTimeSeriesWindows:
+    def test_rollover_on_window_boundaries(self):
+        series = TimeSeries(width_s=60.0, capacity=10)
+        w0 = series.window(10.0)
+        assert series.window(59.9) is w0
+        w1 = series.window(60.0)
+        assert w1 is not w0
+        assert (w0.index, w1.index) == (0, 1)
+        assert (w0.start, w1.start) == (0.0, 60.0)
+        assert len(series) == 2
+
+    def test_eviction_past_capacity(self):
+        series = TimeSeries(width_s=60.0, capacity=3)
+        for minute in range(5):
+            series.window(minute * 60.0)
+        assert len(series) == 3
+        assert [w.index for w in series] == [2, 3, 4]
+        assert series.evicted == 2
+
+    def test_late_writes_to_retained_windows_are_honoured(self):
+        series = TimeSeries(width_s=60.0, capacity=10)
+        series.window(10.0)
+        series.window(130.0)
+        # Time regresses into a still-retained window: same object back.
+        late = series.window(65.0)
+        assert late.index == 1
+        assert [w.index for w in series] == [0, 1, 2]
+        assert series.late_dropped == 0
+
+    def test_writes_to_evicted_windows_are_counted_and_dropped(self):
+        series = TimeSeries(width_s=60.0, capacity=2)
+        for minute in range(4):
+            series.window(minute * 60.0)
+        assert series.window(30.0) is None  # window 0 was evicted
+        assert series.late_dropped == 1
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            TimeSeries(width_s=0.0)
+        with pytest.raises(ValueError):
+            TimeSeries(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# mergeable sketches
+# ----------------------------------------------------------------------
+class TestQuantileSketch:
+    def test_merge_equals_union_of_observations(self):
+        values_a = [0.3, 1.2, 4.0, 9.0]
+        values_b = [0.2, 2.0, 45.0]
+        a, b, union = QuantileSketch(), QuantileSketch(), QuantileSketch()
+        for v in values_a:
+            a.observe(v)
+        for v in values_b:
+            b.observe(v)
+        for v in values_a + values_b:
+            union.observe(v)
+        a.merge(b)
+        assert a.count == union.count
+        assert a.sum == pytest.approx(union.sum)
+        assert a.min == union.min and a.max == union.max
+        for q in (0.25, 0.5, 0.9, 0.99):
+            assert a.quantile(q) == pytest.approx(union.quantile(q))
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        b.observe(1.0)
+        assert a.merge(b) is a
+        assert a.count == 1
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = QuantileSketch()
+        b = QuantileSketch(bounds=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_snapshot_round_trips_through_from_dict(self):
+        a = QuantileSketch()
+        for v in (0.05, 0.7, 3.0, 3.0, 400.0):
+            a.observe(v)
+        restored = QuantileSketch.from_dict(a.snapshot())
+        assert restored.snapshot() == a.snapshot()
+        assert restored.quantile(0.5) == a.quantile(0.5)
+
+
+# ----------------------------------------------------------------------
+# RED/USE derivation from synthetic observer events
+# ----------------------------------------------------------------------
+def _request(sender="query-agent", receiver="broker0", reply_with="q1"):
+    return KqmlMessage(Performative.RECOMMEND_ALL, sender=sender,
+                       receiver=receiver, content="q", reply_with=reply_with)
+
+
+def _reply(request, performative=Performative.TELL, **extras):
+    return KqmlMessage(performative, sender=request.receiver,
+                       receiver=request.sender, content="r",
+                       in_reply_to=request.reply_with, extras=extras)
+
+
+class TestRedUseDerivation:
+    def test_rate_and_duration_from_request_reply_pair(self):
+        plane = TimeSeriesObserver(window_s=60.0)
+        request = _request()
+        plane.message_sent(10.0, request, 100.0)
+        plane.message_delivered(10.5, request)
+        reply = _reply(request)
+        plane.message_sent(14.0, reply, 100.0)
+        plane.message_delivered(14.0, reply)
+
+        window = plane.series.window(10.0)
+        # Roles strip the numeric suffix: broker0 -> broker.
+        assert window.counters[("red.rate", "broker", "recommend-all")] == 1.0
+        assert window.counters[("red.rate", "query-agent", "tell")] == 1.0
+        sketch = window.sketches[("red.duration", "broker", "recommend-all")]
+        # User-perceived RTT: request send (10.0) to reply delivery (14.0).
+        assert sketch.count == 1
+        assert sketch.quantile(0.5) == pytest.approx(4.0)
+
+    def test_partial_annotation_counted(self):
+        plane = TimeSeriesObserver(window_s=60.0)
+        request = _request()
+        plane.message_sent(5.0, request, 10.0)
+        reply = _reply(request, partial="providers-lost")
+        plane.message_delivered(9.0, reply)
+        window = plane.series.window(5.0)
+        assert window.counters[
+            ("red.partial", "broker", "recommend-all")] == 1.0
+
+    def test_sorry_counts_as_error_by_sender_role(self):
+        plane = TimeSeriesObserver(window_s=60.0)
+        request = _request(receiver="broker3")
+        plane.message_sent(5.0, request, 10.0)
+        plane.message_delivered(8.0, _reply(request, Performative.SORRY))
+        window = plane.series.window(5.0)
+        assert window.counters[("red.errors", "broker", "sorry")] == 1.0
+
+    def test_timeout_counts_as_error_for_the_requester(self):
+        plane = TimeSeriesObserver(window_s=60.0)
+        request = _request()
+        plane.message_sent(5.0, request, 10.0)
+        plane.conversation_timeout(65.0, "query-agent", "q1")
+        window = plane.series.window(65.0)
+        assert window.counters[
+            ("red.errors", "query-agent", "timeout")] == 1.0
+        # The pending entry is consumed: a late reply cannot double-count.
+        plane.message_delivered(70.0, _reply(request))
+        late = plane.series.window(70.0)
+        assert ("red.duration", "broker", "recommend-all") \
+            not in late.sketches
+
+    def test_sheds_and_drops_by_reason(self):
+        plane = TimeSeriesObserver(window_s=60.0)
+        message = _request()
+        plane.message_dropped(5.0, message, reason="shed-reject")
+        plane.message_dropped(6.0, message, reason="expired")
+        plane.message_dropped(7.0, message, reason="offline")
+        window = plane.series.window(5.0)
+        assert window.counters[("use.shed", "shed-reject")] == 1.0
+        assert window.counters[("use.shed", "expired")] == 1.0
+        assert ("use.shed", "offline") not in window.counters
+        assert window.counters[("use.drops", "offline")] == 1.0
+
+    def test_generic_hooks_land_in_the_transport_hook_window(self):
+        plane = TimeSeriesObserver(window_s=60.0)
+        plane.timer_fired(125.0, "broker0")  # sets the plane clock
+        plane.inc("broker.admission.shed", 1.0, broker="broker0")
+        plane.gauge("bus.queue.depth", 7.0, agent="broker0")
+        plane.observe("broker.match.seconds", 0.3)
+        window = plane.series.window(125.0)
+        assert window.counters[
+            ("metric", "broker.admission.shed{broker=broker0}")] == 1.0
+        gauge = window.gauges["bus.queue.depth{agent=broker0}"]
+        assert gauge.snapshot() == {"value": 7.0, "max": 7.0, "min": 7.0}
+        assert window.sketches[("metric", "broker.match.seconds")].count == 1
+
+    def test_breaker_counters_become_a_net_open_gauge(self):
+        plane = TimeSeriesObserver(window_s=60.0)
+        plane.timer_fired(10.0, "broker0")
+        plane.inc("broker.breaker.open", 1.0, broker="broker0")
+        plane.inc("broker.breaker.open", 1.0, broker="broker1")
+        plane.inc("broker.breaker.close", 1.0, broker="broker0")
+        window = plane.series.window(10.0)
+        snap = window.gauges["use.breakers.open"].snapshot()
+        assert snap["value"] == 1.0 and snap["max"] == 2.0
+
+    def test_saturated_agents_ranked_by_backlog_peak(self):
+        plane = TimeSeriesObserver(window_s=60.0)
+        for i in range(3):
+            plane.message_sent(
+                5.0 + i, _request(reply_with=f"q{i}"), 10.0)
+        plane.message_sent(
+            8.0, _request(receiver="broker1", reply_with="q9"), 10.0)
+        window = plane.series.window(5.0)
+        # broker1 never reached depth 2, so only broker0 is tracked.
+        assert saturated_agents(window) == [["broker0", 3]]
+
+    def test_pending_map_is_lru_bounded(self):
+        plane = TimeSeriesObserver(window_s=60.0, pending_limit=4)
+        for i in range(10):
+            plane.message_sent(float(i), _request(reply_with=f"q{i}"), 1.0)
+        assert len(plane._pending) == 4
+        assert plane.pending_evicted == 6
+
+
+# ----------------------------------------------------------------------
+# window records and the console
+# ----------------------------------------------------------------------
+def _synthetic_plane():
+    """Two windows of deterministic traffic for snapshot tests."""
+    plane = TimeSeriesObserver(window_s=60.0)
+    # Window 0: two round trips (4s, 11s), one of them partial, and a
+    # backlog spike on broker0.
+    for i, (sent, rtt) in enumerate(((10.0, 4.0), (20.0, 11.0))):
+        request = _request(reply_with=f"q{i}")
+        plane.message_sent(sent, request, 100.0)
+        plane.message_sent(sent + 0.1, _request(reply_with=f"h{i}"), 10.0)
+        plane.message_delivered(sent + 0.5, request)
+        reply = _reply(request, **({"partial": "x"} if i else {}))
+        plane.message_delivered(sent + rtt, reply)
+    # Window 1: a shed and a timeout.
+    plane.message_dropped(70.0, _request(reply_with="q8"),
+                          reason="shed-reject")
+    plane.conversation_timeout(80.0, "query-agent", "h0")
+    return plane
+
+
+class TestWindowRecords:
+    def test_records_shape_and_at_stamp(self):
+        records = _synthetic_plane().records()
+        assert [r["at"] for r in records] == [0.0, 60.0]
+        first = records[0]
+        assert first["type"] == "window" and first["width_s"] == 60.0
+        assert first["counters"][
+            "red.rate{performative=recommend-all,role=broker}"] == 2.0
+        sketch = first["sketches"][
+            "red.duration{performative=recommend-all,role=broker}"]
+        assert sketch["count"] == 2
+        assert first["saturated"] == [["broker0", 3]]
+        assert records[1]["counters"]["use.shed{reason=shed-reject}"] == 1.0
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        plane = _synthetic_plane()
+        path = tmp_path / "series.jsonl"
+        count = write_series_jsonl(str(path), plane)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 2
+        assert [json.loads(line) for line in lines] == plane.records()
+
+    def test_summaries_roll_up_across_windows(self):
+        plane = _synthetic_plane()
+        windows = list(plane.series.windows)
+        first = summarize_window(windows[0])
+        assert first["arrivals"] == 2.0
+        assert first["goodput"] == 2
+        assert first["partial_rate"] == 0.5
+        total = summarize_windows(windows)
+        assert total["errors"] == 1.0 and total["shed"] == 1.0
+        assert total["shed_rate"] == pytest.approx(1.0 / 3.0)
+        # Merged quantiles span both observations.
+        assert 4.0 <= total["p50_s"] <= 11.0
+
+    def test_render_key_formats(self):
+        assert render_key(("red.rate", "broker", "recommend-all")) == \
+            "red.rate{performative=recommend-all,role=broker}"
+        assert render_key(("red.errors", "query-agent", "timeout")) == \
+            "red.errors{kind=timeout,role=query-agent}"
+        assert render_key(("use.shed", "shed-reject")) == \
+            "use.shed{reason=shed-reject}"
+        assert render_key(("metric", "bus.inflight")) == "bus.inflight"
+
+
+class TestConsoleSnapshot:
+    def test_frame_snapshot(self):
+        frame = render_frame(_synthetic_plane(), 120.0, shape="steady")
+        lines = frame.splitlines()
+        assert lines[0] == "repro load steady — t=120s"
+        assert lines[1].split() == [
+            "window", "arrivals", "goodput", "p50s", "p95s", "errors",
+            "shed%", "part%", "saturated"]
+        assert lines[2].split() == [
+            "t=0s", "2", "2", "5.0", "11.0", "0", "0.0", "50.0",
+            "broker0=3"]
+        assert lines[3].split() == [
+            "t=60s", "0", "0", "-", "-", "1", "100.0", "0.0"]
+        assert set(lines[4]) == {"-"}
+        assert lines[5].split() == [
+            "total", "2", "2", "5.0", "11.0", "1", "33.3", "50.0",
+            "broker0=3"]
+
+    def test_empty_plane_renders_placeholder(self):
+        frame = render_frame(TimeSeriesObserver(), 0.0)
+        assert "(no traffic yet)" in frame
+
+
+# ----------------------------------------------------------------------
+# strict opt-in: the plane never perturbs the simulation
+# ----------------------------------------------------------------------
+_GLOBAL_ID = re.compile(r"\bid\d+\b")
+
+
+class _TraceObserver(Observer):
+    """Records every sent/delivered message as a comparable tuple,
+    interning the process-global ``idN`` reply ids in order of first
+    appearance (see tests/test_overload.py for the original)."""
+
+    enabled = True
+
+    def __init__(self):
+        self.events = []
+        self._ids = {}
+
+    def _canon(self, value):
+        if not isinstance(value, str):
+            return value
+        return _GLOBAL_ID.sub(
+            lambda m: self._ids.setdefault(m.group(0),
+                                           f"id#{len(self._ids)}"),
+            value,
+        )
+
+    def _key(self, kind, time, message):
+        extras = tuple((k, self._canon(v)) for k, v in message.extras)
+        return (kind, time, message.sender, message.receiver,
+                message.performative.value, self._canon(message.reply_with),
+                self._canon(message.in_reply_to), extras)
+
+    def message_sent(self, time, message, size_bytes, cause=None):
+        self.events.append(self._key("sent", time, message))
+
+    def message_delivered(self, time, message, waited, size_bytes,
+                          duplicate=False):
+        self.events.append(self._key("delivered", time, message))
+
+
+class TestStrictOptIn:
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_plane_leaves_the_message_trace_byte_identical(self, seed):
+        config = SimConfig(duration=1200.0, seed=seed)
+
+        trace = _TraceObserver()
+        Simulation(config, observer=trace).run()
+
+        traced = _TraceObserver()
+        plane = TimeSeriesObserver()
+        Simulation(config, observer=compose(traced, plane)).run()
+
+        assert traced.events == trace.events
+        # And the plane actually observed the run it rode along on.
+        assert len(plane.series.windows) > 0
